@@ -1,0 +1,455 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Sec 4). Each BenchmarkTableN / BenchmarkFigN drives the corresponding
+// experiment in internal/bench on a miniature corpus (the shapes, not the
+// absolute numbers, reproduce the paper; run cmd/roxbench for full sweeps
+// and printed rows). Custom metrics surface the quantity the paper plots:
+//
+//	go test -bench=. -benchmem
+//	go test -bench BenchmarkFig6 -benchtime 3x
+package rox
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/classical"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/plan"
+	"repro/internal/planenum"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xquery"
+)
+
+func benchConfig() bench.Config {
+	cfg := bench.DefaultConfig()
+	cfg.TagDivisor = 60
+	cfg.MaxCombosPerGroup = 2
+	return cfg
+}
+
+// BenchmarkTable1 exercises the operator cost table: every staircase axis,
+// the three value joins and the scan over a fixed micro document.
+func BenchmarkTable1(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := bench.RunTable1(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 runs the XMark chain-sampling experiment (Q1 and Qm1 over
+// the price↔bidder-correlated auction document).
+func BenchmarkTable2(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Table2Orders(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 generates the 23-venue catalog.
+func BenchmarkTable3(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if err := bench.RunTable3(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 evaluates all 18 join orders of the VLDB/ICDE/ICIP/ADBIS
+// combination and reports the spread between the best and worst order.
+func BenchmarkFig5(b *testing.B) {
+	cfg := benchConfig()
+	corpus := bench.NewCorpus(cfg)
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.ComputeFig5(corpus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		minC, maxC := res.Rows[0].Cumulative, res.Rows[0].Cumulative
+		for _, r := range res.Rows {
+			if r.Cumulative < minC {
+				minC = r.Cumulative
+			}
+			if r.Cumulative > maxC {
+				maxC = r.Cumulative
+			}
+		}
+		if minC == 0 {
+			minC = 1
+		}
+		spread = float64(maxC) / float64(minC)
+	}
+	b.ReportMetric(spread, "worst/best-order")
+}
+
+// BenchmarkFig6 runs the plan-class comparison and reports the average
+// classical-vs-ROX slowdown (the paper: 3.4×–7.9× depending on group).
+func BenchmarkFig6(b *testing.B) {
+	cfg := benchConfig()
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		corpus := bench.NewCorpus(cfg)
+		rows, err := bench.ComputeFig6(corpus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rows {
+			sum += r.Classical / r.ROXPure
+		}
+		slowdown = sum / float64(len(rows))
+	}
+	b.ReportMetric(slowdown, "classical/ROXpure")
+}
+
+// BenchmarkFig7 measures the scaling experiment at ×1 and ×4.
+func BenchmarkFig7(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MaxCombosPerGroup = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.ComputeFig7(cfg, []int{1, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 measures the sampling overhead at τ ∈ {25, 100, 400} and
+// reports the τ=100 overhead percentage.
+func BenchmarkFig8(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Scale = 8
+	cfg.MaxCombosPerGroup = 1
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.ComputeFig8(cfg, []int{25, 100, 400})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Tau == 100 {
+				overhead = c.AvgPct
+			}
+		}
+	}
+	b.ReportMetric(overhead, "overhead-%@τ100")
+}
+
+// --- Ablation benches: the design choices DESIGN.md calls out. ---
+
+func ablationCorpus(b *testing.B) (*bench.Corpus, bench.ComboInfo) {
+	cfg := benchConfig()
+	cfg.TagDivisor = 40
+	corpus := bench.NewCorpus(cfg)
+	combos := corpus.SelectCombos()
+	if len(combos) == 0 {
+		b.Fatal("no combos")
+	}
+	// Use the most correlated combination — where the ablations matter.
+	best := combos[0]
+	for _, c := range combos {
+		if c.Correlation > best.Correlation {
+			best = c
+		}
+	}
+	return corpus, best
+}
+
+func runVariant(b *testing.B, opts core.Options) (cumulative int64) {
+	corpus, info := ablationCorpus(b)
+	comp, _, err := bench.CompileCombo(info.Combo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := corpus.EnvFor(info.Combo)
+		_, res, err := core.Run(env, comp.Graph, comp.Tail, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cumulative = res.CumulativeIntermediate
+	}
+	b.ReportMetric(float64(cumulative), "cumulative-intermediates")
+	return cumulative
+}
+
+// BenchmarkAblationDefault is full ROX (chain sampling + re-sampling).
+func BenchmarkAblationDefault(b *testing.B) { runVariant(b, core.DefaultOptions()) }
+
+// BenchmarkAblationGreedy removes chain sampling: always execute the
+// min-weight edge without look-ahead.
+func BenchmarkAblationGreedy(b *testing.B) {
+	o := core.DefaultOptions()
+	o.Greedy = true
+	runVariant(b, o)
+}
+
+// BenchmarkAblationNoResample scales old weights by cardinality ratios
+// instead of re-sampling — the independence assumption the paper rejects.
+func BenchmarkAblationNoResample(b *testing.B) {
+	o := core.DefaultOptions()
+	o.NoResample = true
+	runVariant(b, o)
+}
+
+// BenchmarkAblationFixedCutoff keeps the chain-sampling cut-off at τ instead
+// of growing it per round.
+func BenchmarkAblationFixedCutoff(b *testing.B) {
+	o := core.DefaultOptions()
+	o.FixedCutoff = true
+	runVariant(b, o)
+}
+
+// BenchmarkAblationSampleSide compares the smaller-side sampling choice by
+// running with reversed direction preference disabled (path reordering off,
+// exposing the raw sampled orientation).
+func BenchmarkAblationSampleSide(b *testing.B) {
+	o := core.DefaultOptions()
+	o.NoPathReorder = true
+	runVariant(b, o)
+}
+
+// --- Micro benchmarks of the physical operators. ---
+
+func microDoc(n int) (*xmltree.Document, *index.Index) {
+	rng := rand.New(rand.NewSource(7))
+	bld := xmltree.NewBuilder("micro.xml")
+	bld.StartElem("root")
+	for i := 0; i < n; i++ {
+		bld.StartElem("a")
+		bld.StartElem("b")
+		bld.Text(string(rune('a' + rng.Intn(26))))
+		bld.EndElem()
+		bld.EndElem()
+	}
+	bld.EndElem()
+	d := bld.MustBuild()
+	return d, index.New(d)
+}
+
+func BenchmarkStaircaseDesc(b *testing.B) {
+	d, ix := microDoc(5000)
+	C := []xmltree.NodeID{d.Root()}
+	S := ix.Elements("b")
+	rec := metrics.NewRecorder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops.StaircaseSemi(rec, d, ops.AxisDesc, C, S)
+	}
+}
+
+func BenchmarkStaircaseChildPairs(b *testing.B) {
+	d, ix := microDoc(5000)
+	C := ix.Elements("a")
+	S := ix.Elements("b")
+	rec := metrics.NewRecorder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops.StepPairs(rec, d, ops.AxisChild, C, S, 0)
+	}
+}
+
+func BenchmarkHashValueJoin(b *testing.B) {
+	d, ix := microDoc(5000)
+	texts := ix.Texts()
+	rec := metrics.NewRecorder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops.HashJoinPairs(rec, d, texts, d, texts, 0)
+	}
+}
+
+func BenchmarkNLIndexJoinSampled(b *testing.B) {
+	d, ix := microDoc(5000)
+	texts := ix.Texts()
+	rec := metrics.NewRecorder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The zero-investment sampled form: 100-tuple outer, cut off at 100.
+		ops.NLIndexJoinPairs(rec, d, texts[:100], ops.TextProbe(ix), 100)
+	}
+}
+
+func BenchmarkShred(b *testing.B) {
+	cfg := datagen.DefaultXMarkConfig()
+	cfg.Persons, cfg.Items, cfg.OpenAuctions = 200, 150, 100
+	d := datagen.XMark(cfg)
+	text := xmltree.SerializeString(d, d.Root())
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xmltree.ParseString("x.xml", text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	cfg := datagen.DefaultXMarkConfig()
+	d := datagen.XMark(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		index.New(d)
+	}
+}
+
+// BenchmarkROXEndToEnd runs the full pipeline (compile → optimize+execute →
+// tail) on the XMark query.
+func BenchmarkROXEndToEnd(b *testing.B) {
+	cfg := datagen.DefaultXMarkConfig()
+	d := datagen.XMark(cfg)
+	comp, err := xquery.CompileString(`
+		let $d := doc("xmark.xml")
+		for $o in $d//open_auction[.//current/text() < 145],
+		    $p in $d//person[.//province]
+		where $o//bidder//personref/@person = $p/@id
+		return $p`, xquery.CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := index.New(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := plan.NewEnv(metrics.NewRecorder(), int64(i))
+		env.AddIndexed(ix)
+		if _, _, err := core.Run(env, comp.Graph, comp.Tail, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClassicalEndToEnd runs the same query through the classical
+// baseline for comparison.
+func BenchmarkClassicalEndToEnd(b *testing.B) {
+	cfg := datagen.DefaultXMarkConfig()
+	d := datagen.XMark(cfg)
+	comp, err := xquery.CompileString(`
+		let $d := doc("xmark.xml")
+		for $o in $d//open_auction[.//current/text() < 145],
+		    $p in $d//person[.//province]
+		where $o//bidder//personref/@person = $p/@id
+		return $p`, xquery.CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := index.New(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := plan.NewEnv(metrics.NewRecorder(), int64(i))
+		env.AddIndexed(ix)
+		pl, err := classical.StaticPlan(env, comp.Graph)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := plan.Run(env, comp.Graph, pl, comp.Tail); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanEnumeration measures the Sec 4.2 tool.
+func BenchmarkPlanEnumeration(b *testing.B) {
+	combo := datagen.Combo{}
+	for i, n := range []string{"VLDB", "ICDE", "ICIP", "ADBIS"} {
+		v, _ := datagen.VenueByName(n)
+		combo.Venues[i] = v
+	}
+	comp, fw, err := bench.CompileCombo(combo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = comp
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, o := range planenum.EnumerateJoinOrders4() {
+			for _, p := range planenum.Placements() {
+				if _, err := fw.BuildPlan(o, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// --- Sec 6 future-work extension benches. ---
+
+// BenchmarkExtensionSampledSearch runs the optimizer on truncated
+// intermediates (MaterializeLimit) and re-executes the found plan once —
+// the paper's "run ROX with samples instead of the complete data".
+func BenchmarkExtensionSampledSearch(b *testing.B) {
+	o := core.DefaultOptions()
+	o.MaterializeLimit = 8 * o.Tau
+	runVariant(b, o)
+}
+
+// BenchmarkExtensionEagerProject pushes projection+Distinct between the
+// joins (the Sec 6 Sorting/Distinct/Grouping integration).
+func BenchmarkExtensionEagerProject(b *testing.B) {
+	o := core.DefaultOptions()
+	o.EagerProject = true
+	runVariant(b, o)
+}
+
+// BenchmarkExtensionTimeWeights folds measured operator time into edge
+// weights.
+func BenchmarkExtensionTimeWeights(b *testing.B) {
+	o := core.DefaultOptions()
+	o.TimeWeights = true
+	runVariant(b, o)
+}
+
+// BenchmarkXPathEval measures the staircase-based XPath evaluator on the
+// XMark document.
+func BenchmarkXPathEval(b *testing.B) {
+	d := datagen.XMark(datagen.DefaultXMarkConfig())
+	ix := index.New(d)
+	exprs := []string{
+		"//open_auction/bidder/personref",
+		"//item[./quantity = 1]/name",
+		"//person[@id='person7']",
+	}
+	parsed := make([]*xpath.Expr, len(exprs))
+	for i, s := range exprs {
+		parsed[i] = xpath.MustParse(s)
+	}
+	root := []xmltree.NodeID{d.Root()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range parsed {
+			if _, err := xpath.EvalExpr(ix, e, root); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkBinaryRoundtrip measures shredded-document persistence against
+// re-shredding from XML text.
+func BenchmarkBinaryRoundtrip(b *testing.B) {
+	d := datagen.XMark(datagen.DefaultXMarkConfig())
+	var buf bytes.Buffer
+	if err := xmltree.WriteBinary(&buf, d); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xmltree.ReadBinary(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Command datagen writes the synthetic datasets of the evaluation to disk
+// as XML files.
+//
+// Usage:
+//
+//	datagen -kind xmark -out xmark.xml
+//	datagen -kind dblp -outdir dblp/ -scale 10 -divisor 1
+//	datagen -kind dblp -venues VLDB,ICDE,ICIP,ADBIS -outdir .
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	kind := flag.String("kind", "dblp", "dataset kind: dblp | xmark")
+	out := flag.String("out", "xmark.xml", "output file (xmark)")
+	outdir := flag.String("outdir", ".", "output directory (dblp)")
+	scale := flag.Int("scale", 1, "DBLP replication factor")
+	divisor := flag.Int("divisor", 1, "divide Table 3 author-tag counts")
+	seed := flag.Int64("seed", 2009, "generation seed")
+	venuesFlag := flag.String("venues", "", "comma-separated venue subset (default: all 23)")
+	binaryOut := flag.Bool("binary", false, "write the binary shredded format (.roxd) instead of XML text")
+	persons := flag.Int("persons", 600, "xmark: person count")
+	items := flag.Int("items", 500, "xmark: item count")
+	auctions := flag.Int("auctions", 400, "xmark: open auction count")
+	flag.Parse()
+
+	if err := run(*kind, *out, *outdir, *scale, *divisor, *seed, *venuesFlag, *binaryOut, *persons, *items, *auctions); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, out, outdir string, scale, divisor int, seed int64, venuesFlag string, binaryOut bool, persons, items, auctions int) error {
+	switch kind {
+	case "xmark":
+		cfg := datagen.DefaultXMarkConfig()
+		cfg.Seed = seed
+		cfg.Persons, cfg.Items, cfg.OpenAuctions = persons, items, auctions
+		return writeDoc(datagen.XMark(cfg), out, binaryOut)
+	case "dblp":
+		venues := datagen.Catalog()
+		if venuesFlag != "" {
+			venues = nil
+			for _, name := range strings.Split(venuesFlag, ",") {
+				v, ok := datagen.VenueByName(strings.TrimSpace(name))
+				if !ok {
+					return fmt.Errorf("unknown venue %q", name)
+				}
+				venues = append(venues, v)
+			}
+		}
+		cfg := datagen.DefaultDBLPConfig()
+		cfg.Seed = seed
+		cfg.Scale = scale
+		cfg.TagDivisor = divisor
+		docs := datagen.GenerateDBLP(cfg, venues)
+		for name, d := range docs {
+			path := filepath.Join(outdir, name)
+			if binaryOut {
+				path += ".roxd"
+			}
+			if err := writeDoc(d, path, binaryOut); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d author tags)\n", path, datagen.AuthorTagCount(d))
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+}
+
+func writeDoc(d *xmltree.Document, path string, binaryOut bool) error {
+	if binaryOut {
+		return xmltree.WriteBinaryFile(d, path)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return xmltree.Serialize(f, d, d.Root())
+}

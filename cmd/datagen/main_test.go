@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func TestRunXMark(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "x.xml")
+	if err := run("xmark", out, dir, 1, 1, 7, "", false, 30, 20, 15); err != nil {
+		t.Fatalf("run xmark: %v", err)
+	}
+	d, err := xmltree.ParseFile("", out)
+	if err != nil {
+		t.Fatalf("generated XML unparseable: %v", err)
+	}
+	if d.CountName("person") != 30 {
+		t.Errorf("persons = %d, want 30", d.CountName("person"))
+	}
+}
+
+func TestRunXMarkBinary(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "x.roxd")
+	if err := run("xmark", out, dir, 1, 1, 7, "", true, 30, 20, 15); err != nil {
+		t.Fatalf("run xmark binary: %v", err)
+	}
+	d, err := xmltree.ReadBinaryFile(out)
+	if err != nil {
+		t.Fatalf("binary unreadable: %v", err)
+	}
+	if d.CountName("person") != 30 {
+		t.Errorf("persons = %d, want 30", d.CountName("person"))
+	}
+}
+
+func TestRunDBLPSubset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("dblp", "", dir, 1, 50, 7, "VLDB,ADBIS", false, 0, 0, 0); err != nil {
+		t.Fatalf("run dblp: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name()] = true
+	}
+	for _, want := range []string{"VLDB.xml", "ADBIS.xml"} {
+		if !names[want] {
+			t.Errorf("missing %s in %v", want, names)
+		}
+	}
+}
+
+func TestRunDBLPBinary(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("dblp", "", dir, 1, 50, 7, "EDBT", true, 0, 0, 0); err != nil {
+		t.Fatalf("run dblp binary: %v", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	found := false
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".roxd") {
+			found = true
+			if _, err := xmltree.ReadBinaryFile(filepath.Join(dir, e.Name())); err != nil {
+				t.Errorf("unreadable %s: %v", e.Name(), err)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no .roxd written")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("nope", "", dir, 1, 1, 7, "", false, 0, 0, 0); err == nil {
+		t.Errorf("unknown kind should fail")
+	}
+	if err := run("dblp", "", dir, 1, 1, 7, "NotAVenue", false, 0, 0, 0); err == nil {
+		t.Errorf("unknown venue should fail")
+	}
+}

@@ -1,0 +1,89 @@
+// Command planenum enumerates and categorizes the physical plans of a
+// four-way DBLP-style query — the paper's Sec 4.2 tool. It prints the 18
+// equi-join orders, the three canonical step placements per order, and the
+// total physical search-space size.
+//
+// Usage:
+//
+//	planenum                                   # orders + search space
+//	planenum -sizes                            # with intermediate join sizes
+//	planenum -venues VLDB,ICDE,ICIP,ADBIS -divisor 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/bench"
+	"repro/internal/datagen"
+	"repro/internal/planenum"
+)
+
+func main() {
+	venuesFlag := flag.String("venues", "VLDB,ICDE,ICIP,ADBIS", "four catalog venues")
+	divisor := flag.Int("divisor", 40, "author-tag divisor for the generated docs")
+	seed := flag.Int64("seed", 2009, "generation seed")
+	sizes := flag.Bool("sizes", false, "compute intermediate join sizes per order")
+	flag.Parse()
+
+	if err := run(*venuesFlag, *divisor, *seed, *sizes); err != nil {
+		fmt.Fprintln(os.Stderr, "planenum:", err)
+		os.Exit(1)
+	}
+}
+
+func run(venuesFlag string, divisor int, seed int64, sizes bool) error {
+	var combo datagen.Combo
+	names := strings.Split(venuesFlag, ",")
+	if len(names) != 4 {
+		return fmt.Errorf("need exactly 4 venues, got %d", len(names))
+	}
+	for i, n := range names {
+		v, ok := datagen.VenueByName(strings.TrimSpace(n))
+		if !ok {
+			return fmt.Errorf("unknown venue %q", n)
+		}
+		combo.Venues[i] = v
+	}
+
+	comp, fw, err := bench.CompileCombo(combo)
+	if err != nil {
+		return err
+	}
+	_ = comp
+	ss := fw.CountSearchSpace()
+	fmt.Printf("four-way query over %v\n", fw.Docs)
+	fmt.Printf("search space: %d join orders × %s step interleavings × %s directions × %s join algorithms = %s physical plans\n\n",
+		ss.JoinOrders, ss.Interleavings, ss.StepDirections, ss.JoinAlgorithms, ss.Total)
+
+	var counts [4]map[string]int
+	if sizes {
+		cfg := bench.Config{Seed: seed, Tau: 100, Scale: 1, TagDivisor: divisor}
+		corpus := bench.NewCorpus(cfg)
+		counts = corpus.ComboCounts(combo)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if sizes {
+		fmt.Fprintln(tw, "join order\tplacements\t|J1|\t|J2|\t|J3|\tcumulative")
+	} else {
+		fmt.Fprintln(tw, "join order\tplacements")
+	}
+	for _, o := range planenum.EnumerateJoinOrders4() {
+		var placements []string
+		for _, p := range planenum.Placements() {
+			placements = append(placements, p.String())
+		}
+		if sizes {
+			js := bench.JoinSizes(counts, o)
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\n", o.Label(), strings.Join(placements, ","),
+				js[0], js[1], js[2], js[0]+js[1]+js[2])
+		} else {
+			fmt.Fprintf(tw, "%s\t%s\n", o.Label(), strings.Join(placements, ","))
+		}
+	}
+	return tw.Flush()
+}

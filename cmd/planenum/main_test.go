@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run("VLDB,ICDE,ICIP,ADBIS", 60, 7, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithSizes(t *testing.T) {
+	if err := run("SIGMOD,ICDE,SIGIR,TREC", 60, 7, true); err != nil {
+		t.Fatalf("run -sizes: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("VLDB,ICDE", 60, 7, false); err == nil {
+		t.Errorf("wrong venue count should fail")
+	}
+	if err := run("VLDB,ICDE,ICIP,Nope", 60, 7, false); err == nil {
+		t.Errorf("unknown venue should fail")
+	}
+}

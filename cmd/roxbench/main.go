@@ -1,0 +1,62 @@
+// Command roxbench regenerates the tables and figures of the paper's
+// evaluation section (Sec 4).
+//
+// Usage:
+//
+//	roxbench -exp all                         # every experiment, miniature
+//	roxbench -exp fig6 -divisor 10 -combos 20 # larger Fig 6 sweep
+//	roxbench -exp fig7 -scale 10              # scaling experiment
+//	roxbench -exp table2                      # chain-sampling rounds (Q1/Qm1)
+//
+// The -divisor flag shrinks the Table 3 author-tag counts (1 = faithful
+// sizes, slower); -scale is the paper's ×n replication; -combos caps the
+// document combinations per group (0 = all non-empty ones).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|table2|table3|fig5|fig6|fig7|fig8|ablations|all")
+	seed := flag.Int64("seed", 2009, "generation and sampling seed")
+	tau := flag.Int("tau", 100, "ROX sample size τ")
+	scale := flag.Int("scale", 1, "DBLP replication factor (paper's ×1/×10/×100)")
+	divisor := flag.Int("divisor", 40, "divide Table 3 author-tag counts (1 = faithful)")
+	combos := flag.Int("combos", 6, "max document combinations per group (0 = all)")
+	flag.Parse()
+
+	cfg := bench.Config{
+		Seed:              *seed,
+		Tau:               *tau,
+		Scale:             *scale,
+		TagDivisor:        *divisor,
+		MaxCombosPerGroup: *combos,
+	}
+
+	runners := map[string]func() error{
+		"table1":    func() error { return bench.RunTable1(os.Stdout, cfg) },
+		"table2":    func() error { return bench.RunTable2(os.Stdout, cfg) },
+		"table3":    func() error { return bench.RunTable3(os.Stdout, cfg) },
+		"fig5":      func() error { return bench.RunFig5(os.Stdout, cfg) },
+		"fig6":      func() error { return bench.RunFig6(os.Stdout, cfg) },
+		"fig7":      func() error { return bench.RunFig7(os.Stdout, cfg) },
+		"fig8":      func() error { return bench.RunFig8(os.Stdout, cfg) },
+		"ablations": func() error { return bench.RunAblations(os.Stdout, cfg) },
+		"all":       func() error { return bench.RunAll(os.Stdout, cfg) },
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "roxbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "roxbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/xmltree"
+)
+
+func writeXML(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunQuery(t *testing.T) {
+	dir := t.TempDir()
+	doc := writeXML(t, dir, "people.xml", `<people><person id="p1"/><person id="p2"/></people>`)
+	if err := run([]string{doc}, `for $p in doc("people.xml")//person return $p`, "", "", false, false, true, 100, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// classical path
+	if err := run([]string{doc}, `for $p in doc("people.xml")//person return $p`, "", "", true, false, false, 100, 1); err != nil {
+		t.Fatalf("run classical: %v", err)
+	}
+	// explain path
+	if err := run([]string{doc}, `for $p in doc("people.xml")//person return $p`, "", "", false, true, false, 100, 1); err != nil {
+		t.Fatalf("run explain: %v", err)
+	}
+}
+
+func TestRunQueryFromFile(t *testing.T) {
+	dir := t.TempDir()
+	doc := writeXML(t, dir, "d.xml", `<r><x/></r>`)
+	qf := writeXML(t, dir, "q.xq", `for $x in doc("d.xml")//x return $x`)
+	if err := run([]string{doc}, "", qf, "", false, false, false, 100, 1); err != nil {
+		t.Fatalf("run from file: %v", err)
+	}
+}
+
+func TestRunXPath(t *testing.T) {
+	dir := t.TempDir()
+	doc := writeXML(t, dir, "d.xml", `<r><x k="1"/><x k="2"/></r>`)
+	if err := run([]string{doc}, "", "", `//x[@k='2']`, false, false, false, 100, 1); err != nil {
+		t.Fatalf("run xpath: %v", err)
+	}
+	if err := run(nil, "", "", `//x`, false, false, false, 100, 1); err == nil {
+		t.Errorf("xpath without docs should fail")
+	}
+}
+
+func TestRunBinaryDoc(t *testing.T) {
+	dir := t.TempDir()
+	d := datagen.XMark(datagen.XMarkConfig{Seed: 1, Persons: 20, Items: 15, OpenAuctions: 10,
+		MaxPrice: 100, PriceBidderCorrelation: 1, MaxBiddersExtra: 3,
+		ProvinceFrac: 0.5, EducationFrac: 0.5, ReserveFrac: 0.5, QuantityOneFrac: 0.5})
+	path := filepath.Join(dir, "xm.roxd")
+	if err := xmltree.WriteBinaryFile(d, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}, `for $p in doc("xmark.xml")//person return $p`, "", "", false, false, false, 100, 1); err != nil {
+		t.Fatalf("run with .roxd: %v", err)
+	}
+	if got := docName(path); got != "xmark.xml" {
+		t.Errorf("docName(.roxd) = %q", got)
+	}
+	if got := docName("/a/b/c.xml"); got != "c.xml" {
+		t.Errorf("docName(xml) = %q", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, "", "", "", false, false, false, 100, 1); err == nil {
+		t.Errorf("no input should fail")
+	}
+	if err := run([]string{"/nonexistent.xml"}, "q", "", "", false, false, false, 100, 1); err == nil {
+		t.Errorf("missing doc should fail")
+	}
+	dir := t.TempDir()
+	doc := writeXML(t, dir, "d.xml", `<r/>`)
+	if err := run([]string{doc}, "not an xquery", "", "", false, false, false, 100, 1); err == nil {
+		t.Errorf("bad query should fail")
+	}
+}

@@ -1,0 +1,50 @@
+// Sample-size study — the paper's Sec 4.5 experiment in miniature. The
+// sample size τ trades estimation confidence against sampling overhead:
+// τ=25 and τ=100 cost almost the same, τ=400 visibly more, supporting the
+// paper's default of 100.
+//
+//	go run ./examples/adaptive-tau
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+func main() {
+	cfg := bench.Config{Seed: 2009, Tau: 100, Scale: 1, TagDivisor: 20}
+	corpus := bench.NewCorpus(cfg)
+
+	var combo datagen.Combo
+	for i, name := range []string{"SIGMOD", "ICDE", "SIGIR", "TREC"} {
+		v, _ := datagen.VenueByName(name)
+		combo.Venues[i] = v
+	}
+	combo.Group = "2:2"
+
+	comp, _, err := bench.CompileCombo(combo)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("four-way join over SIGMOD+ICDE (DB) and SIGIR+TREC (IR), varying τ:")
+	fmt.Printf("%6s  %10s  %12s  %12s  %9s\n", "τ", "rows", "exec tuples", "sample tuples", "overhead")
+	for _, tau := range []int{25, 50, 100, 200, 400} {
+		env := corpus.EnvFor(combo)
+		opts := core.DefaultOptions()
+		opts.Tau = tau
+		rel, res, err := core.Run(env, comp.Graph, comp.Tail, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		overhead := 100 * float64(res.SampleCost.Tuples) / float64(res.ExecCost.Tuples)
+		fmt.Printf("%6d  %10d  %12d  %12d  %8.1f%%\n",
+			tau, rel.NumRows(), res.ExecCost.Tuples, res.SampleCost.Tuples, overhead)
+	}
+	fmt.Println("\nThe plan found is the same at every τ here; only the optimization")
+	fmt.Println("cost changes — exactly the Fig 8 trade-off.")
+}

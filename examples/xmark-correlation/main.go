@@ -1,0 +1,81 @@
+// XMark correlation demo — the paper's Sec 3.2 example. The generated
+// auction document correlates an auction's current price with its number of
+// bidders. Query Q1 selects cheap auctions (current < 145), Qm1 expensive
+// ones (current > 145). A static optimizer sees identical per-element
+// statistics for both queries; ROX detects through chain sampling that the
+// bidder path explodes for Qm1 and flips the execution order (the paper's
+// Figs 3.3 vs 3.4, Table 2).
+//
+//	go run ./examples/xmark-correlation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/xquery"
+)
+
+const q1 = `
+let $d := doc("xmark.xml")
+for $o in $d//open_auction[.//current/text() < 145],
+    $p in $d//person[.//province],
+    $i in $d//item[./quantity = 1]
+where $o//bidder//personref/@person = $p/@id and $o//itemref/@item = $i/@id
+return $o`
+
+const qm1 = `
+let $d := doc("xmark.xml")
+for $o in $d//open_auction[.//current/text() > 145],
+    $p in $d//person[.//province],
+    $i in $d//item[./quantity = 1]
+where $o//bidder//personref/@person = $p/@id and $o//itemref/@item = $i/@id
+return $o`
+
+func main() {
+	doc := datagen.XMark(datagen.DefaultXMarkConfig())
+	fmt.Printf("generated %s: %d nodes\n\n", doc.Name(), doc.Len())
+
+	for _, q := range []struct{ name, src string }{
+		{"Q1  (current < 145)", q1},
+		{"Qm1 (current > 145)", qm1},
+	} {
+		comp, err := xquery.CompileString(q.src, xquery.CompileOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		env := plan.NewEnv(metrics.NewRecorder(), 2009)
+		env.AddDocument(doc)
+		rel, res, err := core.Run(env, comp.Graph, comp.Tail, core.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", q.name)
+		fmt.Printf("result rows: %d\n", rel.NumRows())
+		fmt.Printf("executed edge order (the circled numbers of Fig 3.3/3.4): %v\n",
+			res.Trace.ExecutionOrder())
+
+		// The deepest chain-sampling exploration — the paper's Table 2.
+		var deepest *core.Exploration
+		for _, ex := range res.Trace.Explorations {
+			if deepest == nil || len(ex.Rounds) > len(deepest.Rounds) {
+				deepest = ex
+			}
+		}
+		if deepest != nil {
+			fmt.Printf("chain sampling (cost, sf) per round — chosen %v via %s:\n",
+				deepest.Chosen, deepest.Reason)
+			fmt.Print(deepest.FormatTable2())
+		}
+		fmt.Printf("cumulative intermediates: %d; sampling overhead: %.0f%% of execution work\n\n",
+			res.CumulativeIntermediate,
+			100*float64(res.SampleCost.Tuples)/float64(res.ExecCost.Tuples))
+	}
+	fmt.Println("Observe: the execution order adapts to which side of the price")
+	fmt.Println("predicate is selective — the correlation a compile-time optimizer")
+	fmt.Println("cannot see (it would estimate both plans identically).")
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/classical"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/joingraph"
+	"repro/internal/planenum"
+	"repro/internal/xquery"
+)
+
+// Fig5Row is one bar of Fig 5: a join order and its cumulative intermediate
+// join cardinality, with markers for the classical and ROX choices.
+type Fig5Row struct {
+	Order      planenum.JoinOrder4
+	Cumulative int64
+	Classical  bool
+	ROX        bool
+}
+
+// Fig5Result is the full figure.
+type Fig5Result struct {
+	Combo datagen.Combo
+	Rows  []Fig5Row
+}
+
+// fig5Combo returns the paper's Fig 5 document selection: VLDB, ICDE, ICIP,
+// ADBIS (1=VLDB, 2=ICDE, 3=ICIP, 4=ADBIS; ICIP from IR, the rest DB).
+func fig5Combo() datagen.Combo {
+	names := []string{"VLDB", "ICDE", "ICIP", "ADBIS"}
+	var combo datagen.Combo
+	for i, n := range names {
+		v, ok := datagen.VenueByName(n)
+		if !ok {
+			panic("bench: catalog missing " + n)
+		}
+		combo.Venues[i] = v
+	}
+	combo.Group = "3:1"
+	return combo
+}
+
+// ComputeFig5 evaluates all 18 join orders for the VLDB/ICDE/ICIP/ADBIS
+// combination, marks the classical optimizer's choice and ROX's chosen
+// order, and returns rows sorted by the legend's labels.
+func ComputeFig5(corpus *Corpus) (*Fig5Result, error) {
+	combo := fig5Combo()
+	counts := corpus.ComboCounts(combo)
+
+	comp, fw, err := CompileCombo(combo)
+	if err != nil {
+		return nil, err
+	}
+	env := corpus.EnvFor(combo)
+	classicalOrder, err := classical.SmallestInputOrder(env, comp.Graph, fw)
+	if err != nil {
+		return nil, err
+	}
+
+	// ROX's join order, recovered from the executed join edges.
+	env2 := corpus.EnvFor(combo)
+	opts := core.DefaultOptions()
+	opts.Tau = corpus.cfg.Tau
+	_, res, err := core.Run(env2, comp.Graph, comp.Tail, opts)
+	if err != nil {
+		return nil, err
+	}
+	roxLabel := ROXJoinOrderLabel(comp, fw, res)
+
+	out := &Fig5Result{Combo: combo}
+	for _, o := range planenum.EnumerateJoinOrders4() {
+		out.Rows = append(out.Rows, Fig5Row{
+			Order:      o,
+			Cumulative: CumulativeJoinSize(counts, o),
+			Classical:  o.Canonical().Label() == classicalOrder.Canonical().Label(),
+			ROX:        o.Canonical().Label() == roxLabel,
+		})
+	}
+	sort.Slice(out.Rows, func(i, j int) bool {
+		return out.Rows[i].Order.Label() < out.Rows[j].Order.Label()
+	})
+	return out, nil
+}
+
+// ROXJoinOrderLabel reconstructs the paper-style join order label from the
+// executed cross-document join edges of a ROX run.
+func ROXJoinOrderLabel(comp *xquery.Compiled, fw *planenum.FourWay, res *core.Result) string {
+	docIdx := map[string]int{}
+	for i, d := range fw.Docs {
+		docIdx[d] = i
+	}
+	g := comp.Graph
+	type comps struct {
+		label string
+		docs  map[int]bool
+	}
+	var groups []*comps
+	find := func(d int) *comps {
+		for _, c := range groups {
+			if c.docs[d] {
+				return c
+			}
+		}
+		return nil
+	}
+	label := ""
+	for _, id := range res.Trace.ExecutionOrder() {
+		e := g.Edges[id]
+		if e.Kind != joingraph.JoinEdge {
+			continue
+		}
+		a := docIdx[g.Vertices[e.From].Doc]
+		b := docIdx[g.Vertices[e.To].Doc]
+		if a == b {
+			continue
+		}
+		ca, cb := find(a), find(b)
+		switch {
+		case ca == nil && cb == nil:
+			if a > b {
+				a, b = b, a // normalize to the legend's (small-large) form
+			}
+			c := &comps{label: fmt.Sprintf("(%d-%d)", a+1, b+1), docs: map[int]bool{a: true, b: true}}
+			groups = append(groups, c)
+		case ca != nil && cb == nil:
+			ca.label += fmt.Sprintf("-%d", b+1)
+			ca.docs[b] = true
+		case ca == nil && cb != nil:
+			cb.label += fmt.Sprintf("-%d", a+1)
+			cb.docs[a] = true
+		case ca != cb:
+			ca.label = ca.label + "-" + cb.label
+			for d := range cb.docs {
+				ca.docs[d] = true
+			}
+			groups = removeComp(groups, cb)
+		}
+	}
+	if len(groups) > 0 {
+		label = groups[0].label
+	}
+	return label
+}
+
+func removeComp[T comparable](s []T, x T) []T {
+	out := s[:0]
+	for _, v := range s {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// RunFig5 prints the figure.
+func RunFig5(w io.Writer, cfg Config) error {
+	corpus := NewCorpus(cfg)
+	res, err := ComputeFig5(corpus)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Fig 5 — cumulative intermediate join cardinality, docs 1=VLDB 2=ICDE 3=ICIP 4=ADBIS (×%d, tags÷%d)\n",
+		cfg.Scale, cfg.TagDivisor)
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "join order\tcumulative\tmarker")
+	for _, r := range res.Rows {
+		marker := ""
+		if r.Classical {
+			marker += " <= classical"
+		}
+		if r.ROX {
+			marker += " <= ROX"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\n", r.Order.Label(), r.Cumulative, marker)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderFig6Scatter draws the Fig 6 scatter plot as ASCII art: x = document
+// combinations (grouped 2:2 | 3:1 | 4:0, ordered by ascending correlation),
+// y = normalized cost on a log scale. Symbols follow the paper's legend:
+//
+//	X  largest (slowest canonical placement of the worst join order)
+//	c  classical (best canonical placement)
+//	s  smallest join-order class
+//	o  ROX full run (incl. sampling)
+//	▼  ROX pure plan (excl. sampling) — the paper's line of triangles
+//
+// When several classes land on the same cell the most interesting one wins
+// (pure < full < classical < smallest < largest).
+func RenderFig6Scatter(w io.Writer, rows []Fig6Row) error {
+	if len(rows) == 0 {
+		_, err := fmt.Fprintln(w, "(no combinations)")
+		return err
+	}
+	const height = 16
+	maxY := 1.0
+	for _, r := range rows {
+		maxY = math.Max(maxY, r.Largest)
+	}
+	logMax := math.Log10(maxY)
+	if logMax <= 0 {
+		logMax = 1
+	}
+	// y row for a normalized value: 0 (bottom, =1×) … height-1 (top).
+	yOf := func(v float64) int {
+		if v < 1 {
+			v = 1
+		}
+		y := int(math.Round(math.Log10(v) / logMax * float64(height-1)))
+		if y >= height {
+			y = height - 1
+		}
+		return y
+	}
+	width := len(rows)
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	// Plot in priority order: later writes win, so plot the triangle last.
+	type series struct {
+		sym rune
+		val func(Fig6Row) float64
+	}
+	for _, s := range []series{
+		{'X', func(r Fig6Row) float64 { return r.Largest }},
+		{'s', func(r Fig6Row) float64 { return r.Smallest }},
+		{'c', func(r Fig6Row) float64 { return r.Classical }},
+		{'o', func(r Fig6Row) float64 { return r.ROXFull }},
+		{'▼', func(r Fig6Row) float64 { return r.ROXPure }},
+	} {
+		for x, r := range rows {
+			grid[yOf(s.val(r))][x] = s.sym
+		}
+	}
+	// Render top-down with a y-axis in powers of ten.
+	for y := height - 1; y >= 0; y-- {
+		label := "      "
+		v := math.Pow(10, float64(y)/float64(height-1)*logMax)
+		if y == height-1 || y == 0 || y == (height-1)/2 {
+			label = fmt.Sprintf("%5.1f ", v)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(grid[y])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "      +%s\n", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	// Group separators under the x axis.
+	marks := make([]rune, width)
+	prev := ""
+	for x, r := range rows {
+		marks[x] = ' '
+		if r.Info.Combo.Group != prev {
+			marks[x] = '|'
+			prev = r.Info.Combo.Group
+		}
+	}
+	if _, err := fmt.Fprintf(w, "       %s  (groups: 2:2 | 3:1 | 4:0, ordered by correlation C)\n", string(marks)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "       X=largest c=classical s=smallest o=ROX-full ▼=ROX-pure; y = × fastest (log)")
+	return err
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/xmltree"
+)
+
+// RunTable1 regenerates Table 1: for every physical operator ROX uses, it
+// measures the tuple work and wall time on synthetic inputs of growing size
+// and prints the observed cost next to the paper's asymptotic formula. The
+// zero-investment property shows as per-context cost independent of |S|.
+func RunTable1(w io.Writer, cfg Config) error {
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "operator\tpredicate\tpaper cost\t|C|\t|S|\t|R|\ttuples\ttime")
+
+	doc := table1Doc(cfg.Seed)
+	ix := index.New(doc)
+	all := allOf(doc, xmltree.KindElem, "n")
+	texts := ix.Texts()
+
+	axes := []struct {
+		axis  ops.Axis
+		label string
+		cost  string
+	}{
+		{ops.AxisDesc, "//k", "|R|+|C|, iff S=D"},
+		{ops.AxisChild, "/k", "min(|C|,|S|)"},
+		{ops.AxisAnc, "ancestor::k", "|C|·log|D|"},
+		{ops.AxisAncSelf, "ancestor-or-self::k", "|C|·log|D|"},
+		{ops.AxisFoll, "following::k", "|R|+|C|"},
+		{ops.AxisPrec, "preceding::k", "|R|+|C|"},
+		{ops.AxisFollSibling, "following-sibling::k", "|C|"},
+		{ops.AxisPrecSibling, "preceding-sibling::k", "|C|"},
+		{ops.AxisParent, "parent::k", "|C|"},
+		{ops.AxisSelf, "self::k", "|C|"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, a := range axes {
+		for _, frac := range []float64{0.25, 1.0} {
+			C := sampleNodes(rng, all, frac)
+			rec := metrics.NewRecorder()
+			t0 := time.Now()
+			out := ops.StaircaseSemi(rec, doc, a.axis, C, all)
+			el := time.Since(t0)
+			fmt.Fprintf(tw, "staircase %v\t%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+				a.axis, a.label, a.cost, len(C), len(all), len(out),
+				rec.Total().Tuples, el.Round(time.Microsecond))
+		}
+	}
+
+	// Value joins: merge, hash, nested-loop index lookup (Table 1 top).
+	C := sampleNodes(rng, texts, 0.5)
+	joins := []struct {
+		alg  ops.JoinAlg
+		cost string
+	}{
+		{ops.JoinMerge, "min(|C|,|S|)+|R|"},
+		{ops.JoinHash, "|C|+|S|+|R|"},
+		{ops.JoinNLIndex, "|C|·lookup+|R|"},
+	}
+	for _, j := range joins {
+		rec := metrics.NewRecorder()
+		t0 := time.Now()
+		pairs, _ := ops.ValueJoinPairs(rec, j.alg, doc, C, doc, texts, ops.TextProbe(ix), 0)
+		el := time.Since(t0)
+		fmt.Fprintf(tw, "join %v\t=\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			j.alg, j.cost, len(C), len(texts), pairs.Len(),
+			rec.Total().Tuples, el.Round(time.Microsecond))
+	}
+
+	// Scan σ.
+	rec := metrics.NewRecorder()
+	t0 := time.Now()
+	sel := ops.Select(rec, texts, func(n xmltree.NodeID) bool {
+		v, ok := doc.NumberValue(n)
+		return ok && v < 50
+	})
+	el := time.Since(t0)
+	fmt.Fprintf(tw, "scan σ\t<50\t|C|\t%d\t-\t%d\t%d\t%s\n",
+		len(texts), len(sel), rec.Total().Tuples, el.Round(time.Microsecond))
+
+	// Index lookups (Table 1 bottom): counting comes free with the lookup.
+	rec = metrics.NewRecorder()
+	t0 = time.Now()
+	hits := ix.Elements("n")
+	el = time.Since(t0)
+	fmt.Fprintf(tw, "D∋elt(q)\tname=n\tlog|D|+|R|\t-\t%d\t%d\t%d\t%s\n",
+		doc.Len(), len(hits), int64(len(hits)), el.Round(time.Microsecond))
+	return tw.Flush()
+}
+
+// table1Doc builds a tree of <n v="…">value</n> nodes for operator
+// micro-benchmarks.
+func table1Doc(seed int64) *xmltree.Document {
+	rng := rand.New(rand.NewSource(seed))
+	b := xmltree.NewBuilder("micro.xml")
+	b.StartElem("root")
+	var build func(depth, width int)
+	build = func(depth, width int) {
+		for i := 0; i < width; i++ {
+			b.StartElem("n")
+			b.Text(fmt.Sprintf("%d", rng.Intn(100)))
+			if depth > 0 {
+				build(depth-1, width/2)
+			}
+			b.EndElem()
+		}
+	}
+	build(5, 32)
+	b.EndElem()
+	return b.MustBuild()
+}
+
+func allOf(d *xmltree.Document, k xmltree.Kind, name string) []xmltree.NodeID {
+	var out []xmltree.NodeID
+	for i := 0; i < d.Len(); i++ {
+		n := xmltree.NodeID(i)
+		if d.Kind(n) == k && (name == "" || d.NodeName(n) == name) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func sampleNodes(rng *rand.Rand, nodes []xmltree.NodeID, frac float64) []xmltree.NodeID {
+	var out []xmltree.NodeID
+	for _, n := range nodes {
+		if rng.Float64() < frac {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/xquery"
+)
+
+// xmarkQ1 is the paper's Sec 3.2 query Q1; Qm1 flips the price predicate.
+const (
+	xmarkQ1 = `
+	let $d := doc("xmark.xml")
+	for $o in $d//open_auction[.//current/text() < 145],
+	    $p in $d//person[.//province],
+	    $i in $d//item[./quantity = 1]
+	where $o//bidder//personref/@person = $p/@id and $o//itemref/@item = $i/@id
+	return $o`
+	xmarkQm1 = `
+	let $d := doc("xmark.xml")
+	for $o in $d//open_auction[.//current/text() > 145],
+	    $p in $d//person[.//province],
+	    $i in $d//item[./quantity = 1]
+	where $o//bidder//personref/@person = $p/@id and $o//itemref/@item = $i/@id
+	return $o`
+)
+
+// RunTable2 regenerates Table 2 (and the Fig 3.3/3.4 execution orders): it
+// runs ROX on the XMark query Q1 and its mirrored variant Qm1 over the
+// price-correlated auction document and prints, for each, the
+// chain-sampling (cost, sf) rounds of the exploration with the longest
+// look-ahead plus the executed edge order. The headline effect to observe:
+// the execution order flips between Q1 (< 145 → few bidders, bidder path
+// first) and Qm1 (> 145 → many bidders, itemref path first).
+func RunTable2(w io.Writer, cfg Config) error {
+	xcfg := datagen.DefaultXMarkConfig()
+	xcfg.Seed = cfg.Seed
+	doc := datagen.XMark(xcfg)
+
+	for _, q := range []struct{ name, src string }{
+		{"Q1 (current < 145)", xmarkQ1},
+		{"Qm1 (current > 145)", xmarkQm1},
+	} {
+		comp, err := xquery.CompileString(q.src, xquery.CompileOptions{})
+		if err != nil {
+			return err
+		}
+		env := plan.NewEnv(metrics.NewRecorder(), cfg.Seed)
+		env.AddDocument(doc)
+		opts := core.DefaultOptions()
+		opts.Tau = cfg.Tau
+		rel, res, err := core.Run(env, comp.Graph, comp.Tail, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "=== %s — %d result rows ===\n", q.name, rel.NumRows())
+		// The exploration with the most rounds corresponds to the paper's
+		// Table 2 (the third exploration step of Q1).
+		var deepest *core.Exploration
+		for _, ex := range res.Trace.Explorations {
+			if deepest == nil || len(ex.Rounds) > len(deepest.Rounds) {
+				deepest = ex
+			}
+		}
+		if deepest != nil {
+			fmt.Fprintf(w, "chain sampling from v%d (seed edge e%d), %d rounds, chosen %v via %s:\n",
+				deepest.Source, deepest.MinEdge, len(deepest.Rounds), deepest.Chosen, deepest.Reason)
+			fmt.Fprint(w, deepest.FormatTable2())
+		}
+		fmt.Fprintf(w, "executed edge order: %v\n", res.Trace.ExecutionOrder())
+		fmt.Fprintf(w, "cumulative intermediates: %d, sampling/exec tuples: %d/%d\n\n",
+			res.CumulativeIntermediate, res.SampleCost.Tuples, res.ExecCost.Tuples)
+	}
+	return nil
+}
+
+// Table2Orders runs Q1 and Qm1 and returns their executed edge orders —
+// used by tests to assert the order flip without parsing text output.
+func Table2Orders(cfg Config) (q1, qm1 []int, err error) {
+	xcfg := datagen.DefaultXMarkConfig()
+	xcfg.Seed = cfg.Seed
+	doc := datagen.XMark(xcfg)
+	run := func(src string) ([]int, error) {
+		comp, err := xquery.CompileString(src, xquery.CompileOptions{})
+		if err != nil {
+			return nil, err
+		}
+		env := plan.NewEnv(metrics.NewRecorder(), cfg.Seed)
+		env.AddDocument(doc)
+		opts := core.DefaultOptions()
+		opts.Tau = cfg.Tau
+		_, res, err := core.Run(env, comp.Graph, comp.Tail, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Trace.ExecutionOrder(), nil
+	}
+	if q1, err = run(xmarkQ1); err != nil {
+		return nil, nil, err
+	}
+	if qm1, err = run(xmarkQm1); err != nil {
+		return nil, nil, err
+	}
+	return q1, qm1, nil
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/xmltree"
+)
+
+// RunTable3 regenerates Table 3: the venue catalog with research areas,
+// author-tag counts and document sizes, at ×1 and at the configured scale.
+func RunTable3(w io.Writer, cfg Config) error {
+	tw := newTabWriter(w)
+	fmt.Fprintf(tw, "venue\tareas\t#author ×1\t#author ×%d\tsize ×1\tsize ×%d\n", cfg.Scale, cfg.Scale)
+
+	base := cfg.dblpConfig()
+	base.Scale = 1
+	scaled := cfg.dblpConfig()
+
+	for _, v := range cfg.venues() {
+		d1 := datagen.GenerateVenue(base, v)
+		tags1 := datagen.AuthorTagCount(d1)
+		size1 := serializedSize(d1)
+		tagsN, sizeN := tags1, size1
+		if cfg.Scale > 1 {
+			dn := datagen.GenerateVenue(scaled, v)
+			tagsN = datagen.AuthorTagCount(dn)
+			sizeN = serializedSize(dn)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\t%s\n",
+			v.Name, strings.Join(v.Areas, " "), tags1, tagsN,
+			humanBytes(size1), humanBytes(sizeN))
+	}
+	return tw.Flush()
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+func serializedSize(d *xmltree.Document) int64 {
+	var cw countingWriter
+	_ = xmltree.Serialize(&cw, d, d.Root())
+	return cw.n
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

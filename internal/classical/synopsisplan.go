@@ -1,0 +1,133 @@
+package classical
+
+import (
+	"sort"
+
+	"repro/internal/joingraph"
+	"repro/internal/ops"
+	"repro/internal/plan"
+	"repro/internal/synopsis"
+)
+
+// SynopsisPlan is the statistics-driven variant of the classical baseline:
+// instead of the oracle (exact isolated evaluation) it estimates every edge
+// from DataGuide synopses — element/attribute/text counts, value-summary
+// selectivities, and the independence assumption for everything the
+// synopsis cannot see. This is what a realistic 2009 static optimizer had;
+// StaticPlan is its idealized upper bound.
+//
+// The estimate of an edge is min over its endpoints of the estimated vertex
+// cardinality (a structural join result is bounded by either side; a value
+// join by the smaller input under independence).
+func SynopsisPlan(env *plan.Env, g *joingraph.Graph) (*plan.Plan, error) {
+	guides := make(map[string]*synopsis.Guide)
+	for _, v := range g.Vertices {
+		if _, ok := guides[v.Doc]; ok {
+			continue
+		}
+		d, err := env.Doc(v.Doc)
+		if err != nil {
+			return nil, err
+		}
+		guides[v.Doc] = synopsis.Build(d)
+	}
+
+	redundant := plan.RedundantEdges(g)
+	type weighted struct {
+		id  int
+		est float64
+	}
+	var edges []weighted
+	for _, e := range g.Edges {
+		if redundant[e.ID] || e.Derived {
+			continue
+		}
+		fromEst := vertexEstimate(guides[g.Vertices[e.From].Doc], g.Vertices[e.From])
+		toEst := vertexEstimate(guides[g.Vertices[e.To].Doc], g.Vertices[e.To])
+		est := fromEst
+		if toEst < est {
+			est = toEst
+		}
+		edges = append(edges, weighted{e.ID, est})
+	}
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].est < edges[j].est })
+	p := &plan.Plan{}
+	for _, w := range edges {
+		p.Steps = append(p.Steps, plan.Step{EdgeID: w.id, Alg: ops.JoinHash})
+	}
+	return p, nil
+}
+
+// vertexEstimate estimates |T(v)| from the synopsis.
+func vertexEstimate(guide *synopsis.Guide, v *joingraph.Vertex) float64 {
+	switch v.Kind {
+	case joingraph.VRoot:
+		return 1
+	case joingraph.VElem:
+		return float64(guide.CountName(v.QName))
+	case joingraph.VAttr:
+		base := float64(guide.CountAttr(v.QName))
+		switch v.Pred.Kind {
+		case joingraph.PredEqString:
+			// Attribute values are near-unique in the workloads (ids);
+			// estimate a handful of matches.
+			return minF(base, 2)
+		case joingraph.PredRange:
+			return base / 3 // textbook range selectivity
+		default:
+			return base
+		}
+	case joingraph.VText:
+		total := float64(guide.TextCount())
+		switch v.Pred.Kind {
+		case joingraph.PredEqString:
+			return total * guide.GlobalValueSelectivity("=", v.Pred.Str)
+		case joingraph.PredRange:
+			return total * guide.GlobalValueSelectivity(v.Pred.Op.String(), formatFloat(v.Pred.Num))
+		default:
+			return total
+		}
+	default:
+		return 1
+	}
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func formatFloat(f float64) string {
+	// strconv-free small formatting for estimator literals.
+	if f == float64(int64(f)) {
+		n := int64(f)
+		if n == 0 {
+			return "0"
+		}
+		neg := n < 0
+		if neg {
+			n = -n
+		}
+		var buf [24]byte
+		pos := len(buf)
+		for n > 0 {
+			pos--
+			buf[pos] = byte('0' + n%10)
+			n /= 10
+		}
+		if neg {
+			pos--
+			buf[pos] = '-'
+		}
+		return string(buf[pos:])
+	}
+	// Rare non-integer bounds: fall back to a fixed 2-decimal rendering.
+	whole := int64(f)
+	frac := int64((f - float64(whole)) * 100)
+	if frac < 0 {
+		frac = -frac
+	}
+	return formatFloat(float64(whole)) + "." + string([]byte{byte('0' + frac/10), byte('0' + frac%10)})
+}

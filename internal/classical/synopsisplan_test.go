@@ -1,0 +1,99 @@
+package classical
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/xquery"
+)
+
+func xmarkEnv(t *testing.T) (*plan.Env, *xquery.Compiled) {
+	t.Helper()
+	cfg := datagen.DefaultXMarkConfig()
+	cfg.Persons, cfg.Items, cfg.OpenAuctions = 150, 120, 100
+	env := plan.NewEnv(metrics.NewRecorder(), 5)
+	env.AddDocument(datagen.XMark(cfg))
+	comp, err := xquery.CompileString(`
+		let $d := doc("xmark.xml")
+		for $o in $d//open_auction[.//current/text() < 145],
+		    $p in $d//person[.//province]
+		where $o//bidder//personref/@person = $p/@id
+		return $p`, xquery.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, comp
+}
+
+func TestSynopsisPlanCorrect(t *testing.T) {
+	env, comp := xmarkEnv(t)
+	pl, err := SynopsisPlan(env, comp.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Covers(comp.Graph); err != nil {
+		t.Fatalf("synopsis plan incomplete: %v", err)
+	}
+	rel, _, err := plan.Run(env, comp.Graph, pl, comp.Tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cross-check against ROX on a fresh environment.
+	env2, comp2 := xmarkEnv(t)
+	rel2, _, err := core.Run(env2, comp2.Graph, comp2.Tail, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != rel2.NumRows() {
+		t.Errorf("synopsis plan rows = %d, ROX rows = %d", rel.NumRows(), rel2.NumRows())
+	}
+}
+
+func TestSynopsisPlanOrdersSelectiveFirst(t *testing.T) {
+	env, comp := xmarkEnv(t)
+	pl, err := SynopsisPlan(env, comp.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The estimator must rank selective edges before bulk ones: the first
+	// planned edge must touch a vertex with a small actual extent, and the
+	// first edge's smallest endpoint must be smaller than the last edge's.
+	extent := func(step plan.Step) int {
+		e := comp.Graph.Edges[step.EdgeID]
+		small := -1
+		for _, vid := range []int{e.From, e.To} {
+			nodes, _, err := env.VertexNodes(comp.Graph.Vertices[vid])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if small < 0 || len(nodes) < small {
+				small = len(nodes)
+			}
+		}
+		return small
+	}
+	first := extent(pl.Steps[0])
+	last := extent(pl.Steps[len(pl.Steps)-1])
+	if first > last {
+		t.Errorf("first edge extent %d exceeds last edge extent %d — estimator ordering broken", first, last)
+	}
+}
+
+func TestSynopsisPlanOnDBLP(t *testing.T) {
+	env, comp := fourDocs(t, []int{40, 10, 30, 5}, "ann")
+	pl, err := SynopsisPlan(env, comp.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _, err := plan.Run(env, comp.Graph, pl, comp.Tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 1 {
+		t.Errorf("rows = %d, want 1", rel.NumRows())
+	}
+}

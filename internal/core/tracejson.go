@@ -1,0 +1,83 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON export of optimizer traces, for external plotting/analysis of the
+// Table 2 data (chain-sampling rounds) and execution orders. The schema is
+// stable: events in order, explorations with per-round path snapshots.
+
+// traceJSON is the serialized form of a Trace.
+type traceJSON struct {
+	Events       []eventJSON       `json:"events"`
+	Explorations []explorationJSON `json:"explorations"`
+}
+
+type eventJSON struct {
+	Kind    string  `json:"kind"` // "weight" | "exec" | "implied"
+	Edge    int     `json:"edge"`
+	Weight  float64 `json:"weight,omitempty"`
+	Reverse bool    `json:"reverse,omitempty"`
+	Alg     string  `json:"alg,omitempty"`
+	Rows    int     `json:"rows,omitempty"`
+}
+
+type explorationJSON struct {
+	MinEdge int         `json:"minEdge"`
+	Source  int         `json:"source"`
+	Chosen  []int       `json:"chosen"`
+	Reason  string      `json:"reason"`
+	Rounds  []roundJSON `json:"rounds"`
+}
+
+type roundJSON struct {
+	Paths []pathJSON `json:"paths"`
+}
+
+type pathJSON struct {
+	Edges []int   `json:"edges"`
+	Cost  float64 `json:"cost"`
+	SF    float64 `json:"sf"`
+}
+
+// WriteJSON serializes the trace to w (indented).
+func (t *Trace) WriteJSON(w io.Writer) error {
+	out := traceJSON{}
+	for _, ev := range t.Events {
+		ej := eventJSON{Edge: ev.EdgeID}
+		switch ev.Kind {
+		case EventWeight:
+			ej.Kind = "weight"
+			ej.Weight = ev.Weight
+		case EventExec:
+			ej.Kind = "exec"
+			ej.Reverse = ev.Reverse
+			ej.Alg = ev.Alg.String()
+			ej.Rows = ev.Rows
+		case EventImplied:
+			ej.Kind = "implied"
+		}
+		out.Events = append(out.Events, ej)
+	}
+	for _, ex := range t.Explorations {
+		xj := explorationJSON{
+			MinEdge: ex.MinEdge,
+			Source:  ex.Source,
+			Chosen:  ex.Chosen,
+			Reason:  ex.Reason,
+		}
+		for _, r := range ex.Rounds {
+			rj := roundJSON{}
+			for _, p := range r.Paths {
+				rj.Paths = append(rj.Paths, pathJSON{Edges: p.Edges, Cost: p.Cost, SF: p.SF})
+			}
+			xj.Rounds = append(xj.Rounds, rj)
+		}
+		out.Explorations = append(out.Explorations, xj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,131 @@
+// Package datagen synthesizes the two datasets of the paper's evaluation:
+//
+//   - an XMark-like auction document (Sec 3.2) in which the number of
+//     bidders of an open auction is positively correlated with its current
+//     price — the correlation a static optimizer cannot see;
+//   - a DBLP-like corpus (Sec 4.1, Table 3): 23 venue documents across five
+//     research areas, where authors are shared heavily within an area and
+//     sparsely across areas, reproducing the join-selectivity correlation
+//     structure that drives Figs 5–8. The ×1/×10/×100 scaling replicates
+//     every article with suffixed author names, exactly as the paper does
+//     to grow data without distorting the distribution.
+//
+// The real DBLP dump and the original XMark generator are not available in
+// this offline environment; these generators are the substitutions recorded
+// in DESIGN.md. Everything is deterministic given a seed.
+package datagen
+
+// Venue describes one journal/conference document of Table 3.
+type Venue struct {
+	// Name is the document name (used as doc("<Name>.xml") target).
+	Name string
+	// Areas lists the research areas; the first one is the primary area
+	// used for grouping document combinations (2:2, 3:1, 4:0).
+	Areas []string
+	// AuthorTags is the number of <author> elements at scale ×1 (Table 3).
+	AuthorTags int
+}
+
+// Primary returns the venue's primary research area.
+func (v Venue) Primary() string { return v.Areas[0] }
+
+// DocName returns the document name including the .xml suffix.
+func (v Venue) DocName() string { return v.Name + ".xml" }
+
+// Areas of the catalog.
+const (
+	AreaAI = "AI"
+	AreaBI = "BI"
+	AreaDM = "DM"
+	AreaIR = "IR"
+	AreaDB = "DB"
+)
+
+// Catalog returns the 23 venues of Table 3 with their research areas and
+// ×1 author-tag counts.
+func Catalog() []Venue {
+	return []Venue{
+		{Name: "FuzzyLogicAI", Areas: []string{AreaAI}, AuthorTags: 62},
+		{Name: "AIinMedicine", Areas: []string{AreaAI}, AuthorTags: 2264},
+		{Name: "AAAI", Areas: []string{AreaAI}, AuthorTags: 6832},
+		{Name: "CANS", Areas: []string{AreaAI, AreaBI}, AuthorTags: 214},
+		{Name: "BMCBioinformatics", Areas: []string{AreaBI}, AuthorTags: 3547},
+		{Name: "Bioinformatics", Areas: []string{AreaBI}, AuthorTags: 15019},
+		{Name: "BIOKDD", Areas: []string{AreaDM, AreaBI}, AuthorTags: 139},
+		{Name: "MLDM", Areas: []string{AreaDM}, AuthorTags: 575},
+		{Name: "ICDM", Areas: []string{AreaDM}, AuthorTags: 2205},
+		{Name: "KDD", Areas: []string{AreaDM}, AuthorTags: 3201},
+		{Name: "WSDM", Areas: []string{AreaDM, AreaIR}, AuthorTags: 95},
+		{Name: "INEX", Areas: []string{AreaIR}, AuthorTags: 342},
+		{Name: "SPIRE", Areas: []string{AreaIR}, AuthorTags: 724},
+		{Name: "TREC", Areas: []string{AreaIR}, AuthorTags: 2541},
+		{Name: "SIGIR", Areas: []string{AreaIR}, AuthorTags: 4584},
+		{Name: "ICME", Areas: []string{AreaIR}, AuthorTags: 5757},
+		{Name: "ICIP", Areas: []string{AreaIR}, AuthorTags: 7935},
+		{Name: "CIKM", Areas: []string{AreaDB, AreaIR}, AuthorTags: 3684},
+		{Name: "ADBIS", Areas: []string{AreaDB}, AuthorTags: 947},
+		{Name: "EDBT", Areas: []string{AreaDB}, AuthorTags: 1340},
+		{Name: "SIGMOD", Areas: []string{AreaDB}, AuthorTags: 5912},
+		{Name: "ICDE", Areas: []string{AreaDB}, AuthorTags: 6169},
+		{Name: "VLDB", Areas: []string{AreaDB}, AuthorTags: 6865},
+	}
+}
+
+// VenueByName returns the catalog venue with the given name, or false.
+func VenueByName(name string) (Venue, bool) {
+	for _, v := range Catalog() {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return Venue{}, false
+}
+
+// Combo is a combination of four catalog venues with its correlation group.
+type Combo struct {
+	Venues [4]Venue
+	// Group is the area distribution of the combination: "4:0" (all four
+	// from one area), "3:1", or "2:2"; combinations with other
+	// distributions (2:1:1, 1:1:1:1) are outside the paper's groups.
+	Group string
+}
+
+// Combos enumerates every 4-venue combination of the given venues that falls
+// into one of the paper's three groups (classified by primary area).
+func Combos(venues []Venue) []Combo {
+	var out []Combo
+	n := len(venues)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for c := b + 1; c < n; c++ {
+				for d := c + 1; d < n; d++ {
+					vs := [4]Venue{venues[a], venues[b], venues[c], venues[d]}
+					if g, ok := classify(vs); ok {
+						out = append(out, Combo{Venues: vs, Group: g})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func classify(vs [4]Venue) (string, bool) {
+	counts := map[string]int{}
+	for _, v := range vs {
+		counts[v.Primary()]++
+	}
+	switch len(counts) {
+	case 1:
+		return "4:0", true
+	case 2:
+		for _, c := range counts {
+			if c == 2 {
+				return "2:2", true
+			}
+		}
+		return "3:1", true
+	default:
+		return "", false
+	}
+}

@@ -1,0 +1,324 @@
+package datagen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// DBLPConfig controls the DBLP-like generator.
+type DBLPConfig struct {
+	// Seed makes generation deterministic; every venue derives its own
+	// stream from Seed and its name.
+	Seed int64
+	// Scale is the replication factor n of Sec 4.1 (×1, ×10, ×100): every
+	// article is replicated Scale times with author names and titles
+	// suffixed by the replica serial, preserving the distribution while
+	// multiplying the size.
+	Scale int
+	// TagDivisor shrinks the catalog's author-tag counts by this factor
+	// (miniature corpora for unit tests and quick benches; 1 = faithful).
+	TagDivisor int
+	// PolymathFrac is the probability that an author tag is drawn from the
+	// cross-area "polymath" pool instead of the venue's area pools — the
+	// source of non-empty results in mixed-area combinations.
+	PolymathFrac float64
+	// Skew shapes author popularity: an author tag picks pool index
+	// ⌊pool·u^Skew⌋ for uniform u, so higher skew concentrates tags on few
+	// prolific authors, raising within-area join selectivity.
+	Skew float64
+	// AuthorsPerArticle is the mean number of author tags per article.
+	AuthorsPerArticle int
+}
+
+// DefaultDBLPConfig returns the configuration used by the experiments at
+// scale ×1.
+func DefaultDBLPConfig() DBLPConfig {
+	return DBLPConfig{
+		Seed:              2009,
+		Scale:             1,
+		TagDivisor:        1,
+		PolymathFrac:      0.08,
+		Skew:              2.0,
+		AuthorsPerArticle: 3,
+	}
+}
+
+func (cfg DBLPConfig) normalized() DBLPConfig {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.TagDivisor <= 0 {
+		cfg.TagDivisor = 1
+	}
+	if cfg.Skew <= 0 {
+		cfg.Skew = 2.0
+	}
+	if cfg.AuthorsPerArticle <= 0 {
+		cfg.AuthorsPerArticle = 3
+	}
+	if cfg.PolymathFrac < 0 || cfg.PolymathFrac > 1 {
+		cfg.PolymathFrac = 0.04
+	}
+	return cfg
+}
+
+// poolSizes derives the distinct-author pool size of every area from the
+// catalog: roughly one distinct author per four author tags in the area, so
+// venues of one area overlap substantially (the within-area correlation).
+func poolSizes(venues []Venue, divisor int) map[string]int {
+	tags := map[string]int{}
+	for _, v := range venues {
+		per := scaledTags(v.AuthorTags, divisor) / len(v.Areas)
+		for _, a := range v.Areas {
+			tags[a] += per
+		}
+	}
+	out := map[string]int{}
+	for a, t := range tags {
+		s := t / 4
+		if s < 8 {
+			s = 8
+		}
+		out[a] = s
+	}
+	return out
+}
+
+func scaledTags(tags, divisor int) int {
+	t := tags / divisor
+	if t < 4 {
+		t = 4
+	}
+	return t
+}
+
+// areaOffsets assigns every venue a deterministic position inside each of
+// its area pools. A venue draws most authors from a window of the pool
+// starting at its offset, so same-area venue pairs overlap to *different*
+// degrees (neighbouring windows share much, distant ones little) — the
+// heterogeneous within-area correlation that makes the paper's 4:0 group
+// surprisingly hard for the classical optimizer (Sec 4.3).
+func areaOffsets(venues []Venue) map[string]map[string]float64 {
+	perArea := map[string][]string{}
+	for _, v := range venues {
+		for _, a := range v.Areas {
+			perArea[a] = append(perArea[a], v.Name)
+		}
+	}
+	out := map[string]map[string]float64{}
+	for a, names := range perArea {
+		out[a] = map[string]float64{}
+		for i, n := range names {
+			out[a][n] = float64(i) / float64(len(names))
+		}
+	}
+	return out
+}
+
+// windowFrac is the fraction of an area pool a venue's window covers.
+const windowFrac = 0.6
+
+// polymathPool is the size of the shared cross-area author pool.
+func polymathPool(sizes map[string]int) int {
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	p := total / 50
+	if p < 6 {
+		p = 6
+	}
+	return p
+}
+
+// GenerateDBLP generates all venue documents of the catalog subset.
+func GenerateDBLP(cfg DBLPConfig, venues []Venue) map[string]*xmltree.Document {
+	cfg = cfg.normalized()
+	sizes := poolSizes(Catalog(), cfg.TagDivisor) // pools from the full catalog
+	offs := areaOffsets(Catalog())
+	out := make(map[string]*xmltree.Document, len(venues))
+	for _, v := range venues {
+		out[v.DocName()] = generateVenue(cfg, v, sizes, offs)
+	}
+	return out
+}
+
+// GenerateVenue generates a single venue document.
+func GenerateVenue(cfg DBLPConfig, v Venue) *xmltree.Document {
+	cfg = cfg.normalized()
+	return generateVenue(cfg, v, poolSizes(Catalog(), cfg.TagDivisor), areaOffsets(Catalog()))
+}
+
+func generateVenue(cfg DBLPConfig, v Venue, sizes map[string]int, offs map[string]map[string]float64) *xmltree.Document {
+	rng := rand.New(rand.NewSource(venueSeed(cfg.Seed, v.Name)))
+	poly := polymathPool(sizes)
+
+	// Lay out the ×1 articles: partition the venue's tags into articles.
+	tags := scaledTags(v.AuthorTags, cfg.TagDivisor)
+	type article struct{ authors []string }
+	var articles []article
+	remaining := tags
+	for remaining > 0 {
+		n := 1 + rng.Intn(2*cfg.AuthorsPerArticle-1) // mean ≈ AuthorsPerArticle
+		if n > remaining {
+			n = remaining
+		}
+		remaining -= n
+		art := article{}
+		seen := map[string]bool{}
+		for i := 0; i < n; i++ {
+			name := drawAuthor(rng, cfg, v, sizes, offs, poly)
+			for seen[name] { // an author appears once per article
+				name = drawAuthor(rng, cfg, v, sizes, offs, poly)
+			}
+			seen[name] = true
+			art.authors = append(art.authors, name)
+		}
+		articles = append(articles, art)
+	}
+
+	// Emit the document, replicating each article Scale times with
+	// suffixed author names and titles (Sec 4.1's duplication-free
+	// scaling).
+	b := xmltree.NewBuilder(v.DocName())
+	b.StartElem("journal")
+	b.Attr("name", v.Name)
+	for ai, art := range articles {
+		for k := 0; k < cfg.Scale; k++ {
+			suffix := ""
+			if cfg.Scale > 1 {
+				suffix = fmt.Sprintf(" (%d)", k)
+			}
+			b.StartElem("article")
+			b.StartElem("title")
+			b.Text(fmt.Sprintf("%s paper %d%s", v.Name, ai, suffix))
+			b.EndElem()
+			for _, a := range art.authors {
+				b.StartElem("author")
+				b.Text(a + suffix)
+				b.EndElem()
+			}
+			b.EndElem()
+		}
+	}
+	b.EndElem()
+	return b.MustBuild()
+}
+
+// drawAuthor picks one author tag: from the polymath pool with probability
+// PolymathFrac, else from the venue's window of one of its area pools, with
+// popularity skewed towards the window start.
+func drawAuthor(rng *rand.Rand, cfg DBLPConfig, v Venue, sizes map[string]int, offs map[string]map[string]float64, poly int) string {
+	if rng.Float64() < cfg.PolymathFrac {
+		// Polymath draws are uniform: cross-area overlap exists (non-empty
+		// mixed-area results) but stays far below the within-area
+		// correlation — the structure Figs 5 and 6 depend on.
+		return fmt.Sprintf("polymath %d", skewIndex(rng, 1.0, poly))
+	}
+	area := v.Areas[rng.Intn(len(v.Areas))]
+	pool := sizes[area]
+	off := offs[area][v.Name]
+	frac := math.Pow(rng.Float64(), cfg.Skew) * windowFrac
+	idx := int((off + frac) * float64(pool))
+	return fmt.Sprintf("%s author %d", area, idx%pool)
+}
+
+// skewIndex returns ⌊n·u^skew⌋: skew 1 is uniform, larger values concentrate
+// mass near index 0 (the prolific authors every venue of the area shares).
+func skewIndex(rng *rand.Rand, skew float64, n int) int {
+	i := int(math.Pow(rng.Float64(), skew) * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+func venueSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", seed, name)
+	return int64(h.Sum64())
+}
+
+// JoinSelectivity computes js(d1, d2) of Sec 4.3: the author-text equi-join
+// cardinality of two venue documents, as a percentage of the larger author
+// count: js = 100·|d1 ⋈ d2| / max(|d1|,|d2|).
+func JoinSelectivity(d1, d2 *xmltree.Document) float64 {
+	c1, c2 := authorCounts(d1), authorCounts(d2)
+	n1, n2 := 0, 0
+	var joined int64
+	for v, k := range c1 {
+		n1 += k
+		joined += int64(k) * int64(c2[v])
+	}
+	for _, k := range c2 {
+		n2 += k
+	}
+	den := n1
+	if n2 > den {
+		den = n2
+	}
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(joined) / float64(den)
+}
+
+// CorrelationC computes the paper's correlation measure for a document
+// combination: the variance of the pairwise join selectivities around their
+// mean (Sec 4.3 defines C = avg of squared deviations).
+func CorrelationC(docs []*xmltree.Document) float64 {
+	var js []float64
+	for i := 0; i < len(docs); i++ {
+		for j := i + 1; j < len(docs); j++ {
+			js = append(js, JoinSelectivity(docs[i], docs[j]))
+		}
+	}
+	if len(js) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range js {
+		mean += v
+	}
+	mean /= float64(len(js))
+	c := 0.0
+	for _, v := range js {
+		c += (v - mean) * (v - mean)
+	}
+	return c / float64(len(js))
+}
+
+// AuthorValueCounts returns the multiset of author text values of a venue
+// document — the exact input of the analytic join-size calculator used by
+// the experiment harness (Fig 5/6 plan classes).
+func AuthorValueCounts(d *xmltree.Document) map[string]int { return authorCounts(d) }
+
+// authorCounts returns the multiset of author text values of a venue doc.
+func authorCounts(d *xmltree.Document) map[string]int {
+	out := map[string]int{}
+	for i := 0; i < d.Len(); i++ {
+		n := xmltree.NodeID(i)
+		if d.Kind(n) != xmltree.KindElem || d.NodeName(n) != "author" {
+			continue
+		}
+		out[d.StringValue(n)]++
+	}
+	return out
+}
+
+// AuthorTagCount counts the <author> elements of a document (the Table 3
+// "# author tags" column).
+func AuthorTagCount(d *xmltree.Document) int {
+	total := 0
+	for i := 0; i < d.Len(); i++ {
+		n := xmltree.NodeID(i)
+		if d.Kind(n) == xmltree.KindElem && d.NodeName(n) == "author" {
+			total++
+		}
+	}
+	return total
+}

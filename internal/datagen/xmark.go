@@ -1,0 +1,162 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// XMarkConfig controls the XMark-like auction document generator.
+type XMarkConfig struct {
+	Seed int64
+	// Persons, Items, OpenAuctions size the document.
+	Persons      int
+	Items        int
+	OpenAuctions int
+	// MaxPrice bounds the uniform current price of an auction.
+	MaxPrice float64
+	// PriceBidderCorrelation sets how strongly the number of bidders of an
+	// auction grows with its current price: the expected bidder count is
+	// 1 + Correlation·(price/MaxPrice)·MaxBiddersExtra. 0 removes the
+	// correlation (the ablation case a static optimizer could handle).
+	PriceBidderCorrelation float64
+	// MaxBiddersExtra is the price-driven bidder headroom.
+	MaxBiddersExtra int
+	// ProvinceFrac is the fraction of persons with a <province> child;
+	// EducationFrac the fraction with an <education> child.
+	ProvinceFrac  float64
+	EducationFrac float64
+	// ReserveFrac is the fraction of open auctions with a <reserve>.
+	ReserveFrac float64
+	// QuantityOneFrac is the fraction of items with quantity 1.
+	QuantityOneFrac float64
+}
+
+// DefaultXMarkConfig sizes a document that exhibits the Sec 3.2 behaviour at
+// unit-test speed.
+func DefaultXMarkConfig() XMarkConfig {
+	return XMarkConfig{
+		Seed:                   42,
+		Persons:                600,
+		Items:                  500,
+		OpenAuctions:           400,
+		MaxPrice:               290,
+		PriceBidderCorrelation: 1.0,
+		MaxBiddersExtra:        8,
+		ProvinceFrac:           0.4,
+		EducationFrac:          0.3,
+		ReserveFrac:            0.5,
+		QuantityOneFrac:        0.5,
+	}
+}
+
+// XMark generates the auction document. Structure (a faithful subset of the
+// XMark schema touched by the paper's queries Q and Q1):
+//
+//	<site>
+//	  <regions><item id><quantity/><name/></item>…</regions>
+//	  <people><person id><name/><province?/><education?/></person>…</people>
+//	  <open_auctions>
+//	    <open_auction>
+//	      <reserve?/> <initial/>
+//	      <bidder><personref person=…/><increase/></bidder>…
+//	      <current>price</current>
+//	      <itemref item=…/>
+//	    </open_auction>…
+//	  </open_auctions>
+//	</site>
+//
+// The crucial property (Sec 3.2): the bidder count per auction rises with
+// the current price, so auctions with current > threshold have far more
+// bidders — a correlation invisible to per-element statistics.
+func XMark(cfg XMarkConfig) *xmltree.Document {
+	if cfg.Persons <= 0 || cfg.Items <= 0 || cfg.OpenAuctions <= 0 {
+		d := DefaultXMarkConfig()
+		d.Seed = cfg.Seed
+		cfg = d
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := xmltree.NewBuilder("xmark.xml")
+	b.StartElem("site")
+
+	b.StartElem("regions")
+	for i := 0; i < cfg.Items; i++ {
+		b.StartElem("item")
+		b.Attr("id", fmt.Sprintf("item%d", i))
+		b.StartElem("quantity")
+		if rng.Float64() < cfg.QuantityOneFrac {
+			b.Text("1")
+		} else {
+			b.Text(fmt.Sprintf("%d", 2+rng.Intn(4)))
+		}
+		b.EndElem()
+		b.StartElem("name")
+		b.Text(fmt.Sprintf("thing %d", i))
+		b.EndElem()
+		b.EndElem()
+	}
+	b.EndElem()
+
+	b.StartElem("people")
+	for i := 0; i < cfg.Persons; i++ {
+		b.StartElem("person")
+		b.Attr("id", fmt.Sprintf("person%d", i))
+		b.StartElem("name")
+		b.Text(fmt.Sprintf("person %d", i))
+		b.EndElem()
+		if rng.Float64() < cfg.ProvinceFrac {
+			b.StartElem("province")
+			b.Text(fmt.Sprintf("province %d", rng.Intn(12)))
+			b.EndElem()
+		}
+		if rng.Float64() < cfg.EducationFrac {
+			b.StartElem("education")
+			b.Text("Graduate School")
+			b.EndElem()
+		}
+		b.EndElem()
+	}
+	b.EndElem()
+
+	b.StartElem("open_auctions")
+	for i := 0; i < cfg.OpenAuctions; i++ {
+		b.StartElem("open_auction")
+		b.Attr("id", fmt.Sprintf("auction%d", i))
+		if rng.Float64() < cfg.ReserveFrac {
+			b.StartElem("reserve")
+			b.Text(fmt.Sprintf("%.2f", rng.Float64()*cfg.MaxPrice/2))
+			b.EndElem()
+		}
+		b.StartElem("initial")
+		b.Text(fmt.Sprintf("%.2f", rng.Float64()*cfg.MaxPrice/4))
+		b.EndElem()
+
+		price := 1 + rng.Float64()*(cfg.MaxPrice-1)
+		// The headline correlation: expected bidders grow with price.
+		mean := 1 + cfg.PriceBidderCorrelation*(price/cfg.MaxPrice)*float64(cfg.MaxBiddersExtra)
+		bidders := 1 + rng.Intn(int(2*mean))
+		for j := 0; j < bidders; j++ {
+			b.StartElem("bidder")
+			b.StartElem("personref")
+			b.Attr("person", fmt.Sprintf("person%d", rng.Intn(cfg.Persons)))
+			b.EndElem()
+			b.StartElem("increase")
+			b.Text(fmt.Sprintf("%.2f", 1+rng.Float64()*10))
+			b.EndElem()
+			b.EndElem()
+		}
+
+		b.StartElem("current")
+		b.Text(fmt.Sprintf("%.0f", price))
+		b.EndElem()
+		b.StartElem("itemref")
+		b.Attr("item", fmt.Sprintf("item%d", rng.Intn(cfg.Items)))
+		b.EndElem()
+		b.EndElem()
+	}
+	b.EndElem()
+
+	b.EndElem()
+	return b.MustBuild()
+}

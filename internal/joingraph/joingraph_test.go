@@ -1,0 +1,213 @@
+package joingraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/ops"
+)
+
+// figure1Graph builds the Join Graph of the paper's Fig 1 (query Q over
+// auction.xml).
+func figure1Graph() *Graph {
+	g := New()
+	root := g.AddRoot("auction.xml")
+	oa := g.AddElem("auction.xml", "open_auction")
+	reserve := g.AddElem("auction.xml", "reserve")
+	bidder := g.AddElem("auction.xml", "bidder")
+	personref := g.AddElem("auction.xml", "personref")
+	person := g.AddElem("auction.xml", "person")
+	education := g.AddElem("auction.xml", "education")
+	aperson := g.AddAttr("auction.xml", "person", NoPred)
+	aid := g.AddAttr("auction.xml", "id", NoPred)
+
+	g.AddStep(root, oa, ops.AxisDesc)
+	g.AddStep(oa, reserve, ops.AxisChild)
+	g.AddStep(oa, bidder, ops.AxisChild)
+	g.AddStep(bidder, personref, ops.AxisDesc)
+	g.AddStep(personref, aperson, ops.AxisAttribute)
+	g.AddStep(root, person, ops.AxisDesc)
+	g.AddStep(person, education, ops.AxisDesc)
+	g.AddStep(person, aid, ops.AxisAttribute)
+	g.AddJoin(aperson, aid)
+	return g
+}
+
+func TestFigure1GraphValid(t *testing.T) {
+	g := figure1Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !g.Connected() {
+		t.Errorf("Fig 1 graph should be connected")
+	}
+	if len(g.Vertices) != 9 || len(g.Edges) != 9 {
+		t.Errorf("got %d vertices, %d edges; want 9, 9", len(g.Vertices), len(g.Edges))
+	}
+	if got := len(g.JoinEdges(true)); got != 1 {
+		t.Errorf("join edges = %d, want 1", got)
+	}
+	if got := len(g.StepEdges()); got != 8 {
+		t.Errorf("step edges = %d, want 8", got)
+	}
+}
+
+func TestEdgesOfAndDegree(t *testing.T) {
+	g := figure1Graph()
+	// open_auction (v1) touches: root step, reserve step, bidder step.
+	if got := g.Degree(1); got != 3 {
+		t.Errorf("Degree(open_auction) = %d, want 3", got)
+	}
+	for _, e := range g.EdgesOf(1) {
+		if !e.Touches(1) {
+			t.Errorf("EdgesOf returned edge %d not touching vertex 1", e.ID)
+		}
+	}
+	e := g.Edges[0]
+	if e.Other(e.From) != e.To || e.Other(e.To) != e.From {
+		t.Errorf("Other is not symmetric")
+	}
+}
+
+func TestJoinEquivalenceClosure(t *testing.T) {
+	// Four text vertices joined in a chain, as in the DBLP query (Fig 4):
+	// t1=t2, t1=t3, t1=t4 (star). Closure adds t2=t3, t2=t4, t3=t4.
+	g := New()
+	var ts []int
+	for i := 0; i < 4; i++ {
+		ts = append(ts, g.AddText("d", NoPred))
+	}
+	g.AddJoin(ts[0], ts[1])
+	g.AddJoin(ts[0], ts[2])
+	g.AddJoin(ts[0], ts[3])
+	added := g.AddJoinEquivalences()
+	if added != 3 {
+		t.Fatalf("closure added %d edges, want 3", added)
+	}
+	if got := len(g.JoinEdges(true)); got != 6 {
+		t.Errorf("total join edges = %d, want 6 (complete K4)", got)
+	}
+	if got := len(g.JoinEdges(false)); got != 3 {
+		t.Errorf("original join edges = %d, want 3", got)
+	}
+	for _, e := range g.JoinEdges(true) {
+		if e.Derived && (e.From == ts[0] || e.To == ts[0]) {
+			t.Errorf("derived edge %d touches the star center", e.ID)
+		}
+	}
+	// Closure is idempotent.
+	if again := g.AddJoinEquivalences(); again != 0 {
+		t.Errorf("second closure added %d edges, want 0", again)
+	}
+}
+
+func TestClosureTwoSeparateClasses(t *testing.T) {
+	g := New()
+	a1 := g.AddText("d", NoPred)
+	a2 := g.AddText("d", NoPred)
+	a3 := g.AddText("d", NoPred)
+	b1 := g.AddAttr("d", "x", NoPred)
+	b2 := g.AddAttr("d", "y", NoPred)
+	g.AddJoin(a1, a2)
+	g.AddJoin(a2, a3)
+	g.AddJoin(b1, b2)
+	added := g.AddJoinEquivalences()
+	if added != 1 { // only a1=a3; the b class has just 2 members
+		t.Errorf("closure added %d, want 1", added)
+	}
+}
+
+func TestValidateRejectsBadGraphs(t *testing.T) {
+	g := New()
+	e1 := g.AddElem("d", "a")
+	e2 := g.AddElem("d", "b")
+	g.AddJoin(e1, e2) // equi-join between element vertices: invalid
+	if err := g.Validate(); err == nil {
+		t.Errorf("join between element vertices should fail validation")
+	}
+
+	g2 := New()
+	a := g2.AddElem("d1", "a")
+	b := g2.AddElem("d2", "b")
+	g2.AddStep(a, b, ops.AxisChild) // step across documents: invalid
+	if err := g2.Validate(); err == nil {
+		t.Errorf("cross-document step should fail validation")
+	}
+
+	g3 := New()
+	x := g3.AddElem("d", "a")
+	y := g3.AddElem("d", "b")
+	g3.AddStep(x, y, ops.AxisAttribute) // attribute axis into element vertex
+	if err := g3.Validate(); err == nil {
+		t.Errorf("attribute axis into element vertex should fail validation")
+	}
+
+	g4 := New()
+	p := g4.AddElem("d", "a")
+	q := g4.AddAttr("d", "id", NoPred)
+	g4.AddStep(p, q, ops.AxisChild) // child axis into attribute vertex
+	if err := g4.Validate(); err == nil {
+		t.Errorf("child axis into attribute vertex should fail validation")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := New()
+	a := g.AddElem("d", "a")
+	b := g.AddElem("d", "b")
+	g.AddElem("d", "island")
+	g.AddStep(a, b, ops.AxisChild)
+	if g.Connected() {
+		t.Errorf("graph with island vertex reported connected")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	eq := EqPred("145")
+	if eq.Kind != PredEqString || eq.Str != "145" {
+		t.Errorf("EqPred = %+v", eq)
+	}
+	rp := RangePred(index.Lt, 145)
+	if rp.Kind != PredRange || rp.Op != index.Lt || rp.Num != 145 {
+		t.Errorf("RangePred = %+v", rp)
+	}
+	if got := rp.String(); got != "<145" {
+		t.Errorf("RangePred.String = %q", got)
+	}
+	if NoPred.String() != "" {
+		t.Errorf("NoPred.String = %q", NoPred.String())
+	}
+}
+
+func TestIndexSelectable(t *testing.T) {
+	g := New()
+	root := g.AddRoot("d")
+	elem := g.AddElem("d", "a")
+	txtNone := g.AddText("d", NoPred)
+	txtEq := g.AddText("d", EqPred("x"))
+	txtRange := g.AddText("d", RangePred(index.Gt, 1))
+	attr := g.AddAttr("d", "id", NoPred)
+	want := map[int]bool{root: false, elem: true, txtNone: false, txtEq: true, txtRange: true, attr: true}
+	for id, w := range want {
+		if got := g.Vertices[id].IndexSelectable(); got != w {
+			t.Errorf("IndexSelectable(%s) = %v, want %v", g.Vertices[id].Label(), got, w)
+		}
+	}
+}
+
+func TestRendering(t *testing.T) {
+	g := figure1Graph()
+	s := g.String()
+	for _, want := range []string{"open_auction", "@person", "=", "◦"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	dot := g.DOT()
+	for _, want := range []string{"graph joingraph", "v0 --", "label"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT() missing %q", want)
+		}
+	}
+}

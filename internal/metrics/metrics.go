@@ -1,0 +1,162 @@
+// Package metrics provides lightweight cost accounting shared by all physical
+// operators. ROX's evaluation distinguishes work done while *sampling* (the
+// optimizer probing candidate operators) from work done while *executing* the
+// chosen operators; every operator charges its tuple work to the current
+// phase of a Recorder.
+//
+// Two cost dimensions are tracked:
+//
+//   - Tuples: a deterministic work unit (one input or output tuple touched by
+//     an operator). This is platform independent and is what the paper's
+//     cost column in Table 1 describes.
+//   - Duration: wall-clock time, matching the paper's elapsed-time plots.
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// Phase labels which side of the optimize/execute divide work is charged to.
+type Phase int
+
+const (
+	// PhaseExecute is work that any plan executing the query would do.
+	PhaseExecute Phase = iota
+	// PhaseSample is optimizer overhead: index counting, drawing samples,
+	// cut-off operator probes during weighing and chain sampling.
+	PhaseSample
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseExecute:
+		return "execute"
+	case PhaseSample:
+		return "sample"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Cost is an accumulated amount of work.
+type Cost struct {
+	Tuples   int64         // deterministic work units (tuples touched)
+	Duration time.Duration // wall-clock time
+	Ops      int64         // number of operator invocations
+}
+
+// Add accumulates other into c.
+func (c *Cost) Add(other Cost) {
+	c.Tuples += other.Tuples
+	c.Duration += other.Duration
+	c.Ops += other.Ops
+}
+
+// Sub returns c minus other, component-wise.
+func (c Cost) Sub(other Cost) Cost {
+	return Cost{
+		Tuples:   c.Tuples - other.Tuples,
+		Duration: c.Duration - other.Duration,
+		Ops:      c.Ops - other.Ops,
+	}
+}
+
+// String renders the cost compactly.
+func (c Cost) String() string {
+	return fmt.Sprintf("{tuples=%d ops=%d dur=%s}", c.Tuples, c.Ops, c.Duration)
+}
+
+// Recorder accumulates cost per phase. The zero value is ready to use and
+// charges to PhaseExecute. Recorder is not safe for concurrent use; each
+// query evaluation owns one.
+type Recorder struct {
+	phase Phase
+	costs [2]Cost
+}
+
+// NewRecorder returns a Recorder charging to PhaseExecute.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Phase returns the currently active phase.
+func (r *Recorder) Phase() Phase { return r.phase }
+
+// SetPhase switches the active phase and returns the previous one, so callers
+// can restore it with defer:
+//
+//	prev := rec.SetPhase(metrics.PhaseSample)
+//	defer rec.SetPhase(prev)
+func (r *Recorder) SetPhase(p Phase) Phase {
+	prev := r.phase
+	r.phase = p
+	return prev
+}
+
+// ChargeTuples records n tuple work units against the active phase.
+func (r *Recorder) ChargeTuples(n int) {
+	if r == nil {
+		return
+	}
+	r.costs[r.phase].Tuples += int64(n)
+}
+
+// ChargeOp records one operator invocation with n tuple work units and the
+// given duration against the active phase.
+func (r *Recorder) ChargeOp(n int, d time.Duration) {
+	if r == nil {
+		return
+	}
+	c := &r.costs[r.phase]
+	c.Tuples += int64(n)
+	c.Duration += d
+	c.Ops++
+}
+
+// CostOf returns the accumulated cost of phase p.
+func (r *Recorder) CostOf(p Phase) Cost {
+	if r == nil {
+		return Cost{}
+	}
+	return r.costs[p]
+}
+
+// Total returns the combined cost of all phases.
+func (r *Recorder) Total() Cost {
+	if r == nil {
+		return Cost{}
+	}
+	t := r.costs[PhaseExecute]
+	t.Add(r.costs[PhaseSample])
+	return t
+}
+
+// SamplingOverhead returns the sampling overhead relative to pure execution
+// work, in percent, using the deterministic tuple metric:
+// 100 * sample / execute. Returns 0 when no execution work was recorded.
+func (r *Recorder) SamplingOverhead() float64 {
+	ex := r.CostOf(PhaseExecute).Tuples
+	if ex == 0 {
+		return 0
+	}
+	return 100 * float64(r.CostOf(PhaseSample).Tuples) / float64(ex)
+}
+
+// Reset clears all accumulated costs and returns to PhaseExecute.
+func (r *Recorder) Reset() {
+	r.phase = PhaseExecute
+	r.costs = [2]Cost{}
+}
+
+// Stopwatch measures one operator invocation. Use:
+//
+//	sw := metrics.Start()
+//	... do work ...
+//	rec.ChargeOp(work, sw.Elapsed())
+type Stopwatch struct{ t0 time.Time }
+
+// Start begins timing.
+func Start() Stopwatch { return Stopwatch{t0: time.Now()} }
+
+// Elapsed reports time since Start.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.t0) }

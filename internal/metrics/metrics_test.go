@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPhaseSwitching(t *testing.T) {
+	r := NewRecorder()
+	if r.Phase() != PhaseExecute {
+		t.Fatalf("initial phase = %v", r.Phase())
+	}
+	prev := r.SetPhase(PhaseSample)
+	if prev != PhaseExecute || r.Phase() != PhaseSample {
+		t.Errorf("SetPhase: prev=%v now=%v", prev, r.Phase())
+	}
+	r.ChargeTuples(10)
+	r.SetPhase(prev)
+	r.ChargeTuples(5)
+	if got := r.CostOf(PhaseSample).Tuples; got != 10 {
+		t.Errorf("sample tuples = %d, want 10", got)
+	}
+	if got := r.CostOf(PhaseExecute).Tuples; got != 5 {
+		t.Errorf("exec tuples = %d, want 5", got)
+	}
+	if got := r.Total().Tuples; got != 15 {
+		t.Errorf("total = %d, want 15", got)
+	}
+}
+
+func TestChargeOp(t *testing.T) {
+	r := NewRecorder()
+	r.ChargeOp(7, 3*time.Millisecond)
+	r.ChargeOp(3, time.Millisecond)
+	c := r.CostOf(PhaseExecute)
+	if c.Tuples != 10 || c.Ops != 2 || c.Duration != 4*time.Millisecond {
+		t.Errorf("cost = %v", c)
+	}
+}
+
+func TestSamplingOverhead(t *testing.T) {
+	r := NewRecorder()
+	if r.SamplingOverhead() != 0 {
+		t.Errorf("overhead with no work should be 0")
+	}
+	r.ChargeTuples(200)
+	r.SetPhase(PhaseSample)
+	r.ChargeTuples(50)
+	if got := r.SamplingOverhead(); got != 25 {
+		t.Errorf("overhead = %v, want 25", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder()
+	r.SetPhase(PhaseSample)
+	r.ChargeTuples(9)
+	r.Reset()
+	if r.Phase() != PhaseExecute || r.Total().Tuples != 0 {
+		t.Errorf("Reset incomplete: phase=%v total=%v", r.Phase(), r.Total())
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.ChargeTuples(5)          // must not panic
+	r.ChargeOp(5, time.Second) // must not panic
+	if r.CostOf(PhaseExecute).Tuples != 0 {
+		t.Errorf("nil recorder returned non-zero cost")
+	}
+	if r.Total().Tuples != 0 {
+		t.Errorf("nil recorder total non-zero")
+	}
+}
+
+func TestCostArithmetic(t *testing.T) {
+	a := Cost{Tuples: 10, Duration: time.Second, Ops: 2}
+	b := Cost{Tuples: 4, Duration: time.Millisecond, Ops: 1}
+	a.Add(b)
+	if a.Tuples != 14 || a.Ops != 3 {
+		t.Errorf("Add = %v", a)
+	}
+	d := a.Sub(b)
+	if d.Tuples != 10 || d.Ops != 2 {
+		t.Errorf("Sub = %v", d)
+	}
+	if a.String() == "" || PhaseSample.String() != "sample" || PhaseExecute.String() != "execute" {
+		t.Errorf("string renderings broken")
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	sw := Start()
+	time.Sleep(time.Millisecond)
+	if sw.Elapsed() <= 0 {
+		t.Errorf("elapsed = %v", sw.Elapsed())
+	}
+}

@@ -1,0 +1,333 @@
+package ops
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/xmltree"
+)
+
+// Pairs is the result of a pair-producing join: parallel context/result node
+// columns, in context-major order. The fully joined Join Graph relation is
+// assembled from edge Pairs.
+type Pairs struct {
+	C []xmltree.NodeID
+	S []xmltree.NodeID
+}
+
+// Len returns the number of pairs.
+func (p *Pairs) Len() int { return len(p.C) }
+
+func (p *Pairs) append(c, s xmltree.NodeID) {
+	p.C = append(p.C, c)
+	p.S = append(p.S, s)
+}
+
+// Swapped returns the pairs with columns exchanged (used when an edge was
+// executed in the reverse direction).
+func (p *Pairs) Swapped() Pairs { return Pairs{C: p.S, S: p.C} }
+
+// searchGE returns the first index i with s[i] >= pre.
+func searchGE(s []xmltree.NodeID, pre xmltree.NodeID) int {
+	return sort.Search(len(s), func(i int) bool { return s[i] >= pre })
+}
+
+// StepPairs evaluates the structural join Dk/axis(C, S) in pair form: it
+// returns every (c, s) with c ∈ C, s ∈ S and s on the given axis of c, in
+// C-major order. C and S must be sorted by pre and duplicate-free (the
+// canonical vertex-table form). Kind tests are implicit in the axis
+// semantics (AxisHolds); name tests come from S being an index lookup result.
+//
+// This is a cut-off sampled operator (ℓ(OP), Sec 2.3): if limit > 0, result
+// generation stops after the context tuple during which the output size
+// reached limit. The returned consumed count is the number of context tuples
+// fully processed, from which the caller derives the reduction factor
+// f = consumed/|C| and the extrapolated full cardinality |r|/f.
+//
+// The operator is zero-investment with respect to C: per context tuple it
+// costs O(log |S|) for the range search plus the produced output, never a
+// scan of all of S.
+func StepPairs(rec *metrics.Recorder, d *xmltree.Document, axis Axis, C, S []xmltree.NodeID, limit int) (Pairs, int) {
+	sw := metrics.Start()
+	var out Pairs
+	consumed := 0
+	for _, c := range C {
+		stepOne(d, axis, c, S, &out)
+		consumed++
+		if limit > 0 && out.Len() >= limit {
+			break
+		}
+	}
+	rec.ChargeOp(consumed+out.Len(), sw.Elapsed())
+	return out, consumed
+}
+
+// stepOne appends all (c, s) pairs for one context node. Attribute context
+// nodes only participate in self and attr-owner axes (see AxisHolds).
+func stepOne(d *xmltree.Document, axis Axis, c xmltree.NodeID, S []xmltree.NodeID, out *Pairs) {
+	if d.Kind(c) == xmltree.KindAttr && axis != AxisSelf && axis != AxisAttrOwner {
+		return
+	}
+	switch axis {
+	case AxisDesc, AxisDescSelf:
+		lo := c + 1
+		if axis == AxisDescSelf {
+			lo = c
+		}
+		hi := c + d.Size(c)
+		for i := searchGE(S, lo); i < len(S) && S[i] <= hi; i++ {
+			if d.Kind(S[i]) != xmltree.KindAttr {
+				out.append(c, S[i])
+			}
+		}
+	case AxisChild:
+		hi := c + d.Size(c)
+		i := searchGE(S, c+1)
+		for i < len(S) && S[i] <= hi {
+			s := S[i]
+			if d.Kind(s) == xmltree.KindAttr {
+				i++
+				continue
+			}
+			if d.Parent(s) == c {
+				out.append(c, s)
+				i++
+				continue
+			}
+			// s is inside some child subtree; jump past that subtree.
+			a := s
+			for d.Parent(a) != c {
+				a = d.Parent(a)
+			}
+			i = searchGE(S, a+d.Size(a)+1)
+		}
+	case AxisParent:
+		p := d.Parent(c)
+		if p != xmltree.NoNode && contains(S, p) {
+			out.append(c, p)
+		}
+	case AxisAnc, AxisAncSelf:
+		if axis == AxisAncSelf && contains(S, c) {
+			out.append(c, c)
+		}
+		for a := d.Parent(c); a != xmltree.NoNode; a = d.Parent(a) {
+			if contains(S, a) {
+				out.append(c, a)
+			}
+		}
+	case AxisSelf:
+		if contains(S, c) {
+			out.append(c, c)
+		}
+	case AxisFoll:
+		for i := searchGE(S, c+d.Size(c)+1); i < len(S); i++ {
+			if d.Kind(S[i]) != xmltree.KindAttr {
+				out.append(c, S[i])
+			}
+		}
+	case AxisPrec:
+		for i := 0; i < len(S) && S[i] < c; i++ {
+			s := S[i]
+			if s+d.Size(s) < c && d.Kind(s) != xmltree.KindAttr && d.Kind(s) != xmltree.KindDoc {
+				out.append(c, s)
+			}
+		}
+	case AxisFollSibling:
+		p := d.Parent(c)
+		if p == xmltree.NoNode {
+			return
+		}
+		hi := p + d.Size(p)
+		i := searchGE(S, c+d.Size(c)+1)
+		for i < len(S) && S[i] <= hi {
+			s := S[i]
+			if d.Kind(s) == xmltree.KindAttr {
+				i++
+				continue
+			}
+			if d.Parent(s) == p {
+				out.append(c, s)
+				i++
+				continue
+			}
+			a := s
+			for d.Parent(a) != p {
+				a = d.Parent(a)
+			}
+			i = searchGE(S, a+d.Size(a)+1)
+		}
+	case AxisPrecSibling:
+		p := d.Parent(c)
+		if p == xmltree.NoNode {
+			return
+		}
+		i := searchGE(S, p+1)
+		for i < len(S) && S[i] < c {
+			s := S[i]
+			if d.Kind(s) == xmltree.KindAttr {
+				i++
+				continue
+			}
+			if d.Parent(s) == p {
+				out.append(c, s)
+				i++
+				continue
+			}
+			a := s
+			for d.Parent(a) != p {
+				a = d.Parent(a)
+			}
+			i = searchGE(S, a+d.Size(a)+1)
+		}
+	case AxisAttribute:
+		hi := c + d.Size(c)
+		for i := searchGE(S, c+1); i < len(S) && S[i] <= hi; i++ {
+			s := S[i]
+			if d.Kind(s) != xmltree.KindAttr || d.Parent(s) != c {
+				// Attribute nodes of c occupy the pre slots directly
+				// after c; the first non-matching node ends the run.
+				break
+			}
+			out.append(c, s)
+		}
+	case AxisAttrOwner:
+		if d.Kind(c) == xmltree.KindAttr {
+			if p := d.Parent(c); contains(S, p) {
+				out.append(c, p)
+			}
+		}
+	default:
+		panic("ops: StepPairs of unknown axis")
+	}
+}
+
+func contains(s []xmltree.NodeID, n xmltree.NodeID) bool {
+	i := searchGE(s, n)
+	return i < len(s) && s[i] == n
+}
+
+// StaircaseSemi evaluates the structural join in the classic staircase-join
+// (semijoin) form of [19]: it returns the distinct S nodes that stand in the
+// axis relation to at least one context node, duplicate-free and in document
+// order. This form backs plain XPath step evaluation and never multiplies
+// cardinalities.
+//
+// The descendant(-or-self) and following/preceding axes use the staircase
+// pruning/boundary tricks that give the single-pass costs of Table 1; the
+// remaining axes reduce to pair generation plus sort-unique, whose output is
+// bounded by |C|·depth or sibling counts.
+func StaircaseSemi(rec *metrics.Recorder, d *xmltree.Document, axis Axis, C, S []xmltree.NodeID) []xmltree.NodeID {
+	sw := metrics.Start()
+	var out []xmltree.NodeID
+	switch axis {
+	case AxisDesc, AxisDescSelf:
+		// Watermark pruning: nested context ranges are subsumed by their
+		// ancestors, so each S position is visited at most once.
+		watermark := xmltree.NodeID(0)
+		for _, c := range C {
+			lo := c + 1
+			if axis == AxisDescSelf {
+				lo = c
+			}
+			if lo < watermark {
+				lo = watermark
+			}
+			hi := c + d.Size(c)
+			for i := searchGE(S, lo); i < len(S) && S[i] <= hi; i++ {
+				if d.Kind(S[i]) != xmltree.KindAttr {
+					out = append(out, S[i])
+				}
+			}
+			if hi+1 > watermark {
+				watermark = hi + 1
+			}
+		}
+	case AxisFoll:
+		// s follows some c iff s.pre > min over non-attribute C of
+		// (c.pre + c.size).
+		minEnd := xmltree.NodeID(-1)
+		for _, c := range C {
+			if d.Kind(c) == xmltree.KindAttr {
+				continue
+			}
+			if e := c + d.Size(c); minEnd < 0 || e < minEnd {
+				minEnd = e
+			}
+		}
+		if minEnd >= 0 {
+			for i := searchGE(S, minEnd+1); i < len(S); i++ {
+				if d.Kind(S[i]) != xmltree.KindAttr {
+					out = append(out, S[i])
+				}
+			}
+		}
+	case AxisPrec:
+		// s precedes some c iff s.pre + s.size < max over non-attribute C
+		// (the largest such c also has the largest pre).
+		maxC := xmltree.NodeID(-1)
+		for i := len(C) - 1; i >= 0; i-- {
+			if d.Kind(C[i]) != xmltree.KindAttr {
+				maxC = C[i]
+				break
+			}
+		}
+		if maxC >= 0 {
+			for i := 0; i < len(S) && S[i] < maxC; i++ {
+				s := S[i]
+				if s+d.Size(s) < maxC && d.Kind(s) != xmltree.KindAttr && d.Kind(s) != xmltree.KindDoc {
+					out = append(out, s)
+				}
+			}
+		}
+	default:
+		pairs, _ := StepPairs(nil, d, axis, C, S, 0)
+		out = pairs.S
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		out = dedupSorted(out)
+	}
+	rec.ChargeOp(len(C)+len(out), sw.Elapsed())
+	return out
+}
+
+func dedupSorted(s []xmltree.NodeID) []xmltree.NodeID {
+	if len(s) < 2 {
+		return s
+	}
+	out := s[:1]
+	for _, n := range s[1:] {
+		if n != out[len(out)-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NestedLoopStepPairs is the O(|C|·|S|) reference evaluation of a structural
+// join, driven directly by the AxisHolds specification. Table 1 lists the
+// nested-loop join as "no sampling allowed" — it lacks the zero-investment
+// property — so ROX never samples it; it exists as a correctness oracle and
+// a last-resort executor.
+func NestedLoopStepPairs(rec *metrics.Recorder, d *xmltree.Document, axis Axis, C, S []xmltree.NodeID) Pairs {
+	sw := metrics.Start()
+	var out Pairs
+	for _, c := range C {
+		for _, s := range S {
+			if AxisHolds(d, axis, c, s) {
+				out.append(c, s)
+			}
+		}
+	}
+	rec.ChargeOp(len(C)*len(S)+out.Len(), sw.Elapsed())
+	return out
+}
+
+// EstimateFull extrapolates the full result cardinality of a cut-off
+// execution: outLen results were produced from consumed of total context
+// tuples, so the unlimited result is estimated as outLen/f with
+// f = consumed/total (Sec 2.3). Returns 0 when nothing was consumed.
+func EstimateFull(outLen, consumed, total int) float64 {
+	if consumed <= 0 {
+		return 0
+	}
+	return float64(outLen) * float64(total) / float64(consumed)
+}

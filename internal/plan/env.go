@@ -1,0 +1,172 @@
+// Package plan provides the execution layer under both the static planner
+// baselines and the ROX run-time optimizer: the document/index environment,
+// vertex-table materialization via index lookups, pairwise edge execution,
+// the component-relation bookkeeping that materializes intermediate results,
+// static Plan objects (an ordered list of edge executions) and the tail
+// (project → distinct → order → project) that restores XQuery semantics.
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/index"
+	"repro/internal/joingraph"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/table"
+	"repro/internal/xmltree"
+)
+
+// Env is the run-time environment: the registered documents with their
+// indices, the cost recorder, and the random source used for sampling.
+// An Env is not safe for concurrent query evaluation; create one per run or
+// share across sequential runs.
+type Env struct {
+	docs map[string]*xmltree.Document
+	idxs map[string]*index.Index
+
+	// Rec receives the cost of every operator invocation.
+	Rec *metrics.Recorder
+	// Rand drives all sampling; seed it for reproducible runs.
+	Rand *rand.Rand
+}
+
+// NewEnv returns an Env with the given recorder and a deterministic random
+// source.
+func NewEnv(rec *metrics.Recorder, seed int64) *Env {
+	if rec == nil {
+		rec = metrics.NewRecorder()
+	}
+	return &Env{
+		docs: make(map[string]*xmltree.Document),
+		idxs: make(map[string]*index.Index),
+		Rec:  rec,
+		Rand: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// AddDocument registers a document and builds its indices (index
+// construction is load-time work, not charged to query cost).
+func (env *Env) AddDocument(d *xmltree.Document) {
+	env.docs[d.Name()] = d
+	env.idxs[d.Name()] = index.New(d)
+}
+
+// AddIndexed registers a document with a pre-built index (lets callers share
+// index builds across many Envs).
+func (env *Env) AddIndexed(ix *index.Index) {
+	env.docs[ix.Doc().Name()] = ix.Doc()
+	env.idxs[ix.Doc().Name()] = ix
+}
+
+// Doc returns the registered document with the given name.
+func (env *Env) Doc(name string) (*xmltree.Document, error) {
+	d, ok := env.docs[name]
+	if !ok {
+		return nil, fmt.Errorf("plan: document %q not registered", name)
+	}
+	return d, nil
+}
+
+// Index returns the index of the named document.
+func (env *Env) Index(name string) (*index.Index, error) {
+	ix, ok := env.idxs[name]
+	if !ok {
+		return nil, fmt.Errorf("plan: document %q not registered", name)
+	}
+	return ix, nil
+}
+
+// VertexNodes returns the conceptual node set of vertex v straight from the
+// indices, without copying and charging only the index-lookup cost. The
+// slice is read-only (owned by the index). The ROX optimizer uses this as
+// the inner side of sampled operators; actual materialization goes through
+// VertexTable.
+func (env *Env) VertexNodes(v *joingraph.Vertex) ([]xmltree.NodeID, *xmltree.Document, error) {
+	d, err := env.Doc(v.Doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix := env.idxs[v.Doc]
+	var nodes []xmltree.NodeID
+	switch v.Kind {
+	case joingraph.VRoot:
+		nodes = []xmltree.NodeID{d.Root()}
+	case joingraph.VElem:
+		nodes = ix.Elements(v.QName)
+	case joingraph.VText:
+		switch v.Pred.Kind {
+		case joingraph.PredEqString:
+			nodes = ix.TextEq(v.Pred.Str)
+		case joingraph.PredRange:
+			nodes = ix.TextRange(v.Pred.Op, v.Pred.Num)
+		default:
+			nodes = ix.Texts()
+		}
+	case joingraph.VAttr:
+		switch v.Pred.Kind {
+		case joingraph.PredEqString:
+			nodes = ix.AttrEq(v.QName, v.Pred.Str)
+		case joingraph.PredRange:
+			all := ix.AttributesByName(v.QName)
+			nodes = ops.Select(env.Rec, all, func(n xmltree.NodeID) bool {
+				f, ok := d.NumberValue(n)
+				return ok && v.Pred.Op.Compare(f, v.Pred.Num)
+			})
+		default:
+			nodes = ix.AttributesByName(v.QName)
+		}
+	default:
+		return nil, nil, fmt.Errorf("plan: vertex %s has unknown kind", v.Label())
+	}
+	env.Rec.ChargeTuples(1) // index lookup
+	return nodes, d, nil
+}
+
+// VertexTable materializes T(v), the table of all nodes satisfying vertex v,
+// through an index lookup (Algorithm 1 lines 8–12, generalized to attribute
+// and range-predicate vertices). The result is duplicate-free and in
+// document order.
+func (env *Env) VertexTable(v *joingraph.Vertex) (*table.Table, error) {
+	nodes, d, err := env.VertexNodes(v)
+	if err != nil {
+		return nil, err
+	}
+	// The index owns its slices; copy before handing out a mutable table.
+	env.Rec.ChargeTuples(len(nodes))
+	return table.NewTable(d, append([]xmltree.NodeID(nil), nodes...)), nil
+}
+
+// probeFor returns the value-index probe of a text/attr vertex, used as the
+// inner side of a nested-loop index-lookup join. Probe results are further
+// restricted to restrictTo when non-nil (the vertex's current materialized
+// table), preserving zero-investment via binary search.
+func (env *Env) probeFor(v *joingraph.Vertex, restrictTo *table.Table) (func(string) []xmltree.NodeID, error) {
+	ix, err := env.Index(v.Doc)
+	if err != nil {
+		return nil, err
+	}
+	var base func(string) []xmltree.NodeID
+	switch v.Kind {
+	case joingraph.VText:
+		base = ops.TextProbe(ix)
+	case joingraph.VAttr:
+		base = ops.AttrProbe(ix, v.QName)
+	default:
+		return nil, fmt.Errorf("plan: vertex %s is not probeable", v.Label())
+	}
+	if restrictTo == nil {
+		return base, nil
+	}
+	return func(val string) []xmltree.NodeID {
+		hits := base(val)
+		out := make([]xmltree.NodeID, 0, len(hits))
+		for _, n := range hits {
+			if restrictTo.Contains(n) {
+				out = append(out, n)
+			}
+		}
+		return out
+	}, nil
+}

@@ -1,0 +1,189 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/joingraph"
+	"repro/internal/ops"
+	"repro/internal/table"
+)
+
+// Step is one entry of a static plan: execute the given edge, optionally in
+// reverse direction (To as context side), with the given equi-join algorithm
+// (ignored for step edges).
+type Step struct {
+	EdgeID  int
+	Reverse bool
+	Alg     ops.JoinAlg
+}
+
+// Plan is a fully ordered execution plan over a Join Graph — what a
+// compile-time optimizer emits, and what ROX produces as a by-product of its
+// run (the "pure plan" re-executed without sampling in the experiments).
+type Plan struct {
+	Steps []Step
+}
+
+// String renders the plan compactly, e.g. "e3 e1' e0(hash)".
+func (p *Plan) String() string {
+	parts := make([]string, len(p.Steps))
+	for i, s := range p.Steps {
+		str := fmt.Sprintf("e%d", s.EdgeID)
+		if s.Reverse {
+			str += "'"
+		}
+		parts[i] = str
+	}
+	return strings.Join(parts, " ")
+}
+
+// Covers reports whether the plan executes every non-redundant edge of g
+// exactly once. An equi-join edge may be omitted when its endpoints are
+// connected through other executed equi-join edges: value equality is
+// transitive, so the omitted filter is implied (this is what lets ROX
+// execute only a spanning tree of a join-equivalence class, Fig 4).
+func (p *Plan) Covers(g *joingraph.Graph) error {
+	redundant := RedundantEdges(g)
+	seen := make(map[int]bool)
+	uf := newUnionFind(len(g.Vertices))
+	for _, s := range p.Steps {
+		if s.EdgeID < 0 || s.EdgeID >= len(g.Edges) {
+			return fmt.Errorf("plan: step references unknown edge %d", s.EdgeID)
+		}
+		if seen[s.EdgeID] {
+			return fmt.Errorf("plan: edge %d executed twice", s.EdgeID)
+		}
+		seen[s.EdgeID] = true
+		if e := g.Edges[s.EdgeID]; e.Kind == joingraph.JoinEdge {
+			uf.union(e.From, e.To)
+		}
+	}
+	for _, e := range g.Edges {
+		if seen[e.ID] || redundant[e.ID] {
+			continue
+		}
+		if e.Kind == joingraph.JoinEdge && uf.find(e.From) == uf.find(e.To) {
+			continue // implied by transitivity of the executed joins
+		}
+		if e.Kind == joingraph.JoinEdge && e.Derived {
+			continue
+		}
+		return fmt.Errorf("plan: edge %d not covered", e.ID)
+	}
+	return nil
+}
+
+// unionFind is a minimal disjoint-set structure used for join transitivity.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) { u.parent[u.find(a)] = u.find(b) }
+
+// Tail restores the XQuery semantics on top of the fully joined relation
+// (Sec 2.1): project to the for-variable vertices, remove duplicate tuples,
+// establish the nested for-loop order (sort by the variables' node ids in
+// binding order — the numbering τ), and project to the returned vertices.
+type Tail struct {
+	Project []int // vertices kept for distinct/sort (the for variables)
+	Sort    []int // sort key order; defaults to Project when nil
+	Final   []int // vertices of the return expression
+}
+
+// Apply runs the tail over the fully joined relation.
+func (t *Tail) Apply(rel *table.Relation) *table.Relation {
+	if t == nil {
+		return rel
+	}
+	out := rel
+	if len(t.Project) > 0 {
+		out = out.Project(t.Project)
+	}
+	out = out.Distinct()
+	sortCols := t.Sort
+	if sortCols == nil {
+		sortCols = t.Project
+	}
+	if len(sortCols) > 0 {
+		out.SortBy(sortCols)
+	}
+	if len(t.Final) > 0 {
+		out = out.Project(t.Final)
+	}
+	return out
+}
+
+// Required returns the vertices that must appear in the final joined
+// relation for the tail to be applicable.
+func (t *Tail) Required(g *joingraph.Graph) []int {
+	if t == nil || len(t.Project) == 0 {
+		// Without a tail every non-root vertex is required.
+		var all []int
+		for _, v := range g.Vertices {
+			if v.Kind != joingraph.VRoot {
+				all = append(all, v.ID)
+			}
+		}
+		return all
+	}
+	seen := make(map[int]bool)
+	var out []int
+	add := func(ids []int) {
+		for _, id := range ids {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	add(t.Project)
+	add(t.Sort)
+	add(t.Final)
+	return out
+}
+
+// RunStats reports what a plan execution cost.
+type RunStats struct {
+	// CumulativeIntermediate is the summed cardinality of all intermediate
+	// relations (the Fig 5 metric).
+	CumulativeIntermediate int64
+	// ResultRows is the tail output cardinality.
+	ResultRows int
+}
+
+// Run executes the plan over graph g in env and applies the tail.
+func Run(env *Env, g *joingraph.Graph, p *Plan, tail *Tail) (*table.Relation, *RunStats, error) {
+	if err := p.Covers(g); err != nil {
+		return nil, nil, err
+	}
+	r := NewRunner(env, g)
+	for _, s := range p.Steps {
+		if _, err := r.ExecEdge(g.Edges[s.EdgeID], s.Reverse, s.Alg); err != nil {
+			return nil, nil, fmt.Errorf("plan: step e%d: %w", s.EdgeID, err)
+		}
+	}
+	rel, err := r.FinalRelation(tail.Required(g))
+	if err != nil {
+		return nil, nil, err
+	}
+	out := tail.Apply(rel)
+	return out, &RunStats{
+		CumulativeIntermediate: r.CumulativeIntermediate,
+		ResultRows:             out.NumRows(),
+	}, nil
+}

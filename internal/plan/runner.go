@@ -1,0 +1,443 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/joingraph"
+	"repro/internal/ops"
+	"repro/internal/table"
+	"repro/internal/xmltree"
+)
+
+// Runner executes Join Graph edges one at a time, fully materializing
+// intermediate results, exactly as the ROX evaluation model prescribes
+// (Sec 1.1: "executes the operations in the Join Graph one by one, fully
+// materializing partial results"). Both the static plan executor and the
+// ROX optimizer drive a Runner; the only difference is who picks the next
+// edge.
+//
+// State per vertex v:
+//   - T(v), the materialized table of nodes currently satisfying v. Before
+//     any incident edge ran this is the index lookup result; afterwards it
+//     is the semijoin-reduced projection of v's component relation
+//     (Algorithm 1, UpdateTable).
+//
+// State per connected set of executed edges ("component"): the fully joined
+// relation over the component's vertices.
+type Runner struct {
+	Env *Env
+	G   *joingraph.Graph
+
+	// ExecLimit, when positive, cuts off every edge execution after
+	// roughly that many result pairs. Intermediates are then samples of
+	// the true results — the "run ROX with samples instead of the complete
+	// data" mode of Sec 6; plans found this way must be re-executed on the
+	// full data.
+	ExecLimit int
+
+	tables   map[int]*table.Table
+	comps    map[int]*component
+	executed map[int]bool
+
+	// projectReduce enables the Sec 6 "push Distinct between the joins"
+	// extension: after every execution, columns of vertices with no
+	// remaining unexecuted edges (and not needed by the tail) are
+	// projected away and the relation deduplicated, shrinking
+	// intermediates.
+	projectReduce bool
+	tailKeep      map[int]bool
+	redundant     map[int]bool // cached RedundantEdges(G)
+
+	// CumulativeIntermediate accumulates the cardinality of every
+	// intermediate relation produced, the Fig 5 metric.
+	CumulativeIntermediate int64
+}
+
+// EnableProjectReduce turns on eager projection+distinct of completed
+// vertices; required lists the vertices the tail needs (never dropped).
+func (r *Runner) EnableProjectReduce(required []int) {
+	r.projectReduce = true
+	r.tailKeep = make(map[int]bool, len(required))
+	for _, v := range required {
+		r.tailKeep[v] = true
+	}
+}
+
+type component struct {
+	rel   *table.Relation
+	verts []int
+}
+
+// NewRunner returns a Runner over graph g in environment env.
+func NewRunner(env *Env, g *joingraph.Graph) *Runner {
+	return &Runner{
+		Env:       env,
+		G:         g,
+		tables:    make(map[int]*table.Table),
+		comps:     make(map[int]*component),
+		executed:  make(map[int]bool),
+		redundant: RedundantEdges(g),
+	}
+}
+
+// Executed reports whether edge id has been executed.
+func (r *Runner) Executed(id int) bool { return r.executed[id] }
+
+// RemainingEdges returns the ids of unexecuted, non-redundant edges.
+func (r *Runner) RemainingEdges() []int {
+	var out []int
+	for _, e := range r.G.Edges {
+		if !r.executed[e.ID] && !r.redundant[e.ID] {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// Table returns the current T(v), or nil if v has not been materialized.
+func (r *Runner) Table(v int) *table.Table { return r.tables[v] }
+
+// EnsureTable materializes T(v) through an index lookup if absent
+// (Algorithm 1 lines 8–12).
+func (r *Runner) EnsureTable(v int) (*table.Table, error) {
+	if t := r.tables[v]; t != nil {
+		return t, nil
+	}
+	t, err := r.Env.VertexTable(r.G.Vertices[v])
+	if err != nil {
+		return nil, err
+	}
+	r.tables[v] = t
+	return t, nil
+}
+
+// Card returns the current cardinality of T(v), or -1 if unmaterialized.
+func (r *Runner) Card(v int) int {
+	if t := r.tables[v]; t != nil {
+		return t.Len()
+	}
+	return -1
+}
+
+// PairsFor evaluates edge e in pair form with ctx as the context-side input
+// for vertex ctxVertex and inner as the other side's table, honouring the
+// cut-off limit (0 = unlimited). It returns the pairs with C bound to
+// ctxVertex, plus the number of consumed context tuples. It performs no
+// state updates — this is the ℓ(OP) building block used both for weighing
+// edges and for chain sampling.
+//
+// For equi-join edges the inner side is probed through its document's value
+// index restricted to the inner table (nested-loop index lookup join — the
+// zero-investment algorithm of Sec 2.3); a nil inner means the probe is
+// unrestricted (the inner vertex's conceptual table is its full index
+// extent). Step edges require a non-nil inner.
+func (r *Runner) PairsFor(e *joingraph.Edge, ctxVertex int, ctx, inner *table.Table, limit int) (ops.Pairs, int, error) {
+	if !e.Touches(ctxVertex) {
+		return ops.Pairs{}, 0, fmt.Errorf("plan: vertex %d not on edge %d", ctxVertex, e.ID)
+	}
+	other := e.Other(ctxVertex)
+	switch e.Kind {
+	case joingraph.StepEdge:
+		if inner == nil {
+			return ops.Pairs{}, 0, fmt.Errorf("plan: step edge %d needs an inner table", e.ID)
+		}
+		axis := e.Axis
+		if ctxVertex == e.To {
+			axis = axis.Reverse()
+		}
+		p, consumed := ops.StepPairs(r.Env.Rec, ctx.Doc, axis, ctx.Nodes, inner.Nodes, limit)
+		return p, consumed, nil
+	case joingraph.JoinEdge:
+		probe, err := r.Env.probeFor(r.G.Vertices[other], inner)
+		if err != nil {
+			return ops.Pairs{}, 0, err
+		}
+		p, consumed := ops.NLIndexJoinPairs(r.Env.Rec, ctx.Doc, ctx.Nodes, probe, limit)
+		return p, consumed, nil
+	default:
+		return ops.Pairs{}, 0, fmt.Errorf("plan: edge %d has unknown kind", e.ID)
+	}
+}
+
+// ExecEdge fully executes edge e (Algorithm 1 line 13): it materializes both
+// endpoint tables if needed, evaluates the edge, merges/extends/filters the
+// component relations, updates the semijoin-reduced tables of every vertex
+// in the affected component, and returns the cardinality of the resulting
+// intermediate relation.
+//
+// If reverse is true the edge runs with To as context side. alg selects the
+// equi-join algorithm (ignored for steps).
+func (r *Runner) ExecEdge(e *joingraph.Edge, reverse bool, alg ops.JoinAlg) (int, error) {
+	if r.executed[e.ID] {
+		return 0, fmt.Errorf("plan: edge %d already executed", e.ID)
+	}
+	ctxV, innerV := e.From, e.To
+	if reverse {
+		ctxV, innerV = e.To, e.From
+	}
+	ctxT, err := r.EnsureTable(ctxV)
+	if err != nil {
+		return 0, err
+	}
+	innerT, err := r.EnsureTable(innerV)
+	if err != nil {
+		return 0, err
+	}
+
+	var pairs ops.Pairs
+	switch {
+	case e.Kind == joingraph.StepEdge:
+		axis := e.Axis
+		if ctxV == e.To {
+			axis = axis.Reverse()
+		}
+		pairs, _ = ops.StepPairs(r.Env.Rec, ctxT.Doc, axis, ctxT.Nodes, innerT.Nodes, r.ExecLimit)
+	case alg == ops.JoinNLIndex:
+		pairs, _, err = r.PairsFor(e, ctxV, ctxT, innerT, r.ExecLimit)
+		if err != nil {
+			return 0, err
+		}
+	default:
+		pairs, _ = ops.ValueJoinPairs(r.Env.Rec, alg, ctxT.Doc, ctxT.Nodes, innerT.Doc, innerT.Nodes, nil, r.ExecLimit)
+	}
+
+	rows, err := r.merge(ctxV, innerV, pairs)
+	if err != nil {
+		return 0, err
+	}
+	r.executed[e.ID] = true
+	r.CumulativeIntermediate += int64(rows)
+	return rows, nil
+}
+
+// merge folds the edge result pairs (C bound to vertex a, S to vertex b)
+// into the component state and returns the resulting relation cardinality.
+func (r *Runner) merge(a, b int, pairs ops.Pairs) (int, error) {
+	ca, cb := r.comps[a], r.comps[b]
+	var nc *component
+	switch {
+	case ca == nil && cb == nil:
+		rel := table.NewRelation([]int{a, b}, []*xmltree.Document{r.tables[a].Doc, r.tables[b].Doc})
+		for i := range pairs.C {
+			rel.AppendRow([]xmltree.NodeID{pairs.C[i], pairs.S[i]})
+		}
+		nc = &component{rel: rel, verts: []int{a, b}}
+	case ca != nil && cb == nil:
+		rel := extendWithPairs(ca.rel, a, pairs, b, r.tables[b].Doc)
+		nc = &component{rel: rel, verts: append(append([]int(nil), ca.verts...), b)}
+	case ca == nil && cb != nil:
+		rel := extendWithPairs(cb.rel, b, pairs.Swapped(), a, r.tables[a].Doc)
+		nc = &component{rel: rel, verts: append(append([]int(nil), cb.verts...), a)}
+	case ca == cb:
+		rel := filterByPairs(ca.rel, a, b, pairs)
+		nc = &component{rel: rel, verts: ca.verts}
+	default:
+		rel := joinOnPairs(ca.rel, a, cb.rel, b, pairs)
+		nc = &component{rel: rel, verts: append(append([]int(nil), ca.verts...), cb.verts...)}
+	}
+	r.Env.Rec.ChargeTuples(nc.rel.NumRows())
+	if r.projectReduce {
+		r.reduce(nc)
+	}
+	for _, v := range nc.verts {
+		r.comps[v] = nc
+		if nc.rel.HasColumn(v) {
+			r.tables[v] = nc.rel.DistinctNodes(v)
+		}
+	}
+	return nc.rel.NumRows(), nil
+}
+
+// reduce projects away the columns of vertices whose edges are all executed
+// and that the tail does not need, then deduplicates the rows — the eager
+// Distinct push-down of Sec 6. Dropped vertices keep their component
+// membership (for connectivity checks) but lose their column.
+func (r *Runner) reduce(nc *component) {
+	var keep []int
+	dropped := false
+	for _, v := range nc.verts {
+		if !nc.rel.HasColumn(v) {
+			continue
+		}
+		needed := r.tailKeep[v]
+		if !needed {
+			for _, e := range r.G.EdgesOf(v) {
+				// The edge being merged right now is still unexecuted (it
+				// is flagged after merge returns), which conservatively
+				// keeps its endpoints for one extra round.
+				if !r.executed[e.ID] && !r.redundant[e.ID] {
+					needed = true
+					break
+				}
+			}
+		}
+		if needed {
+			keep = append(keep, v)
+		} else {
+			dropped = true
+		}
+	}
+	if !dropped || len(keep) == 0 {
+		return
+	}
+	nc.rel = nc.rel.Project(keep).Distinct()
+}
+
+// extendWithPairs joins rel (owning vertex a) with the pair list to add a
+// column for the new vertex b.
+func extendWithPairs(rel *table.Relation, a int, pairs ops.Pairs, b int, docB *xmltree.Document) *table.Relation {
+	matches := make(map[xmltree.NodeID][]xmltree.NodeID, len(pairs.C))
+	for i := range pairs.C {
+		matches[pairs.C[i]] = append(matches[pairs.C[i]], pairs.S[i])
+	}
+	cols := append(append([]int(nil), rel.ColumnIDs()...), b)
+	docs := make([]*xmltree.Document, 0, len(cols))
+	for _, id := range rel.ColumnIDs() {
+		docs = append(docs, rel.Doc(id))
+	}
+	docs = append(docs, docB)
+	out := table.NewRelation(cols, docs)
+	colA := rel.Column(a)
+	n := rel.NumRows()
+	row := make([]xmltree.NodeID, len(cols))
+	for i := 0; i < n; i++ {
+		ms := matches[colA[i]]
+		if len(ms) == 0 {
+			continue
+		}
+		for _, m := range ms {
+			for ci, id := range rel.ColumnIDs() {
+				row[ci] = rel.Column(id)[i]
+			}
+			row[len(cols)-1] = m
+			out.AppendRow(row)
+		}
+	}
+	return out
+}
+
+// filterByPairs keeps the rows of rel whose (a, b) columns form a pair.
+func filterByPairs(rel *table.Relation, a, b int, pairs ops.Pairs) *table.Relation {
+	set := make(map[[2]xmltree.NodeID]struct{}, len(pairs.C))
+	for i := range pairs.C {
+		set[[2]xmltree.NodeID{pairs.C[i], pairs.S[i]}] = struct{}{}
+	}
+	colA, colB := rel.Column(a), rel.Column(b)
+	return rel.Filter(func(i int) bool {
+		_, ok := set[[2]xmltree.NodeID{colA[i], colB[i]}]
+		return ok
+	})
+}
+
+// joinOnPairs joins two component relations through the pair list
+// (C bound to ra's vertex a, S to rb's vertex b).
+func joinOnPairs(ra *table.Relation, a int, rb *table.Relation, b int, pairs ops.Pairs) *table.Relation {
+	matches := make(map[xmltree.NodeID][]xmltree.NodeID, len(pairs.C))
+	for i := range pairs.C {
+		matches[pairs.C[i]] = append(matches[pairs.C[i]], pairs.S[i])
+	}
+	rbIdx := make(map[xmltree.NodeID][]int)
+	colB := rb.Column(b)
+	for i := range colB {
+		rbIdx[colB[i]] = append(rbIdx[colB[i]], i)
+	}
+	cols := append(append([]int(nil), ra.ColumnIDs()...), rb.ColumnIDs()...)
+	docs := make([]*xmltree.Document, 0, len(cols))
+	for _, id := range ra.ColumnIDs() {
+		docs = append(docs, ra.Doc(id))
+	}
+	for _, id := range rb.ColumnIDs() {
+		docs = append(docs, rb.Doc(id))
+	}
+	out := table.NewRelation(cols, docs)
+	colA := ra.Column(a)
+	na := ra.NumRows()
+	wa := ra.NumCols()
+	row := make([]xmltree.NodeID, len(cols))
+	for i := 0; i < na; i++ {
+		for _, m := range matches[colA[i]] {
+			for _, j := range rbIdx[m] {
+				for ci, id := range ra.ColumnIDs() {
+					row[ci] = ra.Column(id)[i]
+				}
+				for ci, id := range rb.ColumnIDs() {
+					row[wa+ci] = rb.Column(id)[j]
+				}
+				out.AppendRow(row)
+			}
+		}
+	}
+	return out
+}
+
+// Relation returns the component relation containing vertex v, or nil.
+func (r *Runner) Relation(v int) *table.Relation {
+	if c := r.comps[v]; c != nil {
+		return c.rel
+	}
+	return nil
+}
+
+// FinalRelation returns the fully joined relation covering the required
+// vertices after all plan edges ran. A required vertex that never joined
+// any edge (single-vertex graphs) is lifted from its table.
+func (r *Runner) FinalRelation(required []int) (*table.Relation, error) {
+	if len(required) == 0 {
+		return nil, fmt.Errorf("plan: no required vertices")
+	}
+	c := r.comps[required[0]]
+	if c == nil {
+		if len(required) == 1 {
+			t, err := r.EnsureTable(required[0])
+			if err != nil {
+				return nil, err
+			}
+			return table.FromTable(required[0], t), nil
+		}
+		return nil, fmt.Errorf("plan: vertex %d not joined", required[0])
+	}
+	for _, v := range required[1:] {
+		if r.comps[v] != c {
+			return nil, fmt.Errorf("plan: vertices %d and %d in different components — plan incomplete", required[0], v)
+		}
+	}
+	return c.rel, nil
+}
+
+// RedundantEdges identifies the edges ROX may skip: descendant(-or-self)
+// steps out of a document-root vertex do not restrict their target (every
+// node is a descendant of the root), so when the root vertex is otherwise
+// unused and the target vertex has other edges binding it into the result,
+// the edge is unnecessary (Sec 3.2: "descendant edges from the root are
+// ignored since these are not necessary to execute to produce the correct
+// result").
+func RedundantEdges(g *joingraph.Graph) map[int]bool {
+	out := make(map[int]bool)
+	for v, vert := range g.Vertices {
+		if vert.Kind != joingraph.VRoot {
+			continue
+		}
+		edges := g.EdgesOf(v)
+		allDesc := true
+		for _, e := range edges {
+			if e.Kind != joingraph.StepEdge || e.From != v ||
+				(e.Axis != ops.AxisDesc && e.Axis != ops.AxisDescSelf) {
+				allDesc = false
+				break
+			}
+			if g.Degree(e.To) < 2 {
+				// The target is only held by this edge; skipping would
+				// drop it from the result.
+				allDesc = false
+				break
+			}
+		}
+		if !allDesc {
+			continue
+		}
+		for _, e := range edges {
+			out[e.ID] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/joingraph"
+	"repro/internal/ops"
+)
+
+func TestExecEdgeTwiceFails(t *testing.T) {
+	f := newFixture(t)
+	r := NewRunner(f.env, f.g)
+	e := f.g.Edges[f.ePersonName]
+	if _, err := r.ExecEdge(e, false, ops.JoinHash); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ExecEdge(e, false, ops.JoinHash); err == nil {
+		t.Errorf("double execution should fail")
+	}
+}
+
+func TestExecLimitTruncatesIntermediates(t *testing.T) {
+	f := newFixture(t)
+	full := NewRunner(f.env, f.g)
+	if _, err := full.ExecEdge(f.g.Edges[f.ePersonName], false, ops.JoinHash); err != nil {
+		t.Fatal(err)
+	}
+	fullRows := full.CumulativeIntermediate
+
+	f2 := newFixture(t)
+	lim := NewRunner(f2.env, f2.g)
+	lim.ExecLimit = 2
+	rows, err := lim.ExecEdge(f2.g.Edges[f2.ePersonName], false, ops.JoinHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(rows) >= fullRows {
+		t.Errorf("limited exec produced %d rows, full %d", rows, fullRows)
+	}
+	if rows < 2 {
+		t.Errorf("limit cut below the requested size: %d", rows)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := &Plan{Steps: []Step{{EdgeID: 3}, {EdgeID: 1, Reverse: true}}}
+	s := p.String()
+	if !strings.Contains(s, "e3") || !strings.Contains(s, "e1'") {
+		t.Errorf("Plan.String = %q", s)
+	}
+}
+
+func TestCoversImpliedJoins(t *testing.T) {
+	// Three text vertices joined in a triangle: executing two joins makes
+	// the third implied; Covers must accept the two-step plan.
+	g := joingraph.New()
+	a := g.AddText("d", joingraph.NoPred)
+	b := g.AddText("d", joingraph.NoPred)
+	c := g.AddText("d", joingraph.NoPred)
+	j1 := g.AddJoin(a, b)
+	j2 := g.AddJoin(b, c)
+	g.AddJoin(a, c) // never executed, implied
+	p := &Plan{Steps: []Step{{EdgeID: j1}, {EdgeID: j2}}}
+	if err := p.Covers(g); err != nil {
+		t.Errorf("implied join not accepted: %v", err)
+	}
+	// A single join leaves (a,c) unconnected → incomplete.
+	p2 := &Plan{Steps: []Step{{EdgeID: j1}}}
+	if err := p2.Covers(g); err == nil {
+		t.Errorf("missing join accepted")
+	}
+}
+
+func TestPairsForJoinNilInner(t *testing.T) {
+	f := newFixture(t)
+	r := NewRunner(f.env, f.g)
+	pt, err := r.EnsureTable(f.ptext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nil inner = unrestricted probe for join edges.
+	pairs, _, err := r.PairsFor(f.g.Edges[f.eJoin], f.ptext, pt, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs.Len() == 0 {
+		t.Errorf("unrestricted probe found nothing")
+	}
+	// nil inner is an error for step edges.
+	if _, _, err := r.PairsFor(f.g.Edges[f.ePersonName], f.person, pt, nil, 0); err == nil {
+		t.Errorf("step edge with nil inner should fail")
+	}
+}
+
+func TestProjectReduceDropsDeadColumns(t *testing.T) {
+	f := newFixture(t)
+	r := NewRunner(f.env, f.g)
+	r.EnableProjectReduce([]int{f.person, f.article})
+	order := []int{f.eRootPerson, f.ePersonName, f.eNameText, f.eRootArticle, f.eArticleAuthor, f.eAuthorText, f.eJoin}
+	for _, id := range order {
+		if _, err := r.ExecEdge(f.g.Edges[id], false, ops.JoinHash); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rel, err := r.FinalRelation([]int{f.person, f.article})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != wantRows {
+		t.Errorf("rows = %d, want %d", rel.NumRows(), wantRows)
+	}
+	// After all edges ran, only tail-needed columns should remain.
+	if rel.NumCols() > 4 {
+		t.Errorf("reduce left %d columns (%v)", rel.NumCols(), rel.ColumnIDs())
+	}
+	if !rel.HasColumn(f.person) || !rel.HasColumn(f.article) {
+		t.Errorf("reduce dropped required columns: %v", rel.ColumnIDs())
+	}
+}
+
+func TestRunnerRemainingEdges(t *testing.T) {
+	f := newFixture(t)
+	r := NewRunner(f.env, f.g)
+	initial := len(r.RemainingEdges())
+	// Redundant root edges are excluded.
+	if initial != 5 {
+		t.Errorf("remaining = %d, want 5 (7 edges - 2 redundant)", initial)
+	}
+	if _, err := r.ExecEdge(f.g.Edges[f.eJoin], false, ops.JoinHash); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.RemainingEdges()); got != initial-1 {
+		t.Errorf("remaining after exec = %d, want %d", got, initial-1)
+	}
+	if !r.Executed(f.eJoin) {
+		t.Errorf("Executed not tracking")
+	}
+}

@@ -1,0 +1,223 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// Relation is a multi-column table: each column is bound to a Join Graph
+// vertex (identified by an integer id chosen by the caller) and holds node
+// ids of that vertex's document. The semantics of a Join Graph is a fully
+// joined Relation over all its vertices (Sec 2.1).
+type Relation struct {
+	colIDs []int               // vertex ids, in column order
+	docs   []*xmltree.Document // document per column
+	cols   [][]xmltree.NodeID  // columnar data; all columns same length
+	byID   map[int]int         // vertex id → column position
+}
+
+// NewRelation creates an empty relation with the given columns.
+func NewRelation(colIDs []int, docs []*xmltree.Document) *Relation {
+	if len(colIDs) != len(docs) {
+		panic("table: colIDs and docs length mismatch")
+	}
+	r := &Relation{
+		colIDs: append([]int(nil), colIDs...),
+		docs:   append([]*xmltree.Document(nil), docs...),
+		cols:   make([][]xmltree.NodeID, len(colIDs)),
+		byID:   make(map[int]int, len(colIDs)),
+	}
+	for i, id := range colIDs {
+		if _, dup := r.byID[id]; dup {
+			panic(fmt.Sprintf("table: duplicate column id %d", id))
+		}
+		r.byID[id] = i
+	}
+	return r
+}
+
+// FromTable lifts a single-vertex Table into a one-column Relation.
+func FromTable(colID int, t *Table) *Relation {
+	r := NewRelation([]int{colID}, []*xmltree.Document{t.Doc})
+	r.cols[0] = append([]xmltree.NodeID(nil), t.Nodes...)
+	return r
+}
+
+// NumRows returns the number of tuples.
+func (r *Relation) NumRows() int {
+	if r == nil || len(r.cols) == 0 {
+		return 0
+	}
+	return len(r.cols[0])
+}
+
+// NumCols returns the number of columns.
+func (r *Relation) NumCols() int { return len(r.colIDs) }
+
+// ColumnIDs returns the vertex ids in column order.
+func (r *Relation) ColumnIDs() []int { return r.colIDs }
+
+// HasColumn reports whether the relation has a column for vertex id.
+func (r *Relation) HasColumn(id int) bool {
+	_, ok := r.byID[id]
+	return ok
+}
+
+// Column returns the data of the column bound to vertex id. It panics if the
+// column does not exist (callers check HasColumn or know the schema).
+func (r *Relation) Column(id int) []xmltree.NodeID {
+	pos, ok := r.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("table: no column for vertex %d", id))
+	}
+	return r.cols[pos]
+}
+
+// Doc returns the document of the column bound to vertex id.
+func (r *Relation) Doc(id int) *xmltree.Document {
+	pos, ok := r.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("table: no column for vertex %d", id))
+	}
+	return r.docs[pos]
+}
+
+// AppendRow appends one tuple given in column order.
+func (r *Relation) AppendRow(row []xmltree.NodeID) {
+	if len(row) != len(r.cols) {
+		panic("table: row width mismatch")
+	}
+	for i, v := range row {
+		r.cols[i] = append(r.cols[i], v)
+	}
+}
+
+// Row materializes row i in column order (mostly for tests and debugging).
+func (r *Relation) Row(i int) []xmltree.NodeID {
+	row := make([]xmltree.NodeID, len(r.cols))
+	for c := range r.cols {
+		row[c] = r.cols[c][i]
+	}
+	return row
+}
+
+// DistinctNodes returns the sorted duplicate-free set of nodes in the column
+// of vertex id, as a Table — the semijoin-reduced T(v) after executing an
+// edge (Algorithm 1 line 15).
+func (r *Relation) DistinctNodes(id int) *Table {
+	col := r.Column(id)
+	t := &Table{Doc: r.Doc(id), Nodes: append([]xmltree.NodeID(nil), col...)}
+	t.SortUnique()
+	return t
+}
+
+// Project returns a new relation with only the columns for the given vertex
+// ids, preserving row order (duplicates retained; apply Distinct for set
+// semantics).
+func (r *Relation) Project(ids []int) *Relation {
+	docs := make([]*xmltree.Document, len(ids))
+	for i, id := range ids {
+		docs[i] = r.Doc(id)
+	}
+	out := NewRelation(ids, docs)
+	n := r.NumRows()
+	for i, id := range ids {
+		src := r.Column(id)
+		out.cols[i] = append(make([]xmltree.NodeID, 0, n), src...)
+	}
+	return out
+}
+
+// Distinct returns a new relation with duplicate rows removed. Row order is
+// not preserved (rows come out sorted lexicographically by column values),
+// which is fine because XQuery ordering is re-established by the tail's sort.
+func (r *Relation) Distinct() *Relation {
+	n := r.NumRows()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	less := func(a, b int) bool {
+		for c := range r.cols {
+			if r.cols[c][a] != r.cols[c][b] {
+				return r.cols[c][a] < r.cols[c][b]
+			}
+		}
+		return false
+	}
+	equal := func(a, b int) bool {
+		for c := range r.cols {
+			if r.cols[c][a] != r.cols[c][b] {
+				return false
+			}
+		}
+		return true
+	}
+	sort.Slice(idx, func(i, j int) bool { return less(idx[i], idx[j]) })
+	out := NewRelation(r.colIDs, r.docs)
+	for i, ri := range idx {
+		if i > 0 && equal(idx[i-1], ri) {
+			continue
+		}
+		for c := range r.cols {
+			out.cols[c] = append(out.cols[c], r.cols[c][ri])
+		}
+	}
+	return out
+}
+
+// SortBy sorts the relation rows by the given vertex-id columns (node id
+// ascending, i.e. document order), implementing the tail's numbering τ.
+func (r *Relation) SortBy(ids []int) {
+	pos := make([]int, len(ids))
+	for i, id := range ids {
+		p, ok := r.byID[id]
+		if !ok {
+			panic(fmt.Sprintf("table: SortBy unknown vertex %d", id))
+		}
+		pos[i] = p
+	}
+	n := r.NumRows()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for _, p := range pos {
+			if r.cols[p][idx[a]] != r.cols[p][idx[b]] {
+				return r.cols[p][idx[a]] < r.cols[p][idx[b]]
+			}
+		}
+		return false
+	})
+	for c := range r.cols {
+		newCol := make([]xmltree.NodeID, n)
+		for i, ri := range idx {
+			newCol[i] = r.cols[c][ri]
+		}
+		r.cols[c] = newCol
+	}
+}
+
+// Filter returns a new relation keeping only rows for which keep returns
+// true; keep receives the row index.
+func (r *Relation) Filter(keep func(row int) bool) *Relation {
+	out := NewRelation(r.colIDs, r.docs)
+	n := r.NumRows()
+	for i := 0; i < n; i++ {
+		if !keep(i) {
+			continue
+		}
+		for c := range r.cols {
+			out.cols[c] = append(out.cols[c], r.cols[c][i])
+		}
+	}
+	return out
+}
+
+// String renders a compact schema description.
+func (r *Relation) String() string {
+	return fmt.Sprintf("Relation(cols=%v rows=%d)", r.colIDs, r.NumRows())
+}

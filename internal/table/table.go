@@ -1,0 +1,132 @@
+// Package table provides the tabular intermediates of the ROX runtime: Table,
+// a sequence of nodes of one document (the T(v) and S(v) of Algorithm 1), and
+// Relation, a multi-column table over several documents (the fully joined
+// result of a Join Graph). It also implements the random-sample operation
+// ℓ(T) of Sec 2.3.
+package table
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// Table is a sequence of nodes from a single document. Vertex tables in the
+// ROX algorithm are duplicate-free and sorted by pre (document order), which
+// the staircase joins both require and guarantee; intermediate sample chains
+// may temporarily be unsorted.
+type Table struct {
+	Doc   *xmltree.Document
+	Nodes []xmltree.NodeID
+}
+
+// NewTable returns a table over doc with the given nodes (not copied).
+func NewTable(doc *xmltree.Document, nodes []xmltree.NodeID) *Table {
+	return &Table{Doc: doc, Nodes: nodes}
+}
+
+// Len returns the number of tuples.
+func (t *Table) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.Nodes)
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	nodes := make([]xmltree.NodeID, len(t.Nodes))
+	copy(nodes, t.Nodes)
+	return &Table{Doc: t.Doc, Nodes: nodes}
+}
+
+// IsSorted reports whether the table is sorted by pre.
+func (t *Table) IsSorted() bool {
+	return sort.SliceIsSorted(t.Nodes, func(i, j int) bool { return t.Nodes[i] < t.Nodes[j] })
+}
+
+// SortUnique sorts the table by pre and removes duplicates in place,
+// restoring the canonical vertex-table form (document order, distinct).
+func (t *Table) SortUnique() {
+	if len(t.Nodes) < 2 {
+		return
+	}
+	sort.Slice(t.Nodes, func(i, j int) bool { return t.Nodes[i] < t.Nodes[j] })
+	out := t.Nodes[:1]
+	for _, n := range t.Nodes[1:] {
+		if n != out[len(out)-1] {
+			out = append(out, n)
+		}
+	}
+	t.Nodes = out
+}
+
+// Contains reports whether the table contains node n; the table must be
+// sorted (binary search).
+func (t *Table) Contains(n xmltree.NodeID) bool {
+	i := sort.Search(len(t.Nodes), func(i int) bool { return t.Nodes[i] >= n })
+	return i < len(t.Nodes) && t.Nodes[i] == n
+}
+
+// Sample implements ℓ(T) from Sec 2.3: a uniform random sample of at most l
+// tuples, without replacement, returned in document order so it remains a
+// valid staircase-join context input. When l >= Len the whole table is
+// copied. The caller provides the random source for determinism.
+func (t *Table) Sample(l int, rng *rand.Rand) *Table {
+	if l >= t.Len() {
+		return t.Clone()
+	}
+	// Floyd's algorithm: O(l) distinct indices out of n.
+	n := t.Len()
+	chosen := make(map[int]struct{}, l)
+	for j := n - l; j < n; j++ {
+		k := rng.Intn(j + 1)
+		if _, dup := chosen[k]; dup {
+			k = j
+		}
+		chosen[k] = struct{}{}
+	}
+	idx := make([]int, 0, l)
+	for k := range chosen {
+		idx = append(idx, k)
+	}
+	sort.Ints(idx)
+	nodes := make([]xmltree.NodeID, len(idx))
+	for i, k := range idx {
+		nodes[i] = t.Nodes[k]
+	}
+	return &Table{Doc: t.Doc, Nodes: nodes}
+}
+
+// Intersect returns a new sorted table containing the nodes present in both
+// t and other (both must be sorted by pre, same document).
+func (t *Table) Intersect(other *Table) *Table {
+	out := make([]xmltree.NodeID, 0, min(len(t.Nodes), len(other.Nodes)))
+	i, j := 0, 0
+	for i < len(t.Nodes) && j < len(other.Nodes) {
+		switch {
+		case t.Nodes[i] < other.Nodes[j]:
+			i++
+		case t.Nodes[i] > other.Nodes[j]:
+			j++
+		default:
+			out = append(out, t.Nodes[i])
+			i++
+			j++
+		}
+	}
+	return &Table{Doc: t.Doc, Nodes: out}
+}
+
+// Filter returns a new table with the nodes for which keep returns true,
+// preserving order.
+func (t *Table) Filter(keep func(xmltree.NodeID) bool) *Table {
+	out := make([]xmltree.NodeID, 0, len(t.Nodes))
+	for _, n := range t.Nodes {
+		if keep(n) {
+			out = append(out, n)
+		}
+	}
+	return &Table{Doc: t.Doc, Nodes: out}
+}

@@ -1,0 +1,234 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmltree"
+)
+
+func smallDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString("t.xml", "<r><a/><a/><a/><a/><a/><a/><a/><a/></r>")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return d
+}
+
+func TestSortUnique(t *testing.T) {
+	d := smallDoc(t)
+	tb := NewTable(d, []xmltree.NodeID{5, 3, 5, 1, 3, 9})
+	tb.SortUnique()
+	want := []xmltree.NodeID{1, 3, 5, 9}
+	if len(tb.Nodes) != len(want) {
+		t.Fatalf("got %v, want %v", tb.Nodes, want)
+	}
+	for i := range want {
+		if tb.Nodes[i] != want[i] {
+			t.Fatalf("got %v, want %v", tb.Nodes, want)
+		}
+	}
+	if !tb.IsSorted() {
+		t.Errorf("not sorted after SortUnique")
+	}
+}
+
+func TestContains(t *testing.T) {
+	d := smallDoc(t)
+	tb := NewTable(d, []xmltree.NodeID{1, 3, 5, 9})
+	for _, n := range []xmltree.NodeID{1, 3, 5, 9} {
+		if !tb.Contains(n) {
+			t.Errorf("Contains(%d) = false", n)
+		}
+	}
+	for _, n := range []xmltree.NodeID{0, 2, 4, 10} {
+		if tb.Contains(n) {
+			t.Errorf("Contains(%d) = true", n)
+		}
+	}
+}
+
+func TestSampleProperties(t *testing.T) {
+	// Property: a sample of size l has min(l, n) distinct tuples, all drawn
+	// from the source, in document order.
+	f := func(seed int64, l uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := make([]xmltree.NodeID, 50)
+		for i := range nodes {
+			nodes[i] = xmltree.NodeID(i * 2)
+		}
+		tb := &Table{Nodes: nodes}
+		s := tb.Sample(int(l%60), rng)
+		want := int(l % 60)
+		if want > 50 {
+			want = 50
+		}
+		if s.Len() != want {
+			return false
+		}
+		if !s.IsSorted() {
+			return false
+		}
+		seen := map[xmltree.NodeID]bool{}
+		for _, n := range s.Nodes {
+			if seen[n] || !tb.Contains(n) {
+				return false
+			}
+			seen[n] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleUniformity(t *testing.T) {
+	// With many draws of 1 from 10 elements, each should be hit roughly
+	// uniformly (chi-square-ish loose bound).
+	rng := rand.New(rand.NewSource(42))
+	nodes := make([]xmltree.NodeID, 10)
+	for i := range nodes {
+		nodes[i] = xmltree.NodeID(i)
+	}
+	tb := &Table{Nodes: nodes}
+	counts := make([]int, 10)
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		s := tb.Sample(1, rng)
+		counts[s.Nodes[0]]++
+	}
+	for i, c := range counts {
+		if c < draws/10/2 || c > draws/10*2 {
+			t.Errorf("element %d drawn %d times, expected ~%d", i, c, draws/10)
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := &Table{Nodes: []xmltree.NodeID{1, 3, 5, 7, 9}}
+	b := &Table{Nodes: []xmltree.NodeID{2, 3, 4, 7, 10}}
+	got := a.Intersect(b)
+	want := []xmltree.NodeID{3, 7}
+	if len(got.Nodes) != 2 || got.Nodes[0] != want[0] || got.Nodes[1] != want[1] {
+		t.Errorf("Intersect = %v, want %v", got.Nodes, want)
+	}
+	empty := a.Intersect(&Table{})
+	if empty.Len() != 0 {
+		t.Errorf("intersect with empty = %v", empty.Nodes)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	a := &Table{Nodes: []xmltree.NodeID{1, 2, 3, 4, 5, 6}}
+	got := a.Filter(func(n xmltree.NodeID) bool { return n%2 == 0 })
+	if got.Len() != 3 || got.Nodes[0] != 2 || got.Nodes[2] != 6 {
+		t.Errorf("Filter = %v", got.Nodes)
+	}
+}
+
+func TestRelationBasics(t *testing.T) {
+	d := smallDoc(t)
+	r := NewRelation([]int{10, 20}, []*xmltree.Document{d, d})
+	r.AppendRow([]xmltree.NodeID{1, 2})
+	r.AppendRow([]xmltree.NodeID{3, 4})
+	r.AppendRow([]xmltree.NodeID{1, 2})
+	if r.NumRows() != 3 || r.NumCols() != 2 {
+		t.Fatalf("rows=%d cols=%d", r.NumRows(), r.NumCols())
+	}
+	if !r.HasColumn(10) || r.HasColumn(99) {
+		t.Errorf("HasColumn wrong")
+	}
+	if got := r.Row(1); got[0] != 3 || got[1] != 4 {
+		t.Errorf("Row(1) = %v", got)
+	}
+
+	dist := r.Distinct()
+	if dist.NumRows() != 2 {
+		t.Errorf("Distinct rows = %d, want 2", dist.NumRows())
+	}
+
+	tbl := r.DistinctNodes(10)
+	if tbl.Len() != 2 || tbl.Nodes[0] != 1 || tbl.Nodes[1] != 3 {
+		t.Errorf("DistinctNodes = %v", tbl.Nodes)
+	}
+}
+
+func TestRelationProjectSortFilter(t *testing.T) {
+	d := smallDoc(t)
+	r := NewRelation([]int{1, 2}, []*xmltree.Document{d, d})
+	r.AppendRow([]xmltree.NodeID{5, 1})
+	r.AppendRow([]xmltree.NodeID{3, 2})
+	r.AppendRow([]xmltree.NodeID{5, 0})
+
+	p := r.Project([]int{2})
+	if p.NumCols() != 1 || p.NumRows() != 3 || p.Column(2)[0] != 1 {
+		t.Errorf("Project = %v rows=%d", p.ColumnIDs(), p.NumRows())
+	}
+
+	r.SortBy([]int{1, 2})
+	if c := r.Column(1); c[0] != 3 || c[1] != 5 || c[2] != 5 {
+		t.Errorf("SortBy col1 = %v", c)
+	}
+	if c := r.Column(2); c[1] != 0 || c[2] != 1 {
+		t.Errorf("SortBy col2 tie-break = %v", c)
+	}
+
+	f := r.Filter(func(row int) bool { return r.Column(1)[row] == 5 })
+	if f.NumRows() != 2 {
+		t.Errorf("Filter rows = %d, want 2", f.NumRows())
+	}
+}
+
+func TestFromTable(t *testing.T) {
+	d := smallDoc(t)
+	tb := NewTable(d, []xmltree.NodeID{4, 7})
+	r := FromTable(3, tb)
+	if r.NumRows() != 2 || r.NumCols() != 1 {
+		t.Fatalf("FromTable shape wrong: %s", r)
+	}
+	if r.Doc(3) != d {
+		t.Errorf("Doc not propagated")
+	}
+	// Mutating the relation column must not affect the source table.
+	r.Column(3)[0] = 99
+	if tb.Nodes[0] != 4 {
+		t.Errorf("FromTable aliased the source slice")
+	}
+}
+
+func TestDistinctRandomized(t *testing.T) {
+	// Property: Distinct yields no duplicate rows and every original row is
+	// represented.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := &xmltree.Document{}
+		_ = d
+		r := NewRelation([]int{1, 2}, []*xmltree.Document{nil, nil})
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			r.AppendRow([]xmltree.NodeID{xmltree.NodeID(rng.Intn(5)), xmltree.NodeID(rng.Intn(5))})
+		}
+		dist := r.Distinct()
+		seen := map[[2]xmltree.NodeID]bool{}
+		for i := 0; i < dist.NumRows(); i++ {
+			k := [2]xmltree.NodeID{dist.Column(1)[i], dist.Column(2)[i]}
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		for i := 0; i < r.NumRows(); i++ {
+			k := [2]xmltree.NodeID{r.Column(1)[i], r.Column(2)[i]}
+			if !seen[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

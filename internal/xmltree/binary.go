@@ -1,0 +1,199 @@
+package xmltree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary persistence of shredded documents: shredding large XML is far more
+// expensive than reading back the columnar node table, so tools cache the
+// shredded form (the moral equivalent of MonetDB's BAT storage).
+//
+// Format (little endian):
+//
+//	magic "ROXD" | version u8 | name | nodeCount u32
+//	kinds  [n]u8
+//	sizes  [n]i32 | levels [n]i32 | names [n]i32 | values [n]i32 | parents [n]i32
+//	qname dictionary: count u32, then length-prefixed strings
+//	value dictionary: count u32, then length-prefixed strings
+//
+// Strings are u32 length + bytes.
+
+const (
+	binaryMagic   = "ROXD"
+	binaryVersion = 1
+)
+
+// WriteBinary writes the document in the binary shredded format.
+func WriteBinary(w io.Writer, d *Document) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binaryVersion); err != nil {
+		return err
+	}
+	if err := writeString(bw, d.name); err != nil {
+		return err
+	}
+	n := uint32(d.Len())
+	if err := binary.Write(bw, binary.LittleEndian, n); err != nil {
+		return err
+	}
+	for _, k := range d.kinds {
+		if err := bw.WriteByte(byte(k)); err != nil {
+			return err
+		}
+	}
+	for _, col := range [][]int32{d.sizes, d.levels, d.names, d.values, d.parents} {
+		if err := binary.Write(bw, binary.LittleEndian, col); err != nil {
+			return err
+		}
+	}
+	if err := writeDict(bw, d.qnames); err != nil {
+		return err
+	}
+	if err := writeDict(bw, d.vals); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a document written by WriteBinary and validates its
+// structural invariants.
+func ReadBinary(r io.Reader) (*Document, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("xmltree: read magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("xmltree: not a shredded document (magic %q)", magic)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("xmltree: unsupported version %d", version)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	const maxNodes = 1 << 30
+	if n == 0 || n > maxNodes {
+		return nil, fmt.Errorf("xmltree: implausible node count %d", n)
+	}
+	d := &Document{name: name}
+	kinds := make([]byte, n)
+	if _, err := io.ReadFull(br, kinds); err != nil {
+		return nil, err
+	}
+	d.kinds = make([]Kind, n)
+	for i, k := range kinds {
+		d.kinds[i] = Kind(k)
+	}
+	for _, col := range []*[]int32{&d.sizes, &d.levels, &d.names, &d.values, &d.parents} {
+		*col = make([]int32, n)
+		if err := binary.Read(br, binary.LittleEndian, *col); err != nil {
+			return nil, err
+		}
+	}
+	if d.qnames, err = readDict(br); err != nil {
+		return nil, err
+	}
+	if d.vals, err = readDict(br); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("xmltree: corrupt shredded document: %w", err)
+	}
+	return d, nil
+}
+
+// WriteBinaryFile writes the document to a file.
+func WriteBinaryFile(d *Document, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBinaryFile reads a document from a file.
+func ReadBinaryFile(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	const maxString = 1 << 28
+	if n > maxString {
+		return "", fmt.Errorf("xmltree: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeDict(w io.Writer, d *Dict) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(d.Len())); err != nil {
+		return err
+	}
+	for i := 0; i < d.Len(); i++ {
+		if err := writeString(w, d.String(int32(i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readDict(r io.Reader) (*Dict, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	const maxDict = 1 << 28
+	if n > maxDict {
+		return nil, fmt.Errorf("xmltree: implausible dictionary size %d", n)
+	}
+	d := NewDict()
+	for i := uint32(0); i < n; i++ {
+		s, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		d.Intern(s)
+	}
+	return d, nil
+}

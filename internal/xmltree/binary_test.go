@@ -1,0 +1,102 @@
+package xmltree
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundtrip(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	d2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if d2.Name() != d.Name() || d2.Len() != d.Len() {
+		t.Fatalf("shape mismatch: %s/%d vs %s/%d", d2.Name(), d2.Len(), d.Name(), d.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		n := NodeID(i)
+		if d.Kind(n) != d2.Kind(n) || d.Size(n) != d2.Size(n) || d.Level(n) != d2.Level(n) ||
+			d.Parent(n) != d2.Parent(n) || d.NodeName(n) != d2.NodeName(n) || d.Value(n) != d2.Value(n) {
+			t.Fatalf("node %d differs after roundtrip", i)
+		}
+	}
+}
+
+func TestBinaryRoundtripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDoc(rng, 150)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, d); err != nil {
+			return false
+		}
+		d2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return SerializeString(d, d.Root()) == SerializeString(d2, d2.Root())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryFile(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	path := filepath.Join(t.TempDir(), "doc.roxd")
+	if err := WriteBinaryFile(d, path); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != d.Len() {
+		t.Errorf("len %d vs %d", d2.Len(), d.Len())
+	}
+	if _, err := ReadBinaryFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Errorf("missing file should fail")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("shrt"),
+		[]byte("NOPE....."),
+		[]byte("ROXD\x02"),                 // wrong version
+		[]byte("ROXD\x01\xff\xff\xff\xff"), // implausible name length
+	}
+	for i, c := range cases {
+		if _, err := ReadBinary(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Truncated valid stream.
+	d := mustParse(t, sampleXML)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{10, len(full) / 2, len(full) - 3} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncated at %d accepted", cut)
+		}
+	}
+	// Corrupted structure must fail Validate.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(binaryMagic)+1+4+len(d.Name())+4+2] ^= 0xFF // flip a kind byte
+	if _, err := ReadBinary(bytes.NewReader(corrupt)); err == nil {
+		t.Errorf("corrupt kind column accepted")
+	}
+}

@@ -1,0 +1,190 @@
+package xmltree
+
+import "fmt"
+
+// Builder constructs a Document programmatically in document order. It is
+// used by the shredder (Parse) and by the synthetic dataset generators, which
+// build documents orders of magnitude faster than emitting and re-parsing
+// XML text.
+//
+// Usage:
+//
+//	b := xmltree.NewBuilder("auction.xml")
+//	b.StartElem("site")
+//	b.StartElem("person")
+//	b.Attr("id", "p0")
+//	b.Text("Alice")
+//	b.EndElem()
+//	b.EndElem()
+//	doc, err := b.Build()
+type Builder struct {
+	docName string
+
+	kinds   []Kind
+	sizes   []int32
+	levels  []int32
+	names   []int32
+	values  []int32
+	parents []int32
+
+	qnames *Dict
+	vals   *Dict
+
+	stack   []int32 // open element pres; stack[0] is the doc root
+	content []bool  // per open element: non-attribute content seen yet
+	err     error
+}
+
+// NewBuilder returns a Builder for a document with the given name. The
+// document root node (kind doc) is created immediately.
+func NewBuilder(docName string) *Builder {
+	b := &Builder{
+		docName: docName,
+		qnames:  NewDict(),
+		vals:    NewDict(),
+	}
+	b.push(KindDoc, -1, -1)
+	b.stack = append(b.stack, 0)
+	b.content = append(b.content, false)
+	return b
+}
+
+func (b *Builder) push(k Kind, nameID, valueID int32) int32 {
+	pre := int32(len(b.kinds))
+	b.kinds = append(b.kinds, k)
+	b.sizes = append(b.sizes, 0)
+	parent := NoNode
+	level := int32(0)
+	if len(b.stack) > 0 {
+		parent = b.stack[len(b.stack)-1]
+		level = b.levels[parent] + 1
+	}
+	b.levels = append(b.levels, level)
+	b.names = append(b.names, nameID)
+	b.values = append(b.values, valueID)
+	b.parents = append(b.parents, parent)
+	return pre
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("xmltree builder (%s): %s", b.docName, fmt.Sprintf(format, args...))
+	}
+}
+
+// StartElem opens an element with the given qualified name.
+func (b *Builder) StartElem(qname string) {
+	if b.err != nil {
+		return
+	}
+	pre := b.push(KindElem, b.qnames.Intern(qname), -1)
+	b.markContent()
+	b.stack = append(b.stack, pre)
+	b.content = append(b.content, false)
+}
+
+// markContent records that the innermost open element has non-attribute
+// content, after which Attr becomes invalid (attributes must precede
+// content so that they occupy the pre slots directly after their owner).
+func (b *Builder) markContent() {
+	if len(b.content) > 0 {
+		b.content[len(b.content)-1] = true
+	}
+}
+
+// Attr adds an attribute to the innermost open element. It must be called
+// before any child element or text is added to that element.
+func (b *Builder) Attr(name, value string) {
+	if b.err != nil {
+		return
+	}
+	if len(b.stack) <= 1 {
+		b.fail("Attr(%q) outside any element", name)
+		return
+	}
+	if b.content[len(b.content)-1] {
+		b.fail("Attr(%q) after content of element", name)
+		return
+	}
+	b.push(KindAttr, b.qnames.Intern(name), b.vals.Intern(value))
+}
+
+// Text adds a text node. Empty strings are ignored (no empty text nodes in
+// the data model).
+func (b *Builder) Text(value string) {
+	if b.err != nil || value == "" {
+		return
+	}
+	b.push(KindText, -1, b.vals.Intern(value))
+	b.markContent()
+}
+
+// Comment adds a comment node.
+func (b *Builder) Comment(value string) {
+	if b.err != nil {
+		return
+	}
+	b.push(KindComment, -1, b.vals.Intern(value))
+	b.markContent()
+}
+
+// PI adds a processing-instruction node with the given target and data.
+func (b *Builder) PI(target, data string) {
+	if b.err != nil {
+		return
+	}
+	b.push(KindPI, b.qnames.Intern(target), b.vals.Intern(data))
+	b.markContent()
+}
+
+// EndElem closes the innermost open element.
+func (b *Builder) EndElem() {
+	if b.err != nil {
+		return
+	}
+	if len(b.stack) <= 1 {
+		b.fail("EndElem without matching StartElem")
+		return
+	}
+	pre := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+	b.content = b.content[:len(b.content)-1]
+	b.sizes[pre] = int32(len(b.kinds)) - pre - 1
+}
+
+// Depth returns the number of currently open elements (excluding the
+// document root).
+func (b *Builder) Depth() int { return len(b.stack) - 1 }
+
+// Build finalizes and returns the document. All elements must be closed.
+func (b *Builder) Build() (*Document, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.stack) != 1 {
+		return nil, fmt.Errorf("xmltree builder (%s): %d unclosed element(s)", b.docName, len(b.stack)-1)
+	}
+	b.sizes[0] = int32(len(b.kinds)) - 1
+	d := &Document{
+		name:    b.docName,
+		kinds:   b.kinds,
+		sizes:   b.sizes,
+		levels:  b.levels,
+		names:   b.names,
+		values:  b.values,
+		parents: b.parents,
+		qnames:  b.qnames,
+		vals:    b.vals,
+	}
+	return d, nil
+}
+
+// MustBuild is Build for tests and generators with static structure; it
+// panics on error.
+func (b *Builder) MustBuild() *Document {
+	d, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

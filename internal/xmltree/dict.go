@@ -1,0 +1,42 @@
+package xmltree
+
+// Dict is an insert-only string dictionary mapping strings to dense int32
+// ids. Documents use one Dict for qualified names and one for text/attribute
+// values; equality joins compare ids instead of strings.
+//
+// The zero value is not usable; call NewDict.
+type Dict struct {
+	byID []string
+	byS  map[string]int32
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byS: make(map[string]int32)}
+}
+
+// Intern returns the id of s, inserting it if absent.
+func (d *Dict) Intern(s string) int32 {
+	if id, ok := d.byS[s]; ok {
+		return id
+	}
+	id := int32(len(d.byID))
+	d.byID = append(d.byID, s)
+	d.byS[s] = id
+	return id
+}
+
+// Lookup returns the id of s and whether it is present, without inserting.
+func (d *Dict) Lookup(s string) (int32, bool) {
+	id, ok := d.byS[s]
+	return id, ok
+}
+
+// String returns the string with the given id. It panics on ids that were
+// never handed out, which always indicates a programming error.
+func (d *Dict) String(id int32) string {
+	return d.byID[id]
+}
+
+// Len returns the number of distinct strings interned.
+func (d *Dict) Len() int { return len(d.byID) }

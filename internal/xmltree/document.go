@@ -1,0 +1,296 @@
+// Package xmltree implements the relational ("shredded") XML storage that the
+// paper's evaluation platform, MonetDB/XQuery, provides: every XML node is a
+// tuple in a columnar node table addressed by its pre number (document
+// order), with size (subtree width), level (depth), kind, qualified name and
+// value columns, plus a parent column that accelerates the upward axes.
+//
+// This encoding is the range-based pre/size/level variant of the pre/post
+// scheme referenced in Sec 2.2; the subtree of node v occupies exactly the
+// pre range (v, v+size(v)], which is what makes single-pass staircase joins
+// possible.
+package xmltree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NodeID identifies a node inside one document by its pre number.
+type NodeID = int32
+
+// NoNode is the nil node id (e.g. the parent of the document root).
+const NoNode NodeID = -1
+
+// Document is an immutable shredded XML document. Construct one with a
+// Builder or with Parse; afterwards all accessors are read-only and safe for
+// concurrent use.
+type Document struct {
+	name string // document identifier, e.g. "auction.xml"
+
+	kinds   []Kind
+	sizes   []int32 // number of nodes in the subtree below each node
+	levels  []int32 // depth; the doc root has level 0
+	names   []int32 // qname id for elem/attr/pi nodes, -1 otherwise
+	values  []int32 // value id for text/attr/comment nodes, -1 otherwise
+	parents []int32 // pre of the parent node, NoNode for the root
+
+	qnames *Dict // qualified names
+	vals   *Dict // text and attribute values
+}
+
+// Name returns the document identifier (typically its URL or file name).
+func (d *Document) Name() string { return d.name }
+
+// Len returns the total number of nodes, including the document root and
+// attribute nodes.
+func (d *Document) Len() int { return len(d.kinds) }
+
+// Root returns the pre number of the document root node (always 0).
+func (d *Document) Root() NodeID { return 0 }
+
+// Kind returns the kind of node n.
+func (d *Document) Kind(n NodeID) Kind { return d.kinds[n] }
+
+// Size returns the number of nodes in the subtree below n (excluding n).
+func (d *Document) Size(n NodeID) int32 { return d.sizes[n] }
+
+// Level returns the depth of n; the root has level 0.
+func (d *Document) Level(n NodeID) int32 { return d.levels[n] }
+
+// Parent returns the parent of n, or NoNode for the root.
+func (d *Document) Parent(n NodeID) NodeID { return d.parents[n] }
+
+// NameID returns the qname dictionary id of n, or -1 for unnamed kinds.
+func (d *Document) NameID(n NodeID) int32 { return d.names[n] }
+
+// ValueID returns the value dictionary id of n, or -1 for kinds without an
+// own value (doc, elem).
+func (d *Document) ValueID(n NodeID) int32 { return d.values[n] }
+
+// NodeName returns the qualified name of n ("" for unnamed kinds).
+func (d *Document) NodeName(n NodeID) string {
+	id := d.names[n]
+	if id < 0 {
+		return ""
+	}
+	return d.qnames.String(id)
+}
+
+// Value returns the own string value of n ("" for doc/elem nodes; use
+// StringValue for the XPath string value of an element).
+func (d *Document) Value(n NodeID) string {
+	id := d.values[n]
+	if id < 0 {
+		return ""
+	}
+	return d.vals.String(id)
+}
+
+// QNames exposes the qualified-name dictionary (read-only use).
+func (d *Document) QNames() *Dict { return d.qnames }
+
+// Values exposes the value dictionary (read-only use).
+func (d *Document) Values() *Dict { return d.vals }
+
+// StringValue returns the XPath string value of n: for text, attribute,
+// comment and pi nodes their own value; for document and element nodes the
+// concatenation of all descendant text node values in document order.
+func (d *Document) StringValue(n NodeID) string {
+	switch d.kinds[n] {
+	case KindText, KindAttr, KindComment, KindPI:
+		return d.Value(n)
+	}
+	var sb strings.Builder
+	end := n + d.sizes[n]
+	for i := n + 1; i <= end; i++ {
+		if d.kinds[i] == KindText {
+			sb.WriteString(d.Value(i))
+		}
+	}
+	return sb.String()
+}
+
+// NumberValue returns the string value of n parsed as a float64; ok is false
+// if the value is not numeric.
+func (d *Document) NumberValue(n NodeID) (v float64, ok bool) {
+	s := strings.TrimSpace(d.StringValue(n))
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// IsAncestorOf reports whether a is a proper ancestor of n, using the pre
+// range containment property of the encoding.
+func (d *Document) IsAncestorOf(a, n NodeID) bool {
+	return a < n && n <= a+d.sizes[a]
+}
+
+// FirstChildPre returns the pre number of the first node in n's subtree
+// (n+1) and the end of the subtree range (n+size). Attribute children of n
+// come first in that range.
+func (d *Document) subtreeRange(n NodeID) (first, last NodeID) {
+	return n + 1, n + d.sizes[n]
+}
+
+// Attributes returns the attribute nodes of element n in document order.
+func (d *Document) Attributes(n NodeID) []NodeID {
+	var out []NodeID
+	first, last := d.subtreeRange(n)
+	for i := first; i <= last; i++ {
+		if d.kinds[i] != KindAttr || d.parents[i] != n {
+			break
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// Children returns the non-attribute child nodes of n in document order.
+func (d *Document) Children(n NodeID) []NodeID {
+	var out []NodeID
+	first, last := d.subtreeRange(n)
+	for i := first; i <= last; {
+		if d.kinds[i] == KindAttr {
+			i++
+			continue
+		}
+		out = append(out, i)
+		i += d.sizes[i] + 1
+	}
+	return out
+}
+
+// Attribute returns the attribute node of element n with the given name, or
+// NoNode if absent.
+func (d *Document) Attribute(n NodeID, name string) NodeID {
+	id, ok := d.qnames.Lookup(name)
+	if !ok {
+		return NoNode
+	}
+	for _, a := range d.Attributes(n) {
+		if d.names[a] == id {
+			return a
+		}
+	}
+	return NoNode
+}
+
+// CountName returns the number of element nodes named qname. It scans the
+// node table; indices (package index) answer this in O(log n).
+func (d *Document) CountName(qname string) int {
+	id, ok := d.qnames.Lookup(qname)
+	if !ok {
+		return 0
+	}
+	count := 0
+	for i := range d.kinds {
+		if d.kinds[i] == KindElem && d.names[i] == id {
+			count++
+		}
+	}
+	return count
+}
+
+// Validate checks the structural invariants of the encoding: size ranges
+// nest properly, levels increase by one along parent edges, attribute nodes
+// directly follow their owner, and dictionary references resolve. It returns
+// the first violation found, or nil. Tests and the shredder use it; it is
+// exported because generators in internal/datagen build documents directly.
+func (d *Document) Validate() error {
+	n := int32(d.Len())
+	if n == 0 {
+		return fmt.Errorf("document %q: empty node table", d.name)
+	}
+	if d.kinds[0] != KindDoc {
+		return fmt.Errorf("document %q: node 0 has kind %v, want doc", d.name, d.kinds[0])
+	}
+	if d.sizes[0] != n-1 {
+		return fmt.Errorf("document %q: root size %d, want %d", d.name, d.sizes[0], n-1)
+	}
+	if d.levels[0] != 0 || d.parents[0] != NoNode {
+		return fmt.Errorf("document %q: root must have level 0 and no parent", d.name)
+	}
+	for i := int32(1); i < n; i++ {
+		p := d.parents[i]
+		if p < 0 || p >= i {
+			return fmt.Errorf("node %d: parent %d out of range", i, p)
+		}
+		if d.levels[i] != d.levels[p]+1 {
+			return fmt.Errorf("node %d: level %d, parent level %d", i, d.levels[i], d.levels[p])
+		}
+		if !d.IsAncestorOf(p, i) {
+			return fmt.Errorf("node %d: not inside parent %d's subtree range", i, p)
+		}
+		if i+d.sizes[i] > p+d.sizes[p] {
+			return fmt.Errorf("node %d: subtree exceeds parent %d's range", i, p)
+		}
+		switch d.kinds[i] {
+		case KindElem:
+			if d.names[i] < 0 || int(d.names[i]) >= d.qnames.Len() {
+				return fmt.Errorf("elem node %d: bad name id %d", i, d.names[i])
+			}
+		case KindAttr:
+			if d.sizes[i] != 0 {
+				return fmt.Errorf("attr node %d: size %d, want 0", i, d.sizes[i])
+			}
+			if d.names[i] < 0 || d.values[i] < 0 {
+				return fmt.Errorf("attr node %d: missing name or value", i)
+			}
+			// Attributes directly follow their owner, before any
+			// non-attribute sibling.
+			for j := p + 1; j < i; j++ {
+				if d.kinds[j] != KindAttr {
+					return fmt.Errorf("attr node %d: preceded by non-attr node %d within owner", i, j)
+				}
+			}
+		case KindText, KindComment, KindPI:
+			if d.sizes[i] != 0 {
+				return fmt.Errorf("%v node %d: size %d, want 0", d.kinds[i], i, d.sizes[i])
+			}
+			if d.kinds[i] == KindText && d.values[i] < 0 {
+				return fmt.Errorf("text node %d: missing value", i)
+			}
+		case KindDoc:
+			return fmt.Errorf("node %d: interior doc node", i)
+		default:
+			return fmt.Errorf("node %d: unknown kind %d", i, uint8(d.kinds[i]))
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a document for catalogs (Table 3) and the classical
+// optimizer's per-document statistics.
+type Stats struct {
+	Nodes    int            // total node count
+	Elements int            // element nodes
+	Texts    int            // text nodes
+	Attrs    int            // attribute nodes
+	MaxDepth int32          // deepest level
+	ByName   map[string]int // element count per qualified name
+}
+
+// ComputeStats scans the document once and returns its statistics.
+func (d *Document) ComputeStats() Stats {
+	st := Stats{ByName: make(map[string]int)}
+	st.Nodes = d.Len()
+	for i := 0; i < d.Len(); i++ {
+		n := NodeID(i)
+		switch d.kinds[n] {
+		case KindElem:
+			st.Elements++
+			st.ByName[d.NodeName(n)]++
+		case KindText:
+			st.Texts++
+		case KindAttr:
+			st.Attrs++
+		}
+		if d.levels[n] > st.MaxDepth {
+			st.MaxDepth = d.levels[n]
+		}
+	}
+	return st
+}

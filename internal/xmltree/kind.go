@@ -1,0 +1,63 @@
+package xmltree
+
+import "fmt"
+
+// Kind classifies a shredded XML node, mirroring the node-kind tests of the
+// staircase join definition (Sec 2.2 of the paper): doc, elem, text, attr,
+// comment, pi, plus the wildcard KindAny used for kind tests only.
+type Kind uint8
+
+const (
+	// KindDoc is the document root node (pre = 0 of every document).
+	KindDoc Kind = iota
+	// KindElem is an element node.
+	KindElem
+	// KindText is a text node.
+	KindText
+	// KindAttr is an attribute node. Attribute nodes occupy pre numbers
+	// directly after their owner element and are only reachable via the
+	// attribute axis, never via child/descendant axes (XPath data model).
+	KindAttr
+	// KindComment is a comment node.
+	KindComment
+	// KindPI is a processing-instruction node.
+	KindPI
+
+	// KindAny is the wildcard kind test "*". It is never stored in a
+	// document; it only appears as the k parameter of a structural join.
+	KindAny Kind = 0xFF
+)
+
+// String returns the XPath-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDoc:
+		return "doc"
+	case KindElem:
+		return "elem"
+	case KindText:
+		return "text"
+	case KindAttr:
+		return "attr"
+	case KindComment:
+		return "comment"
+	case KindPI:
+		return "pi"
+	case KindAny:
+		return "*"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Matches reports whether a stored node kind satisfies the kind test k.
+// KindAny matches every kind except attributes: in the XPath data model
+// attributes are never selected by non-attribute axes, so the wildcard used
+// by child/descendant steps must not capture them. Kind tests against
+// KindAttr match attributes exactly.
+func (k Kind) Matches(stored Kind) bool {
+	if k == KindAny {
+		return stored != KindAttr
+	}
+	return k == stored
+}

@@ -1,0 +1,102 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"io"
+	"strings"
+)
+
+// Serialize writes the subtree rooted at n as XML text to w. Serializing the
+// document root writes the whole document. This is the counterpart of the
+// MonetDB/XQuery "serialize tabular data as XML" operator.
+func Serialize(w io.Writer, d *Document, n NodeID) error {
+	s := serializer{w: w, d: d}
+	s.node(n)
+	return s.err
+}
+
+// SerializeString returns the subtree rooted at n as an XML string.
+func SerializeString(d *Document, n NodeID) string {
+	var sb strings.Builder
+	// strings.Builder never fails, so the error can be ignored.
+	_ = Serialize(&sb, d, n)
+	return sb.String()
+}
+
+type serializer struct {
+	w   io.Writer
+	d   *Document
+	err error
+}
+
+func (s *serializer) write(str string) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = io.WriteString(s.w, str)
+}
+
+func (s *serializer) escape(str string) {
+	if s.err != nil {
+		return
+	}
+	var sb strings.Builder
+	// EscapeText only fails on writer errors; strings.Builder cannot fail.
+	_ = xml.EscapeText(&sb, []byte(str))
+	s.write(sb.String())
+}
+
+func (s *serializer) node(n NodeID) {
+	if s.err != nil {
+		return
+	}
+	d := s.d
+	switch d.Kind(n) {
+	case KindDoc:
+		for _, c := range d.Children(n) {
+			s.node(c)
+		}
+	case KindElem:
+		s.write("<")
+		s.write(d.NodeName(n))
+		for _, a := range d.Attributes(n) {
+			s.write(" ")
+			s.write(d.NodeName(a))
+			s.write(`="`)
+			s.escape(d.Value(a))
+			s.write(`"`)
+		}
+		children := d.Children(n)
+		if len(children) == 0 {
+			s.write("/>")
+			return
+		}
+		s.write(">")
+		for _, c := range children {
+			s.node(c)
+		}
+		s.write("</")
+		s.write(d.NodeName(n))
+		s.write(">")
+	case KindText:
+		s.escape(d.Value(n))
+	case KindAttr:
+		// A bare attribute serializes as name="value" (XQuery serialization
+		// of attribute nodes outside an element is an error; we follow the
+		// pragmatic MonetDB behaviour of emitting the lexical form).
+		s.write(d.NodeName(n))
+		s.write(`="`)
+		s.escape(d.Value(n))
+		s.write(`"`)
+	case KindComment:
+		s.write("<!--")
+		s.write(d.Value(n))
+		s.write("-->")
+	case KindPI:
+		s.write("<?")
+		s.write(d.NodeName(n))
+		s.write(" ")
+		s.write(d.Value(n))
+		s.write("?>")
+	}
+}

@@ -1,0 +1,392 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleXML = `<site>
+  <person id="p0"><name>Alice</name><age>31</age></person>
+  <person id="p1"><name>Bob</name></person>
+  <closed/>
+</site>`
+
+func mustParse(t *testing.T, s string) *Document {
+	t.Helper()
+	d, err := ParseString("test.xml", s)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return d
+}
+
+func TestParseBasicShape(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	// doc, site, 2×(person+attr), name×2, age, texts×3, closed
+	if got := d.CountName("person"); got != 2 {
+		t.Errorf("CountName(person) = %d, want 2", got)
+	}
+	if got := d.CountName("name"); got != 2 {
+		t.Errorf("CountName(name) = %d, want 2", got)
+	}
+	if got := d.CountName("nosuch"); got != 0 {
+		t.Errorf("CountName(nosuch) = %d, want 0", got)
+	}
+	if d.Kind(d.Root()) != KindDoc {
+		t.Errorf("root kind = %v, want doc", d.Kind(d.Root()))
+	}
+	roots := d.Children(d.Root())
+	if len(roots) != 1 || d.NodeName(roots[0]) != "site" {
+		t.Fatalf("document element = %v, want [site]", roots)
+	}
+}
+
+func TestAttributesAndChildren(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	site := d.Children(d.Root())[0]
+	kids := d.Children(site)
+	if len(kids) != 3 {
+		t.Fatalf("site has %d children, want 3", len(kids))
+	}
+	p0 := kids[0]
+	attrs := d.Attributes(p0)
+	if len(attrs) != 1 {
+		t.Fatalf("person has %d attrs, want 1", len(attrs))
+	}
+	if d.NodeName(attrs[0]) != "id" || d.Value(attrs[0]) != "p0" {
+		t.Errorf("attr = %s=%q, want id=p0", d.NodeName(attrs[0]), d.Value(attrs[0]))
+	}
+	if a := d.Attribute(p0, "id"); a != attrs[0] {
+		t.Errorf("Attribute(id) = %d, want %d", a, attrs[0])
+	}
+	if a := d.Attribute(p0, "missing"); a != NoNode {
+		t.Errorf("Attribute(missing) = %d, want NoNode", a)
+	}
+	// Children must not include attribute nodes.
+	for _, c := range d.Children(p0) {
+		if d.Kind(c) == KindAttr {
+			t.Errorf("Children returned attribute node %d", c)
+		}
+	}
+}
+
+func TestStringAndNumberValue(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	site := d.Children(d.Root())[0]
+	p0 := d.Children(site)[0]
+	if got := d.StringValue(p0); got != "Alice31" {
+		t.Errorf("StringValue(person) = %q, want Alice31", got)
+	}
+	age := d.Children(p0)[1]
+	v, ok := d.NumberValue(age)
+	if !ok || v != 31 {
+		t.Errorf("NumberValue(age) = %v,%v, want 31,true", v, ok)
+	}
+	name := d.Children(p0)[0]
+	if _, ok := d.NumberValue(name); ok {
+		t.Errorf("NumberValue(name) unexpectedly ok")
+	}
+}
+
+func TestLevelsAndParents(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	site := d.Children(d.Root())[0]
+	if d.Level(site) != 1 {
+		t.Errorf("level(site) = %d, want 1", d.Level(site))
+	}
+	for _, p := range d.Children(site) {
+		if d.Parent(p) != site {
+			t.Errorf("parent(%d) = %d, want %d", p, d.Parent(p), site)
+		}
+		if d.Level(p) != 2 {
+			t.Errorf("level(%d) = %d, want 2", p, d.Level(p))
+		}
+	}
+}
+
+func TestIsAncestorOf(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	site := d.Children(d.Root())[0]
+	p0 := d.Children(site)[0]
+	name := d.Children(p0)[0]
+	if !d.IsAncestorOf(site, name) {
+		t.Errorf("site should be ancestor of name")
+	}
+	if !d.IsAncestorOf(d.Root(), name) {
+		t.Errorf("root should be ancestor of name")
+	}
+	if d.IsAncestorOf(name, site) {
+		t.Errorf("name must not be ancestor of site")
+	}
+	if d.IsAncestorOf(p0, p0) {
+		t.Errorf("node must not be its own proper ancestor")
+	}
+}
+
+func TestSerializeRoundtrip(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	out := SerializeString(d, d.Root())
+	d2, err := ParseString("round.xml", out)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if d2.Len() != d.Len() {
+		t.Fatalf("roundtrip node count %d != %d\nserialized: %s", d2.Len(), d.Len(), out)
+	}
+	for i := 0; i < d.Len(); i++ {
+		n := NodeID(i)
+		if d.Kind(n) != d2.Kind(n) || d.NodeName(n) != d2.NodeName(n) || d.Value(n) != d2.Value(n) {
+			t.Fatalf("roundtrip node %d differs: (%v,%q,%q) vs (%v,%q,%q)",
+				i, d.Kind(n), d.NodeName(n), d.Value(n), d2.Kind(n), d2.NodeName(n), d2.Value(n))
+		}
+	}
+}
+
+func TestSerializeEscaping(t *testing.T) {
+	b := NewBuilder("esc.xml")
+	b.StartElem("a")
+	b.Attr("x", `v<&>"`)
+	b.Text("1 < 2 & 3")
+	b.EndElem()
+	d := b.MustBuild()
+	out := SerializeString(d, d.Root())
+	d2, err := ParseString("esc2.xml", out)
+	if err != nil {
+		t.Fatalf("reparse escaped: %v (%s)", err, out)
+	}
+	a := d2.Children(d2.Root())[0]
+	if got := d2.Value(d2.Attribute(a, "x")); got != `v<&>"` {
+		t.Errorf("attr roundtrip = %q", got)
+	}
+	if got := d2.StringValue(a); got != "1 < 2 & 3" {
+		t.Errorf("text roundtrip = %q", got)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("bad.xml")
+	b.StartElem("a")
+	if _, err := b.Build(); err == nil {
+		t.Errorf("Build with open element: want error")
+	}
+
+	b2 := NewBuilder("bad2.xml")
+	b2.StartElem("a")
+	b2.Text("content")
+	b2.Attr("late", "x")
+	b2.EndElem()
+	if _, err := b2.Build(); err == nil {
+		t.Errorf("Attr after content: want error")
+	}
+
+	b3 := NewBuilder("bad3.xml")
+	b3.EndElem()
+	if _, err := b3.Build(); err == nil {
+		t.Errorf("EndElem at root: want error")
+	}
+
+	b4 := NewBuilder("bad4.xml")
+	b4.Attr("a", "b")
+	if _, err := b4.Build(); err == nil {
+		t.Errorf("Attr outside element: want error")
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	if _, err := ParseString("m.xml", "<a><b></a></b>"); err == nil {
+		t.Errorf("mismatched tags: want error")
+	}
+	if _, err := ParseString("m.xml", "<a>"); err == nil {
+		t.Errorf("unclosed tag: want error")
+	}
+}
+
+func TestDict(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("alpha")
+	b := d.Intern("beta")
+	if a == b {
+		t.Fatalf("distinct strings got same id")
+	}
+	if again := d.Intern("alpha"); again != a {
+		t.Errorf("re-intern alpha: %d, want %d", again, a)
+	}
+	if d.String(a) != "alpha" || d.String(b) != "beta" {
+		t.Errorf("String round trip failed")
+	}
+	if _, ok := d.Lookup("gamma"); ok {
+		t.Errorf("Lookup(gamma) should miss")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestKindMatches(t *testing.T) {
+	cases := []struct {
+		test, stored Kind
+		want         bool
+	}{
+		{KindAny, KindElem, true},
+		{KindAny, KindText, true},
+		{KindAny, KindAttr, false}, // wildcard never matches attributes
+		{KindAttr, KindAttr, true},
+		{KindElem, KindText, false},
+		{KindText, KindText, true},
+	}
+	for _, c := range cases {
+		if got := c.test.Matches(c.stored); got != c.want {
+			t.Errorf("%v.Matches(%v) = %v, want %v", c.test, c.stored, got, c.want)
+		}
+	}
+}
+
+// randomDoc builds a pseudo-random document with up to maxNodes nodes.
+func randomDoc(rng *rand.Rand, maxNodes int) *Document {
+	b := NewBuilder("rand.xml")
+	names := []string{"a", "b", "c", "dd", "e"}
+	nodes := 1
+	var rec func(depth int)
+	rec = func(depth int) {
+		for nodes < maxNodes && rng.Intn(4) != 0 {
+			switch r := rng.Intn(10); {
+			case r < 5 && depth < 8:
+				b.StartElem(names[rng.Intn(len(names))])
+				nodes++
+				if rng.Intn(2) == 0 {
+					b.Attr("k"+names[rng.Intn(len(names))], names[rng.Intn(len(names))])
+					nodes++
+				}
+				rec(depth + 1)
+				b.EndElem()
+			default:
+				b.Text(names[rng.Intn(len(names))])
+				nodes++
+			}
+		}
+	}
+	b.StartElem("root")
+	rec(0)
+	b.EndElem()
+	return b.MustBuild()
+}
+
+func TestRandomDocInvariants(t *testing.T) {
+	// Property: any builder-produced document validates, and its subtree
+	// sizes tile the node table exactly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDoc(rng, 200)
+		if err := d.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Children partition: sum of (size+1) over children + attrs == size.
+		for i := 0; i < d.Len(); i++ {
+			n := NodeID(i)
+			if d.Kind(n) != KindElem && d.Kind(n) != KindDoc {
+				continue
+			}
+			total := int32(0)
+			for _, a := range d.Attributes(n) {
+				total += d.Size(a) + 1
+			}
+			for _, c := range d.Children(n) {
+				total += d.Size(c) + 1
+			}
+			if total != d.Size(n) {
+				t.Logf("seed %d: node %d size %d != parts %d", seed, n, d.Size(n), total)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomDocSerializeRoundtrip(t *testing.T) {
+	// Property: serialize → parse preserves the node table (modulo nothing:
+	// whitespace-free values are chosen so text nodes survive).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDoc(rng, 120)
+		out := SerializeString(d, d.Root())
+		d2, err := ParseString("rt.xml", out)
+		if err != nil {
+			t.Logf("seed %d: reparse: %v", seed, err)
+			return false
+		}
+		// Adjacent text nodes merge on reparse, so compare structure via
+		// element/attr sequences and total string value.
+		if d.StringValue(d.Root()) != d2.StringValue(d2.Root()) {
+			t.Logf("seed %d: string value mismatch", seed)
+			return false
+		}
+		var names1, names2 []string
+		for i := 0; i < d.Len(); i++ {
+			if k := d.Kind(NodeID(i)); k == KindElem || k == KindAttr {
+				names1 = append(names1, d.NodeName(NodeID(i)))
+			}
+		}
+		for i := 0; i < d2.Len(); i++ {
+			if k := d2.Kind(NodeID(i)); k == KindElem || k == KindAttr {
+				names2 = append(names2, d2.NodeName(NodeID(i)))
+			}
+		}
+		return strings.Join(names1, ",") == strings.Join(names2, ",")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	st := d.ComputeStats()
+	if st.Elements != 7 { // site, 2 person, 2 name, age, closed
+		t.Errorf("Elements = %d, want 7", st.Elements)
+	}
+	if st.Attrs != 2 {
+		t.Errorf("Attrs = %d, want 2", st.Attrs)
+	}
+	if st.Texts != 3 {
+		t.Errorf("Texts = %d, want 3", st.Texts)
+	}
+	if st.ByName["person"] != 2 {
+		t.Errorf("ByName[person] = %d, want 2", st.ByName["person"])
+	}
+	if st.MaxDepth != 4 { // doc=0, site=1, person=2, name=3, text=4
+		t.Errorf("MaxDepth = %d, want 4", st.MaxDepth)
+	}
+}
+
+func TestCommentsAndPIs(t *testing.T) {
+	src := `<a><!-- hi --><?target data?><b/></a>`
+	d, err := Parse("c.xml", strings.NewReader(src), ParseOptions{KeepComments: true, KeepPIs: true})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	a := d.Children(d.Root())[0]
+	kids := d.Children(a)
+	if len(kids) != 3 {
+		t.Fatalf("got %d children, want 3", len(kids))
+	}
+	if d.Kind(kids[0]) != KindComment || d.Kind(kids[1]) != KindPI || d.Kind(kids[2]) != KindElem {
+		t.Errorf("kinds = %v,%v,%v", d.Kind(kids[0]), d.Kind(kids[1]), d.Kind(kids[2]))
+	}
+	// Default options drop them.
+	d2, _ := ParseString("c2.xml", src)
+	if got := len(d2.Children(d2.Children(d2.Root())[0])); got != 1 {
+		t.Errorf("default parse kept %d children, want 1", got)
+	}
+}

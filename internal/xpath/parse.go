@@ -1,0 +1,302 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ops"
+)
+
+// Parse parses an absolute XPath expression in the supported subset:
+//
+//	path   := (("/" | "//") step)+
+//	step   := (axis "::")? test pred*
+//	axis   := child | descendant | descendant-or-self | parent | ancestor |
+//	          ancestor-or-self | following | preceding | following-sibling |
+//	          preceding-sibling | self | attribute
+//	test   := NAME | "*" | "@" NAME | "@*" | "text()" | "node()"
+//	pred   := "[" relpath (op literal)? "]"
+//	relpath:= ("."? ("/"|"//") step)+ | step (("/"|"//") step)*
+//	op     := "=" | "!=" | "<" | "<=" | ">" | ">="
+func Parse(path string) (*Expr, error) {
+	p := &parser{src: path}
+	e := &Expr{}
+	if !p.peekIs("/") {
+		return nil, fmt.Errorf("xpath: expression must start with '/' or '//', got %q", path)
+	}
+	for p.peekIs("/") {
+		st, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		e.Steps = append(e.Steps, st)
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("xpath: trailing input %q at %d", p.src[p.pos:], p.pos)
+	}
+	if len(e.Steps) == 0 {
+		return nil, fmt.Errorf("xpath: empty expression")
+	}
+	return e, nil
+}
+
+// MustParse is Parse for static expressions; it panics on error.
+func MustParse(path string) *Expr {
+	e, err := Parse(path)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *parser) peekIs(s string) bool {
+	p.skipSpace()
+	return strings.HasPrefix(p.src[p.pos:], s)
+}
+
+func (p *parser) eat(s string) bool {
+	if p.peekIs(s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) name() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || c == '-' || c == '.' && p.pos > start ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && p.pos > start) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+// parseStep parses ("/"|"//") (axis::)? test pred*.
+func (p *parser) parseStep() (Step, error) {
+	var st Step
+	desc := false
+	if p.eat("//") {
+		desc = true
+	} else if !p.eat("/") {
+		return st, fmt.Errorf("xpath: expected '/' at %d", p.pos)
+	}
+	st.Axis = ops.AxisChild
+	if desc {
+		st.Axis = ops.AxisDesc
+	}
+
+	// Explicit axis?
+	save := p.pos
+	if n := p.name(); n != "" && p.eat("::") {
+		axis, ok := axisByName(n)
+		if !ok {
+			return st, fmt.Errorf("xpath: unknown axis %q at %d", n, save)
+		}
+		if desc {
+			return st, fmt.Errorf("xpath: '//' cannot combine with an explicit axis at %d", save)
+		}
+		st.Axis = axis
+	} else {
+		p.pos = save
+	}
+
+	test, err := p.parseTest()
+	if err != nil {
+		return st, err
+	}
+	st.Test = test
+	if st.Test.Kind == TestAttr || st.Test.Kind == TestAnyAttr {
+		if st.Axis == ops.AxisChild {
+			st.Axis = ops.AxisAttribute
+		} else if st.Axis != ops.AxisAttribute {
+			return st, fmt.Errorf("xpath: attribute test with axis %v", st.Axis)
+		}
+		if desc {
+			return st, fmt.Errorf("xpath: '//@%s' is not supported; use an element step first", st.Test.Name)
+		}
+	}
+	for p.peekIs("[") {
+		pred, err := p.parsePred()
+		if err != nil {
+			return st, err
+		}
+		st.Preds = append(st.Preds, pred)
+	}
+	return st, nil
+}
+
+func axisByName(n string) (ops.Axis, bool) {
+	switch n {
+	case "child":
+		return ops.AxisChild, true
+	case "descendant":
+		return ops.AxisDesc, true
+	case "descendant-or-self":
+		return ops.AxisDescSelf, true
+	case "parent":
+		return ops.AxisParent, true
+	case "ancestor":
+		return ops.AxisAnc, true
+	case "ancestor-or-self":
+		return ops.AxisAncSelf, true
+	case "following":
+		return ops.AxisFoll, true
+	case "preceding":
+		return ops.AxisPrec, true
+	case "following-sibling":
+		return ops.AxisFollSibling, true
+	case "preceding-sibling":
+		return ops.AxisPrecSibling, true
+	case "self":
+		return ops.AxisSelf, true
+	case "attribute":
+		return ops.AxisAttribute, true
+	default:
+		return 0, false
+	}
+}
+
+func (p *parser) parseTest() (Test, error) {
+	p.skipSpace()
+	switch {
+	case p.eat("@*"):
+		return Test{Kind: TestAnyAttr}, nil
+	case p.eat("@"):
+		n := p.name()
+		if n == "" {
+			return Test{}, fmt.Errorf("xpath: '@' without attribute name at %d", p.pos)
+		}
+		return Test{Kind: TestAttr, Name: n}, nil
+	case p.eat("*"):
+		return Test{Kind: TestAnyElem}, nil
+	case p.eat("text()"):
+		return Test{Kind: TestText}, nil
+	case p.eat("node()"):
+		return Test{Kind: TestNode}, nil
+	default:
+		n := p.name()
+		if n == "" {
+			return Test{}, fmt.Errorf("xpath: expected node test at %d", p.pos)
+		}
+		return Test{Kind: TestElem, Name: n}, nil
+	}
+}
+
+// parsePred parses "[" relpath (op literal)? "]".
+func (p *parser) parsePred() (Pred, error) {
+	var pred Pred
+	if !p.eat("[") {
+		return pred, fmt.Errorf("xpath: expected '[' at %d", p.pos)
+	}
+	// Relative path: optional leading ".", then steps; a bare test means a
+	// child step.
+	p.eat(".")
+	if p.peekIs("/") {
+		for p.peekIs("/") {
+			st, err := p.parseStep()
+			if err != nil {
+				return pred, err
+			}
+			pred.Path = append(pred.Path, st)
+		}
+	} else {
+		test, err := p.parseTest()
+		if err != nil {
+			return pred, err
+		}
+		first := Step{Axis: ops.AxisChild, Test: test}
+		if test.Kind == TestAttr || test.Kind == TestAnyAttr {
+			first.Axis = ops.AxisAttribute
+		}
+		for p.peekIs("[") {
+			np, err := p.parsePred()
+			if err != nil {
+				return pred, err
+			}
+			first.Preds = append(first.Preds, np)
+		}
+		pred.Path = append(pred.Path, first)
+		for p.peekIs("/") {
+			st, err := p.parseStep()
+			if err != nil {
+				return pred, err
+			}
+			pred.Path = append(pred.Path, st)
+		}
+	}
+	if len(pred.Path) == 0 {
+		return pred, fmt.Errorf("xpath: empty predicate at %d", p.pos)
+	}
+	// Optional comparison.
+	for _, cand := range []struct {
+		sym string
+		op  CmpOp
+	}{{"!=", CmpNe}, {"<=", CmpLe}, {">=", CmpGe}, {"=", CmpEq}, {"<", CmpLt}, {">", CmpGt}} {
+		if p.eat(cand.sym) {
+			pred.Op = cand.op
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return pred, err
+			}
+			pred.Lit = lit
+			break
+		}
+	}
+	if !p.eat("]") {
+		return pred, fmt.Errorf("xpath: expected ']' at %d", p.pos)
+	}
+	return pred, nil
+}
+
+func (p *parser) parseLiteral() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("xpath: expected literal at end of input")
+	}
+	c := p.src[p.pos]
+	if c == '\'' || c == '"' {
+		quote := c
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != quote {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return "", fmt.Errorf("xpath: unterminated string literal")
+		}
+		lit := p.src[start:p.pos]
+		p.pos++
+		return lit, nil
+	}
+	// Number.
+	start := p.pos
+	for p.pos < len(p.src) && (c >= '0' && c <= '9' || c == '.' || c == '-') {
+		p.pos++
+		if p.pos < len(p.src) {
+			c = p.src[p.pos]
+		}
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("xpath: expected literal at %d", p.pos)
+	}
+	return p.src[start:p.pos], nil
+}

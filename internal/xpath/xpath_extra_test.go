@@ -1,0 +1,120 @@
+package xpath
+
+import (
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+func TestEvalNodeTest(t *testing.T) {
+	ix := fixture(t)
+	// node() matches elements and texts, not attributes.
+	n, err := Count(ix, "//item/node()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// each item has quantity (elem); quantity has a text child, not a
+	// child of item — so 1 node per regions item + name/item under person.
+	if n == 0 {
+		t.Fatalf("node() found nothing")
+	}
+	nodes, err := Eval(ix, "//item/node()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ix.Doc()
+	for _, nd := range nodes {
+		if d.Kind(nd) == xmltree.KindAttr {
+			t.Errorf("node() returned attribute %d", nd)
+		}
+	}
+}
+
+func TestEvalAnyAttr(t *testing.T) {
+	ix := fixture(t)
+	n, err := Count(ix, "//item/@*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 { // the three @id attributes
+		t.Errorf("@* = %d, want 3", n)
+	}
+}
+
+func TestEvalFromContext(t *testing.T) {
+	ix := fixture(t)
+	d := ix.Doc()
+	people := ix.Elements("people")
+	if len(people) != 1 {
+		t.Fatal("fixture broken")
+	}
+	e := MustParse("/person/name")
+	got, err := EvalExpr(ix, e, people)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("relative eval = %d nodes, want 2", len(got))
+	}
+	for _, n := range got {
+		if d.NodeName(n) != "name" {
+			t.Errorf("got %s", d.NodeName(n))
+		}
+	}
+}
+
+func TestEvalEmptyIntermediate(t *testing.T) {
+	ix := fixture(t)
+	n, err := Count(ix, "//nosuch/name/text()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("dead path = %d nodes", n)
+	}
+}
+
+func TestNestedPredicates(t *testing.T) {
+	src := `<r>
+		<box><item ok="1"><v>5</v></item></box>
+		<box><item><v>5</v></item></box>
+		<box><item ok="1"><v>9</v></item></box>
+	</r>`
+	d, err := xmltree.ParseString("n.xml", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.New(d)
+	// Boxes containing an item that both has @ok and v=5.
+	n, err := Count(ix, "//box[item[@ok]/v = 5]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("nested predicate = %d, want 1", n)
+	}
+}
+
+func TestValueMatchesStringOps(t *testing.T) {
+	d, err := xmltree.ParseString("v.xml", "<r><a>beta</a></r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Children(d.Children(d.Root())[0])[0]
+	cases := []struct {
+		op   CmpOp
+		lit  string
+		want bool
+	}{
+		{CmpEq, "beta", true}, {CmpNe, "beta", false},
+		{CmpLt, "gamma", true}, {CmpGt, "alpha", true},
+		{CmpLe, "beta", true}, {CmpGe, "beta", true},
+		{CmpEq, "5", false}, // numeric literal vs non-numeric node
+	}
+	for _, c := range cases {
+		if got := valueMatches(d, a, c.op, c.lit); got != c.want {
+			t.Errorf("valueMatches(%v, %q) = %v, want %v", c.op, c.lit, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package xquery
+
+import "fmt"
+
+// Query is the parsed FLWOR query.
+type Query struct {
+	Lets   []LetClause
+	Fors   []ForClause
+	Where  []Comparison
+	Return ReturnClause
+}
+
+// ReturnClause is the return expression: a single variable ($a), an element
+// constructor wrapping one or more variables (<pair>{$a}{$b}</pair>), or a
+// count aggregate (count($a)).
+type ReturnClause struct {
+	Vars  []string // returned variables, in output order (≥1)
+	Elem  string   // constructor element name ("" = bare variable)
+	Count bool     // count($v)
+}
+
+// Primary returns the first returned variable.
+func (r ReturnClause) Primary() string { return r.Vars[0] }
+
+// String renders the clause in source form.
+func (r ReturnClause) String() string {
+	if r.Count {
+		return fmt.Sprintf("count($%s)", r.Vars[0])
+	}
+	if r.Elem == "" {
+		return "$" + r.Vars[0]
+	}
+	s := "<" + r.Elem + ">"
+	for _, v := range r.Vars {
+		s += "{$" + v + "}"
+	}
+	return s + "</" + r.Elem + ">"
+}
+
+// LetClause binds a variable to a document root: let $v := doc("name").
+type LetClause struct {
+	Var string
+	Doc string
+}
+
+// ForClause binds a variable to the result of a path expression.
+type ForClause struct {
+	Var  string
+	Path PathExpr
+}
+
+// PathExpr is doc("name")/steps or $var/steps.
+type PathExpr struct {
+	Doc   string // document name when anchored at doc(...)
+	Var   string // variable name when anchored at a variable
+	Steps []Step
+}
+
+// StepKind classifies path steps.
+type StepKind int
+
+// Step kinds: element name test, attribute test, text() test.
+const (
+	StepElem StepKind = iota
+	StepAttr
+	StepText
+)
+
+// Step is one XPath step with its predicates.
+type Step struct {
+	Desc  bool // true: descendant (//); false: child (/)
+	Kind  StepKind
+	Name  string // element/attribute name (empty for text())
+	Preds []Pred
+}
+
+// Pred is a step predicate: an existential relative path, optionally ending
+// in a value comparison, e.g. [./reserve], [.//current/text() < 145],
+// [quantity = 1].
+type Pred struct {
+	Path []Step
+	Op   string // "", "=", "<", ">", "<=", ">="
+	Lit  string
+}
+
+// Comparison is a where-clause condition: a path from a variable compared to
+// another such path (join) or to a literal (selection).
+type Comparison struct {
+	LHS PathRef
+	RHS *PathRef // nil when comparing to a literal
+	Op  string
+	Lit string // literal when RHS is nil
+}
+
+// PathRef is a relative path from a bound variable, e.g. $a/@person.
+type PathRef struct {
+	Var   string
+	Steps []Step
+}
+
+// String renders the query in (normalized) source form, mostly for error
+// messages and debugging.
+func (q *Query) String() string {
+	s := ""
+	for _, l := range q.Lets {
+		s += fmt.Sprintf("let $%s := doc(%q)\n", l.Var, l.Doc)
+	}
+	for i, f := range q.Fors {
+		kw := "for"
+		if i > 0 {
+			kw = "   "
+		}
+		sep := ","
+		if i == len(q.Fors)-1 {
+			sep = ""
+		}
+		s += fmt.Sprintf("%s $%s in %s%s\n", kw, f.Var, f.Path, sep)
+	}
+	for i, c := range q.Where {
+		kw := "where"
+		if i > 0 {
+			kw = "  and"
+		}
+		s += fmt.Sprintf("%s %s\n", kw, c)
+	}
+	s += "return " + q.Return.String()
+	return s
+}
+
+// String renders the path expression.
+func (p PathExpr) String() string {
+	s := ""
+	if p.Doc != "" {
+		s = fmt.Sprintf("doc(%q)", p.Doc)
+	} else {
+		s = "$" + p.Var
+	}
+	for _, st := range p.Steps {
+		s += st.String()
+	}
+	return s
+}
+
+// String renders the step.
+func (st Step) String() string {
+	sep := "/"
+	if st.Desc {
+		sep = "//"
+	}
+	name := st.Name
+	switch st.Kind {
+	case StepAttr:
+		name = "@" + name
+	case StepText:
+		name = "text()"
+	}
+	s := sep + name
+	for _, p := range st.Preds {
+		s += p.String()
+	}
+	return s
+}
+
+// String renders the predicate.
+func (p Pred) String() string {
+	s := "[."
+	for _, st := range p.Path {
+		s += st.String()
+	}
+	if p.Op != "" {
+		s += fmt.Sprintf(" %s %s", p.Op, p.Lit)
+	}
+	return s + "]"
+}
+
+// String renders the comparison.
+func (c Comparison) String() string {
+	lhs := "$" + c.LHS.Var
+	for _, st := range c.LHS.Steps {
+		lhs += st.String()
+	}
+	if c.RHS != nil {
+		rhs := "$" + c.RHS.Var
+		for _, st := range c.RHS.Steps {
+			rhs += st.String()
+		}
+		return fmt.Sprintf("%s %s %s", lhs, c.Op, rhs)
+	}
+	return fmt.Sprintf("%s %s %s", lhs, c.Op, c.Lit)
+}

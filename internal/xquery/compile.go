@@ -1,0 +1,328 @@
+package xquery
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/joingraph"
+	"repro/internal/ops"
+	"repro/internal/plan"
+)
+
+// CompileOptions tune Join Graph Isolation.
+type CompileOptions struct {
+	// NoJoinEquivalences skips adding the transitive equi-join edges
+	// (Fig 4's dotted lines). The default adds them, giving the optimizer
+	// the full join-order freedom.
+	NoJoinEquivalences bool
+}
+
+// Compiled is the output of Join Graph Isolation: the Join Graph, the tail
+// restoring XQuery semantics, the variable → vertex binding, and the set of
+// documents the query touches.
+type Compiled struct {
+	Graph *joingraph.Graph
+	Tail  *plan.Tail
+	// Vars maps every for-variable to its Join Graph vertex.
+	Vars map[string]int
+	// Docs lists the document names the query accesses, sorted.
+	Docs []string
+	// ReturnVar is the primary variable of the return clause.
+	ReturnVar string
+	// Return carries the full return expression (constructor, count).
+	Return ReturnClause
+}
+
+// Compile performs Join Graph Isolation on a parsed query.
+func Compile(q *Query, opts CompileOptions) (*Compiled, error) {
+	c := &compiler{
+		g:       joingraph.New(),
+		vars:    make(map[string]int),
+		roots:   make(map[string]int),
+		docs:    make(map[string]bool),
+		refMemo: make(map[string]int),
+	}
+	for _, l := range q.Lets {
+		if _, dup := c.vars[l.Var]; dup {
+			return nil, fmt.Errorf("xquery: variable $%s bound twice", l.Var)
+		}
+		c.vars[l.Var] = c.rootVertex(l.Doc)
+	}
+	var forVerts []int
+	for _, f := range q.Fors {
+		if _, dup := c.vars[f.Var]; dup {
+			return nil, fmt.Errorf("xquery: variable $%s bound twice", f.Var)
+		}
+		v, err := c.compilePathExpr(f.Path)
+		if err != nil {
+			return nil, err
+		}
+		c.vars[f.Var] = v
+		forVerts = append(forVerts, v)
+	}
+	for _, cmp := range q.Where {
+		if err := c.compileComparison(cmp); err != nil {
+			return nil, err
+		}
+	}
+	if len(q.Return.Vars) == 0 {
+		return nil, fmt.Errorf("xquery: empty return clause")
+	}
+	var finals []int
+	for _, rv := range q.Return.Vars {
+		retV, ok := c.vars[rv]
+		if !ok {
+			return nil, fmt.Errorf("xquery: return variable $%s not bound", rv)
+		}
+		if c.g.Vertices[retV].Kind == joingraph.VRoot {
+			return nil, fmt.Errorf("xquery: returning a document root ($%s) is not supported", rv)
+		}
+		finals = append(finals, retV)
+	}
+	if err := c.g.Validate(); err != nil {
+		return nil, fmt.Errorf("xquery: compiled graph invalid: %w", err)
+	}
+	if !opts.NoJoinEquivalences {
+		c.g.AddJoinEquivalences()
+	}
+	docs := make([]string, 0, len(c.docs))
+	for d := range c.docs {
+		docs = append(docs, d)
+	}
+	sort.Strings(docs)
+	return &Compiled{
+		Graph: c.g,
+		Tail: &plan.Tail{
+			Project: forVerts,
+			Sort:    forVerts,
+			Final:   finals,
+		},
+		Vars:      c.vars,
+		Docs:      docs,
+		ReturnVar: q.Return.Primary(),
+		Return:    q.Return,
+	}, nil
+}
+
+// CompileString parses and compiles in one call.
+func CompileString(src string, opts CompileOptions) (*Compiled, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(q, opts)
+}
+
+type compiler struct {
+	g     *joingraph.Graph
+	vars  map[string]int  // variable → vertex
+	roots map[string]int  // document name → root vertex
+	docs  map[string]bool // touched documents
+	// refMemo shares the vertex of identical join-endpoint paths: the three
+	// occurrences of $a1/text() in the DBLP query all mean the same vertex
+	// (Fig 4 shows one text() vertex per author with three join edges).
+	refMemo map[string]int
+}
+
+func (c *compiler) rootVertex(doc string) int {
+	if v, ok := c.roots[doc]; ok {
+		return v
+	}
+	v := c.g.AddRoot(doc)
+	c.roots[doc] = v
+	c.docs[doc] = true
+	return v
+}
+
+func (c *compiler) compilePathExpr(p PathExpr) (int, error) {
+	var cur int
+	if p.Doc != "" {
+		cur = c.rootVertex(p.Doc)
+	} else {
+		v, ok := c.vars[p.Var]
+		if !ok {
+			return 0, fmt.Errorf("xquery: variable $%s used before binding", p.Var)
+		}
+		cur = v
+	}
+	return c.compileSteps(cur, p.Steps)
+}
+
+// compileSteps extends the graph from vertex cur along the steps, returning
+// the vertex of the final step.
+func (c *compiler) compileSteps(cur int, steps []Step) (int, error) {
+	doc := c.g.Vertices[cur].Doc
+	for _, st := range steps {
+		var next int
+		var axis ops.Axis
+		switch st.Kind {
+		case StepElem:
+			next = c.g.AddElem(doc, st.Name)
+			axis = ops.AxisChild
+			if st.Desc {
+				axis = ops.AxisDesc
+			}
+		case StepText:
+			next = c.g.AddText(doc, joingraph.NoPred)
+			axis = ops.AxisChild
+			if st.Desc {
+				axis = ops.AxisDesc
+			}
+		case StepAttr:
+			if st.Desc {
+				return 0, fmt.Errorf("xquery: '//@%s' (descendant attribute step) is not supported; use an element step first", st.Name)
+			}
+			next = c.g.AddAttr(doc, st.Name, joingraph.NoPred)
+			axis = ops.AxisAttribute
+		}
+		c.g.AddStep(cur, next, axis)
+		for _, pred := range st.Preds {
+			if err := c.compilePred(next, pred); err != nil {
+				return 0, err
+			}
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// compilePred compiles a step predicate: an existential branch hanging off
+// vertex cur, optionally value-restricted at its end.
+func (c *compiler) compilePred(cur int, pred Pred) error {
+	end, err := c.compileSteps(cur, pred.Path)
+	if err != nil {
+		return err
+	}
+	if pred.Op == "" {
+		return nil
+	}
+	return c.applyValuePredicate(end, pred.Op, pred.Lit)
+}
+
+// applyValuePredicate attaches "op lit" to vertex v. Value vertices (text,
+// attribute) carry the predicate directly; an element vertex gets a text()
+// child vertex carrying it, mirroring how Fig 3.1 renders [quantity = 1] as
+// quantity —/→ text()=1.
+func (c *compiler) applyValuePredicate(v int, op, lit string) error {
+	p, err := makePred(op, lit)
+	if err != nil {
+		return err
+	}
+	vert := c.g.Vertices[v]
+	switch vert.Kind {
+	case joingraph.VText, joingraph.VAttr:
+		if vert.Pred.Kind != joingraph.PredNone {
+			return fmt.Errorf("xquery: vertex %s already value-restricted", vert.Label())
+		}
+		vert.Pred = p
+		return nil
+	case joingraph.VElem:
+		t := c.g.AddText(vert.Doc, p)
+		c.g.AddStep(v, t, ops.AxisChild)
+		return nil
+	default:
+		return fmt.Errorf("xquery: cannot apply value predicate to %s", vert.Label())
+	}
+}
+
+func makePred(op, lit string) (joingraph.Pred, error) {
+	if op == "=" {
+		// String equality: the hash-based value index lookup of Sec 2.2.
+		return joingraph.EqPred(lit), nil
+	}
+	if !isNumeric(lit) {
+		return joingraph.NoPred, fmt.Errorf("xquery: range comparison %q needs a numeric literal, got %q", op, lit)
+	}
+	var rop index.RangeOp
+	switch op {
+	case "<":
+		rop = index.Lt
+	case "<=":
+		rop = index.Le
+	case ">":
+		rop = index.Gt
+	case ">=":
+		rop = index.Ge
+	default:
+		return joingraph.NoPred, fmt.Errorf("xquery: unsupported operator %q", op)
+	}
+	var num float64
+	fmt.Sscanf(lit, "%g", &num)
+	return joingraph.RangePred(rop, num), nil
+}
+
+// compileComparison compiles a where-clause condition into either an
+// equi-join edge (path op path) or a value predicate (path op literal).
+// Join endpoints are shared across comparisons (refMemo); literal
+// comparisons compile fresh branches, because each general comparison is
+// independently existential in XQuery.
+func (c *compiler) compileComparison(cmp Comparison) error {
+	if cmp.RHS == nil {
+		l, err := c.compilePathRef(cmp.LHS)
+		if err != nil {
+			return err
+		}
+		return c.applyValuePredicate(l, cmp.Op, cmp.Lit)
+	}
+	if cmp.Op != "=" {
+		return fmt.Errorf("xquery: only equi-joins between paths are supported, got %q", cmp.Op)
+	}
+	l, err := c.compileJoinEndpoint(cmp.LHS)
+	if err != nil {
+		return err
+	}
+	r, err := c.compileJoinEndpoint(*cmp.RHS)
+	if err != nil {
+		return err
+	}
+	c.g.AddJoin(l, r)
+	return nil
+}
+
+func (c *compiler) compilePathRef(ref PathRef) (int, error) {
+	v, ok := c.vars[ref.Var]
+	if !ok {
+		return 0, fmt.Errorf("xquery: variable $%s used before binding", ref.Var)
+	}
+	return c.compileSteps(v, ref.Steps)
+}
+
+// compileJoinEndpoint compiles a join-side path with memoization and coerces
+// it to a value vertex.
+func (c *compiler) compileJoinEndpoint(ref PathRef) (int, error) {
+	key := "$" + ref.Var
+	for _, st := range ref.Steps {
+		key += st.String()
+	}
+	if v, ok := c.refMemo[key]; ok {
+		return v, nil
+	}
+	v, err := c.compilePathRef(ref)
+	if err != nil {
+		return 0, err
+	}
+	v, err = c.asValueVertex(v)
+	if err != nil {
+		return 0, err
+	}
+	c.refMemo[key] = v
+	return v, nil
+}
+
+// asValueVertex coerces a join endpoint to a value-bearing vertex: element
+// vertices are atomized through a text() child, matching XQuery's general
+// comparison on element content.
+func (c *compiler) asValueVertex(v int) (int, error) {
+	vert := c.g.Vertices[v]
+	switch vert.Kind {
+	case joingraph.VText, joingraph.VAttr:
+		return v, nil
+	case joingraph.VElem:
+		t := c.g.AddText(vert.Doc, joingraph.NoPred)
+		c.g.AddStep(v, t, ops.AxisChild)
+		return t, nil
+	default:
+		return 0, fmt.Errorf("xquery: %s cannot participate in a value join", vert.Label())
+	}
+}

@@ -1,0 +1,431 @@
+package xquery
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a query in the supported FLWOR+XPath subset.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse for statically known queries; it panics on error.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return t, fmt.Errorf("xquery: expected %v, found %v %q at %d", k, t.kind, t.text, t.pos)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) keyword() string {
+	t := p.peek()
+	if t.kind == tokName {
+		return t.text
+	}
+	return ""
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	for {
+		switch p.keyword() {
+		case "let":
+			p.advance()
+			lc, err := p.parseLet()
+			if err != nil {
+				return nil, err
+			}
+			q.Lets = append(q.Lets, lc)
+		case "for":
+			p.advance()
+			for {
+				fc, err := p.parseFor()
+				if err != nil {
+					return nil, err
+				}
+				q.Fors = append(q.Fors, fc)
+				if p.peek().kind != tokComma {
+					break
+				}
+				p.advance()
+			}
+		default:
+			goto clauses
+		}
+	}
+clauses:
+	if p.keyword() == "where" {
+		p.advance()
+		for {
+			c, err := p.parseComparison()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, c)
+			if p.keyword() != "and" {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.keyword() != "return" {
+		return nil, fmt.Errorf("xquery: expected 'return', found %q at %d", p.peek().text, p.peek().pos)
+	}
+	p.advance()
+	ret, err := p.parseReturn()
+	if err != nil {
+		return nil, err
+	}
+	q.Return = ret
+	if _, err := p.expect(tokEOF); err != nil {
+		return nil, fmt.Errorf("xquery: trailing input after return clause: %w", err)
+	}
+	if len(q.Fors) == 0 {
+		return nil, fmt.Errorf("xquery: query needs at least one for clause")
+	}
+	return q, nil
+}
+
+// parseReturn parses "$v", "count($v)" or "<name>{$v}…</name>".
+func (p *parser) parseReturn() (ReturnClause, error) {
+	var r ReturnClause
+	switch t := p.peek(); {
+	case t.kind == tokVar:
+		p.advance()
+		r.Vars = []string{t.text}
+		return r, nil
+	case t.kind == tokName && t.text == "count":
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return r, err
+		}
+		v, err := p.expect(tokVar)
+		if err != nil {
+			return r, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return r, err
+		}
+		r.Vars = []string{v.text}
+		r.Count = true
+		return r, nil
+	case t.kind == tokLt:
+		p.advance()
+		name, err := p.expect(tokName)
+		if err != nil {
+			return r, err
+		}
+		r.Elem = name.text
+		if _, err := p.expect(tokGt); err != nil {
+			return r, err
+		}
+		for p.peek().kind == tokLBrace {
+			p.advance()
+			v, err := p.expect(tokVar)
+			if err != nil {
+				return r, err
+			}
+			if _, err := p.expect(tokRBrace); err != nil {
+				return r, err
+			}
+			r.Vars = append(r.Vars, v.text)
+		}
+		if len(r.Vars) == 0 {
+			return r, fmt.Errorf("xquery: element constructor without {$var} content at %d", p.peek().pos)
+		}
+		// Closing tag: "</name>" lexes as '<' '/' name '>'.
+		if _, err := p.expect(tokLt); err != nil {
+			return r, err
+		}
+		if _, err := p.expect(tokSlash); err != nil {
+			return r, err
+		}
+		closing, err := p.expect(tokName)
+		if err != nil {
+			return r, err
+		}
+		if closing.text != r.Elem {
+			return r, fmt.Errorf("xquery: constructor tags mismatch: <%s> vs </%s>", r.Elem, closing.text)
+		}
+		if _, err := p.expect(tokGt); err != nil {
+			return r, err
+		}
+		return r, nil
+	default:
+		return r, fmt.Errorf("xquery: expected return expression, found %q at %d", t.text, t.pos)
+	}
+}
+
+func (p *parser) parseLet() (LetClause, error) {
+	v, err := p.expect(tokVar)
+	if err != nil {
+		return LetClause{}, err
+	}
+	if _, err := p.expect(tokAssign); err != nil {
+		return LetClause{}, err
+	}
+	doc, err := p.parseDocCall()
+	if err != nil {
+		return LetClause{}, err
+	}
+	return LetClause{Var: v.text, Doc: doc}, nil
+}
+
+func (p *parser) parseDocCall() (string, error) {
+	name, err := p.expect(tokName)
+	if err != nil {
+		return "", err
+	}
+	if name.text != "doc" && name.text != "fn:doc" {
+		return "", fmt.Errorf("xquery: expected doc(...), found %q at %d", name.text, name.pos)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return "", err
+	}
+	s, err := p.expect(tokString)
+	if err != nil {
+		return "", err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return "", err
+	}
+	return s.text, nil
+}
+
+func (p *parser) parseFor() (ForClause, error) {
+	v, err := p.expect(tokVar)
+	if err != nil {
+		return ForClause{}, err
+	}
+	if kw := p.keyword(); kw != "in" {
+		return ForClause{}, fmt.Errorf("xquery: expected 'in', found %q at %d", p.peek().text, p.peek().pos)
+	}
+	p.advance()
+	path, err := p.parsePath()
+	if err != nil {
+		return ForClause{}, err
+	}
+	return ForClause{Var: v.text, Path: path}, nil
+}
+
+func (p *parser) parsePath() (PathExpr, error) {
+	var pe PathExpr
+	switch p.peek().kind {
+	case tokVar:
+		pe.Var = p.advance().text
+	case tokName:
+		doc, err := p.parseDocCall()
+		if err != nil {
+			return pe, err
+		}
+		pe.Doc = doc
+	default:
+		return pe, fmt.Errorf("xquery: path must start with doc(...) or a variable, found %q at %d", p.peek().text, p.peek().pos)
+	}
+	steps, err := p.parseSteps(true)
+	if err != nil {
+		return pe, err
+	}
+	if len(steps) == 0 {
+		return pe, fmt.Errorf("xquery: path without steps at %d", p.peek().pos)
+	}
+	pe.Steps = steps
+	return pe, nil
+}
+
+// parseSteps parses (("/"|"//") step)*. withPreds controls predicate
+// parsing (predicates nest one level, as in the paper's queries).
+func (p *parser) parseSteps(withPreds bool) ([]Step, error) {
+	var steps []Step
+	for {
+		var desc bool
+		switch p.peek().kind {
+		case tokSlash:
+			desc = false
+		case tokDSlash:
+			desc = true
+		default:
+			return steps, nil
+		}
+		p.advance()
+		st, err := p.parseStep(desc, withPreds)
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, st)
+	}
+}
+
+func (p *parser) parseStep(desc, withPreds bool) (Step, error) {
+	st := Step{Desc: desc}
+	switch t := p.peek(); t.kind {
+	case tokAt:
+		p.advance()
+		name, err := p.expect(tokName)
+		if err != nil {
+			return st, err
+		}
+		st.Kind = StepAttr
+		st.Name = name.text
+	case tokName:
+		p.advance()
+		if t.text == "text" && p.peek().kind == tokLParen {
+			p.advance()
+			if _, err := p.expect(tokRParen); err != nil {
+				return st, err
+			}
+			st.Kind = StepText
+		} else {
+			st.Kind = StepElem
+			st.Name = t.text
+		}
+	default:
+		return st, fmt.Errorf("xquery: expected step after '/', found %q at %d", t.text, t.pos)
+	}
+	if withPreds {
+		for p.peek().kind == tokLBracket {
+			p.advance()
+			pred, err := p.parsePred()
+			if err != nil {
+				return st, err
+			}
+			st.Preds = append(st.Preds, pred)
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parsePred() (Pred, error) {
+	var pred Pred
+	var steps []Step
+	switch p.peek().kind {
+	case tokDot:
+		p.advance()
+		var err error
+		steps, err = p.parseSteps(true)
+		if err != nil {
+			return pred, err
+		}
+		if len(steps) == 0 {
+			return pred, fmt.Errorf("xquery: predicate '.' without steps at %d", p.peek().pos)
+		}
+	case tokName, tokAt:
+		// [reserve] is shorthand for [./reserve].
+		st, err := p.parseStep(false, true)
+		if err != nil {
+			return pred, err
+		}
+		steps = append(steps, st)
+		more, err := p.parseSteps(true)
+		if err != nil {
+			return pred, err
+		}
+		steps = append(steps, more...)
+	default:
+		return pred, fmt.Errorf("xquery: unsupported predicate start %q at %d", p.peek().text, p.peek().pos)
+	}
+	pred.Path = steps
+	switch p.peek().kind {
+	case tokEq, tokLt, tokGt, tokLe, tokGe:
+		pred.Op = p.advance().text
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return pred, err
+		}
+		pred.Lit = lit
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return pred, err
+	}
+	return pred, nil
+}
+
+func (p *parser) parseLiteral() (string, error) {
+	switch t := p.peek(); t.kind {
+	case tokString, tokNumber:
+		p.advance()
+		return t.text, nil
+	default:
+		return "", fmt.Errorf("xquery: expected literal, found %q at %d", t.text, t.pos)
+	}
+}
+
+func (p *parser) parseComparison() (Comparison, error) {
+	var c Comparison
+	lhs, err := p.parsePathRef()
+	if err != nil {
+		return c, err
+	}
+	c.LHS = lhs
+	switch t := p.peek(); t.kind {
+	case tokEq, tokLt, tokGt, tokLe, tokGe:
+		c.Op = p.advance().text
+	default:
+		return c, fmt.Errorf("xquery: expected comparison operator, found %q at %d", t.text, t.pos)
+	}
+	if p.peek().kind == tokVar {
+		rhs, err := p.parsePathRef()
+		if err != nil {
+			return c, err
+		}
+		c.RHS = &rhs
+		return c, nil
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return c, err
+	}
+	c.Lit = lit
+	return c, nil
+}
+
+func (p *parser) parsePathRef() (PathRef, error) {
+	v, err := p.expect(tokVar)
+	if err != nil {
+		return PathRef{}, err
+	}
+	steps, err := p.parseSteps(true)
+	if err != nil {
+		return PathRef{}, err
+	}
+	return PathRef{Var: v.text, Steps: steps}, nil
+}
+
+// isNumeric reports whether a literal parses as a number.
+func isNumeric(lit string) bool {
+	_, err := strconv.ParseFloat(lit, 64)
+	return err == nil
+}

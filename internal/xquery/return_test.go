@@ -1,0 +1,90 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseReturnConstructor(t *testing.T) {
+	q, err := Parse(`
+		for $a in doc("d.xml")//x, $b in doc("d.xml")//y
+		where $a/@k = $b/@k
+		return <pair>{$a}{$b}</pair>`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r := q.Return
+	if r.Elem != "pair" || len(r.Vars) != 2 || r.Vars[0] != "a" || r.Vars[1] != "b" {
+		t.Errorf("return = %+v", r)
+	}
+	if got := r.String(); got != "<pair>{$a}{$b}</pair>" {
+		t.Errorf("String = %q", got)
+	}
+	// The rendering must reparse.
+	if _, err := Parse(q.String()); err != nil {
+		t.Errorf("rendered query does not reparse: %v\n%s", err, q.String())
+	}
+}
+
+func TestParseReturnCount(t *testing.T) {
+	q, err := Parse(`for $a in doc("d.xml")//x return count($a)`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !q.Return.Count || q.Return.Primary() != "a" {
+		t.Errorf("return = %+v", q.Return)
+	}
+	if got := q.Return.String(); got != "count($a)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseReturnErrors(t *testing.T) {
+	bad := []string{
+		`for $a in doc("d")//x return <p></p>`,       // empty constructor
+		`for $a in doc("d")//x return <p>{$a}</q>`,   // tag mismatch
+		`for $a in doc("d")//x return <p>{$a}`,       // unterminated
+		`for $a in doc("d")//x return count($a`,      // unterminated count
+		`for $a in doc("d")//x return count(x)`,      // count of non-var
+		`for $a in doc("d")//x return 42`,            // literal return
+		`for $a in doc("d")//x return <p>{oops}</p>`, // non-var content
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestCompileConstructorFinals(t *testing.T) {
+	comp, err := CompileString(`
+		for $a in doc("d.xml")//x, $b in doc("d.xml")//y
+		where $a/text() = $b/text()
+		return <pair>{$b}{$a}</pair>`, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Tail.Final) != 2 {
+		t.Fatalf("finals = %v", comp.Tail.Final)
+	}
+	if comp.Tail.Final[0] != comp.Vars["b"] || comp.Tail.Final[1] != comp.Vars["a"] {
+		t.Errorf("finals order = %v, want [b a]", comp.Tail.Final)
+	}
+	if comp.ReturnVar != "b" {
+		t.Errorf("primary return var = %q", comp.ReturnVar)
+	}
+}
+
+func TestCompileConstructorUnboundVar(t *testing.T) {
+	if _, err := CompileString(
+		`for $a in doc("d")//x return <p>{$zzz}</p>`, CompileOptions{}); err == nil {
+		t.Errorf("unbound constructor var should fail")
+	}
+}
+
+func TestReturnClauseRendersInQueryString(t *testing.T) {
+	q := MustParse(`for $a in doc("d.xml")//x return count($a)`)
+	if !strings.Contains(q.String(), "count($a)") {
+		t.Errorf("query rendering lost count: %s", q.String())
+	}
+}

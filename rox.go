@@ -1,0 +1,269 @@
+// Package rox is a from-scratch Go reproduction of "ROX: Run-time
+// Optimization of XQueries" (Abdel Kader, Boncz, Manegold, van Keulen,
+// SIGMOD 2009): an XQuery engine whose optimizer executes, materializes
+// partial results, and uses cut-off sampling over the live intermediates to
+// decide — at run time — the order of XPath steps and equi-joins of a query.
+//
+// The Engine is the high-level entry point:
+//
+//	eng := rox.NewEngine()
+//	eng.LoadXML("people.xml", "<people>…</people>")
+//	res, err := eng.Query(`for $p in doc("people.xml")//person return $p`)
+//	for _, item := range res.Items { fmt.Println(item) }
+//
+// Query uses the ROX run-time optimizer; QueryStatic runs the classical
+// compile-time baseline of the paper's evaluation for comparison. The
+// building blocks (shredded storage, indices, staircase joins, Join Graphs,
+// the optimizer, dataset generators, experiment drivers) live under
+// internal/ and are documented in DESIGN.md.
+package rox
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/classical"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/table"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xquery"
+)
+
+// Engine evaluates XQueries over a set of loaded documents. It is not safe
+// for concurrent use; create one engine per goroutine (documents and indices
+// are immutable and cheap to share via LoadDocument on multiple engines).
+type Engine struct {
+	env  *plan.Env
+	opts core.Options
+	seed int64
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithSampleSize sets the optimizer's sample size τ (default 100).
+func WithSampleSize(tau int) Option {
+	return func(e *Engine) { e.opts.Tau = tau }
+}
+
+// WithSeed fixes the random source of the sampling optimizer, making runs
+// reproducible (default 1).
+func WithSeed(seed int64) Option {
+	return func(e *Engine) { e.seed = seed }
+}
+
+// WithOptimizerOptions replaces the full optimizer configuration (ablation
+// switches included); see core.Options.
+func WithOptimizerOptions(o core.Options) Option {
+	return func(e *Engine) { e.opts = o }
+}
+
+// NewEngine returns an empty engine.
+func NewEngine(options ...Option) *Engine {
+	e := &Engine{opts: core.DefaultOptions(), seed: 1}
+	for _, o := range options {
+		o(e)
+	}
+	e.env = plan.NewEnv(metrics.NewRecorder(), e.seed)
+	return e
+}
+
+// LoadXML shreds and indexes an XML document given as a string. The name is
+// what doc("name") in queries refers to.
+func (e *Engine) LoadXML(name, xml string) error {
+	d, err := xmltree.ParseString(name, xml)
+	if err != nil {
+		return err
+	}
+	e.env.AddDocument(d)
+	return nil
+}
+
+// Load shreds and indexes an XML document from a reader.
+func (e *Engine) Load(name string, r io.Reader) error {
+	d, err := xmltree.Parse(name, r, xmltree.ParseOptions{})
+	if err != nil {
+		return err
+	}
+	e.env.AddDocument(d)
+	return nil
+}
+
+// LoadFile shreds and indexes an XML file; queries address it by the given
+// name (or the path if name is empty).
+func (e *Engine) LoadFile(name, path string) error {
+	d, err := xmltree.ParseFile(name, path)
+	if err != nil {
+		return err
+	}
+	e.env.AddDocument(d)
+	return nil
+}
+
+// LoadDocument registers a pre-shredded document (e.g. from the dataset
+// generators in internal/datagen).
+func (e *Engine) LoadDocument(d *xmltree.Document) {
+	e.env.AddDocument(d)
+}
+
+// Stats reports how a query evaluation spent its work.
+type Stats struct {
+	// Rows is the number of result items.
+	Rows int
+	// Elapsed is the wall-clock evaluation time, sampling included.
+	Elapsed time.Duration
+	// ExecTuples and SampleTuples split the deterministic tuple work
+	// between query execution and optimizer sampling.
+	ExecTuples, SampleTuples int64
+	// CumulativeIntermediate sums all intermediate result cardinalities.
+	CumulativeIntermediate int64
+	// Plan renders the executed edge order.
+	Plan string
+}
+
+// Result is a query result: the serialized XML of every returned item, in
+// query order, plus evaluation statistics.
+type Result struct {
+	Items []string
+	Stats Stats
+}
+
+// Query evaluates an XQuery with the ROX run-time optimizer.
+func (e *Engine) Query(q string) (*Result, error) {
+	comp, err := xquery.CompileString(q, xquery.CompileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	e.env.Rec.Reset()
+	sw := metrics.Start()
+	rel, res, err := core.Run(e.env, comp.Graph, comp.Tail, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := sw.Elapsed()
+	out, err := e.serialize(comp, rel)
+	if err != nil {
+		return nil, err
+	}
+	out.Stats = Stats{
+		Rows:                   rel.NumRows(),
+		Elapsed:                elapsed,
+		ExecTuples:             res.ExecCost.Tuples,
+		SampleTuples:           res.SampleCost.Tuples,
+		CumulativeIntermediate: res.CumulativeIntermediate,
+		Plan:                   res.Plan.String(),
+	}
+	return out, nil
+}
+
+// QueryStatic evaluates an XQuery with the classical compile-time baseline:
+// a static plan ordered by per-document statistics, blind to correlations.
+func (e *Engine) QueryStatic(q string) (*Result, error) {
+	comp, err := xquery.CompileString(q, xquery.CompileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	pl, err := classical.StaticPlan(e.env, comp.Graph)
+	if err != nil {
+		return nil, err
+	}
+	e.env.Rec.Reset()
+	sw := metrics.Start()
+	rel, stats, err := plan.Run(e.env, comp.Graph, pl, comp.Tail)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := sw.Elapsed()
+	out, err := e.serialize(comp, rel)
+	if err != nil {
+		return nil, err
+	}
+	out.Stats = Stats{
+		Rows:                   rel.NumRows(),
+		Elapsed:                elapsed,
+		ExecTuples:             e.env.Rec.CostOf(metrics.PhaseExecute).Tuples,
+		CumulativeIntermediate: stats.CumulativeIntermediate,
+		Plan:                   pl.String(),
+	}
+	return out, nil
+}
+
+// Explain compiles a query and returns the Join Graph rendering — what the
+// run-time optimizer receives.
+func (e *Engine) Explain(q string) (string, error) {
+	comp, err := xquery.CompileString(q, xquery.CompileOptions{})
+	if err != nil {
+		return "", err
+	}
+	return comp.Graph.String(), nil
+}
+
+// XPath evaluates an absolute XPath expression over one loaded document
+// using the staircase-join evaluator, returning the serialized result nodes
+// in document order. This is the direct path-evaluation interface; full
+// FLWOR queries go through Query.
+func (e *Engine) XPath(docName, path string) ([]string, error) {
+	ix, err := e.env.Index(docName)
+	if err != nil {
+		return nil, ErrNoSuchDocument(docName)
+	}
+	nodes, err := xpath.Eval(ix, path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = xmltree.SerializeString(ix.Doc(), n)
+	}
+	return out, nil
+}
+
+// XPathCount evaluates an XPath expression and returns only the result
+// cardinality (free with index-supported evaluation).
+func (e *Engine) XPathCount(docName, path string) (int, error) {
+	ix, err := e.env.Index(docName)
+	if err != nil {
+		return 0, ErrNoSuchDocument(docName)
+	}
+	return xpath.Count(ix, path)
+}
+
+func (e *Engine) serialize(comp *xquery.Compiled, rel *table.Relation) (*Result, error) {
+	ret := comp.Return
+	if ret.Count {
+		// count($v): a single numeric item.
+		return &Result{Items: []string{strconv.Itoa(rel.NumRows())}}, nil
+	}
+	n := rel.NumRows()
+	out := &Result{Items: make([]string, 0, n)}
+	for row := 0; row < n; row++ {
+		var sb strings.Builder
+		if ret.Elem != "" {
+			sb.WriteString("<" + ret.Elem + ">")
+		}
+		for _, v := range ret.Vars {
+			vertex := comp.Vars[v]
+			sb.WriteString(xmltree.SerializeString(rel.Doc(vertex), rel.Column(vertex)[row]))
+		}
+		if ret.Elem != "" {
+			sb.WriteString("</" + ret.Elem + ">")
+		}
+		out.Items = append(out.Items, sb.String())
+	}
+	return out, nil
+}
+
+// Version is the library version.
+const Version = "1.0.0"
+
+// ErrNoSuchDocument formats the common failure of querying an unloaded
+// document — exposed for user-friendly error matching.
+func ErrNoSuchDocument(name string) error {
+	return fmt.Errorf("rox: document %q not loaded", name)
+}
