@@ -10,6 +10,7 @@ package rox
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -409,6 +410,74 @@ func BenchmarkExtensionTimeWeights(b *testing.B) {
 	o := core.DefaultOptions()
 	o.TimeWeights = true
 	runVariant(b, o)
+}
+
+// --- Concurrent serving benches: one shared catalog, many queries. ---
+
+// concurrencyBenchEngine loads one XMark document into an engine; queries
+// then share its immutable catalog.
+func concurrencyBenchEngine() (*Engine, string) {
+	cfg := datagen.DefaultXMarkConfig()
+	d := datagen.XMark(cfg)
+	e := NewEngine(WithSeed(1))
+	e.LoadDocument(d)
+	q := `
+		let $d := doc("xmark.xml")
+		for $o in $d//open_auction[.//current/text() < 145],
+		    $p in $d//person[.//province]
+		where $o//bidder//personref/@person = $p/@id
+		return $p`
+	return e, q
+}
+
+// BenchmarkSequentialQuery is the single-goroutine baseline for
+// BenchmarkConcurrentQuery: full engine path (compile → ROX optimize+execute
+// → serialize), one query at a time.
+func BenchmarkSequentialQuery(b *testing.B) {
+	e, q := concurrencyBenchEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentQuery measures read-scaling over the shared immutable
+// catalog: GOMAXPROCS goroutines evaluate the same query concurrently, each
+// with its own per-query Env. Compare ns/op against BenchmarkSequentialQuery
+// — with no shared mutable state on the query path, throughput should scale
+// near-linearly with cores:
+//
+//	go test -bench 'Sequential|Concurrent' -benchtime 3s
+func BenchmarkConcurrentQuery(b *testing.B) {
+	e, q := concurrencyBenchEngine()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.Query(q); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentQueryPool is BenchmarkConcurrentQuery through the
+// bounded Pool front end (admission + aggregation overhead included).
+func BenchmarkConcurrentQueryPool(b *testing.B) {
+	e, q := concurrencyBenchEngine()
+	p := NewPool(e, 0)
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := p.Query(ctx, q); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkXPathEval measures the staircase-based XPath evaluator on the

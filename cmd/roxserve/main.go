@@ -1,0 +1,244 @@
+// Command roxserve is an HTTP XQuery server: it loads a corpus once into the
+// engine's shared immutable catalog and serves concurrent queries over it
+// through a bounded worker pool (rox.Pool). This is the "heavy traffic" entry
+// point of the reproduction — every request gets its own per-query optimizer
+// state while all requests share one set of documents and indices.
+//
+// Usage:
+//
+//	roxserve -doc people.xml -doc orders.xml                # serve two files
+//	roxserve -demo                                          # built-in DBLP demo corpus
+//	roxserve -addr :8080 -workers 8 -tau 100 -seed 1
+//
+// Endpoints:
+//
+//	GET  /query?q=XQUERY[&mode=rox|static]   evaluate a query (or POST the
+//	                                         query text as the request body)
+//	GET  /healthz                            liveness + loaded documents
+//	GET  /stats                              aggregate evaluation statistics
+//
+// Each -doc FILE is loaded under its base name, so doc("people.xml") refers
+// to -doc path/to/people.xml. Files ending in .roxd are loaded from the
+// binary shredded format (see cmd/datagen -binary).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/xmltree"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint(*m) }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
+
+func main() {
+	var docs multiFlag
+	flag.Var(&docs, "doc", "XML file to load (repeatable); addressed by base name")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent query evaluations (0 = GOMAXPROCS)")
+	tau := flag.Int("tau", 100, "ROX sample size τ")
+	seed := flag.Int64("seed", 1, "random seed for sampling (per query, reproducible)")
+	demo := flag.Bool("demo", false, "load a generated miniature DBLP corpus instead of -doc files")
+	maxBody := flag.Int64("max-body", 1<<20, "maximum POST body size in bytes")
+	flag.Parse()
+
+	if err := run(docs, *addr, *workers, *tau, *seed, *demo, *maxBody); err != nil {
+		fmt.Fprintln(os.Stderr, "roxserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(docs []string, addr string, workers, tau int, seed int64, demo bool, maxBody int64) error {
+	if len(docs) == 0 && !demo {
+		return fmt.Errorf("nothing to serve: pass -doc files or -demo")
+	}
+	eng := rox.NewEngine(rox.WithSampleSize(tau), rox.WithSeed(seed))
+	if demo {
+		loadDemo(eng)
+	}
+	for _, path := range docs {
+		if strings.HasSuffix(path, ".roxd") {
+			d, err := xmltree.ReadBinaryFile(path)
+			if err != nil {
+				return fmt.Errorf("load %s: %w", path, err)
+			}
+			eng.LoadDocument(d)
+			continue
+		}
+		if err := eng.LoadFile(filepath.Base(path), path); err != nil {
+			return fmt.Errorf("load %s: %w", path, err)
+		}
+	}
+	pool := rox.NewPool(eng, workers)
+	srv := &http.Server{Addr: addr, Handler: newHandler(pool, maxBody)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("roxserve: serving %d documents on %s (%d workers)",
+			len(eng.Documents()), addr, pool.Workers())
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("roxserve: shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	}
+}
+
+// loadDemo fills the engine with a miniature generated DBLP corpus (four
+// correlated venues — the paper's running example at toy scale).
+func loadDemo(eng *rox.Engine) {
+	cfg := datagen.DefaultDBLPConfig()
+	cfg.TagDivisor = 40
+	var venues []datagen.Venue
+	for _, name := range []string{"VLDB", "ICDE", "ICIP", "ADBIS"} {
+		if v, ok := datagen.VenueByName(name); ok {
+			venues = append(venues, v)
+		}
+	}
+	for _, d := range datagen.GenerateDBLP(cfg, venues) {
+		eng.LoadDocument(d)
+	}
+}
+
+// queryResponse is the JSON shape of a successful /query evaluation.
+type queryResponse struct {
+	Items []string   `json:"items"`
+	Stats queryStats `json:"stats"`
+}
+
+type queryStats struct {
+	Rows                   int    `json:"rows"`
+	ElapsedNS              int64  `json:"elapsed_ns"`
+	ExecTuples             int64  `json:"exec_tuples"`
+	SampleTuples           int64  `json:"sample_tuples"`
+	CumulativeIntermediate int64  `json:"cumulative_intermediate"`
+	Plan                   string `json:"plan"`
+}
+
+// newHandler builds the HTTP API over a query pool. Split from run for
+// httptest coverage.
+func newHandler(pool *rox.Pool, maxBody int64) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":    "ok",
+			"documents": pool.Engine().Documents(),
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		agg := pool.Aggregator()
+		exec, sample := agg.CostOf(metrics.PhaseExecute), agg.CostOf(metrics.PhaseSample)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"queries": agg.Queries(),
+			"errors":  agg.Errors(),
+			"workers": pool.Workers(),
+			"execute": map[string]int64{"tuples": exec.Tuples, "ops": exec.Ops},
+			"sample":  map[string]int64{"tuples": sample.Tuples, "ops": sample.Ops},
+		})
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" && (r.Method == http.MethodPost || r.Method == http.MethodPut) {
+			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+			if err != nil {
+				var tooLarge *http.MaxBytesError
+				if errors.As(err, &tooLarge) {
+					writeError(w, http.StatusRequestEntityTooLarge,
+						fmt.Errorf("query body exceeds %d bytes", maxBody))
+					return
+				}
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			q = string(body)
+		}
+		if strings.TrimSpace(q) == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("empty query: pass ?q= or a request body"))
+			return
+		}
+		var res *rox.Result
+		var err error
+		switch mode := r.URL.Query().Get("mode"); mode {
+		case "", "rox":
+			res, err = pool.Query(r.Context(), q)
+		case "static":
+			res, err = pool.QueryStatic(r.Context(), q)
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want rox or static)", mode))
+			return
+		}
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, queryResponse{
+			Items: res.Items,
+			Stats: queryStats{
+				Rows:                   res.Stats.Rows,
+				ElapsedNS:              res.Stats.Elapsed.Nanoseconds(),
+				ExecTuples:             res.Stats.ExecTuples,
+				SampleTuples:           res.Stats.SampleTuples,
+				CumulativeIntermediate: res.Stats.CumulativeIntermediate,
+				Plan:                   res.Stats.Plan,
+			},
+		})
+	})
+	return mux
+}
+
+// statusFor classifies an evaluation error: cancellation → 503 (client went
+// away or timed out), client mistakes (unparsable query, unknown document) →
+// 400, anything else is an engine-internal failure → 500 so monitoring sees
+// it and clients know to retry.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case strings.HasPrefix(err.Error(), "xquery:") ||
+		strings.Contains(err.Error(), "not registered") ||
+		strings.Contains(err.Error(), "not loaded"):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("roxserve: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

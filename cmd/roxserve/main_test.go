@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+const peopleXML = `<people>
+  <person><name>ann</name><city>zurich</city></person>
+  <person><name>bob</name><city>berlin</city></person>
+  <person><name>cat</name><city>zurich</city></person>
+</people>`
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng := rox.NewEngine(rox.WithSeed(7))
+	if err := eng.LoadXML("people.xml", peopleXML); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 4), 1<<20))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	out := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if out["status"] != "ok" {
+		t.Fatalf("healthz status = %v", out["status"])
+	}
+	docs, _ := out["documents"].([]any)
+	if len(docs) != 1 || docs[0] != "people.xml" {
+		t.Fatalf("documents = %v", out["documents"])
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts := testServer(t)
+	q := url.QueryEscape(`for $p in doc("people.xml")//person/name return $p`)
+	for _, mode := range []string{"", "&mode=rox", "&mode=static"} {
+		out := getJSON(t, ts.URL+"/query?q="+q+mode, http.StatusOK)
+		items, _ := out["items"].([]any)
+		if len(items) != 3 {
+			t.Fatalf("mode %q: items = %v", mode, out["items"])
+		}
+		if items[0] != "<name>ann</name>" {
+			t.Fatalf("mode %q: first item = %v", mode, items[0])
+		}
+	}
+}
+
+func TestQueryPostBody(t *testing.T) {
+	ts := testServer(t)
+	body := strings.NewReader(`for $p in doc("people.xml")//person/city return $p`)
+	resp, err := http.Post(ts.URL+"/query", "text/plain", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query: status %d", resp.StatusCode)
+	}
+	var out queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 3 || out.Stats.Rows != 3 {
+		t.Fatalf("items = %v, rows = %d", out.Items, out.Stats.Rows)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts := testServer(t)
+	getJSON(t, ts.URL+"/query", http.StatusBadRequest)                        // empty
+	getJSON(t, ts.URL+"/query?q=%21%21not-xquery", http.StatusBadRequest)     // parse error
+	getJSON(t, ts.URL+"/query?q=1&mode=nonsense", http.StatusBadRequest)      // bad mode
+	q := url.QueryEscape(`for $p in doc("missing.xml")//p return $p`)
+	getJSON(t, ts.URL+"/query?q="+q, http.StatusBadRequest) // unknown document
+}
+
+func TestQueryBodyTooLarge(t *testing.T) {
+	eng := rox.NewEngine()
+	if err := eng.LoadXML("people.xml", peopleXML); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 1), 16))
+	defer ts.Close()
+	body := strings.NewReader(`for $p in doc("people.xml")//person return $p`)
+	resp, err := http.Post(ts.URL+"/query", "text/plain", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestConcurrentRequestsAndStats(t *testing.T) {
+	ts := testServer(t)
+	q := url.QueryEscape(`for $p in doc("people.xml")//person[./city/text() = "zurich"] return $p`)
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/query?q=" + q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var out queryResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs <- err
+				return
+			}
+			if len(out.Items) != 2 {
+				errs <- fmt.Errorf("items = %v", out.Items)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if got := stats["queries"].(float64); got != n {
+		t.Fatalf("stats queries = %v, want %d", got, n)
+	}
+}

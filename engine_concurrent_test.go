@@ -1,0 +1,224 @@
+// Concurrency tests for the shared-catalog engine: one loaded corpus served
+// by many simultaneous queries must (a) be data-race free (run with -race),
+// (b) return exactly the sequential results, and (c) keep fixed seeds
+// reproducible per call.
+package rox
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// concurrencyQueries mixes the query shapes the engine supports: step-only,
+// predicate, and a cross-document equi-join.
+var concurrencyQueries = []string{
+	`for $p in doc("people.xml")//person return $p`,
+	`for $n in doc("people.xml")//person/name return $n`,
+	`for $o in doc("orders.xml")//order[./total/text() > 50] return $o`,
+	`for $p in doc("people.xml")//person,
+	     $o in doc("orders.xml")//order
+	 where $o/@person = $p/@id
+	 return $o`,
+}
+
+// baseline captures what a query must return regardless of concurrency.
+type baseline struct {
+	items []string
+	plan  string
+}
+
+func sequentialBaselines(t *testing.T, e *Engine) (rox, static []baseline) {
+	t.Helper()
+	for _, q := range concurrencyQueries {
+		r, err := e.Query(q)
+		if err != nil {
+			t.Fatalf("baseline Query(%s): %v", q, err)
+		}
+		rox = append(rox, baseline{items: r.Items, plan: r.Stats.Plan})
+		s, err := e.QueryStatic(q)
+		if err != nil {
+			t.Fatalf("baseline QueryStatic(%s): %v", q, err)
+		}
+		static = append(static, baseline{items: s.Items, plan: s.Stats.Plan})
+	}
+	return rox, static
+}
+
+// TestConcurrentQueriesMatchSequential fires N goroutines × M queries (mixed
+// Query/QueryStatic) against one engine and asserts every result — items and
+// the chosen plan — matches the sequential baseline. With a fixed engine
+// seed, every call draws the same sample stream, so even the ROX plans are
+// reproducible per call.
+func TestConcurrentQueriesMatchSequential(t *testing.T) {
+	e := engine(t)
+	roxBase, staticBase := sequentialBaselines(t, e)
+
+	const goroutines = 8
+	const iters = 6
+	errs := make(chan error, goroutines*iters)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				qi := (g + i) % len(concurrencyQueries)
+				q := concurrencyQueries[qi]
+				useStatic := (g+i)%2 == 1
+				var res *Result
+				var err error
+				var want baseline
+				if useStatic {
+					res, err = e.QueryStatic(q)
+					want = staticBase[qi]
+				} else {
+					res, err = e.Query(q)
+					want = roxBase[qi]
+				}
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d iter %d: %v", g, i, err)
+					return
+				}
+				if !reflect.DeepEqual(res.Items, want.items) {
+					errs <- fmt.Errorf("goroutine %d iter %d (static=%v): items %v, want %v",
+						g, i, useStatic, res.Items, want.items)
+					return
+				}
+				if res.Stats.Plan != want.plan {
+					errs <- fmt.Errorf("goroutine %d iter %d (static=%v): plan %q, want %q",
+						g, i, useStatic, res.Stats.Plan, want.plan)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentLoadAndQuery exercises the copy-on-write load path: loads of
+// new documents race with queries over the already-loaded corpus. Queries
+// must keep seeing a consistent catalog snapshot throughout.
+func TestConcurrentLoadAndQuery(t *testing.T) {
+	e := engine(t)
+	want, err := e.Query(concurrencyQueries[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const extras = 30
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < extras; i++ {
+			name := fmt.Sprintf("extra-%d.xml", i)
+			if err := e.LoadXML(name, "<r><x>1</x></r>"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		res, err := e.Query(concurrencyQueries[3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Items, want.Items) {
+			t.Fatalf("iteration %d: items changed under concurrent load: %v", i, res.Items)
+		}
+	}
+	wg.Wait()
+	if n := len(e.Documents()); n != extras+2 {
+		t.Fatalf("documents = %d, want %d", n, extras+2)
+	}
+}
+
+// TestQueryContextCancel verifies that a canceled context aborts the
+// evaluation with the context's error.
+func TestQueryContextCancel(t *testing.T) {
+	e := engine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.QueryContext(ctx, concurrencyQueries[3]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryContext on canceled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := e.QueryStaticContext(ctx, concurrencyQueries[3]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryStaticContext on canceled ctx: err = %v, want context.Canceled", err)
+	}
+	// A live context evaluates normally.
+	res, err := e.QueryContext(context.Background(), concurrencyQueries[0])
+	if err != nil || len(res.Items) != 3 {
+		t.Fatalf("QueryContext live: res = %v, err = %v", res, err)
+	}
+}
+
+// TestPoolBoundedConcurrency runs many queries through a small pool and
+// checks results, admission accounting and the aggregate statistics.
+func TestPoolBoundedConcurrency(t *testing.T) {
+	e := engine(t)
+	p := NewPool(e, 2)
+	if p.Workers() != 2 {
+		t.Fatalf("workers = %d", p.Workers())
+	}
+	want, err := e.Query(concurrencyQueries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			var res *Result
+			var err error
+			if i%2 == 0 {
+				res, err = p.Query(ctx, concurrencyQueries[0])
+			} else {
+				res, err = p.QueryStatic(ctx, concurrencyQueries[0])
+			}
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(res.Items, want.Items) {
+				errs <- fmt.Errorf("pool query %d: items = %v", i, res.Items)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := p.Aggregator().Queries(); got != n {
+		t.Fatalf("aggregator queries = %d, want %d", got, n)
+	}
+	if p.Aggregator().Total().Tuples == 0 {
+		t.Fatal("aggregator recorded no work")
+	}
+}
+
+// TestPoolCanceledBeforeStart: a pool query whose context is already done
+// fails with the context error, whether it is waiting for a slot or about to
+// evaluate.
+func TestPoolCanceledBeforeStart(t *testing.T) {
+	e := engine(t)
+	p := NewPool(e, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Query(ctx, concurrencyQueries[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pool query on canceled ctx: err = %v", err)
+	}
+}

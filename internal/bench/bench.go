@@ -79,35 +79,36 @@ func (c Config) dblpConfig() datagen.DBLPConfig {
 	return d
 }
 
-// Corpus is a generated DBLP corpus with shared (reusable) indices.
+// Corpus is a generated DBLP corpus with shared (reusable) indices, held in
+// one immutable plan.Catalog that every experiment Env shares.
 type Corpus struct {
 	cfg  Config
 	docs map[string]*xmltree.Document
-	idxs map[string]*index.Index
+	cat  *plan.Catalog
 }
 
 // NewCorpus generates all venue documents of the configuration and builds
-// their indices once.
+// their indices once, into a catalog shared by all runs.
 func NewCorpus(cfg Config) *Corpus {
 	docs := datagen.GenerateDBLP(cfg.dblpConfig(), cfg.venues())
-	idxs := make(map[string]*index.Index, len(docs))
-	for name, d := range docs {
-		idxs[name] = index.New(d)
+	cat := plan.NewCatalog()
+	for _, d := range docs {
+		cat.AddIndexed(index.New(d))
 	}
-	return &Corpus{cfg: cfg, docs: docs, idxs: idxs}
+	return &Corpus{cfg: cfg, docs: docs, cat: cat}
 }
 
 // Doc returns a generated document.
 func (c *Corpus) Doc(name string) *xmltree.Document { return c.docs[name] }
 
-// EnvFor builds a fresh Env (own recorder and random stream) over the
-// documents of one combination, reusing the shared indices.
+// Catalog returns the shared document/index catalog of the corpus.
+func (c *Corpus) Catalog() *plan.Catalog { return c.cat }
+
+// EnvFor builds a fresh per-query Env (own recorder and random stream) over
+// the shared corpus catalog. The combination's documents are all registered
+// there; queries only touch the documents they name.
 func (c *Corpus) EnvFor(combo datagen.Combo) *plan.Env {
-	env := plan.NewEnv(metrics.NewRecorder(), c.cfg.Seed)
-	for _, v := range combo.Venues {
-		env.AddIndexed(c.idxs[v.DocName()])
-	}
-	return env
+	return plan.NewQueryEnv(c.cat, metrics.NewRecorder(), c.cfg.Seed)
 }
 
 // FourWayQuery renders the paper's DBLP query template over a combination.

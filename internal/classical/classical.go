@@ -19,7 +19,6 @@ import (
 	"sort"
 
 	"repro/internal/joingraph"
-	"repro/internal/metrics"
 	"repro/internal/ops"
 	"repro/internal/plan"
 	"repro/internal/planenum"
@@ -50,11 +49,10 @@ func SmallestInputOrder(env *plan.Env, g *joingraph.Graph, fw *planenum.FourWay)
 // query execution.
 func docInputCards(env *plan.Env, g *joingraph.Graph, fw *planenum.FourWay) ([]int, error) {
 	// Statistics work happens under a scratch recorder, not query cost.
-	scratchEnv := *env
-	scratchEnv.Rec = metrics.NewRecorder()
+	scratchEnv := env.WithScratchRecorder()
 	cards := make([]int, len(fw.Docs))
 	for d := range fw.Docs {
-		r := plan.NewRunner(&scratchEnv, g)
+		r := plan.NewRunner(scratchEnv, g)
 		last := -1
 		for _, id := range fw.Steps[d] {
 			if _, err := r.ExecEdge(g.Edges[id], false, ops.JoinHash); err != nil {
@@ -126,9 +124,7 @@ func staticEstimate(env *plan.Env, g *joingraph.Graph, e *joingraph.Edge) (float
 	if from.Doc == to.Doc {
 		// Exact within one document: evaluate the operator on base tables
 		// under a scratch recorder (statistics, not execution).
-		scratchEnv := *env
-		scratchEnv.Rec = metrics.NewRecorder()
-		r := plan.NewRunner(&scratchEnv, g)
+		r := plan.NewRunner(env.WithScratchRecorder(), g)
 		ctxT, err := r.EnsureTable(e.From)
 		if err != nil {
 			return 0, err

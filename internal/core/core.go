@@ -127,7 +127,9 @@ type sampleEntry struct {
 	s       *table.Table
 }
 
-// New prepares an optimizer for graph g in environment env.
+// New prepares an optimizer for graph g in environment env. The env must be
+// owned by this evaluation (its recorder and random stream are mutated); the
+// Catalog behind it may be shared with any number of concurrent evaluations.
 func New(env *plan.Env, g *joingraph.Graph, opt Options) (*Optimizer, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -193,6 +195,9 @@ func (o *Optimizer) Execute(tail *plan.Tail) (*table.Relation, *Result, error) {
 		return nil, nil, err
 	}
 	for {
+		if err := o.env.CheckInterrupt(); err != nil {
+			return nil, nil, err
+		}
 		remaining := o.remainingEdges()
 		if len(remaining) == 0 {
 			break

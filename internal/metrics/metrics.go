@@ -14,6 +14,7 @@ package metrics
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -69,8 +70,10 @@ func (c Cost) String() string {
 }
 
 // Recorder accumulates cost per phase. The zero value is ready to use and
-// charges to PhaseExecute. Recorder is not safe for concurrent use; each
-// query evaluation owns one.
+// charges to PhaseExecute. Recorder is deliberately lock-free and therefore
+// not safe for concurrent use: every query evaluation owns exactly one (the
+// per-query plan.Env carries it). Cross-query totals go through Aggregator,
+// which is safe to share.
 type Recorder struct {
 	phase Phase
 	costs [2]Cost
@@ -146,6 +149,68 @@ func (r *Recorder) SamplingOverhead() float64 {
 func (r *Recorder) Reset() {
 	r.phase = PhaseExecute
 	r.costs = [2]Cost{}
+}
+
+// Aggregator accumulates the totals of many per-query Recorders. Unlike
+// Recorder it is safe for concurrent use — concurrent query servers observe
+// each finished evaluation's recorder into one shared Aggregator and report
+// fleet-wide statistics from it.
+type Aggregator struct {
+	mu      sync.Mutex
+	queries int64
+	errors  int64
+	costs   [2]Cost
+}
+
+// Observe folds one finished evaluation's recorder into the aggregate. The
+// recorder must be quiescent (its evaluation finished); a nil recorder counts
+// the query without cost.
+func (a *Aggregator) Observe(r *Recorder) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.queries++
+	if r == nil {
+		return
+	}
+	a.costs[PhaseExecute].Add(r.CostOf(PhaseExecute))
+	a.costs[PhaseSample].Add(r.CostOf(PhaseSample))
+}
+
+// ObserveError counts a failed evaluation.
+func (a *Aggregator) ObserveError() {
+	a.mu.Lock()
+	a.errors++
+	a.mu.Unlock()
+}
+
+// Queries returns the number of observed evaluations (errors excluded).
+func (a *Aggregator) Queries() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queries
+}
+
+// Errors returns the number of observed failed evaluations.
+func (a *Aggregator) Errors() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.errors
+}
+
+// CostOf returns the aggregated cost of phase p.
+func (a *Aggregator) CostOf(p Phase) Cost {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.costs[p]
+}
+
+// Total returns the combined aggregated cost of all phases.
+func (a *Aggregator) Total() Cost {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.costs[PhaseExecute]
+	t.Add(a.costs[PhaseSample])
+	return t
 }
 
 // Stopwatch measures one operator invocation. Use:

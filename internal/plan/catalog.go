@@ -1,0 +1,95 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+// Catalog is the share-everything half of the former Env: the registered
+// documents and their indices. A Catalog is built once at load time and is
+// immutable afterwards from the engine's point of view — all query-time
+// access is read-only, so one Catalog can back any number of concurrent
+// query evaluations (each with its own per-query Env).
+//
+// Mutation (AddDocument/AddIndexed) is only safe while the catalog has a
+// single owner, i.e. during loading before queries start. Callers that need
+// to load while queries are in flight should mutate a Clone and swap the
+// pointer (copy-on-write), which is what rox.Engine does.
+type Catalog struct {
+	docs map[string]*xmltree.Document
+	idxs map[string]*index.Index
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		docs: make(map[string]*xmltree.Document),
+		idxs: make(map[string]*index.Index),
+	}
+}
+
+// AddDocument registers a document and builds its indices (index
+// construction is load-time work, not charged to query cost).
+func (c *Catalog) AddDocument(d *xmltree.Document) {
+	c.docs[d.Name()] = d
+	c.idxs[d.Name()] = index.New(d)
+}
+
+// AddIndexed registers a document with a pre-built index (lets callers share
+// one index build across many catalogs or query environments).
+func (c *Catalog) AddIndexed(ix *index.Index) {
+	c.docs[ix.Doc().Name()] = ix.Doc()
+	c.idxs[ix.Doc().Name()] = ix
+}
+
+// Clone returns a new catalog with the same document and index registrations.
+// Documents and indices themselves are shared (they are immutable); only the
+// registration maps are copied, so a Clone is cheap and supports the
+// copy-on-write load pattern.
+func (c *Catalog) Clone() *Catalog {
+	out := &Catalog{
+		docs: make(map[string]*xmltree.Document, len(c.docs)),
+		idxs: make(map[string]*index.Index, len(c.idxs)),
+	}
+	for name, d := range c.docs {
+		out.docs[name] = d
+	}
+	for name, ix := range c.idxs {
+		out.idxs[name] = ix
+	}
+	return out
+}
+
+// Doc returns the registered document with the given name.
+func (c *Catalog) Doc(name string) (*xmltree.Document, error) {
+	d, ok := c.docs[name]
+	if !ok {
+		return nil, fmt.Errorf("plan: document %q not registered", name)
+	}
+	return d, nil
+}
+
+// Index returns the index of the named document.
+func (c *Catalog) Index(name string) (*index.Index, error) {
+	ix, ok := c.idxs[name]
+	if !ok {
+		return nil, fmt.Errorf("plan: document %q not registered", name)
+	}
+	return ix, nil
+}
+
+// Names returns the registered document names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.docs))
+	for name := range c.docs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered documents.
+func (c *Catalog) Len() int { return len(c.docs) }

@@ -1,9 +1,11 @@
 // Package plan provides the execution layer under both the static planner
-// baselines and the ROX run-time optimizer: the document/index environment,
-// vertex-table materialization via index lookups, pairwise edge execution,
-// the component-relation bookkeeping that materializes intermediate results,
-// static Plan objects (an ordered list of edge executions) and the tail
-// (project → distinct → order → project) that restores XQuery semantics.
+// baselines and the ROX run-time optimizer: the immutable document/index
+// Catalog, the per-query Env (recorder + sampling random stream over a shared
+// catalog), vertex-table materialization via index lookups, pairwise edge
+// execution, the component-relation bookkeeping that materializes
+// intermediate results, static Plan objects (an ordered list of edge
+// executions) and the tail (project → distinct → order → project) that
+// restores XQuery semantics.
 package plan
 
 import (
@@ -18,64 +20,99 @@ import (
 	"repro/internal/xmltree"
 )
 
-// Env is the run-time environment: the registered documents with their
-// indices, the cost recorder, and the random source used for sampling.
-// An Env is not safe for concurrent query evaluation; create one per run or
-// share across sequential runs.
+// Env is the per-query run-time environment: a view of an immutable shared
+// Catalog (documents + indices) plus the mutable per-evaluation state — the
+// cost recorder, the random source driving the sampling optimizer, and an
+// optional cancellation hook.
+//
+// The split makes the concurrency contract explicit: the Catalog half is
+// read-only at query time and may back any number of simultaneous
+// evaluations, while an Env must be owned by exactly one evaluation (the
+// recorder and random stream are stateful). Create a fresh Env per query via
+// NewQueryEnv; it is cheap (three pointer fields and a seeded PRNG).
 type Env struct {
-	docs map[string]*xmltree.Document
-	idxs map[string]*index.Index
+	cat *Catalog
 
 	// Rec receives the cost of every operator invocation.
 	Rec *metrics.Recorder
 	// Rand drives all sampling; seed it for reproducible runs.
 	Rand *rand.Rand
+	// Interrupt, when non-nil, is polled between operator executions and
+	// optimizer rounds; a non-nil return aborts the evaluation with that
+	// error. Context-based cancellation plugs in here (see rox.QueryContext).
+	Interrupt func() error
 }
 
-// NewEnv returns an Env with the given recorder and a deterministic random
-// source.
-func NewEnv(rec *metrics.Recorder, seed int64) *Env {
+// NewQueryEnv returns a per-query Env over a shared catalog with the given
+// recorder and a deterministic random source. This is the entry point for
+// concurrent evaluation: one catalog, one Env per in-flight query.
+func NewQueryEnv(cat *Catalog, rec *metrics.Recorder, seed int64) *Env {
+	if cat == nil {
+		cat = NewCatalog()
+	}
 	if rec == nil {
 		rec = metrics.NewRecorder()
 	}
 	return &Env{
-		docs: make(map[string]*xmltree.Document),
-		idxs: make(map[string]*index.Index),
+		cat:  cat,
 		Rec:  rec,
 		Rand: rand.New(rand.NewSource(seed)),
 	}
 }
 
-// AddDocument registers a document and builds its indices (index
-// construction is load-time work, not charged to query cost).
-func (env *Env) AddDocument(d *xmltree.Document) {
-	env.docs[d.Name()] = d
-	env.idxs[d.Name()] = index.New(d)
+// NewEnv returns an Env over its own private (initially empty) catalog, with
+// the given recorder and a deterministic random source. This is the
+// single-owner convenience constructor used by tests, benchmarks and the
+// CLI tools; engines serving concurrent queries build a Catalog once and use
+// NewQueryEnv instead.
+func NewEnv(rec *metrics.Recorder, seed int64) *Env {
+	return NewQueryEnv(NewCatalog(), rec, seed)
 }
 
-// AddIndexed registers a document with a pre-built index (lets callers share
-// index builds across many Envs).
+// Catalog returns the shared catalog backing this environment.
+func (env *Env) Catalog() *Catalog { return env.cat }
+
+// CheckInterrupt polls the cancellation hook; it returns nil when no hook is
+// installed. Operators and optimizer loops call it between units of work.
+func (env *Env) CheckInterrupt() error {
+	if env.Interrupt != nil {
+		return env.Interrupt()
+	}
+	return nil
+}
+
+// WithScratchRecorder returns a copy of env charging to a fresh recorder,
+// sharing the catalog, random stream and cancellation hook. Optimizer
+// statistics modules use it to do exploratory work without polluting the
+// query's cost accounting.
+func (env *Env) WithScratchRecorder() *Env {
+	out := *env
+	out.Rec = metrics.NewRecorder()
+	return &out
+}
+
+// AddDocument registers a document in the backing catalog and builds its
+// indices. Only valid while the catalog has a single owner (loading phase);
+// see the Catalog doc comment.
+func (env *Env) AddDocument(d *xmltree.Document) {
+	env.cat.AddDocument(d)
+}
+
+// AddIndexed registers a document with a pre-built index in the backing
+// catalog (lets callers share index builds across many Envs). Single-owner
+// only, like AddDocument.
 func (env *Env) AddIndexed(ix *index.Index) {
-	env.docs[ix.Doc().Name()] = ix.Doc()
-	env.idxs[ix.Doc().Name()] = ix
+	env.cat.AddIndexed(ix)
 }
 
 // Doc returns the registered document with the given name.
 func (env *Env) Doc(name string) (*xmltree.Document, error) {
-	d, ok := env.docs[name]
-	if !ok {
-		return nil, fmt.Errorf("plan: document %q not registered", name)
-	}
-	return d, nil
+	return env.cat.Doc(name)
 }
 
 // Index returns the index of the named document.
 func (env *Env) Index(name string) (*index.Index, error) {
-	ix, ok := env.idxs[name]
-	if !ok {
-		return nil, fmt.Errorf("plan: document %q not registered", name)
-	}
-	return ix, nil
+	return env.cat.Index(name)
 }
 
 // VertexNodes returns the conceptual node set of vertex v straight from the
@@ -88,7 +125,7 @@ func (env *Env) VertexNodes(v *joingraph.Vertex) ([]xmltree.NodeID, *xmltree.Doc
 	if err != nil {
 		return nil, nil, err
 	}
-	ix := env.idxs[v.Doc]
+	ix := env.cat.idxs[v.Doc]
 	var nodes []xmltree.NodeID
 	switch v.Kind {
 	case joingraph.VRoot:

@@ -168,6 +168,9 @@ func (r *Runner) PairsFor(e *joingraph.Edge, ctxVertex int, ctx, inner *table.Ta
 // If reverse is true the edge runs with To as context side. alg selects the
 // equi-join algorithm (ignored for steps).
 func (r *Runner) ExecEdge(e *joingraph.Edge, reverse bool, alg ops.JoinAlg) (int, error) {
+	if err := r.Env.CheckInterrupt(); err != nil {
+		return 0, err
+	}
 	if r.executed[e.ID] {
 		return 0, fmt.Errorf("plan: edge %d already executed", e.ID)
 	}

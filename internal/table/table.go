@@ -72,7 +72,11 @@ func (t *Table) Contains(n xmltree.NodeID) bool {
 // Sample implements ℓ(T) from Sec 2.3: a uniform random sample of at most l
 // tuples, without replacement, returned in document order so it remains a
 // valid staircase-join context input. When l >= Len the whole table is
-// copied. The caller provides the random source for determinism.
+// copied. The caller provides the random source explicitly — both for
+// determinism (seeded runs reproduce their plans) and for concurrency: the
+// table itself is only read, so concurrent queries may sample the same
+// shared table as long as each passes its own per-query *rand.Rand (the one
+// carried by its plan.Env).
 func (t *Table) Sample(l int, rng *rand.Rand) *Table {
 	if l >= t.Len() {
 		return t.Clone()

@@ -1,0 +1,92 @@
+package rox
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"repro/internal/metrics"
+	"repro/internal/plan"
+)
+
+// Pool is a bounded-concurrency front end over one shared Engine: at most
+// Workers queries evaluate at a time, further callers wait (or bail out when
+// their context is canceled). Because an Engine is safe for concurrent
+// queries, the pool adds no locking around evaluation — it only bounds how
+// many run simultaneously, which keeps a query server's memory footprint
+// proportional to the worker count instead of the request count.
+//
+// The pool also aggregates per-query cost into a shared metrics.Aggregator,
+// giving servers fleet-wide statistics for free.
+type Pool struct {
+	eng     *Engine
+	sem     chan struct{}
+	workers int
+	agg     metrics.Aggregator
+}
+
+// NewPool returns a pool over eng admitting at most workers concurrent
+// queries; workers <= 0 defaults to GOMAXPROCS.
+func NewPool(eng *Engine, workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{eng: eng, sem: make(chan struct{}, workers), workers: workers}
+}
+
+// Engine returns the underlying engine (for loading documents).
+func (p *Pool) Engine() *Engine { return p.eng }
+
+// Workers returns the admission bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Aggregator returns the pool's shared cost aggregate across all finished
+// queries.
+func (p *Pool) Aggregator() *metrics.Aggregator { return &p.agg }
+
+// acquire takes a worker slot, honoring cancellation while waiting. An
+// already-canceled context is rejected deterministically — select would
+// otherwise admit it half the time when a slot is free, wasting a worker on
+// an evaluation nobody is waiting for.
+func (p *Pool) acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("rox: queued query canceled: %w", err)
+	}
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("rox: queued query canceled: %w", ctx.Err())
+	}
+}
+
+func (p *Pool) release() { <-p.sem }
+
+// Query evaluates q with the ROX run-time optimizer on a pool worker,
+// waiting for a free slot if all are busy. ctx cancels both the wait and the
+// evaluation itself.
+func (p *Pool) Query(ctx context.Context, q string) (*Result, error) {
+	return p.run(ctx, q, (*Engine).query)
+}
+
+// QueryStatic evaluates q with the classical compile-time baseline on a pool
+// worker.
+func (p *Pool) QueryStatic(ctx context.Context, q string) (*Result, error) {
+	return p.run(ctx, q, (*Engine).queryStatic)
+}
+
+func (p *Pool) run(ctx context.Context, q string, eval func(*Engine, *plan.Env, string) (*Result, *metrics.Recorder, error)) (*Result, error) {
+	if err := p.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer p.release()
+	env := p.eng.newQueryEnv()
+	env.Interrupt = ctx.Err
+	res, rec, err := eval(p.eng, env, q)
+	if err != nil {
+		p.agg.ObserveError()
+		return nil, err
+	}
+	p.agg.Observe(rec)
+	return res, nil
+}

@@ -16,17 +16,26 @@
 // building blocks (shredded storage, indices, staircase joins, Join Graphs,
 // the optimizer, dataset generators, experiment drivers) live under
 // internal/ and are documented in DESIGN.md.
+//
+// One Engine serves any number of concurrent queries over its loaded
+// documents: the corpus lives in an immutable shared catalog and every
+// Query/QueryStatic call gets its own per-query evaluation state. See Pool
+// for a bounded-concurrency front end and cmd/roxserve for an HTTP server
+// built on it.
 package rox
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/classical"
 	"repro/internal/core"
+	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/table"
@@ -35,11 +44,19 @@ import (
 	"repro/internal/xquery"
 )
 
-// Engine evaluates XQueries over a set of loaded documents. It is not safe
-// for concurrent use; create one engine per goroutine (documents and indices
-// are immutable and cheap to share via LoadDocument on multiple engines).
+// Engine evaluates XQueries over a set of loaded documents.
+//
+// Concurrency contract: concurrent Query, QueryStatic, QueryContext, Explain,
+// XPath and XPathCount calls are safe — the loaded corpus (documents +
+// indices) is an immutable plan.Catalog shared by all in-flight queries, and
+// each call creates its own per-query state (cost recorder and seeded random
+// stream). Load* calls swap in a copy-on-write catalog under a write lock, so
+// they may run while queries are in flight: each query sees the catalog as of
+// its start. For reproducibility, a fixed WithSeed seed yields the same plan
+// and results on every call, sequential or concurrent.
 type Engine struct {
-	env  *plan.Env
+	mu   sync.RWMutex  // guards cat (pointer swap on load)
+	cat  *plan.Catalog // immutable once published; replaced, never mutated
 	opts core.Options
 	seed int64
 }
@@ -66,12 +83,37 @@ func WithOptimizerOptions(o core.Options) Option {
 
 // NewEngine returns an empty engine.
 func NewEngine(options ...Option) *Engine {
-	e := &Engine{opts: core.DefaultOptions(), seed: 1}
+	e := &Engine{opts: core.DefaultOptions(), seed: 1, cat: plan.NewCatalog()}
 	for _, o := range options {
 		o(e)
 	}
-	e.env = plan.NewEnv(metrics.NewRecorder(), e.seed)
 	return e
+}
+
+// catalog returns the current catalog snapshot. Queries run against the
+// snapshot; a concurrent load publishes a new catalog without disturbing
+// them.
+func (e *Engine) catalog() *plan.Catalog {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cat
+}
+
+// publish registers a document through a copy-on-write catalog swap. The
+// index build (the expensive part) happens outside the lock.
+func (e *Engine) publish(d *xmltree.Document) {
+	ix := index.New(d)
+	e.mu.Lock()
+	cat := e.cat.Clone()
+	cat.AddIndexed(ix)
+	e.cat = cat
+	e.mu.Unlock()
+}
+
+// newQueryEnv builds the per-query evaluation state over the current
+// catalog snapshot.
+func (e *Engine) newQueryEnv() *plan.Env {
+	return plan.NewQueryEnv(e.catalog(), metrics.NewRecorder(), e.seed)
 }
 
 // LoadXML shreds and indexes an XML document given as a string. The name is
@@ -81,7 +123,7 @@ func (e *Engine) LoadXML(name, xml string) error {
 	if err != nil {
 		return err
 	}
-	e.env.AddDocument(d)
+	e.publish(d)
 	return nil
 }
 
@@ -91,7 +133,7 @@ func (e *Engine) Load(name string, r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	e.env.AddDocument(d)
+	e.publish(d)
 	return nil
 }
 
@@ -102,14 +144,19 @@ func (e *Engine) LoadFile(name, path string) error {
 	if err != nil {
 		return err
 	}
-	e.env.AddDocument(d)
+	e.publish(d)
 	return nil
 }
 
 // LoadDocument registers a pre-shredded document (e.g. from the dataset
 // generators in internal/datagen).
 func (e *Engine) LoadDocument(d *xmltree.Document) {
-	e.env.AddDocument(d)
+	e.publish(d)
+}
+
+// Documents returns the names of the currently loaded documents, sorted.
+func (e *Engine) Documents() []string {
+	return e.catalog().Names()
 }
 
 // Stats reports how a query evaluation spent its work.
@@ -134,22 +181,55 @@ type Result struct {
 	Stats Stats
 }
 
-// Query evaluates an XQuery with the ROX run-time optimizer.
+// Query evaluates an XQuery with the ROX run-time optimizer. Safe to call
+// from any number of goroutines.
 func (e *Engine) Query(q string) (*Result, error) {
+	res, _, err := e.query(e.newQueryEnv(), q)
+	return res, err
+}
+
+// QueryContext is Query with cancellation: when ctx is canceled or exceeds
+// its deadline, the evaluation aborts between operator executions and the
+// context's error is returned.
+func (e *Engine) QueryContext(ctx context.Context, q string) (*Result, error) {
+	env := e.newQueryEnv()
+	env.Interrupt = ctx.Err
+	res, _, err := e.query(env, q)
+	return res, err
+}
+
+// QueryStatic evaluates an XQuery with the classical compile-time baseline:
+// a static plan ordered by per-document statistics, blind to correlations.
+// Safe to call from any number of goroutines.
+func (e *Engine) QueryStatic(q string) (*Result, error) {
+	res, _, err := e.queryStatic(e.newQueryEnv(), q)
+	return res, err
+}
+
+// QueryStaticContext is QueryStatic with cancellation, like QueryContext.
+func (e *Engine) QueryStaticContext(ctx context.Context, q string) (*Result, error) {
+	env := e.newQueryEnv()
+	env.Interrupt = ctx.Err
+	res, _, err := e.queryStatic(env, q)
+	return res, err
+}
+
+// query runs the ROX optimizer path in the given per-query environment and
+// returns the result plus the environment's recorder (for aggregation).
+func (e *Engine) query(env *plan.Env, q string) (*Result, *metrics.Recorder, error) {
 	comp, err := xquery.CompileString(q, xquery.CompileOptions{})
 	if err != nil {
-		return nil, err
+		return nil, env.Rec, err
 	}
-	e.env.Rec.Reset()
 	sw := metrics.Start()
-	rel, res, err := core.Run(e.env, comp.Graph, comp.Tail, e.opts)
+	rel, res, err := core.Run(env, comp.Graph, comp.Tail, e.opts)
 	if err != nil {
-		return nil, err
+		return nil, env.Rec, err
 	}
 	elapsed := sw.Elapsed()
-	out, err := e.serialize(comp, rel)
+	out, err := serialize(comp, rel)
 	if err != nil {
-		return nil, err
+		return nil, env.Rec, err
 	}
 	out.Stats = Stats{
 		Rows:                   rel.NumRows(),
@@ -159,39 +239,40 @@ func (e *Engine) Query(q string) (*Result, error) {
 		CumulativeIntermediate: res.CumulativeIntermediate,
 		Plan:                   res.Plan.String(),
 	}
-	return out, nil
+	return out, env.Rec, nil
 }
 
-// QueryStatic evaluates an XQuery with the classical compile-time baseline:
-// a static plan ordered by per-document statistics, blind to correlations.
-func (e *Engine) QueryStatic(q string) (*Result, error) {
+// queryStatic runs the classical baseline path in the given per-query
+// environment.
+func (e *Engine) queryStatic(env *plan.Env, q string) (*Result, *metrics.Recorder, error) {
 	comp, err := xquery.CompileString(q, xquery.CompileOptions{})
 	if err != nil {
-		return nil, err
+		return nil, env.Rec, err
 	}
-	pl, err := classical.StaticPlan(e.env, comp.Graph)
+	// Plan-time statistics are the optimizer's work, not query execution;
+	// charge them to a scratch recorder as the baseline prescribes.
+	pl, err := classical.StaticPlan(env.WithScratchRecorder(), comp.Graph)
 	if err != nil {
-		return nil, err
+		return nil, env.Rec, err
 	}
-	e.env.Rec.Reset()
 	sw := metrics.Start()
-	rel, stats, err := plan.Run(e.env, comp.Graph, pl, comp.Tail)
+	rel, stats, err := plan.Run(env, comp.Graph, pl, comp.Tail)
 	if err != nil {
-		return nil, err
+		return nil, env.Rec, err
 	}
 	elapsed := sw.Elapsed()
-	out, err := e.serialize(comp, rel)
+	out, err := serialize(comp, rel)
 	if err != nil {
-		return nil, err
+		return nil, env.Rec, err
 	}
 	out.Stats = Stats{
 		Rows:                   rel.NumRows(),
 		Elapsed:                elapsed,
-		ExecTuples:             e.env.Rec.CostOf(metrics.PhaseExecute).Tuples,
+		ExecTuples:             env.Rec.CostOf(metrics.PhaseExecute).Tuples,
 		CumulativeIntermediate: stats.CumulativeIntermediate,
 		Plan:                   pl.String(),
 	}
-	return out, nil
+	return out, env.Rec, nil
 }
 
 // Explain compiles a query and returns the Join Graph rendering — what the
@@ -209,7 +290,7 @@ func (e *Engine) Explain(q string) (string, error) {
 // in document order. This is the direct path-evaluation interface; full
 // FLWOR queries go through Query.
 func (e *Engine) XPath(docName, path string) ([]string, error) {
-	ix, err := e.env.Index(docName)
+	ix, err := e.catalog().Index(docName)
 	if err != nil {
 		return nil, ErrNoSuchDocument(docName)
 	}
@@ -227,14 +308,14 @@ func (e *Engine) XPath(docName, path string) ([]string, error) {
 // XPathCount evaluates an XPath expression and returns only the result
 // cardinality (free with index-supported evaluation).
 func (e *Engine) XPathCount(docName, path string) (int, error) {
-	ix, err := e.env.Index(docName)
+	ix, err := e.catalog().Index(docName)
 	if err != nil {
 		return 0, ErrNoSuchDocument(docName)
 	}
 	return xpath.Count(ix, path)
 }
 
-func (e *Engine) serialize(comp *xquery.Compiled, rel *table.Relation) (*Result, error) {
+func serialize(comp *xquery.Compiled, rel *table.Relation) (*Result, error) {
 	ret := comp.Return
 	if ret.Count {
 		// count($v): a single numeric item.
