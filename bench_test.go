@@ -415,11 +415,13 @@ func BenchmarkExtensionTimeWeights(b *testing.B) {
 // --- Concurrent serving benches: one shared catalog, many queries. ---
 
 // concurrencyBenchEngine loads one XMark document into an engine; queries
-// then share its immutable catalog.
+// then share its immutable catalog. The plan cache is disabled so these
+// benchmarks keep measuring the full optimizer path under concurrency (the
+// cached hot path has its own benches, BenchmarkPreparedQuery*).
 func concurrencyBenchEngine() (*Engine, string) {
 	cfg := datagen.DefaultXMarkConfig()
 	d := datagen.XMark(cfg)
-	e := NewEngine(WithSeed(1))
+	e := NewEngine(WithSeed(1), WithPlanCache(0))
 	e.LoadDocument(d)
 	q := `
 		let $d := doc("xmark.xml")
@@ -473,6 +475,102 @@ func BenchmarkConcurrentQueryPool(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			if _, err := p.Query(ctx, q); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// --- Prepared-query benches: the repeated-workload hot path. ---
+
+// BenchmarkColdQuery is the no-cache baseline for BenchmarkPreparedQuery:
+// every iteration pays compile + the full ROX sampling loop, the cost a
+// production workload of repeated queries would pay per request without the
+// plan cache.
+func BenchmarkColdQuery(b *testing.B) {
+	cfg := datagen.DefaultXMarkConfig()
+	d := datagen.XMark(cfg)
+	e := NewEngine(WithSeed(1), WithPlanCache(0))
+	e.LoadDocument(d)
+	q := `
+		let $d := doc("xmark.xml")
+		for $o in $d//open_auction[.//current/text() < 145],
+		    $p in $d//person[.//province]
+		where $o//bidder//personref/@person = $p/@id
+		return $p`
+	var sampled int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sampled = res.Stats.SampleTuples
+	}
+	b.ReportMetric(float64(sampled), "sample-tuples/op")
+}
+
+// BenchmarkPreparedQuery measures the cache-hit hot path: compile once
+// (Prepare), then every iteration replays the cached plan with zero sampling
+// work. Compare ns/op and sample-tuples/op against BenchmarkColdQuery:
+//
+//	go test -bench 'ColdQuery|PreparedQuery' -benchtime 3s
+func BenchmarkPreparedQuery(b *testing.B) {
+	cfg := datagen.DefaultXMarkConfig()
+	d := datagen.XMark(cfg)
+	e := NewEngine(WithSeed(1))
+	e.LoadDocument(d)
+	prep, err := e.Prepare(`
+		let $d := doc("xmark.xml")
+		for $o in $d//open_auction[.//current/text() < 145],
+		    $p in $d//person[.//province]
+		where $o//bidder//personref/@person = $p/@id
+		return $p`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := prep.Query(); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := prep.Query()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Stats.CacheHit || res.Stats.SampleTuples != 0 {
+			b.Fatalf("hot path fell off the cache: hit=%v sample=%d",
+				res.Stats.CacheHit, res.Stats.SampleTuples)
+		}
+	}
+	b.ReportMetric(0, "sample-tuples/op")
+}
+
+// BenchmarkPreparedQueryConcurrent is the prepared hot path under
+// GOMAXPROCS-way concurrency — the shape of a server replaying one popular
+// query.
+func BenchmarkPreparedQueryConcurrent(b *testing.B) {
+	cfg := datagen.DefaultXMarkConfig()
+	d := datagen.XMark(cfg)
+	e := NewEngine(WithSeed(1))
+	e.LoadDocument(d)
+	prep, err := e.Prepare(`
+		let $d := doc("xmark.xml")
+		for $o in $d//open_auction[.//current/text() < 145],
+		    $p in $d//person[.//province]
+		where $o//bidder//personref/@person = $p/@id
+		return $p`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := prep.Query(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := prep.Query(); err != nil {
 				b.Error(err)
 				return
 			}

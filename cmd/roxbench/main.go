@@ -14,12 +14,18 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
 )
+
+// errUnknownExperiment distinguishes a usage mistake (exit 2, print flag
+// help) from an experiment failure (exit 1).
+var errUnknownExperiment = errors.New("unknown experiment")
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|table2|table3|fig5|fig6|fig7|fig8|ablations|all")
@@ -38,25 +44,33 @@ func main() {
 		MaxCombosPerGroup: *combos,
 	}
 
-	runners := map[string]func() error{
-		"table1":    func() error { return bench.RunTable1(os.Stdout, cfg) },
-		"table2":    func() error { return bench.RunTable2(os.Stdout, cfg) },
-		"table3":    func() error { return bench.RunTable3(os.Stdout, cfg) },
-		"fig5":      func() error { return bench.RunFig5(os.Stdout, cfg) },
-		"fig6":      func() error { return bench.RunFig6(os.Stdout, cfg) },
-		"fig7":      func() error { return bench.RunFig7(os.Stdout, cfg) },
-		"fig8":      func() error { return bench.RunFig8(os.Stdout, cfg) },
-		"ablations": func() error { return bench.RunAblations(os.Stdout, cfg) },
-		"all":       func() error { return bench.RunAll(os.Stdout, cfg) },
-	}
-	run, ok := runners[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "roxbench: unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
-	}
-	if err := run(); err != nil {
+	if err := run(*exp, cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "roxbench:", err)
+		if errors.Is(err, errUnknownExperiment) {
+			flag.Usage()
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
+}
+
+// run dispatches one experiment to internal/bench, writing its tables to
+// out. Split from main for testability.
+func run(exp string, cfg bench.Config, out io.Writer) error {
+	runners := map[string]func() error{
+		"table1":    func() error { return bench.RunTable1(out, cfg) },
+		"table2":    func() error { return bench.RunTable2(out, cfg) },
+		"table3":    func() error { return bench.RunTable3(out, cfg) },
+		"fig5":      func() error { return bench.RunFig5(out, cfg) },
+		"fig6":      func() error { return bench.RunFig6(out, cfg) },
+		"fig7":      func() error { return bench.RunFig7(out, cfg) },
+		"fig8":      func() error { return bench.RunFig8(out, cfg) },
+		"ablations": func() error { return bench.RunAblations(out, cfg) },
+		"all":       func() error { return bench.RunAll(out, cfg) },
+	}
+	r, ok := runners[exp]
+	if !ok {
+		return fmt.Errorf("%w %q", errUnknownExperiment, exp)
+	}
+	return r()
 }

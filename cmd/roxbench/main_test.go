@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// tinyConfig keeps the experiments fast enough for a unit test: a heavily
+// shrunken catalog and a single combination per group.
+func tinyConfig() bench.Config {
+	return bench.Config{
+		Seed:              7,
+		Tau:               25,
+		Scale:             1,
+		TagDivisor:        120,
+		MaxCombosPerGroup: 1,
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("table1", tinyConfig(), &buf); err != nil {
+		t.Fatalf("run table1: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"operator", "paper cost", "tuples"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("table3", tinyConfig(), &buf); err != nil {
+		t.Fatalf("run table3: %v", err)
+	}
+	if !strings.Contains(buf.String(), "VLDB") {
+		t.Errorf("table3 output missing VLDB:\n%s", buf.String())
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("fig5", tinyConfig(), &buf); err != nil {
+		t.Fatalf("run fig5: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Error("fig5 produced no output")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	err := run("nonsense", tinyConfig(), &buf)
+	if !errors.Is(err, errUnknownExperiment) {
+		t.Fatalf("unknown experiment: err = %v, want errUnknownExperiment", err)
+	}
+}

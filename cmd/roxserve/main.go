@@ -16,6 +16,8 @@
 //	                                         query text as the request body)
 //	GET  /healthz                            liveness + loaded documents
 //	GET  /stats                              aggregate evaluation statistics
+//	GET  /cache                              plan-cache size + hit/miss/drift
+//	                                         counters
 //
 // Each -doc FILE is loaded under its base name, so doc("people.xml") refers
 // to -doc path/to/people.xml. Files ending in .roxd are loaded from the
@@ -61,19 +63,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for sampling (per query, reproducible)")
 	demo := flag.Bool("demo", false, "load a generated miniature DBLP corpus instead of -doc files")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum POST body size in bytes")
+	cacheSize := flag.Int("cache", rox.DefaultPlanCacheSize, "plan-cache capacity in entries (0 disables caching)")
+	drift := flag.Float64("drift", rox.DefaultDriftRatio, "cardinality drift ratio that re-optimizes a cached plan")
 	flag.Parse()
 
-	if err := run(docs, *addr, *workers, *tau, *seed, *demo, *maxBody); err != nil {
+	if err := run(docs, *addr, *workers, *tau, *seed, *demo, *maxBody, *cacheSize, *drift); err != nil {
 		fmt.Fprintln(os.Stderr, "roxserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(docs []string, addr string, workers, tau int, seed int64, demo bool, maxBody int64) error {
+func run(docs []string, addr string, workers, tau int, seed int64, demo bool, maxBody int64, cacheSize int, drift float64) error {
 	if len(docs) == 0 && !demo {
 		return fmt.Errorf("nothing to serve: pass -doc files or -demo")
 	}
-	eng := rox.NewEngine(rox.WithSampleSize(tau), rox.WithSeed(seed))
+	eng := rox.NewEngine(rox.WithSampleSize(tau), rox.WithSeed(seed),
+		rox.WithPlanCache(cacheSize), rox.WithDriftRatio(drift))
 	if demo {
 		loadDemo(eng)
 	}
@@ -141,6 +146,8 @@ type queryStats struct {
 	SampleTuples           int64  `json:"sample_tuples"`
 	CumulativeIntermediate int64  `json:"cumulative_intermediate"`
 	Plan                   string `json:"plan"`
+	CacheHit               bool   `json:"cache_hit"`
+	Reoptimized            bool   `json:"reoptimized"`
 }
 
 // newHandler builds the HTTP API over a query pool. Split from run for
@@ -162,6 +169,22 @@ func newHandler(pool *rox.Pool, maxBody int64) http.Handler {
 			"workers": pool.Workers(),
 			"execute": map[string]int64{"tuples": exec.Tuples, "ops": exec.Ops},
 			"sample":  map[string]int64{"tuples": sample.Tuples, "ops": sample.Ops},
+		})
+	})
+	mux.HandleFunc("/cache", func(w http.ResponseWriter, r *http.Request) {
+		cs := pool.CacheStats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"enabled":       cs.Enabled,
+			"size":          cs.Size,
+			"capacity":      cs.Capacity,
+			"hits":          cs.Counters.Hits,
+			"stale_hits":    cs.Counters.StaleHits,
+			"misses":        cs.Counters.Misses,
+			"drifts":        cs.Counters.Drifts,
+			"evictions":     cs.Counters.Evictions,
+			"installs":      cs.Counters.Installs,
+			"invalidations": cs.Counters.Invalidations,
+			"hit_rate":      cs.Counters.HitRate(),
 		})
 	})
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
@@ -208,6 +231,8 @@ func newHandler(pool *rox.Pool, maxBody int64) http.Handler {
 				SampleTuples:           res.Stats.SampleTuples,
 				CumulativeIntermediate: res.Stats.CumulativeIntermediate,
 				Plan:                   res.Stats.Plan,
+				CacheHit:               res.Stats.CacheHit,
+				Reoptimized:            res.Stats.Reoptimized,
 			},
 		})
 	})
@@ -222,7 +247,8 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
-	case strings.HasPrefix(err.Error(), "xquery:") ||
+	case errors.Is(err, rox.ErrNoSuchDocument) ||
+		strings.HasPrefix(err.Error(), "xquery:") ||
 		strings.Contains(err.Error(), "not registered") ||
 		strings.Contains(err.Error(), "not loaded"):
 		return http.StatusBadRequest

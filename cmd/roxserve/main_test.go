@@ -96,9 +96,9 @@ func TestQueryPostBody(t *testing.T) {
 
 func TestQueryErrors(t *testing.T) {
 	ts := testServer(t)
-	getJSON(t, ts.URL+"/query", http.StatusBadRequest)                        // empty
-	getJSON(t, ts.URL+"/query?q=%21%21not-xquery", http.StatusBadRequest)     // parse error
-	getJSON(t, ts.URL+"/query?q=1&mode=nonsense", http.StatusBadRequest)      // bad mode
+	getJSON(t, ts.URL+"/query", http.StatusBadRequest)                    // empty
+	getJSON(t, ts.URL+"/query?q=%21%21not-xquery", http.StatusBadRequest) // parse error
+	getJSON(t, ts.URL+"/query?q=1&mode=nonsense", http.StatusBadRequest)  // bad mode
 	q := url.QueryEscape(`for $p in doc("missing.xml")//p return $p`)
 	getJSON(t, ts.URL+"/query?q="+q, http.StatusBadRequest) // unknown document
 }
@@ -118,6 +118,43 @@ func TestQueryBodyTooLarge(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestCacheEndpoint(t *testing.T) {
+	ts := testServer(t)
+	out := getJSON(t, ts.URL+"/cache", http.StatusOK)
+	if out["enabled"] != true {
+		t.Fatalf("cache enabled = %v, want true", out["enabled"])
+	}
+	if out["size"].(float64) != 0 {
+		t.Fatalf("initial cache size = %v, want 0", out["size"])
+	}
+
+	// First evaluation misses and installs; the repeat is a zero-sampling hit.
+	q := url.QueryEscape(`for $p in doc("people.xml")//person/name return $p`)
+	first := getJSON(t, ts.URL+"/query?q="+q, http.StatusOK)
+	if hit := first["stats"].(map[string]any)["cache_hit"]; hit != false {
+		t.Fatalf("first query cache_hit = %v, want false", hit)
+	}
+	second := getJSON(t, ts.URL+"/query?q="+q, http.StatusOK)
+	stats := second["stats"].(map[string]any)
+	if stats["cache_hit"] != true {
+		t.Fatalf("second query cache_hit = %v, want true", stats["cache_hit"])
+	}
+	if st := stats["sample_tuples"].(float64); st != 0 {
+		t.Fatalf("cache-hit sample_tuples = %v, want 0", st)
+	}
+
+	out = getJSON(t, ts.URL+"/cache", http.StatusOK)
+	if out["size"].(float64) != 1 || out["installs"].(float64) != 1 {
+		t.Fatalf("cache size/installs = %v/%v, want 1/1", out["size"], out["installs"])
+	}
+	if out["hits"].(float64) != 1 || out["misses"].(float64) != 1 {
+		t.Fatalf("cache hits/misses = %v/%v, want 1/1", out["hits"], out["misses"])
+	}
+	if out["hit_rate"].(float64) != 0.5 {
+		t.Fatalf("hit_rate = %v, want 0.5", out["hit_rate"])
 	}
 }
 

@@ -99,6 +99,11 @@ type Result struct {
 	// CumulativeIntermediate sums all intermediate relation cardinalities
 	// (the Fig 5 metric).
 	CumulativeIntermediate int64
+	// EdgeRows maps every executed edge ID to the cardinality its full
+	// execution produced — the expectations a plan cache stores alongside
+	// the plan and checks replays against. With MaterializeLimit set, the
+	// rows come from the final full re-execution, not the truncated search.
+	EdgeRows map[int]int
 }
 
 // Optimizer carries the run-time state of Algorithm 1 for one Join Graph.
@@ -211,37 +216,36 @@ func (o *Optimizer) Execute(tail *plan.Tail) (*table.Relation, *Result, error) {
 		}
 	}
 
-	var rel *table.Relation
 	var out *table.Relation
 	cumulative := o.runner.CumulativeIntermediate
+	edgeRows := make(map[int]int, len(o.steps))
 	if sampledSearch {
 		// The loop ran on truncated intermediates; execute the found plan
-		// once on the full data.
+		// once on the full data through the same replay path the plan cache
+		// uses, so the recorded EdgeRows expectations and later replay
+		// observations share one execution semantics.
 		rec.SetPhase(metrics.PhaseExecute)
-		full := plan.NewRunner(o.env, o.g)
-		if o.opt.EagerProject {
-			full.EnableProjectReduce(tail.Required(o.g))
-		}
 		p := plan.Plan{Steps: o.steps}
-		for _, s := range p.Steps {
-			if _, err := full.ExecEdge(o.g.Edges[s.EdgeID], s.Reverse, s.Alg); err != nil {
-				return nil, nil, err
+		full, stats, err := plan.RunWithConfig(o.env, o.g, &p, tail,
+			plan.RunConfig{EagerProject: o.opt.EagerProject})
+		if err != nil {
+			return nil, nil, err
+		}
+		out = full
+		cumulative = stats.CumulativeIntermediate
+		edgeRows = stats.EdgeRows
+	} else {
+		for _, ev := range o.trace.Events {
+			if ev.Kind == EventExec {
+				edgeRows[ev.EdgeID] = ev.Rows
 			}
 		}
-		var err error
-		rel, err = full.FinalRelation(tail.Required(o.g))
+		rel, err := o.runner.FinalRelation(tail.Required(o.g))
 		if err != nil {
 			return nil, nil, err
 		}
-		cumulative = full.CumulativeIntermediate
-	} else {
-		var err error
-		rel, err = o.runner.FinalRelation(tail.Required(o.g))
-		if err != nil {
-			return nil, nil, err
-		}
+		out = tail.Apply(rel)
 	}
-	out = tail.Apply(rel)
 	res := &Result{
 		Rows:                   out.NumRows(),
 		Plan:                   plan.Plan{Steps: o.steps},
@@ -249,6 +253,7 @@ func (o *Optimizer) Execute(tail *plan.Tail) (*table.Relation, *Result, error) {
 		SampleCost:             rec.CostOf(metrics.PhaseSample).Sub(startSample),
 		ExecCost:               rec.CostOf(metrics.PhaseExecute).Sub(startExec),
 		CumulativeIntermediate: cumulative,
+		EdgeRows:               edgeRows,
 	}
 	return out, res, nil
 }

@@ -7,6 +7,8 @@
 package joingraph
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -281,16 +283,26 @@ func (g *Graph) AddJoinEquivalences() int {
 		}
 		existing[[2]int{a, b}] = true
 	}
-	// Group join-connected vertices by class and add missing pairs.
+	// Group join-connected vertices by class and add missing pairs. Classes
+	// are visited in ascending order of their union-find root so the derived
+	// edges — and therefore edge IDs and the graph Fingerprint — are identical
+	// on every compile of the same query.
 	classes := make(map[int][]int)
+	var roots []int
 	for v := range g.Vertices {
 		if !g.hasJoinEdge(v) {
 			continue
 		}
-		classes[find(v)] = append(classes[find(v)], v)
+		r := find(v)
+		if len(classes[r]) == 0 {
+			roots = append(roots, r)
+		}
+		classes[r] = append(classes[r], v)
 	}
+	sort.Ints(roots)
 	added := 0
-	for _, members := range classes {
+	for _, root := range roots {
+		members := classes[root]
 		if len(members) < 3 {
 			continue
 		}
@@ -400,6 +412,44 @@ func (g *Graph) String() string {
 		}
 	}
 	return sb.String()
+}
+
+// Fingerprint returns a canonical content hash of the graph: every vertex
+// (kind, document, qualified name, value predicate) and every edge (kind,
+// endpoints, axis, derived flag) in ID order. Two compiles of the same query
+// text produce identical graphs and therefore identical fingerprints, which
+// is what makes the fingerprint usable as a plan-cache key; the document
+// names are part of the hash, so the same structural shape over different
+// documents keys separately.
+//
+// The fingerprint says nothing about document *contents* — pairing it with a
+// catalog generation (and drift detection on replay) is the caller's job.
+func (g *Graph) Fingerprint() string {
+	h := sha256.New()
+	// Free-form strings (document names, qualified names, predicate values)
+	// are length-prefixed so field contents can never shift across delimiter
+	// boundaries and make two different graphs serialize identically.
+	str := func(s string) { fmt.Fprintf(h, "%d:%s", len(s), s) }
+	fmt.Fprintf(h, "g:%d:%d;", len(g.Vertices), len(g.Edges))
+	for _, v := range g.Vertices {
+		fmt.Fprintf(h, "v:%d:", int(v.Kind))
+		str(v.Doc)
+		str(v.QName)
+		switch v.Pred.Kind {
+		case PredEqString:
+			fmt.Fprint(h, "eq:")
+			str(v.Pred.Str)
+			fmt.Fprint(h, ";")
+		case PredRange:
+			fmt.Fprintf(h, "rng:%d:%g;", int(v.Pred.Op), v.Pred.Num)
+		default:
+			fmt.Fprint(h, "none;")
+		}
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(h, "e:%d:%d:%d:%d:%t;", int(e.Kind), e.From, e.To, int(e.Axis), e.Derived)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // DOT renders the graph in Graphviz format for debugging and documentation.

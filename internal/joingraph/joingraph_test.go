@@ -211,3 +211,85 @@ func TestRendering(t *testing.T) {
 		}
 	}
 }
+
+// --- Fingerprint ---
+
+func fingerprintGraph() *Graph {
+	g := New()
+	r := g.AddRoot("a.xml")
+	p := g.AddElem("a.xml", "person")
+	n := g.AddElem("a.xml", "name")
+	tx := g.AddText("a.xml", EqPred("ann"))
+	g.AddStep(r, p, ops.AxisDesc)
+	g.AddStep(p, n, ops.AxisChild)
+	g.AddStep(n, tx, ops.AxisChild)
+	return g
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a, b := fingerprintGraph().Fingerprint(), fingerprintGraph().Fingerprint()
+	if a == "" || a != b {
+		t.Fatalf("fingerprints differ: %q vs %q", a, b)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fingerprintGraph().Fingerprint()
+
+	doc := New()
+	r := doc.AddRoot("b.xml") // same shape, different document
+	p := doc.AddElem("b.xml", "person")
+	n := doc.AddElem("b.xml", "name")
+	tx := doc.AddText("b.xml", EqPred("ann"))
+	doc.AddStep(r, p, ops.AxisDesc)
+	doc.AddStep(p, n, ops.AxisChild)
+	doc.AddStep(n, tx, ops.AxisChild)
+	if doc.Fingerprint() == base {
+		t.Error("different document name should change the fingerprint")
+	}
+
+	pred := fingerprintGraph()
+	pred.Vertices[3].Pred = EqPred("bob") // same shape, different predicate
+	if pred.Fingerprint() == base {
+		t.Error("different predicate value should change the fingerprint")
+	}
+
+	axis := fingerprintGraph()
+	axis.Edges[1].Axis = ops.AxisDesc // same shape, different axis
+	if axis.Fingerprint() == base {
+		t.Error("different axis should change the fingerprint")
+	}
+}
+
+// TestAddJoinEquivalencesDeterministic: derived edges must be appended in the
+// same order on every compile — edge IDs are plan-cache currency (a cached
+// plan references edges by ID in a freshly compiled graph).
+func TestAddJoinEquivalencesDeterministic(t *testing.T) {
+	build := func() *Graph {
+		g := New()
+		// Two separate equivalence classes, each of size 3, so the class
+		// iteration order matters.
+		var a, b [3]int
+		for i := range a {
+			root := g.AddRoot("a.xml")
+			e := g.AddElem("a.xml", "x")
+			g.AddStep(root, e, ops.AxisDesc)
+			a[i] = g.AddText("a.xml", NoPred)
+			g.AddStep(e, a[i], ops.AxisChild)
+			b[i] = g.AddText("a.xml", NoPred)
+			g.AddStep(e, b[i], ops.AxisChild)
+		}
+		g.AddJoin(a[0], a[1])
+		g.AddJoin(a[1], a[2])
+		g.AddJoin(b[0], b[1])
+		g.AddJoin(b[1], b[2])
+		g.AddJoinEquivalences()
+		return g
+	}
+	want := build().Fingerprint()
+	for i := 0; i < 20; i++ {
+		if got := build().Fingerprint(); got != want {
+			t.Fatalf("run %d: derived-edge order unstable: %q vs %q", i, got, want)
+		}
+	}
+}

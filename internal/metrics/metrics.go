@@ -15,6 +15,7 @@ package metrics
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -211,6 +212,78 @@ func (a *Aggregator) Total() Cost {
 	t := a.costs[PhaseExecute]
 	t.Add(a.costs[PhaseSample])
 	return t
+}
+
+// CacheCounters is the concurrency-safe event accounting of a plan cache:
+// exact hits, stale-generation hits that revalidated, misses, drift
+// invalidations, evictions and installs. It lives in metrics (next to the
+// Recorder/Aggregator family) so servers can report cache behavior alongside
+// tuple costs; the plan cache itself owns one and bumps it on every lookup.
+type CacheCounters struct {
+	hits, staleHits, misses, drifts, evictions, installs, invalidations atomic.Int64
+}
+
+// Hit counts an exact (fingerprint, generation) cache hit.
+func (c *CacheCounters) Hit() { c.hits.Add(1) }
+
+// StaleHit counts a same-fingerprint lookup hit from an older catalog
+// generation. The replay-and-verify that follows may still drift (counted
+// separately via Drift), so a stale hit is not necessarily a served result —
+// HitRate accounts for that.
+func (c *CacheCounters) StaleHit() { c.staleHits.Add(1) }
+
+// Miss counts a lookup that found no usable entry.
+func (c *CacheCounters) Miss() { c.misses.Add(1) }
+
+// Drift counts an entry invalidated because a replay's observed
+// cardinalities drifted from its expectations.
+func (c *CacheCounters) Drift() { c.drifts.Add(1) }
+
+// Eviction counts an entry dropped by the LRU capacity bound.
+func (c *CacheCounters) Eviction() { c.evictions.Add(1) }
+
+// Install counts a plan installed (or replaced) in the cache.
+func (c *CacheCounters) Install() { c.installs.Add(1) }
+
+// Invalidation counts an entry removed because its replay failed against a
+// freshly compiled graph (distinct from drift, which is a cardinality
+// verdict on a successful replay).
+func (c *CacheCounters) Invalidation() { c.invalidations.Add(1) }
+
+// CacheSnapshot is a point-in-time copy of a CacheCounters.
+type CacheSnapshot struct {
+	Hits, StaleHits, Misses, Drifts, Evictions, Installs, Invalidations int64
+}
+
+// Snapshot returns a consistent-enough copy of the counters (each counter is
+// read atomically; the set is not a single atomic cut, which is fine for
+// monitoring).
+func (c *CacheCounters) Snapshot() CacheSnapshot {
+	return CacheSnapshot{
+		Hits:          c.hits.Load(),
+		StaleHits:     c.staleHits.Load(),
+		Misses:        c.misses.Load(),
+		Drifts:        c.drifts.Load(),
+		Evictions:     c.evictions.Load(),
+		Installs:      c.installs.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+}
+
+// HitRate returns the fraction of lookups actually served from the cache:
+// exact hits plus stale-generation hits, minus the lookups that found an
+// entry but fell back to a full optimizer run anyway — drifted replays and
+// replay-failure invalidations — over total lookups. 0 before any lookup.
+func (s CacheSnapshot) HitRate() float64 {
+	total := s.Hits + s.StaleHits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	served := s.Hits + s.StaleHits - s.Drifts - s.Invalidations
+	if served < 0 {
+		served = 0
+	}
+	return float64(served) / float64(total)
 }
 
 // Stopwatch measures one operator invocation. Use:

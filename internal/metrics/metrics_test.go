@@ -96,3 +96,30 @@ func TestStopwatch(t *testing.T) {
 		t.Errorf("elapsed = %v", sw.Elapsed())
 	}
 }
+
+func TestCacheCounters(t *testing.T) {
+	var c CacheCounters
+	c.Hit()
+	c.Hit()
+	c.StaleHit()
+	c.Miss()
+	c.Drift()
+	c.Eviction()
+	c.Install()
+	s := c.Snapshot()
+	want := CacheSnapshot{Hits: 2, StaleHits: 1, Misses: 1, Drifts: 1, Evictions: 1, Installs: 1}
+	if s != want {
+		t.Fatalf("snapshot = %+v, want %+v", s, want)
+	}
+	// 2 exact hits + 1 stale hit - 1 drifted replay = 2 served of 4 lookups.
+	if got := s.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", got)
+	}
+	if (CacheSnapshot{}).HitRate() != 0 {
+		t.Errorf("zero snapshot hit rate should be 0")
+	}
+	// More drifts than stale hits must clamp at 0, not go negative.
+	if (CacheSnapshot{StaleHits: 1, Drifts: 3, Misses: 1}).HitRate() != 0 {
+		t.Errorf("over-drifted hit rate should clamp to 0")
+	}
+}

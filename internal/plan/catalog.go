@@ -21,6 +21,14 @@ import (
 type Catalog struct {
 	docs map[string]*xmltree.Document
 	idxs map[string]*index.Index
+
+	// gen counts document registrations across this catalog's copy-on-write
+	// lineage. Every AddDocument/AddIndexed bumps it, so two catalog
+	// snapshots with the same generation hold the same corpus. Plan caches
+	// key on (query fingerprint, generation): a reload under the same name
+	// changes the generation and therefore invalidates exact cache hits even
+	// though the name set is unchanged.
+	gen uint64
 }
 
 // NewCatalog returns an empty catalog.
@@ -36,6 +44,7 @@ func NewCatalog() *Catalog {
 func (c *Catalog) AddDocument(d *xmltree.Document) {
 	c.docs[d.Name()] = d
 	c.idxs[d.Name()] = index.New(d)
+	c.gen++
 }
 
 // AddIndexed registers a document with a pre-built index (lets callers share
@@ -43,6 +52,7 @@ func (c *Catalog) AddDocument(d *xmltree.Document) {
 func (c *Catalog) AddIndexed(ix *index.Index) {
 	c.docs[ix.Doc().Name()] = ix.Doc()
 	c.idxs[ix.Doc().Name()] = ix
+	c.gen++
 }
 
 // Clone returns a new catalog with the same document and index registrations.
@@ -53,6 +63,7 @@ func (c *Catalog) Clone() *Catalog {
 	out := &Catalog{
 		docs: make(map[string]*xmltree.Document, len(c.docs)),
 		idxs: make(map[string]*index.Index, len(c.idxs)),
+		gen:  c.gen,
 	}
 	for name, d := range c.docs {
 		out.docs[name] = d
@@ -63,11 +74,23 @@ func (c *Catalog) Clone() *Catalog {
 	return out
 }
 
+// UnknownDocumentError reports access to a document name the catalog does
+// not hold. It is typed so API layers can translate it into their own
+// user-facing sentinel (rox.ErrNoSuchDocument) with errors.As.
+type UnknownDocumentError struct {
+	Name string
+}
+
+// Error renders the failure with the document name.
+func (e *UnknownDocumentError) Error() string {
+	return fmt.Sprintf("plan: document %q not registered", e.Name)
+}
+
 // Doc returns the registered document with the given name.
 func (c *Catalog) Doc(name string) (*xmltree.Document, error) {
 	d, ok := c.docs[name]
 	if !ok {
-		return nil, fmt.Errorf("plan: document %q not registered", name)
+		return nil, &UnknownDocumentError{Name: name}
 	}
 	return d, nil
 }
@@ -76,7 +99,7 @@ func (c *Catalog) Doc(name string) (*xmltree.Document, error) {
 func (c *Catalog) Index(name string) (*index.Index, error) {
 	ix, ok := c.idxs[name]
 	if !ok {
-		return nil, fmt.Errorf("plan: document %q not registered", name)
+		return nil, &UnknownDocumentError{Name: name}
 	}
 	return ix, nil
 }
@@ -93,3 +116,9 @@ func (c *Catalog) Names() []string {
 
 // Len returns the number of registered documents.
 func (c *Catalog) Len() int { return len(c.docs) }
+
+// Generation returns the catalog's registration counter. It changes on every
+// document load (including reloads under an existing name) and is preserved
+// by Clone, so a (fingerprint, generation) pair identifies a query shape over
+// one specific corpus state.
+func (c *Catalog) Generation() uint64 { return c.gen }

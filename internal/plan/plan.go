@@ -164,18 +164,45 @@ type RunStats struct {
 	CumulativeIntermediate int64
 	// ResultRows is the tail output cardinality.
 	ResultRows int
+	// EdgeRows maps every executed edge ID to the cardinality of the
+	// intermediate relation its execution produced. Plan caches compare
+	// these observations against the expectations recorded by the run that
+	// discovered the plan: replays whose cardinalities drift signal that the
+	// data changed enough to warrant re-optimization.
+	EdgeRows map[int]int
+}
+
+// RunConfig tunes a plan replay. The zero value reproduces the plain Run
+// behavior.
+type RunConfig struct {
+	// EagerProject enables the Sec 6 projection+Distinct push-down during the
+	// replay, matching a plan discovered by an optimizer run with the same
+	// option (intermediate cardinalities are only comparable between runs
+	// with the same reduction policy).
+	EagerProject bool
 }
 
 // Run executes the plan over graph g in env and applies the tail.
 func Run(env *Env, g *joingraph.Graph, p *Plan, tail *Tail) (*table.Relation, *RunStats, error) {
+	return RunWithConfig(env, g, p, tail, RunConfig{})
+}
+
+// RunWithConfig is Run with replay options; see RunConfig.
+func RunWithConfig(env *Env, g *joingraph.Graph, p *Plan, tail *Tail, cfg RunConfig) (*table.Relation, *RunStats, error) {
 	if err := p.Covers(g); err != nil {
 		return nil, nil, err
 	}
 	r := NewRunner(env, g)
+	if cfg.EagerProject {
+		r.EnableProjectReduce(tail.Required(g))
+	}
+	edgeRows := make(map[int]int, len(p.Steps))
 	for _, s := range p.Steps {
-		if _, err := r.ExecEdge(g.Edges[s.EdgeID], s.Reverse, s.Alg); err != nil {
+		rows, err := r.ExecEdge(g.Edges[s.EdgeID], s.Reverse, s.Alg)
+		if err != nil {
 			return nil, nil, fmt.Errorf("plan: step e%d: %w", s.EdgeID, err)
 		}
+		edgeRows[s.EdgeID] = rows
 	}
 	rel, err := r.FinalRelation(tail.Required(g))
 	if err != nil {
@@ -185,5 +212,6 @@ func Run(env *Env, g *joingraph.Graph, p *Plan, tail *Tail) (*table.Relation, *R
 	return out, &RunStats{
 		CumulativeIntermediate: r.CumulativeIntermediate,
 		ResultRows:             out.NumRows(),
+		EdgeRows:               edgeRows,
 	}, nil
 }

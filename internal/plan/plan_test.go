@@ -399,3 +399,45 @@ func TestTailRequired(t *testing.T) {
 		t.Errorf("nil tail should be identity")
 	}
 }
+
+// TestRunRecordsEdgeRows: every executed step's intermediate cardinality is
+// observable in RunStats — the raw material of plan-cache drift detection.
+func TestRunRecordsEdgeRows(t *testing.T) {
+	f := newFixture(t)
+	order := []int{f.eRootPerson, f.ePersonName, f.eNameText, f.eRootArticle, f.eArticleAuthor, f.eAuthorText, f.eJoin}
+	p := f.planSteps(order)
+	_, stats, err := Run(f.env, f.g, p, f.tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.EdgeRows) != len(order) {
+		t.Fatalf("EdgeRows has %d entries, want %d: %v", len(stats.EdgeRows), len(order), stats.EdgeRows)
+	}
+	for _, e := range order {
+		if stats.EdgeRows[e] <= 0 {
+			t.Errorf("edge %d recorded %d rows, want > 0", e, stats.EdgeRows[e])
+		}
+	}
+	// 4 persons, 4 names: the first two steps keep all pairs.
+	if stats.EdgeRows[f.eRootPerson] != 4 || stats.EdgeRows[f.ePersonName] != 4 {
+		t.Errorf("step cardinalities = %d, %d, want 4, 4",
+			stats.EdgeRows[f.eRootPerson], stats.EdgeRows[f.ePersonName])
+	}
+}
+
+// TestRunWithConfigEagerProject: the replay variant with projection push-down
+// must produce the same relation as the plain run.
+func TestRunWithConfigEagerProject(t *testing.T) {
+	f := newFixture(t)
+	order := []int{f.eRootPerson, f.ePersonName, f.eNameText, f.eRootArticle, f.eArticleAuthor, f.eAuthorText, f.eJoin}
+	rel, stats, err := RunWithConfig(f.env, f.g, f.planSteps(order), f.tail, RunConfig{EagerProject: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != wantRows {
+		t.Errorf("eager-project rows = %d, want %d", rel.NumRows(), wantRows)
+	}
+	if len(stats.EdgeRows) != len(order) {
+		t.Errorf("EdgeRows entries = %d, want %d", len(stats.EdgeRows), len(order))
+	}
+}

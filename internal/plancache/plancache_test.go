@@ -1,0 +1,198 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+func entry(fp string, gen uint64) *Entry {
+	return &Entry{
+		Fingerprint: fp,
+		Generation:  gen,
+		Plan:        plan.Plan{Steps: []plan.Step{{EdgeID: 0}}},
+		Expected:    map[int]int{0: 100},
+	}
+}
+
+func TestLookupOutcomes(t *testing.T) {
+	c := New(4)
+	if _, out := c.Lookup("q1", 1); out != Miss {
+		t.Fatalf("empty cache lookup = %v, want Miss", out)
+	}
+	c.Install(entry("q1", 1))
+	if e, out := c.Lookup("q1", 1); out != Hit || e.Generation != 1 {
+		t.Fatalf("same-generation lookup = %v (gen %d), want Hit", out, e.Generation)
+	}
+	if _, out := c.Lookup("q1", 2); out != StaleGeneration {
+		t.Fatalf("newer-generation lookup should be StaleGeneration")
+	}
+	s := c.Counters().Snapshot()
+	if s.Misses != 1 || s.Hits != 1 || s.StaleHits != 1 || s.Installs != 1 {
+		t.Fatalf("counters = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Install(entry("a", 1))
+	c.Install(entry("b", 1))
+	c.Lookup("a", 1) // touch a so b is the LRU victim
+	c.Install(entry("c", 1))
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, out := c.Lookup("b", 1); out != Miss {
+		t.Error("b should have been evicted")
+	}
+	if _, out := c.Lookup("a", 1); out != Hit {
+		t.Error("a should have survived")
+	}
+	if s := c.Counters().Snapshot(); s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+}
+
+func TestRevalidate(t *testing.T) {
+	c := New(4)
+	c.Install(entry("q", 1))
+	c.Revalidate("q", 3, map[int]int{0: 120})
+	e, out := c.Lookup("q", 3)
+	if out != Hit {
+		t.Fatalf("lookup after revalidate = %v, want Hit", out)
+	}
+	if e.Expected[0] != 120 {
+		t.Errorf("expectations not refreshed: %v", e.Expected)
+	}
+	// An older revalidation must not roll the generation back.
+	c.Revalidate("q", 2, map[int]int{0: 50})
+	if e, _ := c.Lookup("q", 3); e.Generation != 3 || e.Expected[0] != 120 {
+		t.Errorf("stale revalidate applied: gen=%d expected=%v", e.Generation, e.Expected)
+	}
+	c.Revalidate("missing", 9, nil) // no-op, must not panic
+}
+
+func TestMarkDriftAndInvalidate(t *testing.T) {
+	c := New(4)
+	c.Install(entry("q", 1))
+	// Drift is only ever observed on stale-generation replays, so the
+	// observer's generation is newer than the entry's.
+	c.MarkDrift("q", 2)
+	if _, out := c.Lookup("q", 2); out != Miss {
+		t.Error("drifted entry should be gone")
+	}
+	if s := c.Counters().Snapshot(); s.Drifts != 1 {
+		t.Errorf("drifts = %d, want 1", s.Drifts)
+	}
+	// Drift events are counted even when there is nothing left to evict
+	// (two concurrent replays can both observe the same drift).
+	c.MarkDrift("q", 2)
+	if s := c.Counters().Snapshot(); s.Drifts != 2 {
+		t.Errorf("drifts after double mark = %d, want 2", s.Drifts)
+	}
+	c.Install(entry("r", 1))
+	if !c.Invalidate("r") || c.Invalidate("r") {
+		t.Error("Invalidate should report removal exactly once")
+	}
+	if s := c.Counters().Snapshot(); s.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1 (only actual removals count)", s.Invalidations)
+	}
+}
+
+// TestGenerationGuards: a query that ran over an older catalog snapshot can
+// neither evict nor overwrite an entry validated against newer data.
+func TestGenerationGuards(t *testing.T) {
+	c := New(4)
+	c.Install(entry("q", 6)) // discovered at generation 6
+
+	// An in-flight gen-5 query observes drift replaying it: the event is
+	// counted but the newer entry survives.
+	c.MarkDrift("q", 5)
+	if e, out := c.Lookup("q", 6); out != Hit || e.Generation != 6 {
+		t.Fatalf("gen-6 entry evicted by a gen-5 drift: %v gen=%d", out, e.Generation)
+	}
+	if s := c.Counters().Snapshot(); s.Drifts != 1 {
+		t.Errorf("drift event not counted: %+v", s)
+	}
+
+	// Thundering-herd guard: after one drifted query re-optimizes and
+	// installs at gen 6, a second concurrent query's drift verdict at the
+	// same generation must not tear the fresh entry down again.
+	c.MarkDrift("q", 6)
+	if _, out := c.Lookup("q", 6); out != Hit {
+		t.Fatal("same-generation drift evicted a freshly validated entry")
+	}
+
+	// The gen-5 query's fallback run must not install over the gen-6 plan.
+	stale := entry("q", 5)
+	stale.Expected = map[int]int{0: 999}
+	c.Install(stale)
+	if e, _ := c.Lookup("q", 6); e.Generation != 6 || e.Expected[0] == 999 {
+		t.Fatalf("stale install overwrote newer entry: gen=%d expected=%v", e.Generation, e.Expected)
+	}
+
+	// Same-or-newer generations install normally.
+	c.Install(entry("q", 7))
+	if e, _ := c.Lookup("q", 7); e.Generation != 7 {
+		t.Fatalf("newer install rejected: gen=%d", e.Generation)
+	}
+}
+
+func TestDrift(t *testing.T) {
+	ratio := 2.0
+	cases := []struct {
+		name     string
+		expected map[int]int
+		observed map[int]int
+		want     bool
+	}{
+		{"identical", map[int]int{1: 1000}, map[int]int{1: 1000}, false},
+		{"within ratio", map[int]int{1: 1000}, map[int]int{1: 1800}, false},
+		{"grown beyond ratio", map[int]int{1: 1000}, map[int]int{1: 2500}, true},
+		{"shrunk beyond ratio", map[int]int{1: 1000}, map[int]int{1: 300}, true},
+		{"vanished", map[int]int{1: 1000}, map[int]int{1: 0}, true},
+		{"tiny noise ignored", map[int]int{1: 2}, map[int]int{1: 6}, false},
+		{"unobserved edge skipped", map[int]int{1: 1000, 2: 500}, map[int]int{1: 1000}, false},
+		{"second edge drifts", map[int]int{1: 1000, 2: 500}, map[int]int{1: 1000, 2: 5000}, true},
+	}
+	for _, tc := range cases {
+		_, _, _, drifted := Drift(tc.expected, tc.observed, ratio)
+		if drifted != tc.want {
+			t.Errorf("%s: drifted = %v, want %v", tc.name, drifted, tc.want)
+		}
+	}
+	if edge, exp, obs, d := Drift(map[int]int{7: 100}, map[int]int{7: 1000}, 2); !d || edge != 7 || exp != 100 || obs != 1000 {
+		t.Errorf("drift details = (%d, %d, %d, %v)", edge, exp, obs, d)
+	}
+}
+
+// TestConcurrentAccess exercises the lock paths under -race.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				fp := fmt.Sprintf("q%d", (w+i)%16)
+				switch i % 4 {
+				case 0:
+					c.Install(entry(fp, uint64(i)))
+				case 1:
+					c.Lookup(fp, uint64(i))
+				case 2:
+					c.Revalidate(fp, uint64(i), map[int]int{0: i})
+				case 3:
+					c.MarkDrift(fp, uint64(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Errorf("len = %d exceeds capacity", c.Len())
+	}
+}

@@ -66,23 +66,46 @@ func (p *Pool) release() { <-p.sem }
 // waiting for a free slot if all are busy. ctx cancels both the wait and the
 // evaluation itself.
 func (p *Pool) Query(ctx context.Context, q string) (*Result, error) {
-	return p.run(ctx, q, (*Engine).query)
+	return p.run(ctx, func(env *plan.Env) (*Result, *metrics.Recorder, error) {
+		return p.eng.query(env, q)
+	})
 }
 
 // QueryStatic evaluates q with the classical compile-time baseline on a pool
 // worker.
 func (p *Pool) QueryStatic(ctx context.Context, q string) (*Result, error) {
-	return p.run(ctx, q, (*Engine).queryStatic)
+	return p.run(ctx, func(env *plan.Env) (*Result, *metrics.Recorder, error) {
+		return p.eng.queryStatic(env, q)
+	})
 }
 
-func (p *Pool) run(ctx context.Context, q string, eval func(*Engine, *plan.Env, string) (*Result, *metrics.Recorder, error)) (*Result, error) {
+// QueryPrepared evaluates a prepared statement on a pool worker: no
+// recompilation, plan-cache lookup first. The statement must be prepared on
+// this pool's engine.
+func (p *Pool) QueryPrepared(ctx context.Context, prep *Prepared) (*Result, error) {
+	if prep.eng != p.eng {
+		return nil, fmt.Errorf("rox: prepared statement belongs to a different engine")
+	}
+	return p.run(ctx, func(env *plan.Env) (*Result, *metrics.Recorder, error) {
+		return p.eng.queryCompiled(env, prep.comp, prep.fp)
+	})
+}
+
+// CacheStats reports the engine's plan-cache counters — the servable
+// fleet-wide view next to Aggregator's tuple costs.
+func (p *Pool) CacheStats() CacheStats { return p.eng.CacheStats() }
+
+// run owns the pool protocol shared by every evaluation flavor: admission,
+// per-query env construction with cancellation wired in, and folding the
+// finished recorder (or the error) into the aggregate.
+func (p *Pool) run(ctx context.Context, eval func(*plan.Env) (*Result, *metrics.Recorder, error)) (*Result, error) {
 	if err := p.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer p.release()
 	env := p.eng.newQueryEnv()
 	env.Interrupt = ctx.Err
-	res, rec, err := eval(p.eng, env, q)
+	res, rec, err := eval(env)
 	if err != nil {
 		p.agg.ObserveError()
 		return nil, err

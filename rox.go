@@ -19,13 +19,17 @@
 //
 // One Engine serves any number of concurrent queries over its loaded
 // documents: the corpus lives in an immutable shared catalog and every
-// Query/QueryStatic call gets its own per-query evaluation state. See Pool
-// for a bounded-concurrency front end and cmd/roxserve for an HTTP server
-// built on it.
+// Query/QueryStatic call gets its own per-query evaluation state. Plans the
+// optimizer discovers are cached by canonical Join Graph fingerprint, so
+// repeated queries replay with zero sampling work until the data drifts
+// (Prepare compiles once for that hot path). See Pool for a
+// bounded-concurrency front end and cmd/roxserve for an HTTP server built
+// on it.
 package rox
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -38,6 +42,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/metrics"
 	"repro/internal/plan"
+	"repro/internal/plancache"
 	"repro/internal/table"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -59,7 +64,23 @@ type Engine struct {
 	cat  *plan.Catalog // immutable once published; replaced, never mutated
 	opts core.Options
 	seed int64
+
+	// cache holds the plans previous ROX runs discovered, keyed by the
+	// canonical Join Graph fingerprint and validated against the catalog
+	// generation; nil when disabled (WithPlanCache(0)). See Query for the
+	// compile → lookup → execute pipeline.
+	cache      *plancache.Cache
+	driftRatio float64
 }
+
+// DefaultPlanCacheSize is the plan-cache LRU bound of NewEngine.
+const DefaultPlanCacheSize = 256
+
+// DefaultDriftRatio is the cardinality drift factor beyond which a cached
+// plan is considered stale: a replayed edge whose observed intermediate
+// cardinality exceeds (or undershoots) the discovering run's observation by
+// more than this ratio triggers re-optimization.
+const DefaultDriftRatio = plancache.DefaultDriftRatio
 
 // Option configures an Engine.
 type Option func(*Engine)
@@ -81,9 +102,40 @@ func WithOptimizerOptions(o core.Options) Option {
 	return func(e *Engine) { e.opts = o }
 }
 
-// NewEngine returns an empty engine.
+// WithPlanCache bounds the engine's plan cache to the given number of
+// entries; capacity <= 0 disables caching entirely (every Query runs the
+// full ROX sampling loop, the pre-cache behavior). The default is
+// DefaultPlanCacheSize.
+func WithPlanCache(capacity int) Option {
+	return func(e *Engine) {
+		if capacity <= 0 {
+			e.cache = nil
+			return
+		}
+		e.cache = plancache.New(capacity)
+	}
+}
+
+// WithDriftRatio sets the cardinality factor beyond which a replayed cached
+// plan counts as drifted and is re-optimized (default DefaultDriftRatio;
+// values <= 1 fall back to the default).
+func WithDriftRatio(r float64) Option {
+	return func(e *Engine) {
+		if r > 1 {
+			e.driftRatio = r
+		}
+	}
+}
+
+// NewEngine returns an empty engine with plan caching enabled.
 func NewEngine(options ...Option) *Engine {
-	e := &Engine{opts: core.DefaultOptions(), seed: 1, cat: plan.NewCatalog()}
+	e := &Engine{
+		opts:       core.DefaultOptions(),
+		seed:       1,
+		cat:        plan.NewCatalog(),
+		cache:      plancache.New(DefaultPlanCacheSize),
+		driftRatio: DefaultDriftRatio,
+	}
 	for _, o := range options {
 		o(e)
 	}
@@ -161,17 +213,27 @@ func (e *Engine) Documents() []string {
 
 // Stats reports how a query evaluation spent its work.
 type Stats struct {
-	// Rows is the number of result items.
+	// Rows is the number of result items; it always equals len(Result.Items)
+	// (for count($v) queries that is 1, the single count item).
 	Rows int
 	// Elapsed is the wall-clock evaluation time, sampling included.
 	Elapsed time.Duration
 	// ExecTuples and SampleTuples split the deterministic tuple work
-	// between query execution and optimizer sampling.
+	// between query execution and optimizer sampling. A plan-cache hit
+	// replays with SampleTuples == 0.
 	ExecTuples, SampleTuples int64
 	// CumulativeIntermediate sums all intermediate result cardinalities.
 	CumulativeIntermediate int64
 	// Plan renders the executed edge order.
 	Plan string
+	// CacheHit reports that this evaluation replayed a cached plan instead
+	// of running the sampling optimizer.
+	CacheHit bool
+	// Reoptimized reports that a cached plan was replayed but its observed
+	// cardinalities drifted beyond the engine's drift ratio, so the query
+	// was re-optimized from scratch (the returned results come from that
+	// fresh ROX run).
+	Reoptimized bool
 }
 
 // Result is a query result: the serialized XML of every returned item, in
@@ -181,8 +243,12 @@ type Result struct {
 	Stats Stats
 }
 
-// Query evaluates an XQuery with the ROX run-time optimizer. Safe to call
-// from any number of goroutines.
+// Query evaluates an XQuery through the compile → plan-cache lookup →
+// execute pipeline: a cached plan from an earlier run of the same query
+// shape replays with zero sampling work; otherwise the ROX run-time
+// optimizer runs and its discovered plan is installed. Safe to call from any
+// number of goroutines. For repeated queries prefer Prepare, which also
+// skips recompilation.
 func (e *Engine) Query(q string) (*Result, error) {
 	res, _, err := e.query(e.newQueryEnv(), q)
 	return res, err
@@ -214,30 +280,150 @@ func (e *Engine) QueryStaticContext(ctx context.Context, q string) (*Result, err
 	return res, err
 }
 
-// query runs the ROX optimizer path in the given per-query environment and
-// returns the result plus the environment's recorder (for aggregation).
+// query compiles q and runs the prepared pipeline (plan-cache lookup, then
+// the ROX optimizer on a miss) in the given per-query environment, returning
+// the result plus the environment's recorder (for aggregation).
 func (e *Engine) query(env *plan.Env, q string) (*Result, *metrics.Recorder, error) {
 	comp, err := xquery.CompileString(q, xquery.CompileOptions{})
 	if err != nil {
 		return nil, env.Rec, err
 	}
+	return e.queryCompiled(env, comp, "")
+}
+
+// queryCompiled is the execution pipeline behind Query and Prepared.Query:
+// fingerprint → plan-cache lookup → replay or optimize.
+//
+//   - Cache hit at the current catalog generation: replay the cached plan
+//     with zero sampling work.
+//   - Hit from an older generation (the corpus changed since discovery):
+//     replay anyway — replay is correct regardless of data changes, only the
+//     cost can suffer — while comparing observed per-edge cardinalities
+//     against the discovering run's. Within the drift ratio the entry is
+//     revalidated for the current generation; beyond it the entry is dropped
+//     and the query re-optimized on the spot by a full ROX run.
+//   - Miss: run ROX and install the discovered plan.
+//
+// fp is the precomputed cache key ("" = compute here); see cacheKey.
+func (e *Engine) queryCompiled(env *plan.Env, comp *xquery.Compiled, fp string) (*Result, *metrics.Recorder, error) {
+	// The stopwatch and recorder baselines start before the cache lookup so
+	// that on the drift path — replay first, then a full re-optimization —
+	// the returned Stats cover everything this request actually did, not
+	// just the final run.
 	sw := metrics.Start()
+	startExec := env.Rec.CostOf(metrics.PhaseExecute)
+	startSample := env.Rec.CostOf(metrics.PhaseSample)
+	reoptimized := false
+	var replayIntermediate int64 // drift path: the abandoned replay's intermediates
+	if e.cache != nil {
+		if fp == "" {
+			fp = cacheKey(comp)
+		}
+		gen := env.Catalog().Generation()
+		if entry, outcome := e.cache.Lookup(fp, gen); outcome != plancache.Miss {
+			rel, stats, err := e.replay(env, comp, entry)
+			switch {
+			case err != nil && env.CheckInterrupt() != nil:
+				// Canceled mid-replay: propagate, don't fall back.
+				return nil, env.Rec, err
+			case err != nil:
+				// The cached plan does not fit the freshly compiled graph
+				// (e.g. a fingerprint collision): drop it and optimize.
+				e.cache.Invalidate(fp)
+			case outcome == plancache.Hit:
+				// Exact generation: the catalog is immutable per generation,
+				// so the data cannot have drifted — serve without verifying.
+				return e.serveReplay(env, comp, entry, rel, stats, sw, startExec, startSample)
+			default: // StaleGeneration: verify the successful replay
+				if _, _, _, drifted := plancache.Drift(entry.Expected, stats.EdgeRows, e.driftRatio); drifted {
+					// The data moved out from under the plan: evict and
+					// re-optimize on the spot. The replayed results were
+					// correct, but a fresh ROX run both answers this query
+					// and discovers the plan that fits the data now.
+					e.cache.MarkDrift(fp, gen)
+					reoptimized = true
+					replayIntermediate = stats.CumulativeIntermediate
+				} else {
+					e.cache.Revalidate(fp, gen, stats.EdgeRows)
+					return e.serveReplay(env, comp, entry, rel, stats, sw, startExec, startSample)
+				}
+			}
+		}
+	}
 	rel, res, err := core.Run(env, comp.Graph, comp.Tail, e.opts)
 	if err != nil {
-		return nil, env.Rec, err
+		return nil, env.Rec, translateErr(err)
 	}
-	elapsed := sw.Elapsed()
 	out, err := serialize(comp, rel)
 	if err != nil {
 		return nil, env.Rec, err
 	}
 	out.Stats = Stats{
-		Rows:                   rel.NumRows(),
-		Elapsed:                elapsed,
-		ExecTuples:             res.ExecCost.Tuples,
-		SampleTuples:           res.SampleCost.Tuples,
-		CumulativeIntermediate: res.CumulativeIntermediate,
+		Rows: len(out.Items),
+		// Stopped after serialize, matching serveReplay, so hit and miss
+		// Elapsed are comparable.
+		Elapsed: sw.Elapsed(),
+		// Recorder deltas, not res.ExecCost/SampleCost, and the replay's
+		// intermediates folded in: on the drift path the request also paid
+		// for the abandoned replay, so every cost field covers it.
+		ExecTuples:             env.Rec.CostOf(metrics.PhaseExecute).Sub(startExec).Tuples,
+		SampleTuples:           env.Rec.CostOf(metrics.PhaseSample).Sub(startSample).Tuples,
+		CumulativeIntermediate: res.CumulativeIntermediate + replayIntermediate,
 		Plan:                   res.Plan.String(),
+		Reoptimized:            reoptimized,
+	}
+	if e.cache != nil {
+		e.cache.Install(&plancache.Entry{
+			Fingerprint: fp,
+			Generation:  env.Catalog().Generation(),
+			Plan:        res.Plan,
+			Expected:    res.EdgeRows,
+		})
+	}
+	return out, env.Rec, nil
+}
+
+// cacheKey derives the plan-cache key of a compiled query: the canonical
+// Join Graph fingerprint extended with the tail's vertex lists. The plan is
+// a property of the graph alone, but replay verification compares
+// projection-sensitive intermediate cardinalities (EagerProject reduces by
+// the tail's required columns), so two queries sharing a graph while
+// differing in their tail must key separately or their expectations would
+// thrash each other's entries.
+func cacheKey(comp *xquery.Compiled) string {
+	return fmt.Sprintf("%s|t:%v:%v:%v", comp.Graph.Fingerprint(),
+		comp.Tail.Project, comp.Tail.Sort, comp.Tail.Final)
+}
+
+// replay executes a cached plan over the freshly compiled graph, recording
+// per-edge observed cardinalities. No sampling happens on this path — the
+// whole point of the cache is SampleTuples == 0. Serialization is deferred
+// to serveReplay so a replay that ends up drift-rejected never pays it.
+func (e *Engine) replay(env *plan.Env, comp *xquery.Compiled, entry *plancache.Entry) (*table.Relation, *plan.RunStats, error) {
+	p := entry.Plan
+	return plan.RunWithConfig(env, comp.Graph, &p, comp.Tail,
+		plan.RunConfig{EagerProject: e.opts.EagerProject})
+}
+
+// serveReplay serializes an accepted replay and assembles its Stats from the
+// recorder deltas since the request began (replay work only — the cache
+// lookup itself charges nothing).
+func (e *Engine) serveReplay(env *plan.Env, comp *xquery.Compiled, entry *plancache.Entry,
+	rel *table.Relation, stats *plan.RunStats,
+	sw metrics.Stopwatch, startExec, startSample metrics.Cost) (*Result, *metrics.Recorder, error) {
+	out, err := serialize(comp, rel)
+	if err != nil {
+		return nil, env.Rec, err
+	}
+	p := entry.Plan
+	out.Stats = Stats{
+		Rows:                   len(out.Items),
+		Elapsed:                sw.Elapsed(),
+		ExecTuples:             env.Rec.CostOf(metrics.PhaseExecute).Sub(startExec).Tuples,
+		SampleTuples:           env.Rec.CostOf(metrics.PhaseSample).Sub(startSample).Tuples,
+		CumulativeIntermediate: stats.CumulativeIntermediate,
+		Plan:                   p.String(),
+		CacheHit:               true,
 	}
 	return out, env.Rec, nil
 }
@@ -253,12 +439,12 @@ func (e *Engine) queryStatic(env *plan.Env, q string) (*Result, *metrics.Recorde
 	// charge them to a scratch recorder as the baseline prescribes.
 	pl, err := classical.StaticPlan(env.WithScratchRecorder(), comp.Graph)
 	if err != nil {
-		return nil, env.Rec, err
+		return nil, env.Rec, translateErr(err)
 	}
 	sw := metrics.Start()
 	rel, stats, err := plan.Run(env, comp.Graph, pl, comp.Tail)
 	if err != nil {
-		return nil, env.Rec, err
+		return nil, env.Rec, translateErr(err)
 	}
 	elapsed := sw.Elapsed()
 	out, err := serialize(comp, rel)
@@ -266,7 +452,7 @@ func (e *Engine) queryStatic(env *plan.Env, q string) (*Result, *metrics.Recorde
 		return nil, env.Rec, err
 	}
 	out.Stats = Stats{
-		Rows:                   rel.NumRows(),
+		Rows:                   len(out.Items),
 		Elapsed:                elapsed,
 		ExecTuples:             env.Rec.CostOf(metrics.PhaseExecute).Tuples,
 		CumulativeIntermediate: stats.CumulativeIntermediate,
@@ -292,7 +478,7 @@ func (e *Engine) Explain(q string) (string, error) {
 func (e *Engine) XPath(docName, path string) ([]string, error) {
 	ix, err := e.catalog().Index(docName)
 	if err != nil {
-		return nil, ErrNoSuchDocument(docName)
+		return nil, &NoSuchDocumentError{Name: docName}
 	}
 	nodes, err := xpath.Eval(ix, path)
 	if err != nil {
@@ -310,7 +496,7 @@ func (e *Engine) XPath(docName, path string) ([]string, error) {
 func (e *Engine) XPathCount(docName, path string) (int, error) {
 	ix, err := e.catalog().Index(docName)
 	if err != nil {
-		return 0, ErrNoSuchDocument(docName)
+		return 0, &NoSuchDocumentError{Name: docName}
 	}
 	return xpath.Count(ix, path)
 }
@@ -340,11 +526,116 @@ func serialize(comp *xquery.Compiled, rel *table.Relation) (*Result, error) {
 	return out, nil
 }
 
+// Prepared is a compiled query bound to an Engine: Prepare pays the lexing,
+// parsing and Join Graph Isolation cost once, and every Prepared.Query call
+// goes straight to the plan-cache lookup. The compiled graph is immutable
+// after compilation, so a Prepared is safe for concurrent use by any number
+// of goroutines — the intended shape for a server hot path is one Prepared
+// per distinct query text, queried by every request.
+type Prepared struct {
+	eng  *Engine
+	comp *xquery.Compiled
+	text string
+	fp   string
+}
+
+// Prepare compiles an XQuery once for repeated execution. The returned
+// statement evaluates over whatever corpus the engine holds at each Query
+// call (documents loaded after Prepare are visible).
+func (e *Engine) Prepare(q string) (*Prepared, error) {
+	comp, err := xquery.CompileString(q, xquery.CompileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{eng: e, comp: comp, text: q, fp: cacheKey(comp)}, nil
+}
+
+// Query evaluates the prepared statement: plan-cache lookup first, the full
+// ROX optimizer only on a miss or after drift. Safe to call from any number
+// of goroutines.
+func (p *Prepared) Query() (*Result, error) {
+	res, _, err := p.eng.queryCompiled(p.eng.newQueryEnv(), p.comp, p.fp)
+	return res, err
+}
+
+// QueryContext is Query with cancellation, like Engine.QueryContext.
+func (p *Prepared) QueryContext(ctx context.Context) (*Result, error) {
+	env := p.eng.newQueryEnv()
+	env.Interrupt = ctx.Err
+	res, _, err := p.eng.queryCompiled(env, p.comp, p.fp)
+	return res, err
+}
+
+// Text returns the query text the statement was prepared from.
+func (p *Prepared) Text() string { return p.text }
+
+// Fingerprint returns the statement's plan-cache key: the canonical Join
+// Graph fingerprint extended with the tail (paired with the catalog
+// generation at each execution).
+func (p *Prepared) Fingerprint() string { return p.fp }
+
+// Explain returns the compiled Join Graph rendering.
+func (p *Prepared) Explain() string { return p.comp.Graph.String() }
+
+// CacheStats is a point-in-time view of the engine's plan cache.
+type CacheStats struct {
+	// Enabled is false when the engine runs with WithPlanCache(0); all other
+	// fields are then zero.
+	Enabled bool
+	// Size and Capacity are the current and maximum entry counts of the LRU.
+	Size, Capacity int
+	// Counters breaks down lookups and invalidations; see
+	// metrics.CacheSnapshot.
+	Counters metrics.CacheSnapshot
+}
+
+// CacheStats reports the plan cache's size and event counters. Safe to call
+// concurrently with queries.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Enabled:  true,
+		Size:     e.cache.Len(),
+		Capacity: e.cache.Capacity(),
+		Counters: e.cache.Counters().Snapshot(),
+	}
+}
+
 // Version is the library version.
 const Version = "1.0.0"
 
-// ErrNoSuchDocument formats the common failure of querying an unloaded
-// document — exposed for user-friendly error matching.
-func ErrNoSuchDocument(name string) error {
-	return fmt.Errorf("rox: document %q not loaded", name)
+// ErrNoSuchDocument is the sentinel for queries addressing a document that
+// was never loaded; match it with errors.Is. The concrete error carries the
+// document name — retrieve it with errors.As:
+//
+//	var nse *NoSuchDocumentError
+//	if errors.As(err, &nse) { log.Println(nse.Name) }
+var ErrNoSuchDocument = errors.New("rox: no such document")
+
+// NoSuchDocumentError reports which document a failing query referred to.
+// It matches ErrNoSuchDocument under errors.Is.
+type NoSuchDocumentError struct {
+	Name string
+}
+
+// Error renders the failure with the document name.
+func (e *NoSuchDocumentError) Error() string {
+	return fmt.Sprintf("rox: document %q not loaded", e.Name)
+}
+
+// Is makes errors.Is(err, ErrNoSuchDocument) match.
+func (e *NoSuchDocumentError) Is(target error) bool { return target == ErrNoSuchDocument }
+
+// translateErr maps internal execution errors onto the package's typed
+// errors — today, the catalog's unknown-document failure onto
+// NoSuchDocumentError, so doc("missing.xml") in a query matches
+// ErrNoSuchDocument just like the XPath entry points.
+func translateErr(err error) error {
+	var ude *plan.UnknownDocumentError
+	if errors.As(err, &ude) {
+		return &NoSuchDocumentError{Name: ude.Name}
+	}
+	return err
 }
