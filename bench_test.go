@@ -620,3 +620,56 @@ func BenchmarkBinaryRoundtrip(b *testing.B) {
 		}
 	}
 }
+
+// --- Sharded-collection benches: the scatter-gather path. ---
+
+// scatterBenchEngine loads the default XMark corpus split into 4 shards of
+// collection "xmark" next to an engine holding it as one document, so the
+// scatter-gather overhead is measurable against the single-catalog baseline.
+func scatterBenchEngine(shards int) *Engine {
+	cfg := datagen.DefaultXMarkConfig()
+	e := NewEngine(WithSeed(1))
+	e.LoadCollection("xmark", datagen.XMarkShards(cfg, shards))
+	return e
+}
+
+const scatterBenchQuery = `for $p in collection("xmark")//person[.//province] return $p`
+
+// BenchmarkCollectionScatterCold runs the full per-shard ROX sampling loop
+// on every iteration (cache disabled): 4 independent optimizations plus the
+// ordered merge tail.
+func BenchmarkCollectionScatterCold(b *testing.B) {
+	cfg := datagen.DefaultXMarkConfig()
+	e := NewEngine(WithSeed(1), WithPlanCache(0))
+	e.LoadCollection("xmark", datagen.XMarkShards(cfg, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(scatterBenchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectionScatterCached measures the steady-state hot path of a
+// sharded corpus: per-shard plan-cache hits, zero sampling, concurrent shard
+// replay, in-order merge.
+func BenchmarkCollectionScatterCached(b *testing.B) {
+	e := scatterBenchEngine(4)
+	prep, err := e.Prepare(scatterBenchQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := prep.Query(); err != nil { // warm the per-shard caches
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := prep.Query()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.SampleTuples != 0 {
+			b.Fatalf("cached scatter sampled %d tuples", res.Stats.SampleTuples)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Command benchdiff is the CI performance-regression gate: it parses `go
+// test -bench` output, aggregates repeated runs (-count N) into per-benchmark
+// mean ns/op, compares the means against a committed baseline JSON, and exits
+// non-zero when any baseline benchmark regressed beyond the threshold (or
+// disappeared from the run).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 3x -count 6 ./... > bench.txt
+//	benchdiff -bench bench.txt -baseline BENCH_BASELINE.json -threshold 0.25
+//
+// Regenerate (or create) the baseline from a fresh run:
+//
+//	benchdiff -bench bench.txt -write BENCH_BASELINE.json
+//
+// The comparison is benchstat-flavored but deliberately small: arithmetic
+// mean over the repetitions, one ratio per benchmark, a fixed threshold. It
+// gates the big movements (a 2× slowdown on a hot path) rather than chasing
+// single-digit noise — which is also why the default threshold is 25%.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed JSON shape.
+type Baseline struct {
+	// Note documents how the file was produced, for the next human.
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// recorded statistics.
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark's recorded statistics.
+type Bench struct {
+	NsPerOp float64 `json:"ns_per_op"` // mean over the samples
+	Samples int     `json:"samples"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkROXEndToEnd-4   	     100	    123456 ns/op	 12 B/op
+//
+// The -4 GOMAXPROCS suffix is stripped so runs from machines with different
+// core counts compare by name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	benchPath := flag.String("bench", "", "go test -bench output to parse (default stdin)")
+	baselinePath := flag.String("baseline", "", "committed baseline JSON to compare against")
+	threshold := flag.Float64("threshold", 0.25, "fail when mean ns/op exceeds baseline by more than this fraction")
+	writePath := flag.String("write", "", "write the parsed results as baseline JSON to this path")
+	note := flag.String("note", "", "note stored in the written baseline")
+	flag.Parse()
+
+	if err := run(*benchPath, *baselinePath, *threshold, *writePath, *note, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchPath, baselinePath string, threshold float64, writePath, note string, out io.Writer) error {
+	var in io.Reader = os.Stdin
+	if benchPath != "" {
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results found in input")
+	}
+
+	if writePath != "" {
+		if err := writeBaseline(writePath, note, results); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d benchmarks to %s\n", len(results), writePath)
+	}
+	if baselinePath == "" {
+		return nil
+	}
+
+	base, err := readBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	regressions, report := compare(base, results, threshold)
+	fmt.Fprint(out, report)
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
+			len(regressions), threshold*100, strings.Join(regressions, ", "))
+	}
+	return nil
+}
+
+// parseBench aggregates all ns/op samples per benchmark name.
+func parseBench(r io.Reader) (map[string]Bench, error) {
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		samples[m[1]] = append(samples[m[1]], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]Bench, len(samples))
+	for name, ss := range samples {
+		sum := 0.0
+		for _, s := range ss {
+			sum += s
+		}
+		out[name] = Bench{NsPerOp: sum / float64(len(ss)), Samples: len(ss)}
+	}
+	return out, nil
+}
+
+// compare checks every baseline benchmark against the fresh results. A
+// benchmark missing from the fresh run counts as a regression — a gate that
+// silently loses its benchmarks gates nothing. Fresh benchmarks absent from
+// the baseline are reported informationally (they start gating once the
+// baseline is regenerated).
+func compare(base Baseline, results map[string]Bench, threshold float64) (regressions []string, report string) {
+	var sb strings.Builder
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		fresh, ok := results[name]
+		if !ok {
+			regressions = append(regressions, name+" (missing)")
+			fmt.Fprintf(&sb, "MISSING  %-44s baseline %12.0f ns/op, not in this run\n", name, b.NsPerOp)
+			continue
+		}
+		ratio := fresh.NsPerOp / b.NsPerOp
+		verdict := "ok      "
+		if ratio > 1+threshold {
+			verdict = "REGRESS "
+			regressions = append(regressions, fmt.Sprintf("%s (%.2fx)", name, ratio))
+		}
+		fmt.Fprintf(&sb, "%s %-44s %12.0f -> %12.0f ns/op  (%.2fx)\n",
+			verdict, name, b.NsPerOp, fresh.NsPerOp, ratio)
+	}
+	extra := 0
+	for name := range results {
+		if _, ok := base.Benchmarks[name]; !ok {
+			extra++
+		}
+	}
+	if extra > 0 {
+		fmt.Fprintf(&sb, "note: %d benchmark(s) not in the baseline (regenerate with -write to gate them)\n", extra)
+	}
+	return regressions, sb.String()
+}
+
+func readBaseline(path string) (Baseline, error) {
+	var base Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return base, err
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return base, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return base, fmt.Errorf("baseline %s holds no benchmarks", path)
+	}
+	return base, nil
+}
+
+func writeBaseline(path, note string, results map[string]Bench) error {
+	base := Baseline{Note: note, Benchmarks: results}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchOutput renders fake `go test -bench` output: count samples per
+// benchmark at the given ns/op.
+func benchOutput(benches map[string]float64, count int) string {
+	var sb strings.Builder
+	sb.WriteString("goos: linux\ngoarch: amd64\npkg: repro\n")
+	for name, ns := range benches {
+		for i := 0; i < count; i++ {
+			fmt.Fprintf(&sb, "%s-4   \t     100\t      %.1f ns/op\n", name, ns)
+		}
+	}
+	sb.WriteString("PASS\nok  \trepro\t1.000s\n")
+	return sb.String()
+}
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchAggregatesSamples(t *testing.T) {
+	out := benchOutput(map[string]float64{"BenchmarkA": 100}, 1) +
+		"BenchmarkA-4   \t     100\t      300.0 ns/op\n" +
+		"BenchmarkNoSuffix   \t     10\t      50.0 ns/op\n"
+	results, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := results["BenchmarkA"]
+	if a.Samples != 2 || a.NsPerOp != 200 {
+		t.Errorf("BenchmarkA = %+v, want mean 200 over 2 samples", a)
+	}
+	if b := results["BenchmarkNoSuffix"]; b.Samples != 1 || b.NsPerOp != 50 {
+		t.Errorf("BenchmarkNoSuffix = %+v", b)
+	}
+}
+
+// TestInjectedSlowdownFailsTheGate is the acceptance check for the CI gate:
+// a 2× slowdown against the committed baseline must exit non-zero.
+func TestInjectedSlowdownFailsTheGate(t *testing.T) {
+	dir := t.TempDir()
+	baseRun := writeFile(t, dir, "base.txt",
+		benchOutput(map[string]float64{"BenchmarkHot": 1000, "BenchmarkCool": 500}, 6))
+	baseline := filepath.Join(dir, "baseline.json")
+	var sb strings.Builder
+	if err := run(baseRun, "", 0.25, baseline, "test", &sb); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+
+	// Same speed: passes.
+	sameRun := writeFile(t, dir, "same.txt",
+		benchOutput(map[string]float64{"BenchmarkHot": 1100, "BenchmarkCool": 500}, 6))
+	if err := run(sameRun, baseline, 0.25, "", "", &sb); err != nil {
+		t.Fatalf("10%% drift within a 25%% threshold failed: %v", err)
+	}
+
+	// Injected 2× slowdown on one bench: fails, naming the bench.
+	slowRun := writeFile(t, dir, "slow.txt",
+		benchOutput(map[string]float64{"BenchmarkHot": 2000, "BenchmarkCool": 500}, 6))
+	sb.Reset()
+	err := run(slowRun, baseline, 0.25, "", "", &sb)
+	if err == nil {
+		t.Fatal("2x slowdown passed the gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkHot") {
+		t.Errorf("error %v does not name the regressed benchmark", err)
+	}
+	if !strings.Contains(sb.String(), "REGRESS") {
+		t.Errorf("report lacks a REGRESS line:\n%s", sb.String())
+	}
+}
+
+func TestMissingBenchmarkFailsTheGate(t *testing.T) {
+	dir := t.TempDir()
+	baseRun := writeFile(t, dir, "base.txt",
+		benchOutput(map[string]float64{"BenchmarkHot": 1000, "BenchmarkGone": 500}, 3))
+	baseline := filepath.Join(dir, "baseline.json")
+	var sb strings.Builder
+	if err := run(baseRun, "", 0.25, baseline, "", &sb); err != nil {
+		t.Fatal(err)
+	}
+	freshRun := writeFile(t, dir, "fresh.txt",
+		benchOutput(map[string]float64{"BenchmarkHot": 1000}, 3))
+	err := run(freshRun, baseline, 0.25, "", "", &sb)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkGone") {
+		t.Errorf("silently dropped benchmark passed the gate: %v", err)
+	}
+}
+
+func TestNewBenchmarksAreReportedNotGated(t *testing.T) {
+	dir := t.TempDir()
+	baseRun := writeFile(t, dir, "base.txt", benchOutput(map[string]float64{"BenchmarkHot": 1000}, 3))
+	baseline := filepath.Join(dir, "baseline.json")
+	var sb strings.Builder
+	if err := run(baseRun, "", 0.25, baseline, "", &sb); err != nil {
+		t.Fatal(err)
+	}
+	freshRun := writeFile(t, dir, "fresh.txt",
+		benchOutput(map[string]float64{"BenchmarkHot": 1000, "BenchmarkNew": 99999}, 3))
+	sb.Reset()
+	if err := run(freshRun, baseline, 0.25, "", "", &sb); err != nil {
+		t.Fatalf("new benchmark broke the gate: %v", err)
+	}
+	if !strings.Contains(sb.String(), "not in the baseline") {
+		t.Errorf("report does not mention the ungated new benchmark:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	empty := writeFile(t, dir, "empty.txt", "no benches here\n")
+	if err := run(empty, "", 0.25, "", "", &sb); err == nil {
+		t.Error("empty bench output accepted")
+	}
+	someRun := writeFile(t, dir, "some.txt", benchOutput(map[string]float64{"BenchmarkX": 10}, 1))
+	if err := run(someRun, filepath.Join(dir, "missing.json"), 0.25, "", "", &sb); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	badBase := writeFile(t, dir, "bad.json", `{"benchmarks": {}}`)
+	if err := run(someRun, badBase, 0.25, "", "", &sb); err == nil {
+		t.Error("empty baseline accepted")
+	}
+}

@@ -4,8 +4,14 @@
 // Usage:
 //
 //	datagen -kind xmark -out xmark.xml
+//	datagen -kind xmark -shards 4 -outdir corpus/   # xmark-0.xml … xmark-3.xml
 //	datagen -kind dblp -outdir dblp/ -scale 10 -divisor 1
 //	datagen -kind dblp -venues VLDB,ICDE,ICIP,ADBIS -outdir .
+//
+// With -shards N the XMark corpus is emitted pre-split into N shard
+// documents whose contents partition the single-document corpus in order —
+// load them with roxserve -collection or rox.LoadCollection and query them
+// with collection("name").
 package main
 
 import (
@@ -31,20 +37,34 @@ func main() {
 	persons := flag.Int("persons", 600, "xmark: person count")
 	items := flag.Int("items", 500, "xmark: item count")
 	auctions := flag.Int("auctions", 400, "xmark: open auction count")
+	shards := flag.Int("shards", 0, "xmark: split the corpus into N shard files (written to -outdir)")
 	flag.Parse()
 
-	if err := run(*kind, *out, *outdir, *scale, *divisor, *seed, *venuesFlag, *binaryOut, *persons, *items, *auctions); err != nil {
+	if err := run(*kind, *out, *outdir, *scale, *divisor, *seed, *venuesFlag, *binaryOut, *persons, *items, *auctions, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind, out, outdir string, scale, divisor int, seed int64, venuesFlag string, binaryOut bool, persons, items, auctions int) error {
+func run(kind, out, outdir string, scale, divisor int, seed int64, venuesFlag string, binaryOut bool, persons, items, auctions, shards int) error {
 	switch kind {
 	case "xmark":
 		cfg := datagen.DefaultXMarkConfig()
 		cfg.Seed = seed
 		cfg.Persons, cfg.Items, cfg.OpenAuctions = persons, items, auctions
+		if shards > 0 {
+			for _, d := range datagen.XMarkShards(cfg, shards) {
+				path := filepath.Join(outdir, d.Name())
+				if binaryOut {
+					path += ".roxd"
+				}
+				if err := writeDoc(d, path, binaryOut); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+			return nil
+		}
 		return writeDoc(datagen.XMark(cfg), out, binaryOut)
 	case "dblp":
 		venues := datagen.Catalog()

@@ -12,7 +12,7 @@ import (
 func TestRunXMark(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "x.xml")
-	if err := run("xmark", out, dir, 1, 1, 7, "", false, 30, 20, 15); err != nil {
+	if err := run("xmark", out, dir, 1, 1, 7, "", false, 30, 20, 15, 0); err != nil {
 		t.Fatalf("run xmark: %v", err)
 	}
 	d, err := xmltree.ParseFile("", out)
@@ -27,7 +27,7 @@ func TestRunXMark(t *testing.T) {
 func TestRunXMarkBinary(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "x.roxd")
-	if err := run("xmark", out, dir, 1, 1, 7, "", true, 30, 20, 15); err != nil {
+	if err := run("xmark", out, dir, 1, 1, 7, "", true, 30, 20, 15, 0); err != nil {
 		t.Fatalf("run xmark binary: %v", err)
 	}
 	d, err := xmltree.ReadBinaryFile(out)
@@ -41,7 +41,7 @@ func TestRunXMarkBinary(t *testing.T) {
 
 func TestRunDBLPSubset(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("dblp", "", dir, 1, 50, 7, "VLDB,ADBIS", false, 0, 0, 0); err != nil {
+	if err := run("dblp", "", dir, 1, 50, 7, "VLDB,ADBIS", false, 0, 0, 0, 0); err != nil {
 		t.Fatalf("run dblp: %v", err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -61,7 +61,7 @@ func TestRunDBLPSubset(t *testing.T) {
 
 func TestRunDBLPBinary(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("dblp", "", dir, 1, 50, 7, "EDBT", true, 0, 0, 0); err != nil {
+	if err := run("dblp", "", dir, 1, 50, 7, "EDBT", true, 0, 0, 0, 0); err != nil {
 		t.Fatalf("run dblp binary: %v", err)
 	}
 	entries, _ := os.ReadDir(dir)
@@ -81,10 +81,10 @@ func TestRunDBLPBinary(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("nope", "", dir, 1, 1, 7, "", false, 0, 0, 0); err == nil {
+	if err := run("nope", "", dir, 1, 1, 7, "", false, 0, 0, 0, 0); err == nil {
 		t.Errorf("unknown kind should fail")
 	}
-	if err := run("dblp", "", dir, 1, 1, 7, "NotAVenue", false, 0, 0, 0); err == nil {
+	if err := run("dblp", "", dir, 1, 1, 7, "NotAVenue", false, 0, 0, 0, 0); err == nil {
 		t.Errorf("unknown venue should fail")
 	}
 }

@@ -18,10 +18,24 @@
 //	GET  /stats                              aggregate evaluation statistics
 //	GET  /cache                              plan-cache size + hit/miss/drift
 //	                                         counters
+//	GET  /collections                        registered collections + shards
+//	POST /collections/load?name=C&shard=S    replace (or append) one shard of
+//	                                         collection C from the XML body;
+//	                                         404 unless C exists or &create=1
 //
 // Each -doc FILE is loaded under its base name, so doc("people.xml") refers
 // to -doc path/to/people.xml. Files ending in .roxd are loaded from the
 // binary shredded format (see cmd/datagen -binary).
+//
+// Sharded collections load with -collection NAME=GLOB, e.g.
+//
+//	datagen -kind xmark -shards 4 -outdir corpus/
+//	roxserve -collection xmark=corpus/xmark-*.xml
+//
+// and are queried scatter-gather with collection("NAME") — every shard runs
+// the full ROX sampling loop independently, so each discovers its own plan.
+// Replacing one shard via /collections/load (safe while serving; loads are
+// copy-on-write) invalidates only that shard's cached plans.
 package main
 
 import (
@@ -36,6 +50,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -55,8 +70,9 @@ func (m *multiFlag) Set(s string) error {
 }
 
 func main() {
-	var docs multiFlag
+	var docs, colls multiFlag
 	flag.Var(&docs, "doc", "XML file to load (repeatable); addressed by base name")
+	flag.Var(&colls, "collection", "NAME=GLOB sharded collection to load (repeatable); queried with collection(\"NAME\")")
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "max concurrent query evaluations (0 = GOMAXPROCS)")
 	tau := flag.Int("tau", 100, "ROX sample size τ")
@@ -67,15 +83,15 @@ func main() {
 	drift := flag.Float64("drift", rox.DefaultDriftRatio, "cardinality drift ratio that re-optimizes a cached plan")
 	flag.Parse()
 
-	if err := run(docs, *addr, *workers, *tau, *seed, *demo, *maxBody, *cacheSize, *drift); err != nil {
+	if err := run(docs, colls, *addr, *workers, *tau, *seed, *demo, *maxBody, *cacheSize, *drift); err != nil {
 		fmt.Fprintln(os.Stderr, "roxserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(docs []string, addr string, workers, tau int, seed int64, demo bool, maxBody int64, cacheSize int, drift float64) error {
-	if len(docs) == 0 && !demo {
-		return fmt.Errorf("nothing to serve: pass -doc files or -demo")
+func run(docs, colls []string, addr string, workers, tau int, seed int64, demo bool, maxBody int64, cacheSize int, drift float64) error {
+	if len(docs) == 0 && len(colls) == 0 && !demo {
+		return fmt.Errorf("nothing to serve: pass -doc files, -collection specs or -demo")
 	}
 	eng := rox.NewEngine(rox.WithSampleSize(tau), rox.WithSeed(seed),
 		rox.WithPlanCache(cacheSize), rox.WithDriftRatio(drift))
@@ -83,16 +99,15 @@ func run(docs []string, addr string, workers, tau int, seed int64, demo bool, ma
 		loadDemo(eng)
 	}
 	for _, path := range docs {
-		if strings.HasSuffix(path, ".roxd") {
-			d, err := xmltree.ReadBinaryFile(path)
-			if err != nil {
-				return fmt.Errorf("load %s: %w", path, err)
-			}
-			eng.LoadDocument(d)
-			continue
+		d, err := loadShredded(path)
+		if err != nil {
+			return err
 		}
-		if err := eng.LoadFile(filepath.Base(path), path); err != nil {
-			return fmt.Errorf("load %s: %w", path, err)
+		eng.LoadDocument(d)
+	}
+	for _, spec := range colls {
+		if err := loadCollectionSpec(eng, spec); err != nil {
+			return err
 		}
 	}
 	pool := rox.NewPool(eng, workers)
@@ -115,6 +130,51 @@ func run(docs []string, addr string, workers, tau int, seed int64, demo bool, ma
 		defer cancel()
 		return srv.Shutdown(sctx)
 	}
+}
+
+// loadShredded reads one document from disk: .roxd files through the binary
+// shredded format, anything else as XML text named by its base name.
+func loadShredded(path string) (*xmltree.Document, error) {
+	if strings.HasSuffix(path, ".roxd") {
+		d, err := xmltree.ReadBinaryFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		return d, nil
+	}
+	d, err := xmltree.ParseFile(filepath.Base(path), path)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	return d, nil
+}
+
+// loadCollectionSpec loads one -collection NAME=GLOB spec: every matching
+// file becomes a shard, registered in sorted path order (which fixes the
+// collection's result order).
+func loadCollectionSpec(eng *rox.Engine, spec string) error {
+	name, pattern, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || pattern == "" {
+		return fmt.Errorf("bad -collection spec %q: want NAME=GLOB", spec)
+	}
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return fmt.Errorf("bad -collection glob %q: %w", pattern, err)
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("-collection %s: no files match %q", name, pattern)
+	}
+	sort.Strings(paths)
+	docs := make([]*xmltree.Document, 0, len(paths))
+	for _, path := range paths {
+		d, err := loadShredded(path)
+		if err != nil {
+			return err
+		}
+		docs = append(docs, d)
+	}
+	eng.LoadCollection(name, docs)
+	return nil
 }
 
 // loadDemo fills the engine with a miniature generated DBLP corpus (four
@@ -140,14 +200,39 @@ type queryResponse struct {
 }
 
 type queryStats struct {
-	Rows                   int    `json:"rows"`
-	ElapsedNS              int64  `json:"elapsed_ns"`
-	ExecTuples             int64  `json:"exec_tuples"`
-	SampleTuples           int64  `json:"sample_tuples"`
-	CumulativeIntermediate int64  `json:"cumulative_intermediate"`
-	Plan                   string `json:"plan"`
-	CacheHit               bool   `json:"cache_hit"`
-	Reoptimized            bool   `json:"reoptimized"`
+	Rows                   int          `json:"rows"`
+	ElapsedNS              int64        `json:"elapsed_ns"`
+	ExecTuples             int64        `json:"exec_tuples"`
+	SampleTuples           int64        `json:"sample_tuples"`
+	CumulativeIntermediate int64        `json:"cumulative_intermediate"`
+	Plan                   string       `json:"plan"`
+	CacheHit               bool         `json:"cache_hit"`
+	Reoptimized            bool         `json:"reoptimized"`
+	Shards                 []shardStats `json:"shards,omitempty"`
+}
+
+// shardStats is the per-shard breakdown of a scatter-gather evaluation.
+type shardStats struct {
+	Shard string     `json:"shard"`
+	Stats queryStats `json:"stats"`
+}
+
+// toQueryStats converts engine stats (recursively over shard breakdowns).
+func toQueryStats(s rox.Stats) queryStats {
+	out := queryStats{
+		Rows:                   s.Rows,
+		ElapsedNS:              s.Elapsed.Nanoseconds(),
+		ExecTuples:             s.ExecTuples,
+		SampleTuples:           s.SampleTuples,
+		CumulativeIntermediate: s.CumulativeIntermediate,
+		Plan:                   s.Plan,
+		CacheHit:               s.CacheHit,
+		Reoptimized:            s.Reoptimized,
+	}
+	for _, sh := range s.Shards {
+		out.Shards = append(out.Shards, shardStats{Shard: sh.Shard, Stats: toQueryStats(sh.Stats)})
+	}
+	return out
 }
 
 // newHandler builds the HTTP API over a query pool. Split from run for
@@ -224,16 +309,72 @@ func newHandler(pool *rox.Pool, maxBody int64) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, queryResponse{
 			Items: res.Items,
-			Stats: queryStats{
-				Rows:                   res.Stats.Rows,
-				ElapsedNS:              res.Stats.Elapsed.Nanoseconds(),
-				ExecTuples:             res.Stats.ExecTuples,
-				SampleTuples:           res.Stats.SampleTuples,
-				CumulativeIntermediate: res.Stats.CumulativeIntermediate,
-				Plan:                   res.Stats.Plan,
-				CacheHit:               res.Stats.CacheHit,
-				Reoptimized:            res.Stats.Reoptimized,
-			},
+			Stats: toQueryStats(res.Stats),
+		})
+	})
+	mux.HandleFunc("/collections", func(w http.ResponseWriter, r *http.Request) {
+		eng := pool.Engine()
+		type collInfo struct {
+			Name   string   `json:"name"`
+			Shards []string `json:"shards"`
+		}
+		out := []collInfo{}
+		for _, name := range eng.Collections() {
+			shards, err := eng.CollectionShards(name)
+			if err != nil {
+				continue // raced with nothing: collections are never removed
+			}
+			out = append(out, collInfo{Name: name, Shards: shards})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"collections": out})
+	})
+	mux.HandleFunc("/collections/load", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost && r.Method != http.MethodPut {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST or PUT an XML shard body"))
+			return
+		}
+		name := r.URL.Query().Get("name")
+		shard := r.URL.Query().Get("shard")
+		if name == "" || shard == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("pass ?name=COLLECTION&shard=DOCNAME"))
+			return
+		}
+		// A mistyped collection name must not silently register a junk
+		// collection (there is no removal API); creating one is an explicit
+		// opt-in. Appending a new shard to an existing collection stays
+		// allowed — that is the scale-out path.
+		if create := r.URL.Query().Get("create"); create != "1" && create != "true" {
+			if _, err := pool.Engine().CollectionShards(name); err != nil {
+				writeError(w, http.StatusNotFound,
+					fmt.Errorf("collection %q not loaded (pass &create=1 to create it): %w", name, err))
+				return
+			}
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("shard body exceeds %d bytes", maxBody))
+				return
+			}
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(strings.TrimSpace(string(body))) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("empty shard body: POST the shard XML"))
+			return
+		}
+		// Copy-on-write load: safe while queries are in flight, and only this
+		// shard's cached plans are invalidated.
+		if err := pool.Engine().LoadCollectionShardXML(name, shard, string(body)); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parse shard %s: %w", shard, err))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"collection": name,
+			"shard":      shard,
+			"status":     "loaded",
 		})
 	})
 	return mux
@@ -248,6 +389,8 @@ func statusFor(err error) int {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, rox.ErrNoSuchDocument) ||
+		errors.Is(err, rox.ErrNoSuchCollection) ||
+		errors.Is(err, rox.ErrStaticCollection) ||
 		strings.HasPrefix(err.Error(), "xquery:") ||
 		strings.Contains(err.Error(), "not registered") ||
 		strings.Contains(err.Error(), "not loaded"):

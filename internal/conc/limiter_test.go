@@ -1,0 +1,102 @@
+package conc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLimiterBoundsConcurrency(t *testing.T) {
+	const capN, tasks = 3, 50
+	lim := NewLimiter(capN)
+	if lim.Cap() != capN {
+		t.Fatalf("Cap() = %d, want %d", lim.Cap(), capN)
+	}
+	var inFlight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := lim.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			defer lim.Release()
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			inFlight.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > capN {
+		t.Errorf("peak concurrency %d exceeded cap %d", p, capN)
+	}
+}
+
+func TestLimiterPreCanceledContextRejectedDeterministically(t *testing.T) {
+	lim := NewLimiter(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Free slots exist, but a dead context must never be admitted — run many
+	// times to catch the select race a naive implementation would have.
+	for i := 0; i < 100; i++ {
+		if err := lim.Acquire(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+	if lim.InUse() != 0 {
+		t.Errorf("rejected acquires leaked %d slots", lim.InUse())
+	}
+}
+
+func TestLimiterCancelWhileQueued(t *testing.T) {
+	lim := NewLimiter(1)
+	if err := lim.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- lim.Acquire(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("queued acquire err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued acquire did not observe cancellation")
+	}
+	lim.Release()
+}
+
+func TestLimiterTryAcquire(t *testing.T) {
+	lim := NewLimiter(1)
+	if !lim.TryAcquire() {
+		t.Fatal("TryAcquire on free limiter failed")
+	}
+	if lim.TryAcquire() {
+		t.Fatal("TryAcquire on full limiter succeeded")
+	}
+	lim.Release()
+	if !lim.TryAcquire() {
+		t.Fatal("TryAcquire after release failed")
+	}
+	lim.Release()
+}
+
+func TestLimiterMinimumCapacity(t *testing.T) {
+	lim := NewLimiter(0)
+	if lim.Cap() != 1 {
+		t.Errorf("NewLimiter(0).Cap() = %d, want clamp to 1", lim.Cap())
+	}
+}

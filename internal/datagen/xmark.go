@@ -71,17 +71,60 @@ func DefaultXMarkConfig() XMarkConfig {
 // the current price, so auctions with current > threshold have far more
 // bidders — a correlation invisible to per-element statistics.
 func XMark(cfg XMarkConfig) *xmltree.Document {
+	return xmarkShards(cfg, 1, []string{"xmark.xml"})[0]
+}
+
+// XMarkShards generates the same corpus as XMark(cfg) pre-split into n
+// shards named xmark-0.xml … xmark-<n-1>.xml. Every entity (item, person,
+// open auction) has byte-identical content to its XMark(cfg) counterpart —
+// shard s holds the contiguous index range [s·count/n, (s+1)·count/n) of each
+// section — so loading the shards as a collection and concatenating per-shard
+// results in shard order reproduces the single document's document order.
+// This is the corpus the sharding equivalence tests (and cmd/datagen -shards)
+// are built on.
+//
+// Shard indices are zero-padded to a common width once n exceeds 10
+// (xmark-00.xml … xmark-15.xml), so the lexicographic file order a glob
+// loader like `roxserve -collection xmark=dir/xmark-*.xml` registers equals
+// the shard order — otherwise xmark-10 would sort before xmark-2 and the
+// merged result order would silently diverge from document order.
+func XMarkShards(cfg XMarkConfig, n int) []*xmltree.Document {
+	if n < 1 {
+		n = 1
+	}
+	width := len(fmt.Sprint(n - 1))
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("xmark-%0*d.xml", width, i)
+	}
+	return xmarkShards(cfg, n, names)
+}
+
+// xmarkShards is the one XMark generator. It walks the entity sections in a
+// fixed order, consuming the seeded random stream identically no matter how
+// many shards it routes entities to — that single rng pass is what makes the
+// n-shard corpus the exact partition of the 1-shard document.
+func xmarkShards(cfg XMarkConfig, n int, names []string) []*xmltree.Document {
 	if cfg.Persons <= 0 || cfg.Items <= 0 || cfg.OpenAuctions <= 0 {
 		d := DefaultXMarkConfig()
 		d.Seed = cfg.Seed
 		cfg = d
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	b := xmltree.NewBuilder("xmark.xml")
-	b.StartElem("site")
+	bs := make([]*xmltree.Builder, n)
+	for i := range bs {
+		bs[i] = xmltree.NewBuilder(names[i])
+		bs[i].StartElem("site")
+	}
+	// route picks the shard of entity i out of total: contiguous blocks, in
+	// order, so shard boundaries never reorder entities.
+	route := func(i, total int) *xmltree.Builder { return bs[i*n/total] }
 
-	b.StartElem("regions")
+	for _, b := range bs {
+		b.StartElem("regions")
+	}
 	for i := 0; i < cfg.Items; i++ {
+		b := route(i, cfg.Items)
 		b.StartElem("item")
 		b.Attr("id", fmt.Sprintf("item%d", i))
 		b.StartElem("quantity")
@@ -96,10 +139,12 @@ func XMark(cfg XMarkConfig) *xmltree.Document {
 		b.EndElem()
 		b.EndElem()
 	}
-	b.EndElem()
-
-	b.StartElem("people")
+	for _, b := range bs {
+		b.EndElem()
+		b.StartElem("people")
+	}
 	for i := 0; i < cfg.Persons; i++ {
+		b := route(i, cfg.Persons)
 		b.StartElem("person")
 		b.Attr("id", fmt.Sprintf("person%d", i))
 		b.StartElem("name")
@@ -117,10 +162,12 @@ func XMark(cfg XMarkConfig) *xmltree.Document {
 		}
 		b.EndElem()
 	}
-	b.EndElem()
-
-	b.StartElem("open_auctions")
+	for _, b := range bs {
+		b.EndElem()
+		b.StartElem("open_auctions")
+	}
 	for i := 0; i < cfg.OpenAuctions; i++ {
+		b := route(i, cfg.OpenAuctions)
 		b.StartElem("open_auction")
 		b.Attr("id", fmt.Sprintf("auction%d", i))
 		if rng.Float64() < cfg.ReserveFrac {
@@ -155,8 +202,11 @@ func XMark(cfg XMarkConfig) *xmltree.Document {
 		b.EndElem()
 		b.EndElem()
 	}
-	b.EndElem()
-
-	b.EndElem()
-	return b.MustBuild()
+	out := make([]*xmltree.Document, n)
+	for i, b := range bs {
+		b.EndElem() // open_auctions
+		b.EndElem() // site
+		out[i] = b.MustBuild()
+	}
+	return out
 }

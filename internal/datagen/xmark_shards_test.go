@@ -1,0 +1,101 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// serializeAll renders a document's full XML text.
+func serializeAll(t *testing.T, d *xmltree.Document) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := xmltree.Serialize(&sb, d, d.Root()); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestXMarkShardsPartitionCorpus: the n-shard corpus is an exact, in-order
+// partition of the single-document corpus — concatenating the shards'
+// section contents reproduces the XMark(cfg) document byte for byte.
+func TestXMarkShardsPartitionCorpus(t *testing.T) {
+	cfg := DefaultXMarkConfig()
+	cfg.Persons, cfg.Items, cfg.OpenAuctions = 97, 53, 41 // not divisible by 4
+	whole := serializeAll(t, XMark(cfg))
+	shards := XMarkShards(cfg, 4)
+	if len(shards) != 4 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+
+	// Each section of the single document must equal the concatenation of
+	// the shards' same section, in shard order.
+	for _, section := range []string{"regions", "people", "open_auctions"} {
+		openTag, closeTag := "<"+section+">", "</"+section+">"
+		wantBody := cut(t, whole, openTag, closeTag)
+		var got strings.Builder
+		for _, sh := range shards {
+			got.WriteString(cut(t, serializeAll(t, sh), openTag, closeTag))
+		}
+		if got.String() != wantBody {
+			t.Errorf("section %s: shard concatenation differs from the single document", section)
+		}
+	}
+}
+
+// cut extracts the text between the first open and the last close marker.
+func cut(t *testing.T, s, openTag, closeTag string) string {
+	t.Helper()
+	i := strings.Index(s, openTag)
+	j := strings.LastIndex(s, closeTag)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("markers %s…%s not found", openTag, closeTag)
+	}
+	return s[i+len(openTag) : j]
+}
+
+// TestXMarkShardsEntityCounts: every entity lands in exactly one shard.
+func TestXMarkShardsEntityCounts(t *testing.T) {
+	cfg := DefaultXMarkConfig()
+	cfg.Persons, cfg.Items, cfg.OpenAuctions = 60, 30, 20
+	shards := XMarkShards(cfg, 3)
+	persons, items, auctions := 0, 0, 0
+	for _, sh := range shards {
+		persons += sh.CountName("person")
+		items += sh.CountName("item")
+		auctions += sh.CountName("open_auction")
+	}
+	if persons != 60 || items != 30 || auctions != 20 {
+		t.Errorf("totals = (%d persons, %d items, %d auctions), want (60, 30, 20)", persons, items, auctions)
+	}
+}
+
+// TestXMarkShardsNames: shard documents are named for collection loading.
+func TestXMarkShardsNames(t *testing.T) {
+	shards := XMarkShards(DefaultXMarkConfig(), 2)
+	if shards[0].Name() != "xmark-0.xml" || shards[1].Name() != "xmark-1.xml" {
+		t.Errorf("shard names = %s, %s", shards[0].Name(), shards[1].Name())
+	}
+	// n < 1 clamps to one shard.
+	one := XMarkShards(DefaultXMarkConfig(), 0)
+	if len(one) != 1 {
+		t.Errorf("XMarkShards(cfg, 0) returned %d shards", len(one))
+	}
+}
+
+// TestXMarkShardsNamePadding: with 10+ shards the names zero-pad so that
+// lexicographic (glob) order equals shard order.
+func TestXMarkShardsNamePadding(t *testing.T) {
+	cfg := DefaultXMarkConfig()
+	cfg.Persons, cfg.Items, cfg.OpenAuctions = 24, 12, 12
+	shards := XMarkShards(cfg, 12)
+	if shards[1].Name() != "xmark-01.xml" || shards[11].Name() != "xmark-11.xml" {
+		t.Fatalf("names = %s … %s, want zero-padded", shards[1].Name(), shards[11].Name())
+	}
+	for i := 1; i < len(shards); i++ {
+		if !(shards[i-1].Name() < shards[i].Name()) {
+			t.Errorf("lexicographic order breaks at %s >= %s", shards[i-1].Name(), shards[i].Name())
+		}
+	}
+}

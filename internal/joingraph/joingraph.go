@@ -452,6 +452,31 @@ func (g *Graph) Fingerprint() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// CloneRebindDoc returns a deep copy of the graph with every vertex bound to
+// document `from` rebound to document `to`. Vertex and edge IDs are preserved,
+// so plans, tails and variable bindings compiled against the original graph
+// apply to the clone unchanged. This is how a graph compiled once against a
+// logical collection name is instantiated per shard: same structure, same
+// predicates, shard document substituted.
+func (g *Graph) CloneRebindDoc(from, to string) *Graph {
+	out := &Graph{
+		Vertices: make([]*Vertex, len(g.Vertices)),
+		Edges:    make([]*Edge, len(g.Edges)),
+	}
+	for i, v := range g.Vertices {
+		nv := *v
+		if nv.Doc == from {
+			nv.Doc = to
+		}
+		out.Vertices[i] = &nv
+	}
+	for i, e := range g.Edges {
+		ne := *e
+		out.Edges[i] = &ne
+	}
+	return out
+}
+
 // DOT renders the graph in Graphviz format for debugging and documentation.
 func (g *Graph) DOT() string {
 	var sb strings.Builder

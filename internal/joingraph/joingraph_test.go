@@ -293,3 +293,62 @@ func TestAddJoinEquivalencesDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestCloneRebindDoc(t *testing.T) {
+	g := New()
+	r := g.AddRoot("coll")
+	p := g.AddElem("coll", "person")
+	tx := g.AddText("coll", EqPred("x"))
+	other := g.AddElem("other.xml", "thing")
+	g.AddStep(r, p, ops.AxisDesc)
+	g.AddStep(p, tx, ops.AxisChild)
+	g.AddStep(other, other2(g), ops.AxisChild)
+
+	clone := g.CloneRebindDoc("coll", "shard-0.xml")
+	if len(clone.Vertices) != len(g.Vertices) || len(clone.Edges) != len(g.Edges) {
+		t.Fatalf("clone shape differs: %d/%d vertices, %d/%d edges",
+			len(clone.Vertices), len(g.Vertices), len(clone.Edges), len(g.Edges))
+	}
+	for i, v := range clone.Vertices {
+		if v.ID != g.Vertices[i].ID || v.Kind != g.Vertices[i].Kind || v.QName != g.Vertices[i].QName {
+			t.Errorf("vertex %d changed identity: %+v vs %+v", i, v, g.Vertices[i])
+		}
+		want := g.Vertices[i].Doc
+		if want == "coll" {
+			want = "shard-0.xml"
+		}
+		if v.Doc != want {
+			t.Errorf("vertex %d doc = %q, want %q", i, v.Doc, want)
+		}
+	}
+	// Predicates survive the rebind.
+	if clone.Vertices[tx].Pred.Kind != PredEqString || clone.Vertices[tx].Pred.Str != "x" {
+		t.Errorf("text predicate lost: %+v", clone.Vertices[tx].Pred)
+	}
+	// The original is untouched (deep copy, not aliasing).
+	clone.Vertices[p].QName = "mutated"
+	if g.Vertices[p].QName != "person" {
+		t.Error("mutating the clone changed the original graph")
+	}
+	for _, v := range g.Vertices {
+		if v.Doc == "shard-0.xml" {
+			t.Error("rebind leaked into the original graph")
+		}
+	}
+	// Same structure must mean same edge IDs, so plans transfer verbatim.
+	for i, e := range clone.Edges {
+		o := g.Edges[i]
+		if e.ID != o.ID || e.Kind != o.Kind || e.From != o.From || e.To != o.To || e.Axis != o.Axis {
+			t.Errorf("edge %d changed: %+v vs %+v", i, e, o)
+		}
+	}
+	// Fingerprints differ (the document name is part of the hash) — that is
+	// what keys shard plans separately.
+	if g.Fingerprint() == clone.Fingerprint() {
+		t.Error("rebound graph kept the original fingerprint")
+	}
+}
+
+// other2 adds a second vertex on the non-collection document so the rebind
+// has something it must leave alone.
+func other2(g *Graph) int { return g.AddText("other.xml", NoPred) }

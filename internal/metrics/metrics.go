@@ -146,6 +146,18 @@ func (r *Recorder) SamplingOverhead() float64 {
 	return 100 * float64(r.CostOf(PhaseSample).Tuples) / float64(ex)
 }
 
+// Merge folds another recorder's per-phase costs into r. Both recorders must
+// be quiescent (no evaluation charging to them); scatter-gather executors use
+// this to roll per-shard recorders up into the query's recorder once each
+// shard finishes.
+func (r *Recorder) Merge(o *Recorder) {
+	if r == nil || o == nil {
+		return
+	}
+	r.costs[PhaseExecute].Add(o.costs[PhaseExecute])
+	r.costs[PhaseSample].Add(o.costs[PhaseSample])
+}
+
 // Reset clears all accumulated costs and returns to PhaseExecute.
 func (r *Recorder) Reset() {
 	r.phase = PhaseExecute

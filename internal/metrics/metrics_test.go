@@ -123,3 +123,31 @@ func TestCacheCounters(t *testing.T) {
 		t.Errorf("over-drifted hit rate should clamp to 0")
 	}
 }
+
+func TestRecorderMerge(t *testing.T) {
+	a := NewRecorder()
+	a.ChargeTuples(10)
+	a.SetPhase(PhaseSample)
+	a.ChargeOp(5, time.Millisecond)
+
+	b := NewRecorder()
+	b.ChargeTuples(7)
+	b.SetPhase(PhaseSample)
+	b.ChargeOp(3, 2*time.Millisecond)
+
+	a.Merge(b)
+	if got := a.CostOf(PhaseExecute).Tuples; got != 17 {
+		t.Errorf("execute tuples = %d, want 17", got)
+	}
+	if got := a.CostOf(PhaseSample); got.Tuples != 8 || got.Ops != 2 || got.Duration != 3*time.Millisecond {
+		t.Errorf("sample cost = %+v", got)
+	}
+	// b is untouched.
+	if got := b.CostOf(PhaseSample).Tuples; got != 3 {
+		t.Errorf("merge mutated the source recorder: %d", got)
+	}
+	// nil-safety both ways.
+	a.Merge(nil)
+	var nilRec *Recorder
+	nilRec.Merge(a)
+}

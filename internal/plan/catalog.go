@@ -22,6 +22,12 @@ type Catalog struct {
 	docs map[string]*xmltree.Document
 	idxs map[string]*index.Index
 
+	// colls registers logical collections: named, ordered lists of shards.
+	// Each shard is an independently indexed document carrying its own
+	// generation stamp, so a plan cache keyed per shard survives reloads of
+	// the other shards untouched.
+	colls map[string]*Collection
+
 	// gen counts document registrations across this catalog's copy-on-write
 	// lineage. Every AddDocument/AddIndexed bumps it, so two catalog
 	// snapshots with the same generation hold the same corpus. Plan caches
@@ -31,45 +37,147 @@ type Catalog struct {
 	gen uint64
 }
 
+// Shard is one partition of a collection: a shredded document with its own
+// indices and a generation stamp — the catalog generation at which this shard
+// was (re)registered. Shards are immutable once registered; a reload swaps in
+// a new Shard value, so holding a *Shard from a catalog snapshot is always
+// safe.
+type Shard struct {
+	Ix *index.Index
+	// Gen is the catalog generation at this shard's registration. Per-shard
+	// plan-cache entries pair a fingerprint with this value: reloading one
+	// shard bumps only its own stamp, leaving the cached plans of sibling
+	// shards exactly valid.
+	Gen uint64
+}
+
+// Name returns the shard's document name.
+func (s *Shard) Name() string { return s.Ix.Doc().Name() }
+
+// Collection is a logical document set queried as one unit: collection(name)
+// in a query scatters over the shards in registration order and concatenates
+// their ordered results.
+type Collection struct {
+	Name   string
+	Shards []*Shard // registration order; result order follows it
+}
+
+// ShardNames returns the shard document names in registration order.
+func (c *Collection) ShardNames() []string {
+	out := make([]string, len(c.Shards))
+	for i, s := range c.Shards {
+		out[i] = s.Name()
+	}
+	return out
+}
+
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
 	return &Catalog{
-		docs: make(map[string]*xmltree.Document),
-		idxs: make(map[string]*index.Index),
+		docs:  make(map[string]*xmltree.Document),
+		idxs:  make(map[string]*index.Index),
+		colls: make(map[string]*Collection),
 	}
 }
 
 // AddDocument registers a document and builds its indices (index
 // construction is load-time work, not charged to query cost).
 func (c *Catalog) AddDocument(d *xmltree.Document) {
-	c.docs[d.Name()] = d
-	c.idxs[d.Name()] = index.New(d)
-	c.gen++
+	c.AddIndexed(index.New(d))
 }
 
 // AddIndexed registers a document with a pre-built index (lets callers share
-// one index build across many catalogs or query environments).
+// one index build across many catalogs or query environments). If the name
+// is a shard of some collection, that shard is refreshed too: shards are
+// documents, so a reload through the document path must move the shard's
+// generation stamp or cached per-shard plans would keep replaying against
+// data that changed under them.
 func (c *Catalog) AddIndexed(ix *index.Index) {
 	c.docs[ix.Doc().Name()] = ix.Doc()
 	c.idxs[ix.Doc().Name()] = ix
 	c.gen++
+	c.refreshShard(ix)
+}
+
+// refreshShard swaps the registered Shard value of every collection shard
+// matching the index's document name (fresh index, current generation).
+func (c *Catalog) refreshShard(ix *index.Index) {
+	name := ix.Doc().Name()
+	for _, col := range c.colls {
+		for i, sh := range col.Shards {
+			if sh.Name() == name {
+				col.Shards[i] = &Shard{Ix: ix, Gen: c.gen}
+			}
+		}
+	}
+}
+
+// AddCollectionShard registers (or replaces, matching on document name) one
+// shard of the named collection, creating the collection on first use. The
+// shard's document is also registered as a plain document, so doc(shardName)
+// keeps working next to collection(name). Single-owner only, like AddDocument;
+// concurrent engines mutate a Clone and swap (copy-on-write).
+func (c *Catalog) AddCollectionShard(coll string, ix *index.Index) {
+	// AddIndexed registers the document and — via refreshShard — already
+	// swaps a fresh Shard into every collection holding this name, so the
+	// reload case is done; only create/append remains.
+	c.AddIndexed(ix)
+	col := c.colls[coll]
+	if col == nil {
+		c.colls[coll] = &Collection{Name: coll, Shards: []*Shard{{Ix: ix, Gen: c.gen}}}
+		return
+	}
+	for _, sh := range col.Shards {
+		if sh.Name() == ix.Doc().Name() {
+			return // reload: refreshShard replaced it in place
+		}
+	}
+	col.Shards = append(col.Shards, &Shard{Ix: ix, Gen: c.gen})
+}
+
+// Collection returns the named collection.
+func (c *Catalog) Collection(name string) (*Collection, error) {
+	col, ok := c.colls[name]
+	if !ok {
+		return nil, &UnknownCollectionError{Name: name}
+	}
+	return col, nil
+}
+
+// Collections returns the registered collection names, sorted.
+func (c *Catalog) Collections() []string {
+	out := make([]string, 0, len(c.colls))
+	for name := range c.colls {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Clone returns a new catalog with the same document and index registrations.
 // Documents and indices themselves are shared (they are immutable); only the
 // registration maps are copied, so a Clone is cheap and supports the
-// copy-on-write load pattern.
+// copy-on-write load pattern. Collections are copied one level deep (new
+// Collection values and shard slices, shared immutable *Shard entries), so a
+// shard replace in the clone never shows through to holders of the original.
 func (c *Catalog) Clone() *Catalog {
 	out := &Catalog{
-		docs: make(map[string]*xmltree.Document, len(c.docs)),
-		idxs: make(map[string]*index.Index, len(c.idxs)),
-		gen:  c.gen,
+		docs:  make(map[string]*xmltree.Document, len(c.docs)),
+		idxs:  make(map[string]*index.Index, len(c.idxs)),
+		colls: make(map[string]*Collection, len(c.colls)),
+		gen:   c.gen,
 	}
 	for name, d := range c.docs {
 		out.docs[name] = d
 	}
 	for name, ix := range c.idxs {
 		out.idxs[name] = ix
+	}
+	for name, col := range c.colls {
+		out.colls[name] = &Collection{
+			Name:   col.Name,
+			Shards: append([]*Shard(nil), col.Shards...),
+		}
 	}
 	return out
 }
@@ -84,6 +192,17 @@ type UnknownDocumentError struct {
 // Error renders the failure with the document name.
 func (e *UnknownDocumentError) Error() string {
 	return fmt.Sprintf("plan: document %q not registered", e.Name)
+}
+
+// UnknownCollectionError reports access to a collection name the catalog does
+// not hold, typed for errors.As translation like UnknownDocumentError.
+type UnknownCollectionError struct {
+	Name string
+}
+
+// Error renders the failure with the collection name.
+func (e *UnknownCollectionError) Error() string {
+	return fmt.Sprintf("plan: collection %q not registered", e.Name)
 }
 
 // Doc returns the registered document with the given name.

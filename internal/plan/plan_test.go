@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/index"
@@ -439,5 +440,66 @@ func TestRunWithConfigEagerProject(t *testing.T) {
 	}
 	if len(stats.EdgeRows) != len(order) {
 		t.Errorf("EdgeRows entries = %d, want %d", len(stats.EdgeRows), len(order))
+	}
+}
+
+func TestCatalogCollections(t *testing.T) {
+	mk := func(name string) *index.Index {
+		d, err := xmltree.ParseString(name, `<r><x>1</x></r>`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return index.New(d)
+	}
+	cat := NewCatalog()
+	cat.AddCollectionShard("c", mk("s0.xml"))
+	cat.AddCollectionShard("c", mk("s1.xml"))
+	col, err := cat.Collection("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := col.ShardNames(); len(got) != 2 || got[0] != "s0.xml" || got[1] != "s1.xml" {
+		t.Fatalf("shards = %v", got)
+	}
+	gen0, gen1 := col.Shards[0].Gen, col.Shards[1].Gen
+	if gen0 == gen1 {
+		t.Fatalf("shard generations must differ: %d, %d", gen0, gen1)
+	}
+	// Shards are plain documents too.
+	if _, err := cat.Doc("s0.xml"); err != nil {
+		t.Errorf("shard not addressable as document: %v", err)
+	}
+	if got := cat.Collections(); len(got) != 1 || got[0] != "c" {
+		t.Errorf("Collections() = %v", got)
+	}
+	if _, err := cat.Collection("nope"); err == nil {
+		t.Error("unknown collection lookup succeeded")
+	} else {
+		var uce *UnknownCollectionError
+		if !errors.As(err, &uce) || uce.Name != "nope" {
+			t.Errorf("err = %v, want UnknownCollectionError{nope}", err)
+		}
+	}
+
+	// Replacing one shard in a clone bumps only that shard's stamp and never
+	// shows through to the original snapshot.
+	clone := cat.Clone()
+	clone.AddCollectionShard("c", mk("s1.xml"))
+	ccol, _ := clone.Collection("c")
+	if ccol.Shards[0].Gen != gen0 {
+		t.Errorf("untouched shard stamp moved: %d -> %d", gen0, ccol.Shards[0].Gen)
+	}
+	if ccol.Shards[1].Gen <= gen1 {
+		t.Errorf("replaced shard stamp did not advance: %d -> %d", gen1, ccol.Shards[1].Gen)
+	}
+	if len(ccol.Shards) != 2 {
+		t.Errorf("replace grew the shard list: %v", ccol.ShardNames())
+	}
+	ocol, _ := cat.Collection("c")
+	if ocol.Shards[1].Gen != gen1 {
+		t.Errorf("clone mutation leaked into the original: %d", ocol.Shards[1].Gen)
+	}
+	if clone.Generation() <= cat.Generation() {
+		t.Errorf("catalog generation did not advance on shard replace")
 	}
 }

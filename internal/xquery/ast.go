@@ -37,10 +37,14 @@ func (r ReturnClause) String() string {
 	return s + "</" + r.Elem + ">"
 }
 
-// LetClause binds a variable to a document root: let $v := doc("name").
+// LetClause binds a variable to a document root: let $v := doc("name") or
+// let $v := collection("name").
 type LetClause struct {
 	Var string
 	Doc string
+	// Collection marks Doc as a logical collection name (a sharded document
+	// set) rather than a single document.
+	Collection bool
 }
 
 // ForClause binds a variable to the result of a path expression.
@@ -49,11 +53,14 @@ type ForClause struct {
 	Path PathExpr
 }
 
-// PathExpr is doc("name")/steps or $var/steps.
+// PathExpr is doc("name")/steps, collection("name")/steps or $var/steps.
 type PathExpr struct {
-	Doc   string // document name when anchored at doc(...)
+	Doc   string // document or collection name when anchored at doc()/collection()
 	Var   string // variable name when anchored at a variable
 	Steps []Step
+	// Collection marks Doc as a collection name; the compiler records it so
+	// the engine can scatter the query over the collection's shards.
+	Collection bool
 }
 
 // StepKind classifies path steps.
@@ -103,7 +110,11 @@ type PathRef struct {
 func (q *Query) String() string {
 	s := ""
 	for _, l := range q.Lets {
-		s += fmt.Sprintf("let $%s := doc(%q)\n", l.Var, l.Doc)
+		fn := "doc"
+		if l.Collection {
+			fn = "collection"
+		}
+		s += fmt.Sprintf("let $%s := %s(%q)\n", l.Var, fn, l.Doc)
 	}
 	for i, f := range q.Fors {
 		kw := "for"
@@ -130,9 +141,12 @@ func (q *Query) String() string {
 // String renders the path expression.
 func (p PathExpr) String() string {
 	s := ""
-	if p.Doc != "" {
+	switch {
+	case p.Doc != "" && p.Collection:
+		s = fmt.Sprintf("collection(%q)", p.Doc)
+	case p.Doc != "":
 		s = fmt.Sprintf("doc(%q)", p.Doc)
-	} else {
+	default:
 		s = "$" + p.Var
 	}
 	for _, st := range p.Steps {

@@ -26,12 +26,28 @@ type Compiled struct {
 	Tail  *plan.Tail
 	// Vars maps every for-variable to its Join Graph vertex.
 	Vars map[string]int
-	// Docs lists the document names the query accesses, sorted.
+	// Docs lists the single-document names the query accesses, sorted.
 	Docs []string
+	// Collections lists the collection names the query accesses, sorted.
+	// Graph vertices anchored at collection(...) carry the collection name in
+	// their Doc field; the engine instantiates them per shard with
+	// ForShard before execution.
+	Collections []string
 	// ReturnVar is the primary variable of the return clause.
 	ReturnVar string
 	// Return carries the full return expression (constructor, count).
 	Return ReturnClause
+}
+
+// ForShard returns a shallow copy of the compiled query whose graph has every
+// vertex of collection coll rebound to the shard document shardDoc. Vertex and
+// edge IDs are preserved, so the Tail, Vars and Return of the original apply
+// unchanged — this is the per-shard unit a scatter-gather executor hands to
+// the optimizer.
+func (c *Compiled) ForShard(coll, shardDoc string) *Compiled {
+	out := *c
+	out.Graph = c.Graph.CloneRebindDoc(coll, shardDoc)
+	return &out
 }
 
 // Compile performs Join Graph Isolation on a parsed query.
@@ -41,13 +57,18 @@ func Compile(q *Query, opts CompileOptions) (*Compiled, error) {
 		vars:    make(map[string]int),
 		roots:   make(map[string]int),
 		docs:    make(map[string]bool),
+		colls:   make(map[string]bool),
 		refMemo: make(map[string]int),
 	}
 	for _, l := range q.Lets {
 		if _, dup := c.vars[l.Var]; dup {
 			return nil, fmt.Errorf("xquery: variable $%s bound twice", l.Var)
 		}
-		c.vars[l.Var] = c.rootVertex(l.Doc)
+		v, err := c.rootVertex(l.Doc, l.Collection)
+		if err != nil {
+			return nil, err
+		}
+		c.vars[l.Var] = v
 	}
 	var forVerts []int
 	for _, f := range q.Fors {
@@ -91,6 +112,18 @@ func Compile(q *Query, opts CompileOptions) (*Compiled, error) {
 		docs = append(docs, d)
 	}
 	sort.Strings(docs)
+	colls := make([]string, 0, len(c.colls))
+	for name := range c.colls {
+		colls = append(colls, name)
+	}
+	sort.Strings(colls)
+	// Scatter-gather binds every collection variable of a result tuple to
+	// one shard at a time; two independent collections would need a
+	// cross-product of shard pairs, which nothing executes. Rejecting here
+	// (compile time) keeps the failure a client error, not an engine one.
+	if len(colls) > 1 {
+		return nil, fmt.Errorf("xquery: a query may read at most one collection, got %d (%v)", len(colls), colls)
+	}
 	return &Compiled{
 		Graph: c.g,
 		Tail: &plan.Tail{
@@ -98,10 +131,11 @@ func Compile(q *Query, opts CompileOptions) (*Compiled, error) {
 			Sort:    forVerts,
 			Final:   finals,
 		},
-		Vars:      c.vars,
-		Docs:      docs,
-		ReturnVar: q.Return.Primary(),
-		Return:    q.Return,
+		Vars:        c.vars,
+		Docs:        docs,
+		Collections: colls,
+		ReturnVar:   q.Return.Primary(),
+		Return:      q.Return,
 	}, nil
 }
 
@@ -117,28 +151,42 @@ func CompileString(src string, opts CompileOptions) (*Compiled, error) {
 type compiler struct {
 	g     *joingraph.Graph
 	vars  map[string]int  // variable → vertex
-	roots map[string]int  // document name → root vertex
-	docs  map[string]bool // touched documents
+	roots map[string]int  // document/collection name → root vertex
+	docs  map[string]bool // touched single documents
+	colls map[string]bool // touched collections
 	// refMemo shares the vertex of identical join-endpoint paths: the three
 	// occurrences of $a1/text() in the DBLP query all mean the same vertex
 	// (Fig 4 shows one text() vertex per author with three join edges).
 	refMemo map[string]int
 }
 
-func (c *compiler) rootVertex(doc string) int {
+func (c *compiler) rootVertex(doc string, coll bool) (int, error) {
+	// One name cannot be both a document and a collection within a query:
+	// the shared root vertex would make the scatter rebind ambiguous.
+	if coll && c.docs[doc] || !coll && c.colls[doc] {
+		return 0, fmt.Errorf("xquery: %q used as both doc(...) and collection(...)", doc)
+	}
 	if v, ok := c.roots[doc]; ok {
-		return v
+		return v, nil
 	}
 	v := c.g.AddRoot(doc)
 	c.roots[doc] = v
-	c.docs[doc] = true
-	return v
+	if coll {
+		c.colls[doc] = true
+	} else {
+		c.docs[doc] = true
+	}
+	return v, nil
 }
 
 func (c *compiler) compilePathExpr(p PathExpr) (int, error) {
 	var cur int
 	if p.Doc != "" {
-		cur = c.rootVertex(p.Doc)
+		var err error
+		cur, err = c.rootVertex(p.Doc, p.Collection)
+		if err != nil {
+			return 0, err
+		}
 	} else {
 		v, ok := c.vars[p.Var]
 		if !ok {

@@ -9,9 +9,10 @@
 //
 //	query   := (let | for)+ ("where" cmp ("and" cmp)*)? "return" ret
 //	ret     := $var | "count" "(" $var ")" | "<" NAME ">" ("{" $var "}")+ "</" NAME ">"
-//	let     := "let" $var ":=" "doc" "(" STRING ")"
+//	let     := "let" $var ":=" source
 //	for     := "for" $var "in" path ("," $var "in" path)*
-//	path    := ("doc" "(" STRING ")" | $var) (("/"|"//") step)+
+//	path    := (source | $var) (("/"|"//") step)+
+//	source  := ("doc" | "collection") "(" STRING ")"
 //	step    := (NAME | "@" NAME | "text" "(" ")") pred*
 //	pred    := "[" rel (op literal)? "]"
 //	rel     := "."? (("/"|"//") step)+ | step (("/"|"//") step)*

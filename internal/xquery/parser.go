@@ -197,32 +197,39 @@ func (p *parser) parseLet() (LetClause, error) {
 	if _, err := p.expect(tokAssign); err != nil {
 		return LetClause{}, err
 	}
-	doc, err := p.parseDocCall()
+	doc, coll, err := p.parseSourceCall()
 	if err != nil {
 		return LetClause{}, err
 	}
-	return LetClause{Var: v.text, Doc: doc}, nil
+	return LetClause{Var: v.text, Doc: doc, Collection: coll}, nil
 }
 
-func (p *parser) parseDocCall() (string, error) {
+// parseSourceCall parses doc("name") or collection("name"), reporting whether
+// the source is a collection.
+func (p *parser) parseSourceCall() (string, bool, error) {
 	name, err := p.expect(tokName)
 	if err != nil {
-		return "", err
+		return "", false, err
 	}
-	if name.text != "doc" && name.text != "fn:doc" {
-		return "", fmt.Errorf("xquery: expected doc(...), found %q at %d", name.text, name.pos)
+	var coll bool
+	switch name.text {
+	case "doc", "fn:doc":
+	case "collection", "fn:collection":
+		coll = true
+	default:
+		return "", false, fmt.Errorf("xquery: expected doc(...) or collection(...), found %q at %d", name.text, name.pos)
 	}
 	if _, err := p.expect(tokLParen); err != nil {
-		return "", err
+		return "", false, err
 	}
 	s, err := p.expect(tokString)
 	if err != nil {
-		return "", err
+		return "", false, err
 	}
 	if _, err := p.expect(tokRParen); err != nil {
-		return "", err
+		return "", false, err
 	}
-	return s.text, nil
+	return s.text, coll, nil
 }
 
 func (p *parser) parseFor() (ForClause, error) {
@@ -247,13 +254,14 @@ func (p *parser) parsePath() (PathExpr, error) {
 	case tokVar:
 		pe.Var = p.advance().text
 	case tokName:
-		doc, err := p.parseDocCall()
+		doc, coll, err := p.parseSourceCall()
 		if err != nil {
 			return pe, err
 		}
 		pe.Doc = doc
+		pe.Collection = coll
 	default:
-		return pe, fmt.Errorf("xquery: path must start with doc(...) or a variable, found %q at %d", p.peek().text, p.peek().pos)
+		return pe, fmt.Errorf("xquery: path must start with doc(...), collection(...) or a variable, found %q at %d", p.peek().text, p.peek().pos)
 	}
 	steps, err := p.parseSteps(true)
 	if err != nil {

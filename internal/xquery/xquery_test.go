@@ -306,3 +306,92 @@ func TestSmartQuotesRejected(t *testing.T) {
 		t.Errorf("smart quotes should be a lex error")
 	}
 }
+
+func TestParseCollection(t *testing.T) {
+	q, err := Parse(`for $p in collection("xmark")//person[education] return $p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Fors[0].Path.Collection || q.Fors[0].Path.Doc != "xmark" {
+		t.Fatalf("path = %+v, want collection xmark", q.Fors[0].Path)
+	}
+	if got := q.String(); !strings.Contains(got, `collection("xmark")`) {
+		t.Errorf("String() = %q, lost the collection call", got)
+	}
+
+	q2, err := Parse(`let $c := collection("dblp") for $a in $c//article return $a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q2.Lets[0].Collection || q2.Lets[0].Doc != "dblp" {
+		t.Fatalf("let = %+v, want collection dblp", q2.Lets[0])
+	}
+	if got := q2.String(); !strings.Contains(got, `collection("dblp")`) {
+		t.Errorf("String() = %q, lost the collection let", got)
+	}
+}
+
+func TestCompileCollection(t *testing.T) {
+	comp, err := CompileString(`for $p in collection("xmark")//person[education] return $p`, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Collections) != 1 || comp.Collections[0] != "xmark" {
+		t.Fatalf("Collections = %v, want [xmark]", comp.Collections)
+	}
+	if len(comp.Docs) != 0 {
+		t.Fatalf("Docs = %v, want none (collection is not a plain doc)", comp.Docs)
+	}
+	// Vertices anchored at the collection carry its name until rebinding.
+	root := comp.Graph.Vertices[0]
+	if root.Doc != "xmark" {
+		t.Errorf("root vertex doc = %q", root.Doc)
+	}
+
+	sh := comp.ForShard("xmark", "xmark-2.xml")
+	if sh.Graph.Vertices[0].Doc != "xmark-2.xml" {
+		t.Errorf("ForShard root doc = %q", sh.Graph.Vertices[0].Doc)
+	}
+	if comp.Graph.Vertices[0].Doc != "xmark" {
+		t.Error("ForShard mutated the original compile")
+	}
+	if sh.Tail != comp.Tail || len(sh.Vars) != len(comp.Vars) {
+		t.Error("ForShard must share tail and vars")
+	}
+}
+
+func TestCompileCollectionMixedWithDoc(t *testing.T) {
+	comp, err := CompileString(
+		`for $a in collection("venues")//article, $b in doc("extra.xml")//article where $a/title = $b/title return $a`,
+		CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Collections) != 1 || comp.Collections[0] != "venues" {
+		t.Errorf("Collections = %v", comp.Collections)
+	}
+	if len(comp.Docs) != 1 || comp.Docs[0] != "extra.xml" {
+		t.Errorf("Docs = %v", comp.Docs)
+	}
+	// Rebinding the collection must leave the plain document alone.
+	sh := comp.ForShard("venues", "venues-0.xml")
+	for _, v := range sh.Graph.Vertices {
+		if v.Doc == "venues" {
+			t.Errorf("vertex %d kept the collection name", v.ID)
+		}
+		if v.Doc != "venues-0.xml" && v.Doc != "extra.xml" {
+			t.Errorf("vertex %d has unexpected doc %q", v.ID, v.Doc)
+		}
+	}
+}
+
+func TestCompileDocCollectionConflict(t *testing.T) {
+	_, err := CompileString(`for $a in collection("x")//a, $b in doc("x")//b return $a`, CompileOptions{})
+	if err == nil || !strings.Contains(err.Error(), "both doc") {
+		t.Errorf("err = %v, want doc/collection conflict", err)
+	}
+	_, err = CompileString(`let $c := doc("x") for $a in collection("x")//a return $a`, CompileOptions{})
+	if err == nil || !strings.Contains(err.Error(), "both doc") {
+		t.Errorf("err = %v, want doc/collection conflict on let", err)
+	}
+}

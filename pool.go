@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/conc"
 	"repro/internal/metrics"
 	"repro/internal/plan"
 )
@@ -16,13 +17,19 @@ import (
 // many run simultaneously, which keeps a query server's memory footprint
 // proportional to the worker count instead of the request count.
 //
+// Admission runs through the same conc.Limiter primitive that bounds the
+// engine's scatter-gather shard fan-out. The two limits compose instead of
+// multiplying: a pooled query over an N-shard collection holds one pool slot
+// while its shard evaluations contend on the engine-wide shard limiter, so
+// total shard goroutines stay bounded by the engine's cap no matter how many
+// pool workers scatter at once.
+//
 // The pool also aggregates per-query cost into a shared metrics.Aggregator,
 // giving servers fleet-wide statistics for free.
 type Pool struct {
-	eng     *Engine
-	sem     chan struct{}
-	workers int
-	agg     metrics.Aggregator
+	eng *Engine
+	lim *conc.Limiter
+	agg metrics.Aggregator
 }
 
 // NewPool returns a pool over eng admitting at most workers concurrent
@@ -31,43 +38,37 @@ func NewPool(eng *Engine, workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{eng: eng, sem: make(chan struct{}, workers), workers: workers}
+	return &Pool{eng: eng, lim: conc.NewLimiter(workers)}
 }
 
 // Engine returns the underlying engine (for loading documents).
 func (p *Pool) Engine() *Engine { return p.eng }
 
 // Workers returns the admission bound.
-func (p *Pool) Workers() int { return p.workers }
+func (p *Pool) Workers() int { return p.lim.Cap() }
 
 // Aggregator returns the pool's shared cost aggregate across all finished
 // queries.
 func (p *Pool) Aggregator() *metrics.Aggregator { return &p.agg }
 
-// acquire takes a worker slot, honoring cancellation while waiting. An
-// already-canceled context is rejected deterministically — select would
-// otherwise admit it half the time when a slot is free, wasting a worker on
-// an evaluation nobody is waiting for.
+// acquire takes a worker slot, honoring cancellation while waiting. The
+// limiter's error wraps ctx.Err(), so errors.Is(err, context.Canceled) holds
+// for callers (and HTTP layers mapping cancellation to 503).
 func (p *Pool) acquire(ctx context.Context) error {
-	if err := ctx.Err(); err != nil {
+	if err := p.lim.Acquire(ctx); err != nil {
 		return fmt.Errorf("rox: queued query canceled: %w", err)
 	}
-	select {
-	case p.sem <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return fmt.Errorf("rox: queued query canceled: %w", ctx.Err())
-	}
+	return nil
 }
 
-func (p *Pool) release() { <-p.sem }
+func (p *Pool) release() { p.lim.Release() }
 
 // Query evaluates q with the ROX run-time optimizer on a pool worker,
 // waiting for a free slot if all are busy. ctx cancels both the wait and the
 // evaluation itself.
 func (p *Pool) Query(ctx context.Context, q string) (*Result, error) {
 	return p.run(ctx, func(env *plan.Env) (*Result, *metrics.Recorder, error) {
-		return p.eng.query(env, q)
+		return p.eng.query(ctx, env, q)
 	})
 }
 
@@ -87,7 +88,7 @@ func (p *Pool) QueryPrepared(ctx context.Context, prep *Prepared) (*Result, erro
 		return nil, fmt.Errorf("rox: prepared statement belongs to a different engine")
 	}
 	return p.run(ctx, func(env *plan.Env) (*Result, *metrics.Recorder, error) {
-		return p.eng.queryCompiled(env, prep.comp, prep.fp)
+		return p.eng.queryCompiled(ctx, env, prep.comp, prep.fp)
 	})
 }
 

@@ -22,8 +22,11 @@
 // Query/QueryStatic call gets its own per-query evaluation state. Plans the
 // optimizer discovers are cached by canonical Join Graph fingerprint, so
 // repeated queries replay with zero sampling work until the data drifts
-// (Prepare compiles once for that hot path). See Pool for a
-// bounded-concurrency front end and cmd/roxserve for an HTTP server built
+// (Prepare compiles once for that hot path). Corpora larger than one
+// shredded tree load as sharded collections (LoadCollection) and are queried
+// with collection("name") — scatter-gather execution that runs the full ROX
+// optimizer independently per shard and merges ordered results. See Pool for
+// a bounded-concurrency front end and cmd/roxserve for an HTTP server built
 // on it.
 package rox
 
@@ -32,12 +35,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/classical"
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/metrics"
@@ -71,6 +76,14 @@ type Engine struct {
 	// compile → lookup → execute pipeline.
 	cache      *plancache.Cache
 	driftRatio float64
+
+	// shardLim bounds the engine-wide scatter-gather fan-out: every in-flight
+	// collection query's shard evaluations contend on this one limiter, so
+	// concurrent scatters (e.g. from a Pool's workers) cannot multiply into
+	// workers × shards goroutines. It is the same primitive Pool uses for
+	// query admission (internal/conc).
+	shardLim     *conc.Limiter
+	shardWorkers int
 }
 
 // DefaultPlanCacheSize is the plan-cache LRU bound of NewEngine.
@@ -127,6 +140,19 @@ func WithDriftRatio(r float64) Option {
 	}
 }
 
+// WithShardWorkers bounds how many shard evaluations of collection queries
+// may run at once across the whole engine (default GOMAXPROCS). The bound is
+// engine-wide, not per query: concurrent collection queries share it, which
+// keeps the scatter-gather fan-out additive with (not multiplicative in) a
+// Pool's worker count.
+func WithShardWorkers(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.shardWorkers = n
+		}
+	}
+}
+
 // NewEngine returns an empty engine with plan caching enabled.
 func NewEngine(options ...Option) *Engine {
 	e := &Engine{
@@ -139,6 +165,10 @@ func NewEngine(options ...Option) *Engine {
 	for _, o := range options {
 		o(e)
 	}
+	if e.shardWorkers <= 0 {
+		e.shardWorkers = runtime.GOMAXPROCS(0)
+	}
+	e.shardLim = conc.NewLimiter(e.shardWorkers)
 	return e
 }
 
@@ -206,9 +236,70 @@ func (e *Engine) LoadDocument(d *xmltree.Document) {
 	e.publish(d)
 }
 
-// Documents returns the names of the currently loaded documents, sorted.
+// LoadCollectionShard registers (or replaces, matching on document name) one
+// shard of the named collection, creating the collection on first use.
+// collection(coll) in queries scatters over the shards in registration order;
+// each shard also stays addressable as doc(shardName). Like every Load*, this
+// is a copy-on-write catalog swap, safe while queries are in flight: a
+// replaced shard bumps only its own generation stamp, so cached plans of the
+// sibling shards remain exactly valid.
+func (e *Engine) LoadCollectionShard(coll string, d *xmltree.Document) {
+	ix := index.New(d) // the expensive part, outside the lock
+	e.mu.Lock()
+	cat := e.cat.Clone()
+	cat.AddCollectionShard(coll, ix)
+	e.cat = cat
+	e.mu.Unlock()
+}
+
+// LoadCollection registers every document as a shard of the named collection,
+// in slice order (which becomes the collection's result order). All shards
+// are published in one copy-on-write swap: concurrent queries see either the
+// catalog before the call or the complete collection, never a prefix.
+func (e *Engine) LoadCollection(coll string, docs []*xmltree.Document) {
+	ixs := make([]*index.Index, len(docs)) // index builds outside the lock
+	for i, d := range docs {
+		ixs[i] = index.New(d)
+	}
+	e.mu.Lock()
+	cat := e.cat.Clone()
+	for _, ix := range ixs {
+		cat.AddCollectionShard(coll, ix)
+	}
+	e.cat = cat
+	e.mu.Unlock()
+}
+
+// LoadCollectionShardXML shreds, indexes and registers one XML shard given as
+// a string; name is the shard's document name.
+func (e *Engine) LoadCollectionShardXML(coll, name, xml string) error {
+	d, err := xmltree.ParseString(name, xml)
+	if err != nil {
+		return err
+	}
+	e.LoadCollectionShard(coll, d)
+	return nil
+}
+
+// Documents returns the names of the currently loaded documents, sorted
+// (collection shards included — every shard is also a document).
 func (e *Engine) Documents() []string {
 	return e.catalog().Names()
+}
+
+// Collections returns the names of the registered collections, sorted.
+func (e *Engine) Collections() []string {
+	return e.catalog().Collections()
+}
+
+// CollectionShards returns the shard document names of the named collection
+// in registration (result) order.
+func (e *Engine) CollectionShards(coll string) ([]string, error) {
+	col, err := e.catalog().Collection(coll)
+	if err != nil {
+		return nil, translateErr(err)
+	}
+	return col.ShardNames(), nil
 }
 
 // Stats reports how a query evaluation spent its work.
@@ -232,8 +323,23 @@ type Stats struct {
 	// Reoptimized reports that a cached plan was replayed but its observed
 	// cardinalities drifted beyond the engine's drift ratio, so the query
 	// was re-optimized from scratch (the returned results come from that
-	// fresh ROX run).
+	// fresh ROX run). For collection queries it is set when any shard
+	// re-optimized.
 	Reoptimized bool
+	// Shards breaks a collection query down per shard, in shard (result)
+	// order; nil for single-document queries. The top-level tuple and
+	// intermediate counters are the sums over the shards; CacheHit is set
+	// only when every shard replayed a cached plan.
+	Shards []ShardStats
+}
+
+// ShardStats is one shard's share of a scatter-gather evaluation: which shard,
+// and the full per-shard Stats of the independent ROX run over it (each shard
+// discovers its own plan from its own samples, so Plan, CacheHit and
+// Reoptimized genuinely differ between shards).
+type ShardStats struct {
+	Shard string
+	Stats Stats
 }
 
 // Result is a query result: the serialized XML of every returned item, in
@@ -250,7 +356,7 @@ type Result struct {
 // number of goroutines. For repeated queries prefer Prepare, which also
 // skips recompilation.
 func (e *Engine) Query(q string) (*Result, error) {
-	res, _, err := e.query(e.newQueryEnv(), q)
+	res, _, err := e.query(context.Background(), e.newQueryEnv(), q)
 	return res, err
 }
 
@@ -260,7 +366,7 @@ func (e *Engine) Query(q string) (*Result, error) {
 func (e *Engine) QueryContext(ctx context.Context, q string) (*Result, error) {
 	env := e.newQueryEnv()
 	env.Interrupt = ctx.Err
-	res, _, err := e.query(env, q)
+	res, _, err := e.query(ctx, env, q)
 	return res, err
 }
 
@@ -282,30 +388,50 @@ func (e *Engine) QueryStaticContext(ctx context.Context, q string) (*Result, err
 
 // query compiles q and runs the prepared pipeline (plan-cache lookup, then
 // the ROX optimizer on a miss) in the given per-query environment, returning
-// the result plus the environment's recorder (for aggregation).
-func (e *Engine) query(env *plan.Env, q string) (*Result, *metrics.Recorder, error) {
+// the result plus the environment's recorder (for aggregation). ctx bounds
+// the scatter-gather fan-out of collection queries (operator-level
+// cancellation goes through env.Interrupt).
+func (e *Engine) query(ctx context.Context, env *plan.Env, q string) (*Result, *metrics.Recorder, error) {
 	comp, err := xquery.CompileString(q, xquery.CompileOptions{})
 	if err != nil {
 		return nil, env.Rec, err
 	}
-	return e.queryCompiled(env, comp, "")
+	return e.queryCompiled(ctx, env, comp, "")
 }
 
 // queryCompiled is the execution pipeline behind Query and Prepared.Query:
-// fingerprint → plan-cache lookup → replay or optimize.
+// route collection queries to the scatter-gather executor, everything else
+// straight to the cached single-catalog execution at the current catalog
+// generation. fp is the precomputed cache key ("" = compute here); see
+// cacheKey.
+func (e *Engine) queryCompiled(ctx context.Context, env *plan.Env, comp *xquery.Compiled, fp string) (*Result, *metrics.Recorder, error) {
+	if e.cache != nil && fp == "" {
+		fp = cacheKey(comp)
+	}
+	if len(comp.Collections) > 0 {
+		return e.queryCollection(ctx, env, comp, fp)
+	}
+	res, err := e.executeCached(env, comp, fp, env.Catalog().Generation())
+	return res, env.Rec, err
+}
+
+// executeCached runs one compiled graph through fingerprint → plan-cache
+// lookup → replay or optimize, over whatever documents the graph's vertices
+// name. gen is the generation the cache entry is validated against — the
+// catalog generation for single-document queries, the shard's own stamp for
+// one shard of a scattered collection query (which is what confines
+// invalidation to the shard that actually changed).
 //
-//   - Cache hit at the current catalog generation: replay the cached plan
-//     with zero sampling work.
-//   - Hit from an older generation (the corpus changed since discovery):
+//   - Cache hit at generation gen: replay the cached plan with zero sampling
+//     work.
+//   - Hit from an older generation (the data changed since discovery):
 //     replay anyway — replay is correct regardless of data changes, only the
 //     cost can suffer — while comparing observed per-edge cardinalities
 //     against the discovering run's. Within the drift ratio the entry is
-//     revalidated for the current generation; beyond it the entry is dropped
-//     and the query re-optimized on the spot by a full ROX run.
+//     revalidated for gen; beyond it the entry is dropped and the query
+//     re-optimized on the spot by a full ROX run.
 //   - Miss: run ROX and install the discovered plan.
-//
-// fp is the precomputed cache key ("" = compute here); see cacheKey.
-func (e *Engine) queryCompiled(env *plan.Env, comp *xquery.Compiled, fp string) (*Result, *metrics.Recorder, error) {
+func (e *Engine) executeCached(env *plan.Env, comp *xquery.Compiled, fp string, gen uint64) (*Result, error) {
 	// The stopwatch and recorder baselines start before the cache lookup so
 	// that on the drift path — replay first, then a full re-optimization —
 	// the returned Stats cover everything this request actually did, not
@@ -316,16 +442,12 @@ func (e *Engine) queryCompiled(env *plan.Env, comp *xquery.Compiled, fp string) 
 	reoptimized := false
 	var replayIntermediate int64 // drift path: the abandoned replay's intermediates
 	if e.cache != nil {
-		if fp == "" {
-			fp = cacheKey(comp)
-		}
-		gen := env.Catalog().Generation()
 		if entry, outcome := e.cache.Lookup(fp, gen); outcome != plancache.Miss {
 			rel, stats, err := e.replay(env, comp, entry)
 			switch {
 			case err != nil && env.CheckInterrupt() != nil:
 				// Canceled mid-replay: propagate, don't fall back.
-				return nil, env.Rec, err
+				return nil, err
 			case err != nil:
 				// The cached plan does not fit the freshly compiled graph
 				// (e.g. a fingerprint collision): drop it and optimize.
@@ -352,11 +474,11 @@ func (e *Engine) queryCompiled(env *plan.Env, comp *xquery.Compiled, fp string) 
 	}
 	rel, res, err := core.Run(env, comp.Graph, comp.Tail, e.opts)
 	if err != nil {
-		return nil, env.Rec, translateErr(err)
+		return nil, translateErr(err)
 	}
 	out, err := serialize(comp, rel)
 	if err != nil {
-		return nil, env.Rec, err
+		return nil, err
 	}
 	out.Stats = Stats{
 		Rows: len(out.Items),
@@ -375,12 +497,12 @@ func (e *Engine) queryCompiled(env *plan.Env, comp *xquery.Compiled, fp string) 
 	if e.cache != nil {
 		e.cache.Install(&plancache.Entry{
 			Fingerprint: fp,
-			Generation:  env.Catalog().Generation(),
+			Generation:  gen,
 			Plan:        res.Plan,
 			Expected:    res.EdgeRows,
 		})
 	}
-	return out, env.Rec, nil
+	return out, nil
 }
 
 // cacheKey derives the plan-cache key of a compiled query: the canonical
@@ -410,10 +532,10 @@ func (e *Engine) replay(env *plan.Env, comp *xquery.Compiled, entry *plancache.E
 // lookup itself charges nothing).
 func (e *Engine) serveReplay(env *plan.Env, comp *xquery.Compiled, entry *plancache.Entry,
 	rel *table.Relation, stats *plan.RunStats,
-	sw metrics.Stopwatch, startExec, startSample metrics.Cost) (*Result, *metrics.Recorder, error) {
+	sw metrics.Stopwatch, startExec, startSample metrics.Cost) (*Result, error) {
 	out, err := serialize(comp, rel)
 	if err != nil {
-		return nil, env.Rec, err
+		return nil, err
 	}
 	p := entry.Plan
 	out.Stats = Stats{
@@ -425,7 +547,7 @@ func (e *Engine) serveReplay(env *plan.Env, comp *xquery.Compiled, entry *planca
 		Plan:                   p.String(),
 		CacheHit:               true,
 	}
-	return out, env.Rec, nil
+	return out, nil
 }
 
 // queryStatic runs the classical baseline path in the given per-query
@@ -434,6 +556,9 @@ func (e *Engine) queryStatic(env *plan.Env, q string) (*Result, *metrics.Recorde
 	comp, err := xquery.CompileString(q, xquery.CompileOptions{})
 	if err != nil {
 		return nil, env.Rec, err
+	}
+	if len(comp.Collections) > 0 {
+		return nil, env.Rec, fmt.Errorf("%w: query reads collection %q", ErrStaticCollection, comp.Collections[0])
 	}
 	// Plan-time statistics are the optimizer's work, not query execution;
 	// charge them to a scratch recorder as the baseline prescribes.
@@ -554,7 +679,7 @@ func (e *Engine) Prepare(q string) (*Prepared, error) {
 // ROX optimizer only on a miss or after drift. Safe to call from any number
 // of goroutines.
 func (p *Prepared) Query() (*Result, error) {
-	res, _, err := p.eng.queryCompiled(p.eng.newQueryEnv(), p.comp, p.fp)
+	res, _, err := p.eng.queryCompiled(context.Background(), p.eng.newQueryEnv(), p.comp, p.fp)
 	return res, err
 }
 
@@ -562,7 +687,7 @@ func (p *Prepared) Query() (*Result, error) {
 func (p *Prepared) QueryContext(ctx context.Context) (*Result, error) {
 	env := p.eng.newQueryEnv()
 	env.Interrupt = ctx.Err
-	res, _, err := p.eng.queryCompiled(env, p.comp, p.fp)
+	res, _, err := p.eng.queryCompiled(ctx, env, p.comp, p.fp)
 	return res, err
 }
 
@@ -628,14 +753,42 @@ func (e *NoSuchDocumentError) Error() string {
 // Is makes errors.Is(err, ErrNoSuchDocument) match.
 func (e *NoSuchDocumentError) Is(target error) bool { return target == ErrNoSuchDocument }
 
+// ErrNoSuchCollection is the sentinel for collection() queries addressing a
+// collection that was never registered; match it with errors.Is, retrieve the
+// name with errors.As on NoSuchCollectionError.
+var ErrNoSuchCollection = errors.New("rox: no such collection")
+
+// ErrStaticCollection is returned by QueryStatic for collection() queries:
+// the classical compile-time baseline evaluates single documents only —
+// per-shard adaptivity is exactly what the static plan cannot express.
+var ErrStaticCollection = errors.New("rox: static baseline does not support collection()")
+
+// NoSuchCollectionError reports which collection a failing query referred to.
+// It matches ErrNoSuchCollection under errors.Is.
+type NoSuchCollectionError struct {
+	Name string
+}
+
+// Error renders the failure with the collection name.
+func (e *NoSuchCollectionError) Error() string {
+	return fmt.Sprintf("rox: collection %q not loaded", e.Name)
+}
+
+// Is makes errors.Is(err, ErrNoSuchCollection) match.
+func (e *NoSuchCollectionError) Is(target error) bool { return target == ErrNoSuchCollection }
+
 // translateErr maps internal execution errors onto the package's typed
-// errors — today, the catalog's unknown-document failure onto
-// NoSuchDocumentError, so doc("missing.xml") in a query matches
-// ErrNoSuchDocument just like the XPath entry points.
+// errors — the catalog's unknown-document failure onto NoSuchDocumentError
+// (so doc("missing.xml") in a query matches ErrNoSuchDocument just like the
+// XPath entry points) and unknown collections onto NoSuchCollectionError.
 func translateErr(err error) error {
 	var ude *plan.UnknownDocumentError
 	if errors.As(err, &ude) {
 		return &NoSuchDocumentError{Name: ude.Name}
+	}
+	var uce *plan.UnknownCollectionError
+	if errors.As(err, &uce) {
+		return &NoSuchCollectionError{Name: uce.Name}
 	}
 	return err
 }

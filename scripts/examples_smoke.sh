@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# examples_smoke.sh — run every program under examples/ and diff its stdout
+# against the committed golden file, so examples cannot rot silently.
+#
+#   scripts/examples_smoke.sh           # verify (CI mode)
+#   scripts/examples_smoke.sh -update   # regenerate the golden files
+#
+# Wall-clock durations in the output are normalized to TIME before the
+# comparison (everything else the examples print is deterministic: fixed
+# seeds everywhere).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+normalize() {
+  sed -E 's/[0-9]+(\.[0-9]+)?(ns|µs|ms|s)\b/TIME/g'
+}
+
+mode="${1:-}"
+fail=0
+for dir in examples/*/; do
+  name="$(basename "$dir")"
+  golden="$dir/golden.txt"
+  out="$(go run "./examples/$name" | normalize)"
+  if [ "$mode" = "-update" ]; then
+    printf '%s\n' "$out" > "$golden"
+    echo "updated $golden"
+  else
+    if ! printf '%s\n' "$out" | diff -u "$golden" - > /tmp/examples_smoke_diff.$$ 2>&1; then
+      echo "FAIL: examples/$name output drifted from $golden:"
+      cat /tmp/examples_smoke_diff.$$
+      fail=1
+    else
+      echo "ok: examples/$name"
+    fi
+    rm -f /tmp/examples_smoke_diff.$$
+  fi
+done
+exit $fail

@@ -1,0 +1,165 @@
+package rox
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/xquery"
+)
+
+// This file implements scatter-gather evaluation of collection() queries.
+//
+// A collection is an ordered list of shards — independently shredded and
+// indexed documents registered under one logical name. A query that reads
+// collection("c") compiles once into a Join Graph whose collection-anchored
+// vertices carry the collection name; at execution time the engine
+// instantiates that graph per shard (CloneRebindDoc) and runs the complete
+// ROX pipeline — plan-cache lookup, sampling optimizer on a miss, drift
+// verification — independently on every shard. Per-shard optimization is the
+// paper's thesis applied to partitioned data: each shard discovers the join
+// order its own value distributions justify, instead of trusting statistics
+// averaged over the whole corpus.
+//
+// Results merge in a streaming tail: shard evaluations run concurrently
+// (bounded by the engine-wide shard limiter), while the gather side consumes
+// them in shard registration order, appending each shard's ordered items as
+// soon as that shard finishes. Within a shard the tail sort restores
+// document order, so the concatenation equals the document order of the same
+// data loaded as one catalog whenever the shards partition the corpus in
+// order — the byte-identity contract the sharding tests pin down.
+
+// shardOutcome carries one shard's evaluation off its goroutine.
+type shardOutcome struct {
+	res *Result
+	rec *metrics.Recorder
+	err error
+}
+
+// queryCollection evaluates a compiled collection query scatter-gather. The
+// caller's env supplies the catalog snapshot (all shards are read at the
+// generation the query started at) and receives the merged cost rollup.
+// baseFP is the precomputed cache key ("" when caching is disabled); the
+// compiler guarantees exactly one collection.
+func (e *Engine) queryCollection(ctx context.Context, env *plan.Env, comp *xquery.Compiled, baseFP string) (*Result, *metrics.Recorder, error) {
+	if len(comp.Collections) != 1 {
+		// Unreachable: xquery.Compile rejects multi-collection queries.
+		return nil, env.Rec, fmt.Errorf("rox: a query may read at most one collection, got %d (%v)",
+			len(comp.Collections), comp.Collections)
+	}
+	collName := comp.Collections[0]
+	cat := env.Catalog()
+	col, err := cat.Collection(collName)
+	if err != nil {
+		return nil, env.Rec, translateErr(err)
+	}
+	sw := metrics.Start()
+	shards := col.Shards
+
+	// Scatter. Each shard gets its own env (recorder + seeded random stream)
+	// over the shared snapshot; the derived context aborts the remaining
+	// shards as soon as one fails or the caller cancels.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	parentInterrupt := env.Interrupt
+	interrupt := func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if parentInterrupt != nil {
+			return parentInterrupt()
+		}
+		return nil
+	}
+	outs := make([]chan shardOutcome, len(shards))
+	for i, sh := range shards {
+		outs[i] = make(chan shardOutcome, 1)
+		go func(out chan<- shardOutcome, sh *plan.Shard) {
+			out <- e.runShard(ctx, cat, comp, collName, sh, baseFP, interrupt)
+		}(outs[i], sh)
+	}
+
+	// Gather: the streaming merge tail. Shards complete in any order; the
+	// merge consumes them in shard order so items stream into the result in
+	// collection order while later shards are still evaluating.
+	merged := &Result{}
+	stats := Stats{
+		Plan:     fmt.Sprintf("scatter(%s/%d)", collName, len(shards)),
+		CacheHit: len(shards) > 0,
+		Shards:   make([]ShardStats, 0, len(shards)),
+	}
+	count := 0
+	var firstErr error
+	for i := range outs {
+		o := <-outs[i]
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+				cancel() // abort the shards still running; keep draining
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // drained only so the goroutine can exit
+		}
+		env.Rec.Merge(o.rec)
+		if comp.Return.Count {
+			n, err := strconv.Atoi(o.res.Items[0])
+			if err != nil {
+				firstErr = fmt.Errorf("rox: shard %s returned malformed count %q: %w",
+					shards[i].Name(), o.res.Items[0], err)
+				cancel()
+				continue
+			}
+			count += n
+		} else {
+			merged.Items = append(merged.Items, o.res.Items...)
+		}
+		stats.ExecTuples += o.res.Stats.ExecTuples
+		stats.SampleTuples += o.res.Stats.SampleTuples
+		stats.CumulativeIntermediate += o.res.Stats.CumulativeIntermediate
+		stats.CacheHit = stats.CacheHit && o.res.Stats.CacheHit
+		stats.Reoptimized = stats.Reoptimized || o.res.Stats.Reoptimized
+		stats.Shards = append(stats.Shards, ShardStats{Shard: shards[i].Name(), Stats: o.res.Stats})
+	}
+	if firstErr != nil {
+		return nil, env.Rec, firstErr
+	}
+	if comp.Return.Count {
+		merged.Items = []string{strconv.Itoa(count)}
+	}
+	stats.Rows = len(merged.Items)
+	stats.Elapsed = sw.Elapsed()
+	merged.Stats = stats
+	return merged, env.Rec, nil
+}
+
+// runShard evaluates the query over one shard: acquire an engine-wide
+// fan-out slot, rebind the compiled graph to the shard document, and run the
+// cached-execution pipeline against the shard's own generation stamp — so a
+// reload of this shard invalidates exactly this shard's cached plans and no
+// others.
+func (e *Engine) runShard(ctx context.Context, cat *plan.Catalog, comp *xquery.Compiled,
+	coll string, sh *plan.Shard, baseFP string, interrupt func() error) shardOutcome {
+	if err := e.shardLim.Acquire(ctx); err != nil {
+		return shardOutcome{err: err}
+	}
+	defer e.shardLim.Release()
+	senv := plan.NewQueryEnv(cat, metrics.NewRecorder(), e.seed)
+	senv.Interrupt = interrupt
+	scomp := comp.ForShard(coll, sh.Name())
+	fp := ""
+	if baseFP != "" {
+		// The rebound graph's own fingerprint would differ per shard too, but
+		// deriving the key from the base avoids re-hashing the graph on every
+		// shard of every query (Prepared computes baseFP once, ever).
+		fp = baseFP + "|shard:" + sh.Name()
+	}
+	res, err := e.executeCached(senv, scomp, fp, sh.Gen)
+	if err != nil {
+		return shardOutcome{err: err, rec: senv.Rec}
+	}
+	return shardOutcome{res: res, rec: senv.Rec}
+}

@@ -1,0 +1,406 @@
+package rox
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// newXMarkEngines builds the two sides of the equivalence contract: one
+// engine holding the whole XMark corpus as a single document, and one holding
+// the same corpus pre-split into n shards of collection "xmark".
+func newXMarkEngines(t *testing.T, n int) (single, sharded *Engine) {
+	t.Helper()
+	cfg := datagen.DefaultXMarkConfig()
+	cfg.Persons, cfg.Items, cfg.OpenAuctions = 200, 120, 100
+	single = NewEngine()
+	single.LoadDocument(datagen.XMark(cfg))
+	sharded = NewEngine()
+	sharded.LoadCollection("xmark", datagen.XMarkShards(cfg, n))
+	return single, sharded
+}
+
+// TestCollectionEquivalence is the sharding contract: a collection() query
+// over the XMark corpus split into 4 shards returns results byte-identical
+// to the same corpus loaded as a single catalog — for ordered item queries
+// and for count() aggregates.
+func TestCollectionEquivalence(t *testing.T) {
+	single, sharded := newXMarkEngines(t, 4)
+	queries := []struct {
+		name            string
+		docQ, collQ     string
+		wantAtLeastRows int
+	}{
+		{
+			name:            "ordered persons with education",
+			docQ:            `for $p in doc("xmark.xml")//person[education] return $p`,
+			collQ:           `for $p in collection("xmark")//person[education] return $p`,
+			wantAtLeastRows: 10,
+		},
+		{
+			name:            "ordered two-variable constructor within auctions",
+			docQ:            `for $a in doc("xmark.xml")//open_auction[reserve], $b in $a/bidder where $a/current > 150 return <hit>{$b}</hit>`,
+			collQ:           `for $a in collection("xmark")//open_auction[reserve], $b in $a/bidder where $a/current > 150 return <hit>{$b}</hit>`,
+			wantAtLeastRows: 10,
+		},
+		{
+			name:            "count of bidders in reserved auctions",
+			docQ:            `for $b in doc("xmark.xml")//open_auction[reserve]//bidder return count($b)`,
+			collQ:           `for $b in collection("xmark")//open_auction[reserve]//bidder return count($b)`,
+			wantAtLeastRows: 1,
+		},
+	}
+	for _, q := range queries {
+		t.Run(q.name, func(t *testing.T) {
+			want, err := single.Query(q.docQ)
+			if err != nil {
+				t.Fatalf("single-catalog query: %v", err)
+			}
+			got, err := sharded.Query(q.collQ)
+			if err != nil {
+				t.Fatalf("collection query: %v", err)
+			}
+			if len(want.Items) < q.wantAtLeastRows {
+				t.Fatalf("degenerate test corpus: only %d rows", len(want.Items))
+			}
+			if len(got.Items) != len(want.Items) {
+				t.Fatalf("row count: sharded %d, single %d", len(got.Items), len(want.Items))
+			}
+			for i := range want.Items {
+				if got.Items[i] != want.Items[i] {
+					t.Fatalf("item %d differs:\nsharded: %s\nsingle:  %s", i, got.Items[i], want.Items[i])
+				}
+			}
+			if len(got.Stats.Shards) != 4 {
+				t.Errorf("ShardStats count = %d, want 4", len(got.Stats.Shards))
+			}
+		})
+	}
+}
+
+// TestCollectionShardStatsRollup checks that the scatter-gather Stats add up:
+// top-level tuple counters are the per-shard sums and every shard reports its
+// own plan.
+func TestCollectionShardStatsRollup(t *testing.T) {
+	_, sharded := newXMarkEngines(t, 4)
+	res, err := sharded.Query(`for $p in collection("xmark")//person[education] return $p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exec, sample, interm int64
+	rows := 0
+	for _, sh := range res.Stats.Shards {
+		exec += sh.Stats.ExecTuples
+		sample += sh.Stats.SampleTuples
+		interm += sh.Stats.CumulativeIntermediate
+		rows += sh.Stats.Rows
+		if sh.Stats.Plan == "" {
+			t.Errorf("shard %s reports no plan", sh.Shard)
+		}
+		if sh.Stats.SampleTuples == 0 {
+			t.Errorf("shard %s did no sampling on a cold query", sh.Shard)
+		}
+	}
+	if res.Stats.ExecTuples != exec || res.Stats.SampleTuples != sample ||
+		res.Stats.CumulativeIntermediate != interm {
+		t.Errorf("rollup mismatch: top (%d, %d, %d) vs shard sums (%d, %d, %d)",
+			res.Stats.ExecTuples, res.Stats.SampleTuples, res.Stats.CumulativeIntermediate,
+			exec, sample, interm)
+	}
+	if rows != res.Stats.Rows {
+		t.Errorf("shard rows sum %d != top rows %d", rows, res.Stats.Rows)
+	}
+	if !strings.HasPrefix(res.Stats.Plan, "scatter(xmark/") {
+		t.Errorf("top-level plan = %q, want scatter(xmark/…)", res.Stats.Plan)
+	}
+}
+
+// shardXML builds a small people shard with n persons, m of which carry the
+// marker element the test queries select on.
+func shardXML(n, m int) string {
+	var sb strings.Builder
+	sb.WriteString("<people>")
+	for i := 0; i < n; i++ {
+		if i < m {
+			fmt.Fprintf(&sb, `<person id="p%d"><name>n%d</name><marker>yes</marker></person>`, i, i)
+		} else {
+			fmt.Fprintf(&sb, `<person id="p%d"><name>n%d</name></person>`, i, i)
+		}
+	}
+	sb.WriteString("</people>")
+	return sb.String()
+}
+
+// TestShardReloadInvalidatesOnlyThatShard is the per-shard cache-invalidation
+// contract: after reloading one shard with drastically different data, the
+// next query replays cached plans on the untouched shards (zero sampling)
+// and re-optimizes only the reloaded one.
+func TestShardReloadInvalidatesOnlyThatShard(t *testing.T) {
+	eng := NewEngine()
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("ppl-%d.xml", i)
+		if err := eng.LoadCollectionShardXML("ppl", name, shardXML(40, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const q = `for $p in collection("ppl")//person[marker] return $p`
+
+	cold, err := eng.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.CacheHit {
+		t.Fatalf("cold query reported a cache hit")
+	}
+	warm, err := eng.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Stats.CacheHit || warm.Stats.SampleTuples != 0 {
+		t.Fatalf("warm query: CacheHit=%v SampleTuples=%d, want hit with zero sampling",
+			warm.Stats.CacheHit, warm.Stats.SampleTuples)
+	}
+
+	// Reload the middle shard with 10× the data: far beyond the drift ratio.
+	if err := eng.LoadCollectionShardXML("ppl", "ppl-1.xml", shardXML(400, 400)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Shards) != 3 {
+		t.Fatalf("shard stats count = %d", len(res.Stats.Shards))
+	}
+	for _, sh := range res.Stats.Shards {
+		switch sh.Shard {
+		case "ppl-1.xml":
+			if !sh.Stats.Reoptimized {
+				t.Errorf("reloaded shard was not re-optimized (CacheHit=%v SampleTuples=%d)",
+					sh.Stats.CacheHit, sh.Stats.SampleTuples)
+			}
+		default:
+			if !sh.Stats.CacheHit || sh.Stats.SampleTuples != 0 {
+				t.Errorf("untouched shard %s lost its cached plan: CacheHit=%v SampleTuples=%d",
+					sh.Shard, sh.Stats.CacheHit, sh.Stats.SampleTuples)
+			}
+		}
+	}
+	if res.Stats.Rows != 40+400+40 {
+		t.Errorf("rows after reload = %d, want 480", res.Stats.Rows)
+	}
+
+	// And the shard settles: the re-optimized plan serves the next query.
+	settled, err := eng.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !settled.Stats.CacheHit || settled.Stats.SampleTuples != 0 {
+		t.Errorf("post-reload query should fully hit: CacheHit=%v SampleTuples=%d",
+			settled.Stats.CacheHit, settled.Stats.SampleTuples)
+	}
+}
+
+// TestCollectionPrepared runs a collection query through Prepare: compile
+// once, scatter on every call, cache per shard.
+func TestCollectionPrepared(t *testing.T) {
+	_, sharded := newXMarkEngines(t, 3)
+	prep, err := sharded.Prepare(`for $p in collection("xmark")//person[education] return $p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := prep.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := prep.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Items) == 0 || len(first.Items) != len(second.Items) {
+		t.Fatalf("prepared runs disagree: %d vs %d items", len(first.Items), len(second.Items))
+	}
+	if !second.Stats.CacheHit || second.Stats.SampleTuples != 0 {
+		t.Errorf("second prepared run: CacheHit=%v SampleTuples=%d, want full per-shard hits",
+			second.Stats.CacheHit, second.Stats.SampleTuples)
+	}
+}
+
+// TestCollectionConcurrent hammers one sharded engine from many goroutines
+// (run under -race) and checks every result matches the sequential answer.
+func TestCollectionConcurrent(t *testing.T) {
+	_, sharded := newXMarkEngines(t, 4)
+	const q = `for $p in collection("xmark")//person[education] return $p`
+	want, err := sharded.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(sharded, 4)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := pool.Query(context.Background(), q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(res.Items) != len(want.Items) {
+				errs <- fmt.Errorf("got %d items, want %d", len(res.Items), len(want.Items))
+				return
+			}
+			for i := range want.Items {
+				if res.Items[i] != want.Items[i] {
+					errs <- fmt.Errorf("item %d differs", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCollectionCancellation: a canceled context aborts the scatter instead
+// of evaluating every shard.
+func TestCollectionCancellation(t *testing.T) {
+	_, sharded := newXMarkEngines(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sharded.QueryContext(ctx, `for $p in collection("xmark")//person[education] return $p`)
+	if err == nil {
+		t.Fatal("canceled collection query succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+// TestCollectionErrors covers the failure surface of the collection API.
+func TestCollectionErrors(t *testing.T) {
+	eng := NewEngine()
+	if err := eng.LoadCollectionShardXML("a", "a-0.xml", `<r><x>1</x></r>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadCollectionShardXML("b", "b-0.xml", `<r><x>1</x></r>`); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("unknown collection", func(t *testing.T) {
+		_, err := eng.Query(`for $x in collection("nope")//x return $x`)
+		if !errors.Is(err, ErrNoSuchCollection) {
+			t.Errorf("err = %v, want ErrNoSuchCollection", err)
+		}
+		var nce *NoSuchCollectionError
+		if !errors.As(err, &nce) || nce.Name != "nope" {
+			t.Errorf("err carries name %v, want nope", err)
+		}
+	})
+	t.Run("two collections in one query", func(t *testing.T) {
+		_, err := eng.Query(`for $x in collection("a")//x, $y in collection("b")//x return $x`)
+		if err == nil || !strings.Contains(err.Error(), "at most one collection") {
+			t.Errorf("err = %v, want at-most-one-collection failure", err)
+		}
+	})
+	t.Run("static baseline rejects collections", func(t *testing.T) {
+		_, err := eng.QueryStatic(`for $x in collection("a")//x return $x`)
+		if !errors.Is(err, ErrStaticCollection) {
+			t.Errorf("err = %v, want ErrStaticCollection", err)
+		}
+	})
+	t.Run("name used as both doc and collection", func(t *testing.T) {
+		_, err := eng.Query(`for $x in collection("a")//x, $y in doc("a")//x return $x`)
+		if err == nil || !strings.Contains(err.Error(), "both doc") {
+			t.Errorf("err = %v, want doc/collection conflict failure", err)
+		}
+	})
+	t.Run("unknown shard document still typed", func(t *testing.T) {
+		// doc() addressing of a shard that does not exist keeps the document
+		// error surface.
+		_, err := eng.Query(`for $x in doc("a-9.xml")//x return $x`)
+		if !errors.Is(err, ErrNoSuchDocument) {
+			t.Errorf("err = %v, want ErrNoSuchDocument", err)
+		}
+	})
+}
+
+// TestCollectionShardsAccessors covers the registry accessors.
+func TestCollectionShardsAccessors(t *testing.T) {
+	eng := NewEngine()
+	for i := 0; i < 3; i++ {
+		if err := eng.LoadCollectionShardXML("c", fmt.Sprintf("s%d.xml", i), `<r><x>v</x></r>`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.Collections(); len(got) != 1 || got[0] != "c" {
+		t.Errorf("Collections() = %v", got)
+	}
+	shards, err := eng.CollectionShards("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 3 || shards[0] != "s0.xml" || shards[2] != "s2.xml" {
+		t.Errorf("CollectionShards = %v, want registration order s0..s2", shards)
+	}
+	if _, err := eng.CollectionShards("nope"); !errors.Is(err, ErrNoSuchCollection) {
+		t.Errorf("CollectionShards(nope) err = %v", err)
+	}
+	// Shards are documents too.
+	docs := eng.Documents()
+	if len(docs) != 3 {
+		t.Errorf("Documents() = %v, want the 3 shards", docs)
+	}
+}
+
+// TestShardReloadViaDocPath: shards double as documents, so reloading one
+// through the plain document path (LoadXML under the shard's name) must move
+// that shard's generation stamp exactly like LoadCollectionShard — otherwise
+// cached per-shard plans would replay against changed data without drift
+// verification.
+func TestShardReloadViaDocPath(t *testing.T) {
+	eng := NewEngine()
+	for i := 0; i < 3; i++ {
+		if err := eng.LoadCollectionShardXML("ppl", fmt.Sprintf("ppl-%d.xml", i), shardXML(40, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const q = `for $p in collection("ppl")//person[marker] return $p`
+	if _, err := eng.Query(q); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reload the middle shard through the *document* API with 10x the data.
+	if err := eng.LoadXML("ppl-1.xml", shardXML(400, 400)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rows != 40+400+40 {
+		t.Fatalf("rows = %d, want 480 (doc-path reload must be visible to the collection)", res.Stats.Rows)
+	}
+	for _, sh := range res.Stats.Shards {
+		switch sh.Shard {
+		case "ppl-1.xml":
+			if !sh.Stats.Reoptimized {
+				t.Errorf("doc-path reloaded shard was not re-optimized: CacheHit=%v SampleTuples=%d",
+					sh.Stats.CacheHit, sh.Stats.SampleTuples)
+			}
+		default:
+			if !sh.Stats.CacheHit || sh.Stats.SampleTuples != 0 {
+				t.Errorf("untouched shard %s lost its cached plan", sh.Shard)
+			}
+		}
+	}
+}
