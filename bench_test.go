@@ -650,6 +650,56 @@ func BenchmarkCollectionScatterCold(b *testing.B) {
 	}
 }
 
+// BenchmarkOrderedQuery measures the ordering tail on the cached hot path:
+// replay the plan, extract one key per result tuple, stable-sort, serialize.
+func BenchmarkOrderedQuery(b *testing.B) {
+	cfg := datagen.DefaultXMarkConfig()
+	e := NewEngine(WithSeed(1))
+	e.LoadDocument(datagen.XMark(cfg))
+	prep, err := e.Prepare(
+		`for $a in doc("xmark.xml")//open_auction[reserve] order by $a/current descending return $a`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := prep.Query(); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := prep.Query()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Rows != len(res.Items) {
+			b.Fatalf("Rows = %d, items = %d", res.Stats.Rows, len(res.Items))
+		}
+	}
+}
+
+// BenchmarkAggregateScatter measures a scatter-gather aggregate on the cached
+// hot path: per-shard replay + exact partial-sum fold, algebraic merge of the
+// four shard states.
+func BenchmarkAggregateScatter(b *testing.B) {
+	e := scatterBenchEngine(4)
+	prep, err := e.Prepare(`for $a in collection("xmark")//open_auction return sum($a/initial)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := prep.Query(); err != nil { // warm the per-shard caches
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := prep.Query()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Rows != 1 {
+			b.Fatalf("aggregate Rows = %d, want 1", res.Stats.Rows)
+		}
+	}
+}
+
 // BenchmarkCollectionScatterCached measures the steady-state hot path of a
 // sharded corpus: per-shard plan-cache hits, zero sampling, concurrent shard
 // replay, in-order merge.

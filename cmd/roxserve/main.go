@@ -391,6 +391,7 @@ func statusFor(err error) int {
 	case errors.Is(err, rox.ErrNoSuchDocument) ||
 		errors.Is(err, rox.ErrNoSuchCollection) ||
 		errors.Is(err, rox.ErrStaticCollection) ||
+		errors.Is(err, rox.ErrNonNumericAggregate) ||
 		strings.HasPrefix(err.Error(), "xquery:") ||
 		strings.Contains(err.Error(), "not registered") ||
 		strings.Contains(err.Error(), "not loaded"):

@@ -201,7 +201,7 @@ func shardBody(n int) string {
 	var sb strings.Builder
 	sb.WriteString("<people>")
 	for i := 0; i < n; i++ {
-		fmt.Fprintf(&sb, "<person><name>p%d</name></person>", i)
+		fmt.Fprintf(&sb, "<person><name>p%d</name><age>%d</age></person>", i, 10+i)
 	}
 	sb.WriteString("</people>")
 	return sb.String()
@@ -263,6 +263,77 @@ func TestCollectionQueryEndpoint(t *testing.T) {
 	}
 	if first["stats"].(map[string]any)["plan"] == "" {
 		t.Fatal("shard stats carry no plan")
+	}
+}
+
+// TestAggregateQueryEndpoint: aggregate results come back as the single
+// merged item with rows=1, and scatter queries expose their per-shard stats
+// in the /query JSON.
+func TestAggregateQueryEndpoint(t *testing.T) {
+	ts := collectionServer(t)
+	q := url.QueryEscape(`for $p in collection("ppl")//person return sum($p/age)`)
+	out := getJSON(t, ts.URL+"/query?q="+q, http.StatusOK)
+	items, _ := out["items"].([]any)
+	// 3 shards × persons aged 10 and 11.
+	if len(items) != 1 || items[0] != "63" {
+		t.Fatalf("sum items = %v, want [63]", out["items"])
+	}
+	stats := out["stats"].(map[string]any)
+	if stats["rows"].(float64) != 1 {
+		t.Errorf("rows = %v, want 1", stats["rows"])
+	}
+	shards, _ := stats["shards"].([]any)
+	if len(shards) != 3 {
+		t.Fatalf("per-shard stats = %v, want 3 entries", stats["shards"])
+	}
+	for i, sh := range shards {
+		m := sh.(map[string]any)
+		if m["shard"] != fmt.Sprintf("ppl-%d.xml", i) {
+			t.Errorf("shard[%d] = %v", i, m["shard"])
+		}
+		if m["stats"].(map[string]any)["plan"] == "" {
+			t.Errorf("shard %v stats carry no plan", m["shard"])
+		}
+	}
+
+	// The avg of the same corpus, exercising the (sum, count) merge.
+	q = url.QueryEscape(`for $p in collection("ppl")//person return avg($p/age)`)
+	out = getJSON(t, ts.URL+"/query?q="+q, http.StatusOK)
+	items, _ = out["items"].([]any)
+	if len(items) != 1 || items[0] != "10.5" {
+		t.Fatalf("avg items = %v, want [10.5]", out["items"])
+	}
+
+	// Aggregating a non-numeric path is the client's mistake: 400, not 500.
+	q = url.QueryEscape(`for $p in collection("ppl")//person return sum($p/name)`)
+	out = getJSON(t, ts.URL+"/query?q="+q, http.StatusBadRequest)
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "non-numeric") {
+		t.Errorf("non-numeric aggregate error = %q", msg)
+	}
+}
+
+// TestOrderByQueryEndpoint: ordered scatter queries k-way merge across the
+// shards and report rows = item count.
+func TestOrderByQueryEndpoint(t *testing.T) {
+	ts := collectionServer(t)
+	q := url.QueryEscape(`for $p in collection("ppl")//person order by $p/age descending return $p`)
+	out := getJSON(t, ts.URL+"/query?q="+q, http.StatusOK)
+	items, _ := out["items"].([]any)
+	if len(items) != 6 {
+		t.Fatalf("items = %v", out["items"])
+	}
+	for i, it := range items {
+		want := "p1" // age 11 first under descending
+		if i >= 3 {
+			want = "p0"
+		}
+		if !strings.Contains(it.(string), "<name>"+want+"</name>") {
+			t.Errorf("item %d = %v, want a %s person", i, it, want)
+		}
+	}
+	stats := out["stats"].(map[string]any)
+	if stats["rows"].(float64) != 6 {
+		t.Errorf("rows = %v, want 6", stats["rows"])
 	}
 }
 

@@ -1,0 +1,128 @@
+package rox_test
+
+import (
+	"fmt"
+
+	rox "repro"
+)
+
+// ExampleEngine_Query loads a document and runs a simple path query through
+// the ROX run-time optimizer.
+func ExampleEngine_Query() {
+	eng := rox.NewEngine()
+	if err := eng.LoadXML("people.xml", `<people>
+		<person id="p1"><name>Alice</name></person>
+		<person id="p2"><name>Bob</name></person>
+	</people>`); err != nil {
+		panic(err)
+	}
+	res, err := eng.Query(`for $n in doc("people.xml")//person/name return $n`)
+	if err != nil {
+		panic(err)
+	}
+	for _, item := range res.Items {
+		fmt.Println(item)
+	}
+	// Output:
+	// <name>Alice</name>
+	// <name>Bob</name>
+}
+
+// ExampleEngine_Prepare compiles a join query once and replays its cached
+// plan on every subsequent call — the server hot path.
+func ExampleEngine_Prepare() {
+	eng := rox.NewEngine()
+	check := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	check(eng.LoadXML("people.xml", `<people>
+		<person id="p1"><name>Alice</name></person>
+		<person id="p2"><name>Bob</name></person>
+	</people>`))
+	check(eng.LoadXML("orders.xml", `<orders>
+		<order person="p2" total="8"/>
+		<order person="p1" total="5"/>
+	</orders>`))
+
+	prep, err := eng.Prepare(`
+		for $p in doc("people.xml")//person,
+		    $o in doc("orders.xml")//order
+		where $o/@person = $p/@id
+		return <hit>{$p}{$o}</hit>`)
+	check(err)
+
+	first, err := prep.Query() // cache miss: full ROX run, plan installed
+	check(err)
+	second, err := prep.Query() // cache hit: replay, zero sampling work
+	check(err)
+	fmt.Println("rows:", first.Stats.Rows)
+	fmt.Println("second run cache hit:", second.Stats.CacheHit, "sample tuples:", second.Stats.SampleTuples)
+	// Output:
+	// rows: 2
+	// second run cache hit: true sample tuples: 0
+}
+
+// ExampleEngine_LoadCollection registers a sharded collection and queries it
+// scatter-gather: every shard runs the full ROX pipeline independently and
+// the ordered results merge back in collection order.
+func ExampleEngine_LoadCollection() {
+	eng := rox.NewEngine()
+	for i, xml := range []string{
+		`<site><person id="p0"><name>Ada</name></person></site>`,
+		`<site><person id="p1"><name>Grace</name></person></site>`,
+	} {
+		if err := eng.LoadCollectionShardXML("site", fmt.Sprintf("site-%d.xml", i), xml); err != nil {
+			panic(err)
+		}
+	}
+	res, err := eng.Query(`for $n in collection("site")//person/name return $n`)
+	if err != nil {
+		panic(err)
+	}
+	for _, item := range res.Items {
+		fmt.Println(item)
+	}
+	fmt.Println("shards evaluated:", len(res.Stats.Shards))
+	// Output:
+	// <name>Ada</name>
+	// <name>Grace</name>
+	// shards evaluated: 2
+}
+
+// ExampleEngine_Query_aggregatesAndOrderBy shows the aggregation and
+// ordering tail: numeric aggregates fold over every binding, order by sorts
+// result items by an extracted key. Over a collection the same queries merge
+// per-shard partial aggregates and k-way merge the ordered streams.
+func ExampleEngine_Query_aggregatesAndOrderBy() {
+	eng := rox.NewEngine()
+	if err := eng.LoadXML("shop.xml", `<shop>
+		<item id="i1"><price>10</price></item>
+		<item id="i2"><price>25.5</price></item>
+		<item id="i3"><price>30</price></item>
+	</shop>`); err != nil {
+		panic(err)
+	}
+	for _, q := range []string{
+		`for $i in doc("shop.xml")//item return sum($i/price)`,
+		`for $i in doc("shop.xml")//item return avg($i/price)`,
+		`for $i in doc("shop.xml")//item return max($i/price)`,
+	} {
+		res, err := eng.Query(q)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(res.Items[0])
+	}
+	res, err := eng.Query(`for $p in doc("shop.xml")//item/price order by $p descending return $p`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Items)
+	// Output:
+	// 65.5
+	// 21.833333333333332
+	// 30
+	// [<price>30</price> <price>25.5</price> <price>10</price>]
+}

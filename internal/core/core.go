@@ -104,6 +104,10 @@ type Result struct {
 	// the plan and checks replays against. With MaterializeLimit set, the
 	// rows come from the final full re-execution, not the truncated search.
 	EdgeRows map[int]int
+	// Keys are the tail's order-by keys in result row order (nil without an
+	// order by), extracted once by the tail executor for the engine's
+	// scatter-gather merge.
+	Keys []plan.Key
 }
 
 // Optimizer carries the run-time state of Algorithm 1 for one Join Graph.
@@ -217,6 +221,7 @@ func (o *Optimizer) Execute(tail *plan.Tail) (*table.Relation, *Result, error) {
 	}
 
 	var out *table.Relation
+	var keys []plan.Key
 	cumulative := o.runner.CumulativeIntermediate
 	edgeRows := make(map[int]int, len(o.steps))
 	if sampledSearch {
@@ -234,6 +239,7 @@ func (o *Optimizer) Execute(tail *plan.Tail) (*table.Relation, *Result, error) {
 		out = full
 		cumulative = stats.CumulativeIntermediate
 		edgeRows = stats.EdgeRows
+		keys = stats.Keys
 	} else {
 		for _, ev := range o.trace.Events {
 			if ev.Kind == EventExec {
@@ -244,7 +250,7 @@ func (o *Optimizer) Execute(tail *plan.Tail) (*table.Relation, *Result, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		out = tail.Apply(rel)
+		out, keys = tail.Execute(rel)
 	}
 	res := &Result{
 		Rows:                   out.NumRows(),
@@ -254,6 +260,7 @@ func (o *Optimizer) Execute(tail *plan.Tail) (*table.Relation, *Result, error) {
 		ExecCost:               rec.CostOf(metrics.PhaseExecute).Sub(startExec),
 		CumulativeIntermediate: cumulative,
 		EdgeRows:               edgeRows,
+		Keys:                   keys,
 	}
 	return out, res, nil
 }

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/joingraph"
@@ -99,16 +100,39 @@ func (u *unionFind) union(a, b int) { u.parent[u.find(a)] = u.find(b) }
 // (Sec 2.1): project to the for-variable vertices, remove duplicate tuples,
 // establish the nested for-loop order (sort by the variables' node ids in
 // binding order — the numbering τ), and project to the returned vertices.
+// Order and Agg extend the tail with the order-by and aggregate return
+// clauses; see the "Aggregation and ordering tail" section of DESIGN.md.
+// The tail stays strictly outside the Join Graph: its specs reference graph
+// vertices but never add edges, so the optimizer's plan space — and the plan
+// cache's fingerprints over it — are untouched by tail changes.
 type Tail struct {
 	Project []int // vertices kept for distinct/sort (the for variables)
 	Sort    []int // sort key order; defaults to Project when nil
 	Final   []int // vertices of the return expression
+	// Order, when set, re-sorts the distinct tuples by an extracted key
+	// (stable over the τ sort, so ties keep document order). Execute
+	// returns the extracted keys alongside the relation so the gather side
+	// of a scatter can merge without re-extracting them.
+	Order *OrderSpec
+	// Agg, when set, is folded over the final tuples by FoldAgg; the
+	// relation Apply returns is unchanged by it (aggregation happens at
+	// serialization, where a non-numeric value can fail the query).
+	Agg *AggSpec
 }
 
-// Apply runs the tail over the fully joined relation.
+// Apply runs the tail over the fully joined relation. Callers that need the
+// order-by keys of the result rows (the scatter-gather merge) use Execute.
 func (t *Tail) Apply(rel *table.Relation) *table.Relation {
+	out, _ := t.Execute(rel)
+	return out
+}
+
+// Execute runs the tail and returns the final relation plus, for ordered
+// tails, the per-row order keys in final row order — extracted exactly once,
+// during the key sort. Keys are nil when the tail has no order by.
+func (t *Tail) Execute(rel *table.Relation) (*table.Relation, []Key) {
 	if t == nil {
-		return rel
+		return rel, nil
 	}
 	out := rel
 	if len(t.Project) > 0 {
@@ -122,10 +146,38 @@ func (t *Tail) Apply(rel *table.Relation) *table.Relation {
 	if len(sortCols) > 0 {
 		out.SortBy(sortCols)
 	}
+	var keys []Key
+	if t.Order != nil {
+		out, keys = sortByKeys(out, t.Order)
+	}
 	if len(t.Final) > 0 {
 		out = out.Project(t.Final)
 	}
-	return out
+	return out, keys
+}
+
+// sortByKeys stable-sorts the relation rows by the extracted order key and
+// returns the keys in the new row order. Stability over the preceding τ sort
+// pins the tie order to document order — the property the scatter-gather
+// merge relies on for byte-identity.
+func sortByKeys(rel *table.Relation, spec *OrderSpec) (*table.Relation, []Key) {
+	keys := OrderKeys(rel, spec)
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		c := keys[idx[a]].Compare(keys[idx[b]])
+		if spec.Desc {
+			return c > 0
+		}
+		return c < 0
+	})
+	sorted := make([]Key, len(keys))
+	for i, ri := range idx {
+		sorted[i] = keys[ri]
+	}
+	return rel.Permute(idx), sorted
 }
 
 // Required returns the vertices that must appear in the final joined
@@ -154,6 +206,12 @@ func (t *Tail) Required(g *joingraph.Graph) []int {
 	add(t.Project)
 	add(t.Sort)
 	add(t.Final)
+	if t.Order != nil {
+		add([]int{t.Order.Vertex})
+	}
+	if t.Agg != nil {
+		add([]int{t.Agg.Vertex})
+	}
 	return out
 }
 
@@ -170,6 +228,10 @@ type RunStats struct {
 	// discovered the plan: replays whose cardinalities drift signal that the
 	// data changed enough to warrant re-optimization.
 	EdgeRows map[int]int
+	// Keys are the order-by keys of the result rows in row order (nil for
+	// tails without order by) — extracted once by the tail executor and
+	// consumed by the scatter-gather merge.
+	Keys []Key
 }
 
 // RunConfig tunes a plan replay. The zero value reproduces the plain Run
@@ -208,10 +270,11 @@ func RunWithConfig(env *Env, g *joingraph.Graph, p *Plan, tail *Tail, cfg RunCon
 	if err != nil {
 		return nil, nil, err
 	}
-	out := tail.Apply(rel)
+	out, keys := tail.Execute(rel)
 	return out, &RunStats{
 		CumulativeIntermediate: r.CumulativeIntermediate,
 		ResultRows:             out.NumRows(),
 		EdgeRows:               edgeRows,
+		Keys:                   keys,
 	}, nil
 }

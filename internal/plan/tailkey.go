@@ -1,0 +1,448 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/table"
+	"repro/internal/xmltree"
+)
+
+// This file is the tail side of the "Aggregation and ordering tail" section of
+// DESIGN.md: order-by key extraction and the partial-aggregate fold states
+// whose algebraic merge makes scatter-gather aggregation exact. Everything
+// here runs strictly after the Join Graph — tail evaluation navigates the
+// document from already-joined nodes and never feeds back into edge selection,
+// which is what keeps cached plans transferable across tail changes.
+
+// KeyStep is one navigation step of a tail key path (the `$v/a//b/@c` part of
+// an order-by or aggregate expression). It is a deliberately minimal mirror
+// of the parser's step — no predicates — because tail paths select values,
+// they do not filter bindings.
+type KeyStep struct {
+	// Desc selects descendants (`//`) instead of children (`/`).
+	Desc bool
+	// Attr selects an attribute by name; Text selects text() nodes. At most
+	// one of the two is set; otherwise the step is an element name test.
+	Attr bool
+	Text bool
+	// Name is the element or attribute name (empty for text()).
+	Name string
+}
+
+// String renders the step in source form (used in cache keys, so the
+// rendering must be injective).
+func (s KeyStep) String() string {
+	sep := "/"
+	if s.Desc {
+		sep = "//"
+	}
+	switch {
+	case s.Attr:
+		return sep + "@" + s.Name
+	case s.Text:
+		return sep + "text()"
+	default:
+		return sep + s.Name
+	}
+}
+
+// OrderSpec is the tail's order-by: sort the result tuples by the atomized
+// key reached from the node bound to Vertex along Path. Ties keep the
+// document order established by the tail's τ sort (the sort is stable), which
+// is what makes sharded and single-catalog evaluations byte-identical.
+type OrderSpec struct {
+	Vertex int
+	Path   []KeyStep
+	Desc   bool
+}
+
+// String renders the spec canonically for cache keys.
+func (o *OrderSpec) String() string {
+	if o == nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "v%d", o.Vertex)
+	for _, s := range o.Path {
+		sb.WriteString(s.String())
+	}
+	if o.Desc {
+		sb.WriteString(" desc")
+	}
+	return sb.String()
+}
+
+// AggKind enumerates the return-clause aggregates.
+type AggKind int
+
+// Aggregate kinds. AggCount counts result tuples; the others fold the
+// numeric values reached along the aggregate path.
+const (
+	AggNone AggKind = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the XQuery function name.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return "none"
+	}
+}
+
+// AggSpec is the tail's aggregate: fold the values reached from the node
+// bound to Vertex along Path (every match contributes, matching XQuery's
+// sequence semantics for sum($v/path)). For AggCount the path is empty and
+// the fold counts result tuples.
+type AggSpec struct {
+	Kind   AggKind
+	Vertex int
+	Path   []KeyStep
+}
+
+// String renders the spec canonically for cache keys.
+func (a *AggSpec) String() string {
+	if a == nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s(v%d", a.Kind, a.Vertex)
+	for _, s := range a.Path {
+		sb.WriteString(s.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Key is an atomized order-by key. The total order over keys — absent keys
+// first, then numeric values, then non-numeric strings byte-wise — must be
+// applied identically by every shard and by the gather-side merge; it is the
+// single source of truth for "ordered" in this engine.
+type Key struct {
+	// Present is false when the key path matched no node; absent keys sort
+	// before every present key.
+	Present bool
+	// IsNum marks keys whose string value parses as a finite float64; they
+	// sort before non-numeric keys, by value.
+	IsNum bool
+	Num   float64
+	Str   string
+}
+
+// Compare returns -1, 0 or 1 ordering k before, equal to, or after o under
+// ascending order.
+func (k Key) Compare(o Key) int {
+	if k.Present != o.Present {
+		if !k.Present {
+			return -1
+		}
+		return 1
+	}
+	if !k.Present {
+		return 0
+	}
+	if k.IsNum != o.IsNum {
+		if k.IsNum {
+			return -1
+		}
+		return 1
+	}
+	if k.IsNum {
+		switch {
+		case k.Num < o.Num:
+			return -1
+		case k.Num > o.Num:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(k.Str, o.Str)
+}
+
+// matchNodes returns every node reached from n along path — a node *set* in
+// document order, per XPath step semantics. An empty path yields n itself.
+// After each step the frontier is sorted and deduplicated: nested frontier
+// nodes (e.g. `//a//b` over nested <a> elements) produce overlapping
+// descendant scans, and without the dedup an aggregate would fold the shared
+// matches once per overlapping ancestor. Node ids are pre-order ranks, so
+// ascending id order is document order.
+func matchNodes(d *xmltree.Document, n xmltree.NodeID, path []KeyStep) []xmltree.NodeID {
+	cur := []xmltree.NodeID{n}
+	for _, st := range path {
+		var next []xmltree.NodeID
+		for _, c := range cur {
+			switch {
+			case st.Attr && !st.Desc:
+				if a := d.Attribute(c, st.Name); a != xmltree.NoNode {
+					next = append(next, a)
+				}
+			case st.Desc:
+				// Subtree scan: node ids are pre-order, so ascending ids
+				// within the subtree range are document order.
+				end := c + d.Size(c)
+				for i := c + 1; i <= end; i++ {
+					switch {
+					case st.Attr:
+						if d.Kind(i) == xmltree.KindAttr && d.NodeName(i) == st.Name {
+							next = append(next, i)
+						}
+					case st.Text:
+						if d.Kind(i) == xmltree.KindText {
+							next = append(next, i)
+						}
+					default:
+						if d.Kind(i) == xmltree.KindElem && d.NodeName(i) == st.Name {
+							next = append(next, i)
+						}
+					}
+				}
+			default:
+				for _, ch := range d.Children(c) {
+					switch {
+					case st.Text:
+						if d.Kind(ch) == xmltree.KindText {
+							next = append(next, ch)
+						}
+					default:
+						if d.Kind(ch) == xmltree.KindElem && d.NodeName(ch) == st.Name {
+							next = append(next, ch)
+						}
+					}
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		dedup := next[:1]
+		for _, m := range next[1:] {
+			if m != dedup[len(dedup)-1] {
+				dedup = append(dedup, m)
+			}
+		}
+		cur = dedup
+	}
+	return cur
+}
+
+// ExtractKey atomizes the order-by key of node n: the string value of the
+// first node the path reaches in document order, classified as numeric when
+// it parses as a finite float64 — the same atomization the range predicates
+// of the value indices apply.
+func ExtractKey(d *xmltree.Document, n xmltree.NodeID, path []KeyStep) Key {
+	ms := matchNodes(d, n, path)
+	if len(ms) == 0 {
+		return Key{}
+	}
+	s := strings.TrimSpace(d.StringValue(ms[0]))
+	if f, err := strconv.ParseFloat(s, 64); err == nil && !math.IsNaN(f) && !math.IsInf(f, 0) {
+		return Key{Present: true, IsNum: true, Num: f, Str: s}
+	}
+	return Key{Present: true, Str: s}
+}
+
+// OrderKeys extracts the order-by key of every row of rel.
+func OrderKeys(rel *table.Relation, spec *OrderSpec) []Key {
+	doc := rel.Doc(spec.Vertex)
+	col := rel.Column(spec.Vertex)
+	keys := make([]Key, len(col))
+	for i, n := range col {
+		keys[i] = ExtractKey(doc, n, spec.Path)
+	}
+	return keys
+}
+
+// AggState is the partial-aggregate fold state — the unit of the shard merge
+// algebra. Count, Min and Max merge trivially; Sum is kept as an exact
+// floating-point expansion (Shewchuk-style non-overlapping partials, the
+// math.Fsum representation), so folding values shard-by-shard and merging the
+// partial states yields bit-for-bit the same rounded sum as folding the whole
+// corpus in one pass. That exactness is what lets the scatter-gather
+// equivalence contract extend to sum and avg.
+type AggState struct {
+	// Count is the number of folded values (for AggCount: result tuples).
+	Count int64
+	// Min and Max are the extrema of the folded values; meaningful only when
+	// Count > 0.
+	Min, Max float64
+	// partials is the exact running sum as a non-overlapping expansion.
+	partials []float64
+}
+
+// Add folds one value into the state.
+func (a *AggState) Add(v float64) {
+	if a.Count == 0 || v < a.Min {
+		a.Min = v
+	}
+	if a.Count == 0 || v > a.Max {
+		a.Max = v
+	}
+	a.Count++
+	a.addExact(v)
+}
+
+// addExact grows the expansion by x, keeping partials non-overlapping and in
+// increasing magnitude (the classic grow-expansion of adaptive precision
+// arithmetic). The represented value — the exact sum of the partials — equals
+// the exact mathematical sum of everything added so far.
+func (a *AggState) addExact(x float64) {
+	i := 0
+	for _, y := range a.partials {
+		if math.Abs(x) < math.Abs(y) {
+			x, y = y, x
+		}
+		hi := x + y
+		lo := y - (hi - x)
+		if lo != 0 {
+			a.partials[i] = lo
+			i++
+		}
+		x = hi
+	}
+	a.partials = append(a.partials[:i], x)
+}
+
+// Merge folds the other state into a. Because the sum is exact, merging is
+// associative and commutative: any shard grouping produces the same state
+// value, and therefore the same rendered result.
+func (a *AggState) Merge(b *AggState) {
+	if b == nil || b.Count == 0 {
+		return
+	}
+	if a.Count == 0 || b.Min < a.Min {
+		a.Min = b.Min
+	}
+	if a.Count == 0 || b.Max > a.Max {
+		a.Max = b.Max
+	}
+	a.Count += b.Count
+	for _, p := range b.partials {
+		a.addExact(p)
+	}
+}
+
+// Sum returns the correctly rounded float64 value of the exact sum, using the
+// round-half-even correction of math.Fsum so the result is independent of
+// how the expansion was built.
+func (a *AggState) Sum() float64 {
+	n := len(a.partials)
+	if n == 0 {
+		return 0
+	}
+	hi := a.partials[n-1]
+	var lo float64
+	i := n - 1
+	for i--; i >= 0; i-- {
+		x, y := hi, a.partials[i]
+		hi = x + y
+		yr := hi - x
+		lo = y - yr
+		if lo != 0 {
+			break
+		}
+	}
+	// If the residual would round hi away and the next partial has the same
+	// sign, hi sits exactly on a rounding boundary: nudge to even.
+	if i > 0 && ((lo < 0 && a.partials[i-1] < 0) || (lo > 0 && a.partials[i-1] > 0)) {
+		y := lo * 2
+		x := hi + y
+		if y == x-hi {
+			hi = x
+		}
+	}
+	return hi
+}
+
+// Render produces the single result item of the aggregate, and reports
+// whether the aggregate is defined: avg, min and max over an empty sequence
+// yield XQuery's empty sequence, rendered as ok=false (the engine emits an
+// empty item for it).
+func (a *AggState) Render(kind AggKind) (string, bool) {
+	switch kind {
+	case AggCount:
+		return strconv.FormatInt(a.Count, 10), true
+	case AggSum:
+		return FormatNumber(a.Sum()), true
+	case AggAvg:
+		if a.Count == 0 {
+			return "", false
+		}
+		return FormatNumber(a.Sum() / float64(a.Count)), true
+	case AggMin:
+		if a.Count == 0 {
+			return "", false
+		}
+		return FormatNumber(a.Min), true
+	case AggMax:
+		if a.Count == 0 {
+			return "", false
+		}
+		return FormatNumber(a.Max), true
+	default:
+		return "", false
+	}
+}
+
+// FormatNumber renders a float64 the way the result serializer expects:
+// integral values without a fraction, everything else in shortest
+// round-trippable form. Deterministic, so shard-merged and single-catalog
+// aggregates render identically.
+func FormatNumber(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ErrNonNumeric is the sentinel wrapped by FoldAgg failures: an aggregate
+// path reached a value that does not atomize to a finite number. It marks
+// the failure as a property of query-vs-data (a client error at the serving
+// layer), not an engine fault; match it with errors.Is.
+var ErrNonNumeric = errors.New("aggregate over non-numeric value")
+
+// FoldAgg evaluates the aggregate over the tail's final relation: AggCount
+// counts the tuples; the numeric aggregates fold every value the path
+// reaches from each tuple's bound node. A value that does not atomize to a
+// finite number fails the query (not the process) with a positioned error
+// matching ErrNonNumeric.
+func FoldAgg(rel *table.Relation, spec *AggSpec) (*AggState, error) {
+	st := &AggState{}
+	if spec.Kind == AggCount {
+		st.Count = int64(rel.NumRows())
+		return st, nil
+	}
+	doc := rel.Doc(spec.Vertex)
+	col := rel.Column(spec.Vertex)
+	for _, n := range col {
+		for _, m := range matchNodes(doc, n, spec.Path) {
+			s := strings.TrimSpace(doc.StringValue(m))
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil, fmt.Errorf("plan: %s %w: %q (node %d of %s)",
+					spec.Kind, ErrNonNumeric, s, m, doc.Name())
+			}
+			st.Add(f)
+		}
+	}
+	return st, nil
+}

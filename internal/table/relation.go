@@ -201,6 +201,20 @@ func (r *Relation) SortBy(ids []int) {
 	}
 }
 
+// Permute returns a new relation whose row i is r's row idx[i]. Indices may
+// repeat or drop rows; the caller owns idx (it is not retained).
+func (r *Relation) Permute(idx []int) *Relation {
+	out := NewRelation(r.colIDs, r.docs)
+	for c := range r.cols {
+		col := make([]xmltree.NodeID, len(idx))
+		for i, ri := range idx {
+			col[i] = r.cols[c][ri]
+		}
+		out.cols[c] = col
+	}
+	return out
+}
+
 // Filter returns a new relation keeping only rows for which keep returns
 // true; keep receives the row index.
 func (r *Relation) Filter(keep func(row int) bool) *Relation {

@@ -7,25 +7,60 @@ type Query struct {
 	Lets   []LetClause
 	Fors   []ForClause
 	Where  []Comparison
+	Order  *OrderClause // nil when the query has no order by
 	Return ReturnClause
 }
 
+// OrderClause is the order-by clause: sort the result tuples by the atomized
+// value reached from a bound variable along a (predicate-free) relative path,
+// e.g. "order by $a/current descending". Ties keep document order.
+type OrderClause struct {
+	Ref  PathRef
+	Desc bool
+}
+
+// String renders the clause in source form.
+func (o *OrderClause) String() string {
+	s := "order by $" + o.Ref.Var
+	for _, st := range o.Ref.Steps {
+		s += st.String()
+	}
+	if o.Desc {
+		s += " descending"
+	}
+	return s
+}
+
 // ReturnClause is the return expression: a single variable ($a), an element
-// constructor wrapping one or more variables (<pair>{$a}{$b}</pair>), or a
-// count aggregate (count($a)).
+// constructor wrapping one or more variables (<pair>{$a}{$b}</pair>), or an
+// aggregate — count($a), or sum/avg/min/max over a relative path such as
+// sum($a/current).
 type ReturnClause struct {
-	Vars  []string // returned variables, in output order (≥1)
-	Elem  string   // constructor element name ("" = bare variable)
-	Count bool     // count($v)
+	Vars []string // returned variables, in output order (≥1)
+	Elem string   // constructor element name ("" = bare variable)
+	// Agg is the aggregate function name ("", "count", "sum", "avg", "min",
+	// "max"). Aggregates take exactly one variable and cannot appear inside a
+	// constructor.
+	Agg string
+	// AggPath is the relative path of a numeric aggregate (empty for count,
+	// which takes a bare variable, and for sum($v)-style whole-node folds).
+	AggPath []Step
 }
 
 // Primary returns the first returned variable.
 func (r ReturnClause) Primary() string { return r.Vars[0] }
 
+// IsAgg reports whether the clause is an aggregate return.
+func (r ReturnClause) IsAgg() bool { return r.Agg != "" }
+
 // String renders the clause in source form.
 func (r ReturnClause) String() string {
-	if r.Count {
-		return fmt.Sprintf("count($%s)", r.Vars[0])
+	if r.Agg != "" {
+		s := fmt.Sprintf("%s($%s", r.Agg, r.Vars[0])
+		for _, st := range r.AggPath {
+			s += st.String()
+		}
+		return s + ")"
 	}
 	if r.Elem == "" {
 		return "$" + r.Vars[0]
@@ -133,6 +168,9 @@ func (q *Query) String() string {
 			kw = "  and"
 		}
 		s += fmt.Sprintf("%s %s\n", kw, c)
+	}
+	if q.Order != nil {
+		s += q.Order.String() + "\n"
 	}
 	s += "return " + q.Return.String()
 	return s

@@ -101,6 +101,10 @@ func Compile(q *Query, opts CompileOptions) (*Compiled, error) {
 		}
 		finals = append(finals, retV)
 	}
+	order, agg, err := c.compileTailSpecs(q, finals)
+	if err != nil {
+		return nil, err
+	}
 	if err := c.g.Validate(); err != nil {
 		return nil, fmt.Errorf("xquery: compiled graph invalid: %w", err)
 	}
@@ -130,6 +134,8 @@ func Compile(q *Query, opts CompileOptions) (*Compiled, error) {
 			Project: forVerts,
 			Sort:    forVerts,
 			Final:   finals,
+			Order:   order,
+			Agg:     agg,
 		},
 		Vars:        c.vars,
 		Docs:        docs,
@@ -146,6 +152,76 @@ func CompileString(src string, opts CompileOptions) (*Compiled, error) {
 		return nil, err
 	}
 	return Compile(q, opts)
+}
+
+// compileTailSpecs translates the order-by clause and aggregate return into
+// the plan.Tail's specs. Both live strictly in the tail — they reference Join
+// Graph vertices but add no edges, so the graph (and with it the optimizer's
+// plan space and joingraph.Fingerprint) is identical with and without them;
+// the engine's plan-cache key covers them separately so a tail change is a
+// cache miss, never a wrong answer.
+func (c *compiler) compileTailSpecs(q *Query, finals []int) (*plan.OrderSpec, *plan.AggSpec, error) {
+	var order *plan.OrderSpec
+	var agg *plan.AggSpec
+	if q.Order != nil {
+		if q.Return.IsAgg() {
+			return nil, nil, fmt.Errorf("xquery: order by has no effect on an aggregate return (%s)", q.Return.Agg)
+		}
+		v, ok := c.vars[q.Order.Ref.Var]
+		if !ok {
+			return nil, nil, fmt.Errorf("xquery: order by variable $%s not bound", q.Order.Ref.Var)
+		}
+		if c.g.Vertices[v].Kind == joingraph.VRoot {
+			return nil, nil, fmt.Errorf("xquery: order by on a document root ($%s) is not supported", q.Order.Ref.Var)
+		}
+		path, err := keyPath(q.Order.Ref.Steps)
+		if err != nil {
+			return nil, nil, err
+		}
+		order = &plan.OrderSpec{Vertex: v, Path: path, Desc: q.Order.Desc}
+	}
+	if q.Return.IsAgg() {
+		kind, ok := aggKinds[q.Return.Agg]
+		if !ok {
+			return nil, nil, fmt.Errorf("xquery: unknown aggregate %q", q.Return.Agg)
+		}
+		path, err := keyPath(q.Return.AggPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		agg = &plan.AggSpec{Kind: kind, Vertex: finals[0], Path: path}
+	}
+	return order, agg, nil
+}
+
+// aggKinds maps the parsed aggregate function names onto the tail executor's
+// kinds.
+var aggKinds = map[string]plan.AggKind{
+	"count": plan.AggCount,
+	"sum":   plan.AggSum,
+	"avg":   plan.AggAvg,
+	"min":   plan.AggMin,
+	"max":   plan.AggMax,
+}
+
+// keyPath translates parser steps into tail key steps. Key paths are
+// predicate-free by grammar; the check here keeps that invariant explicit.
+func keyPath(steps []Step) ([]plan.KeyStep, error) {
+	out := make([]plan.KeyStep, 0, len(steps))
+	for _, st := range steps {
+		if len(st.Preds) > 0 {
+			return nil, fmt.Errorf("xquery: key path step %s must not carry predicates", st.String())
+		}
+		ks := plan.KeyStep{Desc: st.Desc, Name: st.Name}
+		switch st.Kind {
+		case StepAttr:
+			ks.Attr = true
+		case StepText:
+			ks.Text = true
+		}
+		out = append(out, ks)
+	}
+	return out, nil
 }
 
 type compiler struct {

@@ -1,14 +1,22 @@
 // Package xquery implements the static compilation front of the system: a
 // lexer and recursive-descent parser for the FLWOR+XPath subset the paper's
-// queries use, and a compiler that performs Join Graph Isolation [18] — it
-// clusters all step and join relationships of a query into a Join Graph plus
-// a tail (project → distinct → order → project), the representation handed
-// to the ROX run-time optimizer.
+// queries use (extended with order by and return aggregates), and a compiler
+// that performs Join Graph Isolation [18] — it clusters all step and join
+// relationships of a query into a Join Graph plus a tail (project → distinct
+// → sort → key-order → aggregate/project), the representation handed to the
+// ROX run-time optimizer. Order-by keys and aggregates live strictly in the
+// tail: they never add graph vertices or edges, so the optimizer's plan
+// space is identical with and without them.
 //
-// Supported grammar (the shape of every query in the paper):
+// Supported grammar (the paper's query shapes plus the aggregate/order tail):
 //
-//	query   := (let | for)+ ("where" cmp ("and" cmp)*)? "return" ret
-//	ret     := $var | "count" "(" $var ")" | "<" NAME ">" ("{" $var "}")+ "</" NAME ">"
+//	query   := (let | for)+ ("where" cmp ("and" cmp)*)? order? "return" ret
+//	order   := "order" "by" $var kpath? ("ascending" | "descending")?
+//	ret     := $var | "count" "(" $var ")" | agg "(" $var kpath? ")"
+//	         | "<" NAME ">" ("{" $var "}")+ "</" NAME ">"
+//	agg     := "sum" | "avg" | "min" | "max"
+//	kpath   := (("/"|"//") kstep)+            (key paths carry no predicates)
+//	kstep   := NAME | "@" NAME | "text" "(" ")"
 //	let     := "let" $var ":=" source
 //	for     := "for" $var "in" path ("," $var "in" path)*
 //	path    := (source | $var) (("/"|"//") step)+

@@ -101,6 +101,14 @@ clauses:
 			p.advance()
 		}
 	}
+	if p.keyword() == "order" {
+		p.advance()
+		oc, err := p.parseOrderBy()
+		if err != nil {
+			return nil, err
+		}
+		q.Order = oc
+	}
 	if p.keyword() != "return" {
 		return nil, fmt.Errorf("xquery: expected 'return', found %q at %d", p.peek().text, p.peek().pos)
 	}
@@ -119,7 +127,40 @@ clauses:
 	return q, nil
 }
 
-// parseReturn parses "$v", "count($v)" or "<name>{$v}…</name>".
+// aggNames are the aggregate return functions; count takes a bare variable,
+// the numeric aggregates take an optional predicate-free relative path.
+var aggNames = map[string]bool{"count": true, "sum": true, "avg": true, "min": true, "max": true}
+
+// parseOrderBy parses the clause after the "order" keyword:
+// "by" $var path? ("ascending"|"descending")?. Key paths carry no predicates
+// (they select values; they do not filter bindings).
+func (p *parser) parseOrderBy() (*OrderClause, error) {
+	if p.keyword() != "by" {
+		return nil, fmt.Errorf("xquery: expected 'by' after 'order', found %q at %d", p.peek().text, p.peek().pos)
+	}
+	p.advance()
+	v, err := p.expect(tokVar)
+	if err != nil {
+		return nil, fmt.Errorf("xquery: order by needs a $variable path: %w", err)
+	}
+	steps, err := p.parseSteps(false)
+	if err != nil {
+		return nil, err
+	}
+	oc := &OrderClause{Ref: PathRef{Var: v.text, Steps: steps}}
+	switch p.keyword() {
+	case "ascending":
+		p.advance()
+	case "descending":
+		p.advance()
+		oc.Desc = true
+	}
+	return oc, nil
+}
+
+// parseReturn parses the return expression: "$v", an aggregate — "count($v)"
+// or "sum|avg|min|max($v/path)" — or a constructor "<name>{$v}…</name>"
+// (aggregates cannot nest inside constructors).
 func (p *parser) parseReturn() (ReturnClause, error) {
 	var r ReturnClause
 	switch t := p.peek(); {
@@ -127,7 +168,7 @@ func (p *parser) parseReturn() (ReturnClause, error) {
 		p.advance()
 		r.Vars = []string{t.text}
 		return r, nil
-	case t.kind == tokName && t.text == "count":
+	case t.kind == tokName && aggNames[t.text]:
 		p.advance()
 		if _, err := p.expect(tokLParen); err != nil {
 			return r, err
@@ -136,11 +177,19 @@ func (p *parser) parseReturn() (ReturnClause, error) {
 		if err != nil {
 			return r, err
 		}
+		steps, err := p.parseSteps(false)
+		if err != nil {
+			return r, err
+		}
+		if t.text == "count" && len(steps) > 0 {
+			return r, fmt.Errorf("xquery: count takes a bare variable, got a path at %d", t.pos)
+		}
 		if _, err := p.expect(tokRParen); err != nil {
 			return r, err
 		}
 		r.Vars = []string{v.text}
-		r.Count = true
+		r.Agg = t.text
+		r.AggPath = steps
 		return r, nil
 	case t.kind == tokLt:
 		p.advance()
@@ -154,6 +203,9 @@ func (p *parser) parseReturn() (ReturnClause, error) {
 		}
 		for p.peek().kind == tokLBrace {
 			p.advance()
+			if t := p.peek(); t.kind == tokName && aggNames[t.text] {
+				return r, fmt.Errorf("xquery: aggregate %s(...) cannot nest inside an element constructor at %d (return the aggregate directly)", t.text, t.pos)
+			}
 			v, err := p.expect(tokVar)
 			if err != nil {
 				return r, err

@@ -31,7 +31,7 @@ func TestParseReturnCount(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	if !q.Return.Count || q.Return.Primary() != "a" {
+	if q.Return.Agg != "count" || q.Return.Primary() != "a" {
 		t.Errorf("return = %+v", q.Return)
 	}
 	if got := q.Return.String(); got != "count($a)" {

@@ -1,0 +1,178 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+func TestParseOrderBy(t *testing.T) {
+	q, err := Parse(`for $a in doc("d.xml")//x order by $a/price descending return $a`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if q.Order == nil || q.Order.Ref.Var != "a" || !q.Order.Desc {
+		t.Fatalf("order = %+v", q.Order)
+	}
+	if len(q.Order.Ref.Steps) != 1 || q.Order.Ref.Steps[0].Name != "price" {
+		t.Errorf("order steps = %+v", q.Order.Ref.Steps)
+	}
+	// ascending is the default and parses explicitly too.
+	q2 := MustParse(`for $a in doc("d.xml")//x order by $a/@id ascending return $a`)
+	if q2.Order == nil || q2.Order.Desc {
+		t.Errorf("ascending order = %+v", q2.Order)
+	}
+	// The rendering reparses.
+	if _, err := Parse(q.String()); err != nil {
+		t.Errorf("rendered query does not reparse: %v\n%s", err, q.String())
+	}
+	if !strings.Contains(q.String(), "order by $a/price descending") {
+		t.Errorf("rendering lost order by: %s", q.String())
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	cases := []struct {
+		src, agg string
+		steps    int
+	}{
+		{`for $a in doc("d")//x return sum($a/price)`, "sum", 1},
+		{`for $a in doc("d")//x return avg($a//price)`, "avg", 1},
+		{`for $a in doc("d")//x return min($a/@id)`, "min", 1},
+		{`for $a in doc("d")//x return max($a/b/text())`, "max", 2},
+		{`for $a in doc("d")//x return sum($a)`, "sum", 0},
+		{`for $a in doc("d")//x return count($a)`, "count", 0},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("parse %q: %v", c.src, err)
+			continue
+		}
+		if q.Return.Agg != c.agg || len(q.Return.AggPath) != c.steps || q.Return.Primary() != "a" {
+			t.Errorf("%q → return %+v, want %s with %d steps", c.src, q.Return, c.agg, c.steps)
+		}
+		if _, err := Parse(q.String()); err != nil {
+			t.Errorf("rendered %q does not reparse: %v", q.String(), err)
+		}
+	}
+}
+
+func TestParseTailErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		// Malformed order by.
+		{`for $a in doc("d")//x order $a/p return $a`, "expected 'by'"},
+		{`for $a in doc("d")//x order by p return $a`, "order by needs a $variable"},
+		{`for $a in doc("d")//x order by $a/p[q] return $a`, "expected 'return'"},
+		{`for $a in doc("d")//x order by $a/p descending`, "expected 'return'"},
+		// Malformed aggregates.
+		{`for $a in doc("d")//x return sum($a`, "expected ')'"},
+		{`for $a in doc("d")//x return sum(price)`, "expected variable"},
+		{`for $a in doc("d")//x return count($a/p)`, "count takes a bare variable"},
+		// Aggregate nested in a constructor.
+		{`for $a in doc("d")//x return <p>{sum($a/price)}</p>`, "cannot nest inside an element constructor"},
+		{`for $a in doc("d")//x return <p>{count($a)}</p>`, "cannot nest inside an element constructor"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("expected parse error for %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q error = %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestCompileTailErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		// order by on an unbound variable.
+		{`for $a in doc("d")//x order by $zzz/p return $a`, "order by variable $zzz not bound"},
+		// order by on a document root.
+		{`let $r := doc("d") for $a in $r//x order by $r/p return $a`, "document root"},
+		// order by is meaningless on an aggregate return.
+		{`for $a in doc("d")//x order by $a/p return sum($a/p)`, "no effect on an aggregate"},
+		// aggregate over an unbound variable.
+		{`for $a in doc("d")//x return sum($zzz/p)`, "not bound"},
+	}
+	for _, c := range cases {
+		_, err := CompileString(c.src, CompileOptions{})
+		if err == nil {
+			t.Errorf("expected compile error for %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q error = %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+// TestCompileTailSpecs checks the translation into plan.Tail: specs reference
+// the right vertices, and the Join Graph itself is identical with and without
+// the tail clauses (the tail stays out of the graph).
+func TestCompileTailSpecs(t *testing.T) {
+	plain, err := CompileString(`for $a in doc("d.xml")//x return $a`, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered, err := CompileString(
+		`for $a in doc("d.xml")//x order by $a/price descending return $a`, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := CompileString(`for $a in doc("d.xml")//x return avg($a/price)`, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ordered.Tail.Order == nil || ordered.Tail.Order.Vertex != ordered.Vars["a"] || !ordered.Tail.Order.Desc {
+		t.Errorf("order spec = %+v", ordered.Tail.Order)
+	}
+	if len(ordered.Tail.Order.Path) != 1 || ordered.Tail.Order.Path[0].Name != "price" {
+		t.Errorf("order path = %+v", ordered.Tail.Order.Path)
+	}
+	if agg.Tail.Agg == nil || agg.Tail.Agg.Kind != plan.AggAvg || agg.Tail.Agg.Vertex != agg.Vars["a"] {
+		t.Errorf("agg spec = %+v", agg.Tail.Agg)
+	}
+
+	// Tail clauses must not leak into the Join Graph: same fingerprint as the
+	// plain query, so cached plans transfer and only the engine's tail-aware
+	// cache key separates the entries.
+	pf, of, af := plain.Graph.Fingerprint(), ordered.Graph.Fingerprint(), agg.Graph.Fingerprint()
+	if pf != of || pf != af {
+		t.Errorf("tail clauses changed the graph fingerprint: plain %s ordered %s agg %s", pf, of, af)
+	}
+
+	// But the tail's required vertices cover the order/agg vertices.
+	req := ordered.Tail.Required(ordered.Graph)
+	found := false
+	for _, v := range req {
+		if v == ordered.Tail.Order.Vertex {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Required() = %v misses order vertex %d", req, ordered.Tail.Order.Vertex)
+	}
+}
+
+// TestParseOrderElementNameNotKeyword: "order" only starts an order-by at
+// clause position; elements named order stay ordinary steps.
+func TestParseOrderElementNameNotKeyword(t *testing.T) {
+	q, err := Parse(`for $a in doc("d")//order/item return $a`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if q.Order != nil {
+		t.Errorf("spurious order clause: %+v", q.Order)
+	}
+	if q.Fors[0].Path.Steps[0].Name != "order" {
+		t.Errorf("steps = %+v", q.Fors[0].Path.Steps)
+	}
+}

@@ -53,7 +53,7 @@ func TestParsePaperQueries(t *testing.T) {
 	if len(q.Where) != 1 || q.Where[0].RHS == nil {
 		t.Errorf("Q where = %+v", q.Where)
 	}
-	if q.Return.Primary() != "a" || q.Return.Elem != "" || q.Return.Count {
+	if q.Return.Primary() != "a" || q.Return.Elem != "" || q.Return.IsAgg() {
 		t.Errorf("Q return = %+v", q.Return)
 	}
 

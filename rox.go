@@ -36,7 +36,6 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -305,7 +304,9 @@ func (e *Engine) CollectionShards(coll string) ([]string, error) {
 // Stats reports how a query evaluation spent its work.
 type Stats struct {
 	// Rows is the number of result items; it always equals len(Result.Items)
-	// (for count($v) queries that is 1, the single count item).
+	// — for aggregate queries (count, sum, avg, min, max) that is 1, the
+	// single aggregate item; for order by queries it is the ordered item
+	// count.
 	Rows int
 	// Elapsed is the wall-clock evaluation time, sampling included.
 	Elapsed time.Duration
@@ -343,10 +344,21 @@ type ShardStats struct {
 }
 
 // Result is a query result: the serialized XML of every returned item, in
-// query order, plus evaluation statistics.
+// query order, plus evaluation statistics. Aggregate queries (count, sum,
+// avg, min, max) always carry exactly one item — avg/min/max over an empty
+// sequence render as an empty item, XQuery's empty sequence.
 type Result struct {
 	Items []string
 	Stats Stats
+
+	// agg is the partial-aggregate fold state of an aggregate query; the
+	// scatter-gather gather side merges shard states algebraically (sums of
+	// exact sums, min/max of extrema, avg as (sum, count)) instead of
+	// touching the rendered items. nil for non-aggregate queries.
+	agg *plan.AggState
+	// keys holds the per-item order-by keys of an ordered query, consumed by
+	// the gather side's k-way merge. nil for unordered queries.
+	keys []plan.Key
 }
 
 // Query evaluates an XQuery through the compile → plan-cache lookup →
@@ -411,7 +423,7 @@ func (e *Engine) queryCompiled(ctx context.Context, env *plan.Env, comp *xquery.
 	if len(comp.Collections) > 0 {
 		return e.queryCollection(ctx, env, comp, fp)
 	}
-	res, err := e.executeCached(env, comp, fp, env.Catalog().Generation())
+	res, err := e.executeCached(env, comp, fp, env.Catalog().Generation(), false)
 	return res, env.Rec, err
 }
 
@@ -431,7 +443,10 @@ func (e *Engine) queryCompiled(ctx context.Context, env *plan.Env, comp *xquery.
 //     revalidated for gen; beyond it the entry is dropped and the query
 //     re-optimized on the spot by a full ROX run.
 //   - Miss: run ROX and install the discovered plan.
-func (e *Engine) executeCached(env *plan.Env, comp *xquery.Compiled, fp string, gen uint64) (*Result, error) {
+//
+// wantKeys asks serialization to attach per-item order-by merge keys — set
+// only for shard evaluations, whose results feed the gather-side k-way merge.
+func (e *Engine) executeCached(env *plan.Env, comp *xquery.Compiled, fp string, gen uint64, wantKeys bool) (*Result, error) {
 	// The stopwatch and recorder baselines start before the cache lookup so
 	// that on the drift path — replay first, then a full re-optimization —
 	// the returned Stats cover everything this request actually did, not
@@ -455,7 +470,7 @@ func (e *Engine) executeCached(env *plan.Env, comp *xquery.Compiled, fp string, 
 			case outcome == plancache.Hit:
 				// Exact generation: the catalog is immutable per generation,
 				// so the data cannot have drifted — serve without verifying.
-				return e.serveReplay(env, comp, entry, rel, stats, sw, startExec, startSample)
+				return e.serveReplay(env, comp, entry, rel, stats, sw, startExec, startSample, wantKeys)
 			default: // StaleGeneration: verify the successful replay
 				if _, _, _, drifted := plancache.Drift(entry.Expected, stats.EdgeRows, e.driftRatio); drifted {
 					// The data moved out from under the plan: evict and
@@ -467,7 +482,7 @@ func (e *Engine) executeCached(env *plan.Env, comp *xquery.Compiled, fp string, 
 					replayIntermediate = stats.CumulativeIntermediate
 				} else {
 					e.cache.Revalidate(fp, gen, stats.EdgeRows)
-					return e.serveReplay(env, comp, entry, rel, stats, sw, startExec, startSample)
+					return e.serveReplay(env, comp, entry, rel, stats, sw, startExec, startSample, wantKeys)
 				}
 			}
 		}
@@ -476,7 +491,19 @@ func (e *Engine) executeCached(env *plan.Env, comp *xquery.Compiled, fp string, 
 	if err != nil {
 		return nil, translateErr(err)
 	}
-	out, err := serialize(comp, rel)
+	// Install before serializing: the discovered plan is valid even when the
+	// tail's data fails serialization (e.g. a non-numeric aggregate value),
+	// so a repeatedly-failing query replays cheaply instead of re-running the
+	// full sampling loop on every retry.
+	if e.cache != nil {
+		e.cache.Install(&plancache.Entry{
+			Fingerprint: fp,
+			Generation:  gen,
+			Plan:        res.Plan,
+			Expected:    res.EdgeRows,
+		})
+	}
+	out, err := serialize(comp, rel, wantKeys, res.Keys)
 	if err != nil {
 		return nil, err
 	}
@@ -494,27 +521,22 @@ func (e *Engine) executeCached(env *plan.Env, comp *xquery.Compiled, fp string, 
 		Plan:                   res.Plan.String(),
 		Reoptimized:            reoptimized,
 	}
-	if e.cache != nil {
-		e.cache.Install(&plancache.Entry{
-			Fingerprint: fp,
-			Generation:  gen,
-			Plan:        res.Plan,
-			Expected:    res.EdgeRows,
-		})
-	}
 	return out, nil
 }
 
 // cacheKey derives the plan-cache key of a compiled query: the canonical
-// Join Graph fingerprint extended with the tail's vertex lists. The plan is
-// a property of the graph alone, but replay verification compares
-// projection-sensitive intermediate cardinalities (EagerProject reduces by
-// the tail's required columns), so two queries sharing a graph while
-// differing in their tail must key separately or their expectations would
-// thrash each other's entries.
+// Join Graph fingerprint extended with the tail's vertex lists and its
+// order-by/aggregate specs. The plan is a property of the graph alone, but
+// replay verification compares projection-sensitive intermediate
+// cardinalities (EagerProject reduces by the tail's required columns), so two
+// queries sharing a graph while differing in their tail must key separately
+// or their expectations would thrash each other's entries — and a tail
+// change (new sort key, different aggregate) must be a cache miss, never a
+// replay under the wrong tail.
 func cacheKey(comp *xquery.Compiled) string {
-	return fmt.Sprintf("%s|t:%v:%v:%v", comp.Graph.Fingerprint(),
-		comp.Tail.Project, comp.Tail.Sort, comp.Tail.Final)
+	return fmt.Sprintf("%s|t:%v:%v:%v|o:%s|a:%s", comp.Graph.Fingerprint(),
+		comp.Tail.Project, comp.Tail.Sort, comp.Tail.Final,
+		comp.Tail.Order, comp.Tail.Agg)
 }
 
 // replay executes a cached plan over the freshly compiled graph, recording
@@ -532,8 +554,8 @@ func (e *Engine) replay(env *plan.Env, comp *xquery.Compiled, entry *plancache.E
 // lookup itself charges nothing).
 func (e *Engine) serveReplay(env *plan.Env, comp *xquery.Compiled, entry *plancache.Entry,
 	rel *table.Relation, stats *plan.RunStats,
-	sw metrics.Stopwatch, startExec, startSample metrics.Cost) (*Result, error) {
-	out, err := serialize(comp, rel)
+	sw metrics.Stopwatch, startExec, startSample metrics.Cost, wantKeys bool) (*Result, error) {
+	out, err := serialize(comp, rel, wantKeys, stats.Keys)
 	if err != nil {
 		return nil, err
 	}
@@ -572,7 +594,7 @@ func (e *Engine) queryStatic(env *plan.Env, q string) (*Result, *metrics.Recorde
 		return nil, env.Rec, translateErr(err)
 	}
 	elapsed := sw.Elapsed()
-	out, err := serialize(comp, rel)
+	out, err := serialize(comp, rel, false, stats.Keys)
 	if err != nil {
 		return nil, env.Rec, err
 	}
@@ -626,11 +648,25 @@ func (e *Engine) XPathCount(docName, path string) (int, error) {
 	return xpath.Count(ix, path)
 }
 
-func serialize(comp *xquery.Compiled, rel *table.Relation) (*Result, error) {
+// serialize renders the tail's final relation into result items. Aggregate
+// returns fold the relation into a partial-aggregate state (count, exact sum,
+// extrema) and render its single item; for shard evaluations (wantKeys),
+// ordered returns attach the per-item merge keys the scatter-gather gather
+// side consumes — keys is the tail executor's one-time extraction, in final
+// row order. Both the state and the keys ride along in unexported Result
+// fields — they are the shard merge algebra's inputs, not part of the public
+// result.
+func serialize(comp *xquery.Compiled, rel *table.Relation, wantKeys bool, keys []plan.Key) (*Result, error) {
 	ret := comp.Return
-	if ret.Count {
-		// count($v): a single numeric item.
-		return &Result{Items: []string{strconv.Itoa(rel.NumRows())}}, nil
+	if comp.Tail.Agg != nil {
+		st, err := plan.FoldAgg(rel, comp.Tail.Agg)
+		if err != nil {
+			return nil, fmt.Errorf("rox: %s: %w", ret.String(), err)
+		}
+		// Aggregates always yield exactly one item; avg/min/max over an
+		// empty sequence render XQuery's empty sequence as an empty item.
+		item, _ := st.Render(comp.Tail.Agg.Kind)
+		return &Result{Items: []string{item}, agg: st}, nil
 	}
 	n := rel.NumRows()
 	out := &Result{Items: make([]string, 0, n)}
@@ -647,6 +683,9 @@ func serialize(comp *xquery.Compiled, rel *table.Relation) (*Result, error) {
 			sb.WriteString("</" + ret.Elem + ">")
 		}
 		out.Items = append(out.Items, sb.String())
+	}
+	if wantKeys && comp.Tail.Order != nil {
+		out.keys = keys
 	}
 	return out, nil
 }
@@ -762,6 +801,12 @@ var ErrNoSuchCollection = errors.New("rox: no such collection")
 // the classical compile-time baseline evaluates single documents only —
 // per-shard adaptivity is exactly what the static plan cannot express.
 var ErrStaticCollection = errors.New("rox: static baseline does not support collection()")
+
+// ErrNonNumericAggregate is the sentinel for sum/avg/min/max queries whose
+// aggregate path reached a value that does not atomize to a finite number —
+// a query-vs-data mistake, not an engine fault. Match it with errors.Is; the
+// wrapped message carries the offending value and its node position.
+var ErrNonNumericAggregate = plan.ErrNonNumeric
 
 // NoSuchCollectionError reports which collection a failing query referred to.
 // It matches ErrNoSuchCollection under errors.Is.

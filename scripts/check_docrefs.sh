@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# check_docrefs.sh — doc-rot guard: every DESIGN.md section referenced from a
+# Go comment or from README.md must exist as a `## <Section>` heading, so
+# pointers into the design doc cannot rot silently when sections are renamed.
+#
+# The canonical reference phrasing this enforces is:
+#
+#     the "<Section name>" section of DESIGN.md
+#
+# which is tolerated across line wraps and `//` comment markers.
+#
+#   scripts/check_docrefs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Strip Go comment markers, join wrapped lines, then harvest references.
+# `grep || true`: zero references is a success, not a pipefail abort.
+refs="$( { find . -name '*.go' -not -path './.git/*' -print0 \
+             | xargs -0 sed 's@^[[:space:]]*//[[:space:]]*@@'; cat README.md; } \
+  | tr '\n' ' ' \
+  | { grep -oE '"[^"]+" section of DESIGN\.md' || true; } \
+  | sed -E 's/^"([^"]+)" section of DESIGN\.md$/\1/' \
+  | sort -u )"
+
+fail=0
+count=0
+while IFS= read -r sec; do
+  [ -z "$sec" ] && continue
+  count=$((count + 1))
+  if ! grep -qxF "## $sec" DESIGN.md; then
+    echo "stale doc reference: DESIGN.md has no section \"$sec\""
+    fail=1
+  fi
+done <<< "$refs"
+if [ "$fail" = 0 ]; then
+  echo "ok: all $count referenced DESIGN.md sections exist"
+fi
+exit $fail

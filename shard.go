@@ -3,7 +3,6 @@ package rox
 import (
 	"context"
 	"fmt"
-	"strconv"
 
 	"repro/internal/metrics"
 	"repro/internal/plan"
@@ -23,13 +22,26 @@ import (
 // order its own value distributions justify, instead of trusting statistics
 // averaged over the whole corpus.
 //
-// Results merge in a streaming tail: shard evaluations run concurrently
-// (bounded by the engine-wide shard limiter), while the gather side consumes
-// them in shard registration order, appending each shard's ordered items as
-// soon as that shard finishes. Within a shard the tail sort restores
-// document order, so the concatenation equals the document order of the same
-// data loaded as one catalog whenever the shards partition the corpus in
-// order — the byte-identity contract the sharding tests pin down.
+// Results merge in a gather tail whose shape depends on the query's own tail
+// (the "Aggregation and ordering tail" section of DESIGN.md):
+//
+//   - Plain ordered-item queries stream: the gather side consumes shards in
+//     shard registration order, appending each shard's ordered items as soon
+//     as that shard finishes. Within a shard the tail sort restores document
+//     order, so the concatenation equals the document order of the same data
+//     loaded as one catalog whenever the shards partition the corpus in
+//     order — the byte-identity contract the sharding tests pin down.
+//   - Aggregate queries (count, sum, avg, min, max) merge algebraically:
+//     every shard returns its partial-aggregate fold state and the gather
+//     side combines them — counts add, sums add exactly (the states keep
+//     exact floating-point expansions, so grouping does not change the
+//     rounded result), avg merges as (sum, count), min/max take the extrema
+//     of the per-shard extrema. Only the merged state is rendered.
+//   - order by queries k-way merge: every shard returns its items already
+//     key-sorted plus the extracted keys, and the gather side repeatedly
+//     takes the best head among the shards, ties going to the earliest
+//     shard — which, with stable per-shard sorting, reproduces the single
+//     catalog's stable sort byte for byte.
 
 // shardOutcome carries one shard's evaluation off its goroutine.
 type shardOutcome struct {
@@ -81,16 +93,21 @@ func (e *Engine) queryCollection(ctx context.Context, env *plan.Env, comp *xquer
 		}(outs[i], sh)
 	}
 
-	// Gather: the streaming merge tail. Shards complete in any order; the
-	// merge consumes them in shard order so items stream into the result in
-	// collection order while later shards are still evaluating.
+	// Gather. Shards complete in any order; the gather consumes them in
+	// shard order. Plain item queries stream (items append in collection
+	// order while later shards are still evaluating); aggregate queries
+	// merge fold states; order by queries buffer each shard's sorted items
+	// for the final k-way merge.
 	merged := &Result{}
 	stats := Stats{
 		Plan:     fmt.Sprintf("scatter(%s/%d)", collName, len(shards)),
 		CacheHit: len(shards) > 0,
 		Shards:   make([]ShardStats, 0, len(shards)),
 	}
-	count := 0
+	aggQ, orderQ := comp.Tail.Agg != nil, comp.Tail.Order != nil
+	var agg plan.AggState
+	var lists [][]string
+	var keyLists [][]plan.Key
 	var firstErr error
 	for i := range outs {
 		o := <-outs[i]
@@ -105,16 +122,13 @@ func (e *Engine) queryCollection(ctx context.Context, env *plan.Env, comp *xquer
 			continue // drained only so the goroutine can exit
 		}
 		env.Rec.Merge(o.rec)
-		if comp.Return.Count {
-			n, err := strconv.Atoi(o.res.Items[0])
-			if err != nil {
-				firstErr = fmt.Errorf("rox: shard %s returned malformed count %q: %w",
-					shards[i].Name(), o.res.Items[0], err)
-				cancel()
-				continue
-			}
-			count += n
-		} else {
+		switch {
+		case aggQ:
+			agg.Merge(o.res.agg)
+		case orderQ:
+			lists = append(lists, o.res.Items)
+			keyLists = append(keyLists, o.res.keys)
+		default:
 			merged.Items = append(merged.Items, o.res.Items...)
 		}
 		stats.ExecTuples += o.res.Stats.ExecTuples
@@ -127,13 +141,53 @@ func (e *Engine) queryCollection(ctx context.Context, env *plan.Env, comp *xquer
 	if firstErr != nil {
 		return nil, env.Rec, firstErr
 	}
-	if comp.Return.Count {
-		merged.Items = []string{strconv.Itoa(count)}
+	switch {
+	case aggQ:
+		item, _ := agg.Render(comp.Tail.Agg.Kind)
+		merged.Items = []string{item}
+		merged.agg = &agg
+	case orderQ:
+		merged.Items, merged.keys = mergeOrdered(lists, keyLists, comp.Tail.Order.Desc)
 	}
 	stats.Rows = len(merged.Items)
 	stats.Elapsed = sw.Elapsed()
 	merged.Stats = stats
 	return merged, env.Rec, nil
+}
+
+// mergeOrdered k-way merges per-shard item lists that are already key-sorted
+// (ascending or, when desc, descending). The strict better-than comparison
+// leaves ties with the earliest shard, which — shards partitioning the corpus
+// in document order, per-shard sorts being stable — makes the merge output
+// byte-identical to a stable sort over the single-catalog corpus.
+func mergeOrdered(lists [][]string, keys [][]plan.Key, desc bool) ([]string, []plan.Key) {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	items := make([]string, 0, total)
+	outKeys := make([]plan.Key, 0, total)
+	heads := make([]int, len(lists))
+	for len(items) < total {
+		best := -1
+		for s := range lists {
+			if heads[s] >= len(lists[s]) {
+				continue
+			}
+			if best == -1 {
+				best = s
+				continue
+			}
+			c := keys[s][heads[s]].Compare(keys[best][heads[best]])
+			if (desc && c > 0) || (!desc && c < 0) {
+				best = s
+			}
+		}
+		items = append(items, lists[best][heads[best]])
+		outKeys = append(outKeys, keys[best][heads[best]])
+		heads[best]++
+	}
+	return items, outKeys
 }
 
 // runShard evaluates the query over one shard: acquire an engine-wide
@@ -157,7 +211,7 @@ func (e *Engine) runShard(ctx context.Context, cat *plan.Catalog, comp *xquery.C
 		// shard of every query (Prepared computes baseFP once, ever).
 		fp = baseFP + "|shard:" + sh.Name()
 	}
-	res, err := e.executeCached(senv, scomp, fp, sh.Gen)
+	res, err := e.executeCached(senv, scomp, fp, sh.Gen, true)
 	if err != nil {
 		return shardOutcome{err: err, rec: senv.Rec}
 	}

@@ -83,6 +83,223 @@ func TestCollectionEquivalence(t *testing.T) {
 	}
 }
 
+// TestCollectionAggregateOrderEquivalence extends the sharding contract to
+// the aggregation/ordering tail: every aggregate (sum, avg, min, max over
+// decimal-valued paths — the exact partial-sum merge keeps grouping
+// invisible) and every order by (numeric and string keys, ascending and
+// descending, ties included) must be byte-identical between the single
+// catalog and the same corpus split into 4 and 12 shards — on the cold
+// scatter AND on the prepared plan-cache replay.
+func TestCollectionAggregateOrderEquivalence(t *testing.T) {
+	queries := []struct {
+		name, docQ, collQ string
+	}{
+		{
+			name:  "sum of decimal initial prices",
+			docQ:  `for $a in doc("xmark.xml")//open_auction return sum($a/initial)`,
+			collQ: `for $a in collection("xmark")//open_auction return sum($a/initial)`,
+		},
+		{
+			name:  "avg of reserves over reserved auctions",
+			docQ:  `for $a in doc("xmark.xml")//open_auction[reserve] return avg($a/reserve)`,
+			collQ: `for $a in collection("xmark")//open_auction[reserve] return avg($a/reserve)`,
+		},
+		{
+			name:  "min bidder increase",
+			docQ:  `for $b in doc("xmark.xml")//open_auction//bidder return min($b/increase)`,
+			collQ: `for $b in collection("xmark")//open_auction//bidder return min($b/increase)`,
+		},
+		{
+			name:  "max current price",
+			docQ:  `for $a in doc("xmark.xml")//open_auction return max($a/current)`,
+			collQ: `for $a in collection("xmark")//open_auction return max($a/current)`,
+		},
+		{
+			name:  "order by integer key descending with ties",
+			docQ:  `for $a in doc("xmark.xml")//open_auction where $a/current > 100 order by $a/current descending return $a`,
+			collQ: `for $a in collection("xmark")//open_auction where $a/current > 100 order by $a/current descending return $a`,
+		},
+		{
+			name:  "order by string attribute key",
+			docQ:  `for $p in doc("xmark.xml")//person[education] order by $p/@id return $p`,
+			collQ: `for $p in collection("xmark")//person[education] order by $p/@id return $p`,
+		},
+		{
+			name:  "order by all-equal key is pure stability",
+			docQ:  `for $p in doc("xmark.xml")//person[education] order by $p/education return $p`,
+			collQ: `for $p in collection("xmark")//person[education] order by $p/education return $p`,
+		},
+	}
+	for _, shards := range []int{4, 12} {
+		single, sharded := newXMarkEngines(t, shards)
+		for _, q := range queries {
+			t.Run(fmt.Sprintf("%d-shard/%s", shards, q.name), func(t *testing.T) {
+				want, err := single.Query(q.docQ)
+				if err != nil {
+					t.Fatalf("single-catalog query: %v", err)
+				}
+				prep, err := sharded.Prepare(q.collQ)
+				if err != nil {
+					t.Fatalf("prepare: %v", err)
+				}
+				cold, err := prep.Query()
+				if err != nil {
+					t.Fatalf("cold scatter: %v", err)
+				}
+				assertSameItems(t, "cold scatter", want.Items, cold.Items)
+				replay, err := prep.Query()
+				if err != nil {
+					t.Fatalf("prepared replay: %v", err)
+				}
+				assertSameItems(t, "prepared replay", want.Items, replay.Items)
+				if !replay.Stats.CacheHit || replay.Stats.SampleTuples != 0 {
+					t.Errorf("replay: CacheHit=%v SampleTuples=%d, want per-shard hits with zero sampling",
+						replay.Stats.CacheHit, replay.Stats.SampleTuples)
+				}
+				if len(cold.Stats.Shards) != shards {
+					t.Errorf("ShardStats count = %d, want %d", len(cold.Stats.Shards), shards)
+				}
+				if cold.Stats.Rows != len(cold.Items) {
+					t.Errorf("Stats.Rows = %d, len(Items) = %d", cold.Stats.Rows, len(cold.Items))
+				}
+			})
+		}
+	}
+}
+
+// assertSameItems fails on the first differing item (byte comparison).
+func assertSameItems(t *testing.T, phase string, want, got []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d items, single catalog has %d", phase, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: item %d differs:\nsharded: %s\nsingle:  %s", phase, i, got[i], want[i])
+		}
+	}
+}
+
+// pricedShardXML builds one people shard whose persons carry numeric ages and
+// decimal salaries (stress for the exact partial-sum merge) starting at id
+// base.
+func pricedShardXML(base, n int) string {
+	var sb strings.Builder
+	sb.WriteString("<people>")
+	for i := 0; i < n; i++ {
+		id := base + i
+		fmt.Fprintf(&sb, `<person id="p%04d"><name>n%d</name><age>%d</age><salary>%d.%02d</salary></person>`,
+			id, id, 20+(id*7)%50, 1000+(id*37)%900, (id*53)%100)
+	}
+	sb.WriteString("</people>")
+	return sb.String()
+}
+
+// TestShardedAggregateDriftEquivalence is the acceptance contract's drift
+// leg: after one shard is reloaded with 10× the data, prepared aggregate and
+// order-by queries must re-optimize that shard only and still return results
+// byte-identical to a single catalog holding the same post-reload corpus.
+func TestShardedAggregateDriftEquivalence(t *testing.T) {
+	shardSpans := [][2]int{{0, 30}, {100, 30}, {200, 30}} // {base, n} per shard
+	sharded := NewEngine()
+	for i, sp := range shardSpans {
+		if err := sharded.LoadCollectionShardXML("ppl", fmt.Sprintf("ppl-%d.xml", i),
+			pricedShardXML(sp[0], sp[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	singleFor := func(spans [][2]int) *Engine {
+		var sb strings.Builder
+		sb.WriteString("<people>")
+		for _, sp := range spans {
+			inner := pricedShardXML(sp[0], sp[1])
+			sb.WriteString(strings.TrimSuffix(strings.TrimPrefix(inner, "<people>"), "</people>"))
+		}
+		sb.WriteString("</people>")
+		eng := NewEngine()
+		if err := eng.LoadXML("ppl.xml", sb.String()); err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	queries := []struct{ name, collQ, docQ string }{
+		{"sum", `for $p in collection("ppl")//person return sum($p/salary)`,
+			`for $p in doc("ppl.xml")//person return sum($p/salary)`},
+		{"avg", `for $p in collection("ppl")//person return avg($p/salary)`,
+			`for $p in doc("ppl.xml")//person return avg($p/salary)`},
+		{"min", `for $p in collection("ppl")//person return min($p/age)`,
+			`for $p in doc("ppl.xml")//person return min($p/age)`},
+		{"max", `for $p in collection("ppl")//person return max($p/salary)`,
+			`for $p in doc("ppl.xml")//person return max($p/salary)`},
+		{"order by age desc", `for $p in collection("ppl")//person order by $p/age descending return $p`,
+			`for $p in doc("ppl.xml")//person order by $p/age descending return $p`},
+	}
+	preps := make([]*Prepared, len(queries))
+	for i, q := range queries {
+		p, err := sharded.Prepare(q.collQ)
+		if err != nil {
+			t.Fatalf("%s: %v", q.name, err)
+		}
+		preps[i] = p
+	}
+
+	single := singleFor(shardSpans)
+	for i, q := range queries {
+		want, err := single.Query(q.docQ)
+		if err != nil {
+			t.Fatalf("%s single: %v", q.name, err)
+		}
+		for _, phase := range []string{"cold", "replay"} {
+			got, err := preps[i].Query()
+			if err != nil {
+				t.Fatalf("%s %s: %v", q.name, phase, err)
+			}
+			assertSameItems(t, q.name+" "+phase, want.Items, got.Items)
+			if phase == "replay" && (!got.Stats.CacheHit || got.Stats.SampleTuples != 0) {
+				t.Errorf("%s replay missed the cache: CacheHit=%v SampleTuples=%d",
+					q.name, got.Stats.CacheHit, got.Stats.SampleTuples)
+			}
+		}
+	}
+
+	// Reload the middle shard with 10× the data — far beyond the drift ratio.
+	shardSpans[1] = [2]int{100, 300}
+	if err := sharded.LoadCollectionShardXML("ppl", "ppl-1.xml",
+		pricedShardXML(shardSpans[1][0], shardSpans[1][1])); err != nil {
+		t.Fatal(err)
+	}
+	single = singleFor(shardSpans)
+	for i, q := range queries {
+		want, err := single.Query(q.docQ)
+		if err != nil {
+			t.Fatalf("%s single after reload: %v", q.name, err)
+		}
+		drift, err := preps[i].Query()
+		if err != nil {
+			t.Fatalf("%s drift query: %v", q.name, err)
+		}
+		assertSameItems(t, q.name+" drift", want.Items, drift.Items)
+		if !drift.Stats.Reoptimized {
+			t.Errorf("%s: reloaded shard did not re-optimize", q.name)
+		}
+		for _, sh := range drift.Stats.Shards {
+			if sh.Shard != "ppl-1.xml" && (!sh.Stats.CacheHit || sh.Stats.SampleTuples != 0) {
+				t.Errorf("%s: untouched shard %s lost its cached plan", q.name, sh.Shard)
+			}
+		}
+		settled, err := preps[i].Query()
+		if err != nil {
+			t.Fatalf("%s settled query: %v", q.name, err)
+		}
+		assertSameItems(t, q.name+" settled", want.Items, settled.Items)
+		if !settled.Stats.CacheHit || settled.Stats.SampleTuples != 0 {
+			t.Errorf("%s settled run missed the cache: CacheHit=%v SampleTuples=%d",
+				q.name, settled.Stats.CacheHit, settled.Stats.SampleTuples)
+		}
+	}
+}
+
 // TestCollectionShardStatsRollup checks that the scatter-gather Stats add up:
 // top-level tuple counters are the per-shard sums and every shard reports its
 // own plan.
