@@ -723,3 +723,116 @@ func BenchmarkCollectionScatterCached(b *testing.B) {
 		}
 	}
 }
+
+// --- Streaming-cursor and limit-pushdown benches. ---
+
+// limitScatterEngine loads the default XMark corpus split into 12 shards —
+// the early-termination showcase: limit 10 needs roughly one shard's output,
+// so the gather cancels the other eleven mid-join.
+func limitScatterEngine(cacheSize int) *Engine {
+	cfg := datagen.DefaultXMarkConfig()
+	e := NewEngine(WithSeed(1), WithPlanCache(cacheSize))
+	e.LoadCollection("xmark", datagen.XMarkShards(cfg, 12))
+	return e
+}
+
+const limitScatterQuery = `for $p in collection("xmark")//person return $p limit 10`
+const limitScatterFullQuery = `for $p in collection("xmark")//person return $p`
+
+// BenchmarkLimitScatterCold: limit 10 over 12 shards with the cache
+// disabled. The gather stops after ten merged items and cancels the shards
+// it never consumed, so most of the 12 per-shard sampling loops abort early —
+// compare against BenchmarkLimitScatterFullDrain, the same corpus and query
+// without the window.
+func BenchmarkLimitScatterCold(b *testing.B) {
+	e := limitScatterEngine(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Query(limitScatterQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Rows != 10 {
+			b.Fatalf("Rows = %d, want 10", res.Stats.Rows)
+		}
+	}
+}
+
+// BenchmarkLimitScatterCached: the steady-state page-one hot path — per-shard
+// plan-cache replay, early-terminating merge, ten serialized items.
+func BenchmarkLimitScatterCached(b *testing.B) {
+	e := limitScatterEngine(DefaultPlanCacheSize)
+	prep, err := e.Prepare(limitScatterQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := prep.Query(); err != nil { // warm the per-shard caches
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := prep.Query()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Rows != 10 {
+			b.Fatalf("Rows = %d, want 10", res.Stats.Rows)
+		}
+	}
+}
+
+// BenchmarkLimitScatterFullDrain is the no-window comparator for the two
+// benches above: the identical 12-shard corpus and query, every shard
+// replayed and merged to completion. The committed baseline pins the
+// early-termination win: LimitScatterCached must stay well under this.
+func BenchmarkLimitScatterFullDrain(b *testing.B) {
+	e := limitScatterEngine(DefaultPlanCacheSize)
+	prep, err := e.Prepare(limitScatterFullQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := prep.Query(); err != nil { // warm the per-shard caches
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prep.Query(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamingQuery drives the cursor API end to end on the cached
+// single-catalog path: replay, then incremental serialization through
+// Rows.Next — the per-item overhead of the streaming surface against
+// BenchmarkPreparedQuery's materializing drain.
+func BenchmarkStreamingQuery(b *testing.B) {
+	cfg := datagen.DefaultXMarkConfig()
+	e := NewEngine(WithSeed(1))
+	e.LoadDocument(datagen.XMark(cfg))
+	prep, err := e.Prepare(`for $p in doc("xmark.xml")//person[.//province] return $p`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := prep.Query(); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := prep.Execute(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		if err := rows.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("streamed zero rows")
+		}
+	}
+}

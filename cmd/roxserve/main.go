@@ -13,7 +13,13 @@
 // Endpoints:
 //
 //	GET  /query?q=XQUERY[&mode=rox|static]   evaluate a query (or POST the
-//	                                         query text as the request body)
+//	         [&limit=N][&offset=M]           query text as the request body);
+//	         [&stream=ndjson]                limit/offset window the result
+//	                                         with push-down into the engine,
+//	                                         stream=ndjson streams one JSON
+//	                                         object per item followed by a
+//	                                         final {"stats": ...} line instead
+//	                                         of buffering the full result
 //	GET  /healthz                            liveness + loaded documents
 //	GET  /stats                              aggregate evaluation statistics
 //	GET  /cache                              plan-cache size + hit/miss/drift
@@ -51,6 +57,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -201,6 +208,8 @@ type queryResponse struct {
 
 type queryStats struct {
 	Rows                   int          `json:"rows"`
+	Scanned                int          `json:"scanned"`
+	Truncated              bool         `json:"truncated"`
 	ElapsedNS              int64        `json:"elapsed_ns"`
 	ExecTuples             int64        `json:"exec_tuples"`
 	SampleTuples           int64        `json:"sample_tuples"`
@@ -221,6 +230,8 @@ type shardStats struct {
 func toQueryStats(s rox.Stats) queryStats {
 	out := queryStats{
 		Rows:                   s.Rows,
+		Scanned:                s.Scanned,
+		Truncated:              s.Truncated,
 		ElapsedNS:              s.Elapsed.Nanoseconds(),
 		ExecTuples:             s.ExecTuples,
 		SampleTuples:           s.SampleTuples,
@@ -292,24 +303,55 @@ func newHandler(pool *rox.Pool, maxBody int64) http.Handler {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("empty query: pass ?q= or a request body"))
 			return
 		}
-		var res *rox.Result
-		var err error
+		req := rox.Request{Query: q}
 		switch mode := r.URL.Query().Get("mode"); mode {
 		case "", "rox":
-			res, err = pool.Query(r.Context(), q)
 		case "static":
-			res, err = pool.QueryStatic(r.Context(), q)
+			req.Static = true
 		default:
 			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want rox or static)", mode))
 			return
 		}
+		var err error
+		if req.Limit, err = intParam(r, "limit"); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Offset, err = intParam(r, "offset"); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		streaming := false
+		switch stream := r.URL.Query().Get("stream"); stream {
+		case "":
+		case "ndjson":
+			streaming = true
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown stream format %q (want ndjson)", stream))
+			return
+		}
+		rows, err := pool.Execute(r.Context(), req)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
 		}
+		defer rows.Close()
+		if streaming {
+			streamNDJSON(w, rows)
+			return
+		}
+		items := []string{}
+		for rows.Next() {
+			items = append(items, rows.Item())
+		}
+		if err := rows.Err(); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		rows.Close()
 		writeJSON(w, http.StatusOK, queryResponse{
-			Items: res.Items,
-			Stats: toQueryStats(res.Stats),
+			Items: items,
+			Stats: toQueryStats(rows.Stats()),
 		})
 	})
 	mux.HandleFunc("/collections", func(w http.ResponseWriter, r *http.Request) {
@@ -378,6 +420,45 @@ func newHandler(pool *rox.Pool, maxBody int64) http.Handler {
 		})
 	})
 	return mux
+}
+
+// intParam reads a non-negative integer query parameter ("" = 0).
+func intParam(r *http.Request, name string) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad %s %q: want a non-negative integer", name, s)
+	}
+	return n, nil
+}
+
+// streamNDJSON writes the cursor as newline-delimited JSON: one
+// {"item": ...} object per result item as it comes off the engine (flushed
+// so slow consumers see progress), then a final {"stats": ...} object — or,
+// if the stream fails after the 200 header is out, an {"error": ...} object
+// as the last line.
+func streamNDJSON(w http.ResponseWriter, rows *rox.Rows) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for rows.Next() {
+		if err := enc.Encode(map[string]string{"item": rows.Item()}); err != nil {
+			return // client went away; rows.Close via the handler's defer
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := rows.Err(); err != nil {
+		enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	rows.Close()
+	enc.Encode(map[string]any{"stats": toQueryStats(rows.Stats())})
 }
 
 // statusFor classifies an evaluation error: cancellation → 503 (client went

@@ -496,3 +496,73 @@ func TestCollectionLoadGuardsAgainstTypos(t *testing.T) {
 		t.Fatalf("create=1 did not register: %v", out["collections"])
 	}
 }
+
+func TestQueryLimitOffsetParams(t *testing.T) {
+	ts := testServer(t)
+	q := url.QueryEscape(`for $p in doc("people.xml")//person/name return $p`)
+	out := getJSON(t, ts.URL+"/query?q="+q+"&limit=1&offset=1", http.StatusOK)
+	items, _ := out["items"].([]any)
+	if len(items) != 1 || items[0] != "<name>bob</name>" {
+		t.Fatalf("limit=1 offset=1 items = %v", out["items"])
+	}
+	stats, _ := out["stats"].(map[string]any)
+	if stats["rows"] != float64(1) || stats["scanned"] != float64(3) || stats["truncated"] != true {
+		t.Fatalf("windowed stats = %v", stats)
+	}
+	// The window also wins over a limit clause in the query text.
+	q = url.QueryEscape(`for $p in doc("people.xml")//person/name return $p limit 3`)
+	out = getJSON(t, ts.URL+"/query?q="+q+"&limit=2", http.StatusOK)
+	if items, _ := out["items"].([]any); len(items) != 2 {
+		t.Fatalf("override items = %v", out["items"])
+	}
+	// Bad window values are client errors.
+	getJSON(t, ts.URL+"/query?q="+q+"&limit=x", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/query?q="+q+"&offset=-1", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/query?q="+q+"&stream=csv", http.StatusBadRequest)
+}
+
+func TestQueryStreamNDJSON(t *testing.T) {
+	ts := testServer(t)
+	q := url.QueryEscape(`for $p in doc("people.xml")//person/name return $p`)
+	resp, err := http.Get(ts.URL + "/query?q=" + q + "&stream=ndjson&limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var items []string
+	var stats *queryStats
+	for dec.More() {
+		var line struct {
+			Item  *string     `json:"item"`
+			Stats *queryStats `json:"stats"`
+			Error *string     `json:"error"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case line.Error != nil:
+			t.Fatalf("stream error line: %s", *line.Error)
+		case line.Item != nil:
+			if stats != nil {
+				t.Fatal("item after stats line")
+			}
+			items = append(items, *line.Item)
+		case line.Stats != nil:
+			stats = line.Stats
+		}
+	}
+	if len(items) != 2 || items[0] != "<name>ann</name>" || items[1] != "<name>bob</name>" {
+		t.Fatalf("streamed items = %v", items)
+	}
+	if stats == nil || stats.Rows != 2 || stats.Scanned != 3 || !stats.Truncated {
+		t.Fatalf("streamed stats = %+v", stats)
+	}
+}

@@ -1,6 +1,7 @@
 package rox_test
 
 import (
+	"context"
 	"fmt"
 
 	rox "repro"
@@ -89,6 +90,101 @@ func ExampleEngine_LoadCollection() {
 	// <name>Ada</name>
 	// <name>Grace</name>
 	// shards evaluated: 2
+}
+
+// ExampleEngine_Execute streams a query through the rox.Rows cursor — the
+// context-first entry point behind the legacy Query methods. Items are
+// serialized one Next at a time, so an early Close never pays for rows the
+// caller does not read.
+func ExampleEngine_Execute() {
+	eng := rox.NewEngine()
+	if err := eng.LoadXML("people.xml", `<people>
+		<person id="p1"><name>Alice</name></person>
+		<person id="p2"><name>Bob</name></person>
+	</people>`); err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+	rows, err := eng.Execute(ctx, rox.Request{Query: `for $n in doc("people.xml")//person/name return $n`})
+	if err != nil {
+		panic(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		fmt.Println(rows.Item())
+	}
+	if err := rows.Err(); err != nil {
+		panic(err)
+	}
+	fmt.Println("rows:", rows.Stats().Rows)
+	// Output:
+	// <name>Alice</name>
+	// <name>Bob</name>
+	// rows: 2
+}
+
+// ExampleRows_All iterates a cursor with the Go 1.23 range-over-func
+// adapter; the cursor closes itself when the loop ends.
+func ExampleRows_All() {
+	eng := rox.NewEngine()
+	if err := eng.LoadXML("shop.xml", `<shop>
+		<item><price>10</price></item>
+		<item><price>25</price></item>
+	</shop>`); err != nil {
+		panic(err)
+	}
+	rows, err := eng.Execute(context.Background(),
+		rox.Request{Query: `for $p in doc("shop.xml")//item/price return $p`})
+	if err != nil {
+		panic(err)
+	}
+	for item, err := range rows.All() {
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(item)
+	}
+	// Output:
+	// <price>10</price>
+	// <price>25</price>
+}
+
+// ExamplePrepared_Execute pages through a result with limit/offset push-down:
+// one prepared statement serves every page, the window rides the cache key,
+// and over sharded collections the scatter stops pulling once the page is
+// full.
+func ExamplePrepared_Execute() {
+	eng := rox.NewEngine()
+	if err := eng.LoadXML("shop.xml", `<shop>
+		<item><price>10</price></item>
+		<item><price>45</price></item>
+		<item><price>25</price></item>
+		<item><price>30</price></item>
+	</shop>`); err != nil {
+		panic(err)
+	}
+	prep, err := eng.Prepare(`for $p in doc("shop.xml")//item/price order by $p descending return $p`)
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+	for page := 0; page < 2; page++ {
+		rows, err := prep.Execute(ctx, rox.WithLimit(2), rox.WithOffset(2*page))
+		if err != nil {
+			panic(err)
+		}
+		for item, err := range rows.All() {
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("page %d: %s\n", page, item)
+		}
+	}
+	// Output:
+	// page 0: <price>45</price>
+	// page 0: <price>30</price>
+	// page 1: <price>25</price>
+	// page 1: <price>10</price>
 }
 
 // ExampleEngine_Query_aggregatesAndOrderBy shows the aggregation and

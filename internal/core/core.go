@@ -86,8 +86,11 @@ func DefaultOptions() Options {
 
 // Result reports what a ROX run did.
 type Result struct {
-	// Rows is the tail output cardinality.
+	// Rows is the tail output cardinality (after any limit window).
 	Rows int
+	// Scanned is the tail cardinality before the limit window — the distinct
+	// sorted join result the run produced; equal to Rows for unlimited tails.
+	Scanned int
 	// Plan is the executed edge order; re-running it through plan.Run gives
 	// the paper's "pure plan (excl. sampling)" measurement.
 	Plan plan.Plan
@@ -222,6 +225,7 @@ func (o *Optimizer) Execute(tail *plan.Tail) (*table.Relation, *Result, error) {
 
 	var out *table.Relation
 	var keys []plan.Key
+	var scanned int
 	cumulative := o.runner.CumulativeIntermediate
 	edgeRows := make(map[int]int, len(o.steps))
 	if sampledSearch {
@@ -240,6 +244,7 @@ func (o *Optimizer) Execute(tail *plan.Tail) (*table.Relation, *Result, error) {
 		cumulative = stats.CumulativeIntermediate
 		edgeRows = stats.EdgeRows
 		keys = stats.Keys
+		scanned = stats.Scanned
 	} else {
 		for _, ev := range o.trace.Events {
 			if ev.Kind == EventExec {
@@ -250,10 +255,11 @@ func (o *Optimizer) Execute(tail *plan.Tail) (*table.Relation, *Result, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		out, keys = tail.Execute(rel)
+		out, keys, scanned = tail.Execute(rel)
 	}
 	res := &Result{
 		Rows:                   out.NumRows(),
+		Scanned:                scanned,
 		Plan:                   plan.Plan{Steps: o.steps},
 		Trace:                  o.trace,
 		SampleCost:             rec.CostOf(metrics.PhaseSample).Sub(startSample),

@@ -4,9 +4,10 @@
 // catalog), vertex-table materialization via index lookups, pairwise edge
 // execution, the component-relation bookkeeping that materializes
 // intermediate results, static Plan objects (an ordered list of edge
-// executions) and the tail (project → distinct → sort → key-order →
-// aggregate/project) that restores XQuery semantics — order-by keys and
-// partial-aggregate fold states included (tailkey.go).
+// executions) and the tail (project → distinct → sort → key-order → limit
+// window → aggregate/project) that restores XQuery semantics — order-by keys,
+// limit/offset windows and partial-aggregate fold states included
+// (tailkey.go).
 package plan
 
 import (

@@ -118,23 +118,33 @@ type Tail struct {
 	// relation Apply returns is unchanged by it (aggregation happens at
 	// serialization, where a non-numeric value can fail the query).
 	Agg *AggSpec
+	// Limit, when set, windows the result rows after every sort: at most
+	// Limit.Count rows starting at Limit.Offset survive. Execute reports the
+	// pre-window cardinality as its scanned count, so statistics can tell
+	// rows produced by the join from rows actually returned.
+	Limit *LimitSpec
 }
 
 // Apply runs the tail over the fully joined relation. Callers that need the
-// order-by keys of the result rows (the scatter-gather merge) use Execute.
+// order-by keys of the result rows (the scatter-gather merge) or the
+// pre-limit cardinality use Execute.
 func (t *Tail) Apply(rel *table.Relation) *table.Relation {
-	out, _ := t.Execute(rel)
+	out, _, _ := t.Execute(rel)
 	return out
 }
 
 // Execute runs the tail and returns the final relation plus, for ordered
 // tails, the per-row order keys in final row order — extracted exactly once,
-// during the key sort. Keys are nil when the tail has no order by.
-func (t *Tail) Execute(rel *table.Relation) (*table.Relation, []Key) {
+// during the key sort. Keys are nil when the tail has no order by. scanned is
+// the distinct result cardinality before the Limit window was applied (equal
+// to the output row count for unlimited tails): the limit push-down happens
+// here, after every sort and before any serialization, so a `limit 10` query
+// never pays to render rows 11..n.
+func (t *Tail) Execute(rel *table.Relation) (out *table.Relation, keys []Key, scanned int) {
 	if t == nil {
-		return rel, nil
+		return rel, nil, rel.NumRows()
 	}
-	out := rel
+	out = rel
 	if len(t.Project) > 0 {
 		out = out.Project(t.Project)
 	}
@@ -146,14 +156,21 @@ func (t *Tail) Execute(rel *table.Relation) (*table.Relation, []Key) {
 	if len(sortCols) > 0 {
 		out.SortBy(sortCols)
 	}
-	var keys []Key
 	if t.Order != nil {
 		out, keys = sortByKeys(out, t.Order)
+	}
+	scanned = out.NumRows()
+	if t.Limit != nil {
+		lo, hi := t.Limit.Window(scanned)
+		out = out.Slice(lo, hi)
+		if keys != nil {
+			keys = keys[lo:hi]
+		}
 	}
 	if len(t.Final) > 0 {
 		out = out.Project(t.Final)
 	}
-	return out, keys
+	return out, keys, scanned
 }
 
 // sortByKeys stable-sorts the relation rows by the extracted order key and
@@ -220,8 +237,12 @@ type RunStats struct {
 	// CumulativeIntermediate is the summed cardinality of all intermediate
 	// relations (the Fig 5 metric).
 	CumulativeIntermediate int64
-	// ResultRows is the tail output cardinality.
+	// ResultRows is the tail output cardinality (after any Limit window).
 	ResultRows int
+	// Scanned is the tail cardinality before the Limit window: the distinct
+	// sorted join result the query produced, whether or not every row was
+	// returned. Equal to ResultRows for unlimited tails.
+	Scanned int
 	// EdgeRows maps every executed edge ID to the cardinality of the
 	// intermediate relation its execution produced. Plan caches compare
 	// these observations against the expectations recorded by the run that
@@ -270,10 +291,11 @@ func RunWithConfig(env *Env, g *joingraph.Graph, p *Plan, tail *Tail, cfg RunCon
 	if err != nil {
 		return nil, nil, err
 	}
-	out, keys := tail.Execute(rel)
+	out, keys, scanned := tail.Execute(rel)
 	return out, &RunStats{
 		CumulativeIntermediate: r.CumulativeIntermediate,
 		ResultRows:             out.NumRows(),
+		Scanned:                scanned,
 		EdgeRows:               edgeRows,
 		Keys:                   keys,
 	}, nil

@@ -77,6 +77,50 @@ func (o *OrderSpec) String() string {
 	return sb.String()
 }
 
+// LimitSpec is the tail's limit/offset window: after projection, distinct,
+// the τ sort and any order-by sort, keep at most Count rows starting at row
+// Offset. Like Order and Agg it lives strictly in the tail — it names no
+// graph vertices or edges, so joingraph.Fingerprint is invariant under it and
+// cached plans transfer between windowed and unwindowed runs of a query.
+type LimitSpec struct {
+	// Count is the maximum number of rows returned; Count <= 0 means
+	// unlimited (an offset-only window).
+	Count int
+	// Offset is the number of rows skipped before the first returned row.
+	Offset int
+}
+
+// String renders the spec canonically for cache keys ("" for nil).
+func (l *LimitSpec) String() string {
+	if l == nil {
+		return ""
+	}
+	if l.Offset == 0 {
+		return fmt.Sprintf("limit %d", l.Count)
+	}
+	return fmt.Sprintf("limit %d offset %d", l.Count, l.Offset)
+}
+
+// Window returns the [lo, hi) row window the spec selects out of n rows,
+// clamped to [0, n]. An unlimited Count yields hi = n.
+func (l *LimitSpec) Window(n int) (lo, hi int) {
+	if l == nil {
+		return 0, n
+	}
+	lo = l.Offset
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > n {
+		lo = n
+	}
+	hi = n
+	if l.Count > 0 && lo+l.Count < n {
+		hi = lo + l.Count
+	}
+	return lo, hi
+}
+
 // AggKind enumerates the return-clause aggregates.
 type AggKind int
 

@@ -215,6 +215,28 @@ func (r *Relation) Permute(idx []int) *Relation {
 	return out
 }
 
+// Slice returns a new relation holding rows [lo, hi) of r. The bounds are
+// clamped to the relation, so any lo <= hi pair is safe; the row data is
+// shared with r (column subslices), which makes windowing a sorted result —
+// the tail's limit/offset push-down — allocation-free per row.
+func (r *Relation) Slice(lo, hi int) *Relation {
+	n := r.NumRows()
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo > hi {
+		lo = hi
+	}
+	out := NewRelation(r.colIDs, r.docs)
+	for c := range r.cols {
+		out.cols[c] = r.cols[c][lo:hi]
+	}
+	return out
+}
+
 // Filter returns a new relation keeping only rows for which keep returns
 // true; keep receives the row index.
 func (r *Relation) Filter(keep func(row int) bool) *Relation {

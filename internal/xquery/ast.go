@@ -9,6 +9,25 @@ type Query struct {
 	Where  []Comparison
 	Order  *OrderClause // nil when the query has no order by
 	Return ReturnClause
+	Limit  *LimitClause // nil when the query has no limit tail
+}
+
+// LimitClause is the result window appended after the return expression:
+// "limit N [offset M]" keeps at most N result items starting at item M
+// (0-based). Like order by it is a tail construct — it restricts which items
+// are returned, never which bindings exist, so the Join Graph is identical
+// with and without it.
+type LimitClause struct {
+	Count  int
+	Offset int
+}
+
+// String renders the clause in source form.
+func (l *LimitClause) String() string {
+	if l.Offset == 0 {
+		return fmt.Sprintf("limit %d", l.Count)
+	}
+	return fmt.Sprintf("limit %d offset %d", l.Count, l.Offset)
 }
 
 // OrderClause is the order-by clause: sort the result tuples by the atomized
@@ -173,6 +192,9 @@ func (q *Query) String() string {
 		s += q.Order.String() + "\n"
 	}
 	s += "return " + q.Return.String()
+	if q.Limit != nil {
+		s += "\n" + q.Limit.String()
+	}
 	return s
 }
 

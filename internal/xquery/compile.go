@@ -50,6 +50,19 @@ func (c *Compiled) ForShard(coll, shardDoc string) *Compiled {
 	return &out
 }
 
+// WithTailLimit returns a shallow copy of the compiled query whose tail
+// carries the given limit/offset window (nil clears it), replacing any limit
+// clause compiled from the query text. The graph, variable binding and every
+// other tail spec are shared — the window is strictly a tail property, so the
+// Join Graph fingerprint (and with it any cached plan) is unaffected.
+func (c *Compiled) WithTailLimit(l *plan.LimitSpec) *Compiled {
+	out := *c
+	t := *c.Tail
+	t.Limit = l
+	out.Tail = &t
+	return &out
+}
+
 // Compile performs Join Graph Isolation on a parsed query.
 func Compile(q *Query, opts CompileOptions) (*Compiled, error) {
 	c := &compiler{
@@ -105,6 +118,13 @@ func Compile(q *Query, opts CompileOptions) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	var limit *plan.LimitSpec
+	if q.Limit != nil {
+		if q.Return.IsAgg() {
+			return nil, fmt.Errorf("xquery: limit has no effect on an aggregate return (%s yields one item)", q.Return.Agg)
+		}
+		limit = &plan.LimitSpec{Count: q.Limit.Count, Offset: q.Limit.Offset}
+	}
 	if err := c.g.Validate(); err != nil {
 		return nil, fmt.Errorf("xquery: compiled graph invalid: %w", err)
 	}
@@ -136,6 +156,7 @@ func Compile(q *Query, opts CompileOptions) (*Compiled, error) {
 			Final:   finals,
 			Order:   order,
 			Agg:     agg,
+			Limit:   limit,
 		},
 		Vars:        c.vars,
 		Docs:        docs,

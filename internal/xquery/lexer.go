@@ -3,15 +3,17 @@
 // queries use (extended with order by and return aggregates), and a compiler
 // that performs Join Graph Isolation [18] — it clusters all step and join
 // relationships of a query into a Join Graph plus a tail (project → distinct
-// → sort → key-order → aggregate/project), the representation handed to the
-// ROX run-time optimizer. Order-by keys and aggregates live strictly in the
-// tail: they never add graph vertices or edges, so the optimizer's plan
-// space is identical with and without them.
+// → sort → key-order → limit window → aggregate/project), the representation
+// handed to the ROX run-time optimizer. Order-by keys, aggregates and the
+// limit/offset window live strictly in the tail: they never add graph
+// vertices or edges, so the optimizer's plan space is identical with and
+// without them.
 //
 // Supported grammar (the paper's query shapes plus the aggregate/order tail):
 //
-//	query   := (let | for)+ ("where" cmp ("and" cmp)*)? order? "return" ret
+//	query   := (let | for)+ ("where" cmp ("and" cmp)*)? order? "return" ret limit?
 //	order   := "order" "by" $var kpath? ("ascending" | "descending")?
+//	limit   := "limit" NUMBER ("offset" NUMBER)?       (whole numbers; count >= 1)
 //	ret     := $var | "count" "(" $var ")" | agg "(" $var kpath? ")"
 //	         | "<" NAME ">" ("{" $var "}")+ "</" NAME ">"
 //	agg     := "sum" | "avg" | "min" | "max"

@@ -1,0 +1,102 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseLimitClause covers the limit tail grammar: count alone, count
+// with offset, and rendering round-trips.
+func TestParseLimitClause(t *testing.T) {
+	q, err := Parse(`for $p in doc("d")//p return $p limit 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Limit == nil || q.Limit.Count != 10 || q.Limit.Offset != 0 {
+		t.Fatalf("Limit = %+v, want count 10 offset 0", q.Limit)
+	}
+	q, err = Parse(`for $p in doc("d")//p order by $p/k return $p limit 5 offset 20`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Limit == nil || q.Limit.Count != 5 || q.Limit.Offset != 20 {
+		t.Fatalf("Limit = %+v, want count 5 offset 20", q.Limit)
+	}
+	if got := q.String(); !strings.Contains(got, "limit 5 offset 20") {
+		t.Errorf("String() = %q, want it to render the limit clause", got)
+	}
+	// No clause → nil.
+	q, err = Parse(`for $p in doc("d")//p return $p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Limit != nil {
+		t.Fatalf("Limit = %+v, want nil", q.Limit)
+	}
+}
+
+// TestParseLimitErrors covers the clause's failure surface.
+func TestParseLimitErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"zero count", `for $p in doc("d")//p return $p limit 0`, "at least 1"},
+		{"fractional count", `for $p in doc("d")//p return $p limit 2.5`, "whole number"},
+		{"missing count", `for $p in doc("d")//p return $p limit`, "whole number"},
+		{"fractional offset", `for $p in doc("d")//p return $p limit 2 offset 1.5`, "whole number"},
+		{"missing offset value", `for $p in doc("d")//p return $p limit 2 offset`, "whole number"},
+		{"trailing junk", `for $p in doc("d")//p return $p limit 2 nonsense`, "trailing input"},
+		{"limit before return", `for $p in doc("d")//p limit 2 return $p`, "expected"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("Parse(%q) err = %v, want substring %q", c.src, err, c.want)
+			}
+		})
+	}
+}
+
+// TestCompileLimit checks the clause lands in the tail spec — and nowhere
+// near the graph: fingerprints with and without the window are identical.
+func TestCompileLimit(t *testing.T) {
+	with, err := CompileString(`for $p in doc("d")//p return $p limit 7 offset 2`, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Tail.Limit == nil || with.Tail.Limit.Count != 7 || with.Tail.Limit.Offset != 2 {
+		t.Fatalf("Tail.Limit = %+v, want {7 2}", with.Tail.Limit)
+	}
+	without, err := CompileString(`for $p in doc("d")//p return $p`, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Graph.Fingerprint() != without.Graph.Fingerprint() {
+		t.Error("limit clause changed the Join Graph fingerprint")
+	}
+
+	// WithTailLimit overrides without touching the original.
+	override := with.WithTailLimit(nil)
+	if override.Tail.Limit != nil {
+		t.Error("WithTailLimit(nil) kept the window")
+	}
+	if with.Tail.Limit == nil {
+		t.Error("WithTailLimit mutated its receiver")
+	}
+	if override.Graph != with.Graph {
+		t.Error("WithTailLimit copied the graph")
+	}
+}
+
+// TestCompileLimitOnAggregate: aggregates yield one item, a window over them
+// is a query error at compile time.
+func TestCompileLimitOnAggregate(t *testing.T) {
+	for _, src := range []string{
+		`for $p in doc("d")//p return count($p) limit 2`,
+		`for $p in doc("d")//p return sum($p/v) limit 1 offset 1`,
+	} {
+		if _, err := CompileString(src, CompileOptions{}); err == nil ||
+			!strings.Contains(err.Error(), "aggregate") {
+			t.Errorf("CompileString(%q) err = %v, want aggregate rejection", src, err)
+		}
+	}
+}

@@ -118,6 +118,14 @@ clauses:
 		return nil, err
 	}
 	q.Return = ret
+	if p.keyword() == "limit" {
+		p.advance()
+		lc, err := p.parseLimit()
+		if err != nil {
+			return nil, err
+		}
+		q.Limit = lc
+	}
 	if _, err := p.expect(tokEOF); err != nil {
 		return nil, fmt.Errorf("xquery: trailing input after return clause: %w", err)
 	}
@@ -156,6 +164,42 @@ func (p *parser) parseOrderBy() (*OrderClause, error) {
 		oc.Desc = true
 	}
 	return oc, nil
+}
+
+// parseLimit parses the clause after the "limit" keyword: a positive whole
+// count, optionally followed by "offset" and a non-negative whole offset.
+func (p *parser) parseLimit() (*LimitClause, error) {
+	count, err := p.parseWhole("limit")
+	if err != nil {
+		return nil, err
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("xquery: limit must be at least 1, got %d", count)
+	}
+	lc := &LimitClause{Count: count}
+	if p.keyword() == "offset" {
+		p.advance()
+		off, err := p.parseWhole("offset")
+		if err != nil {
+			return nil, err
+		}
+		lc.Offset = off
+	}
+	return lc, nil
+}
+
+// parseWhole parses a non-negative whole-number token (clause names the
+// construct for error messages).
+func (p *parser) parseWhole(clause string) (int, error) {
+	t, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, fmt.Errorf("xquery: %s needs a whole number: %w", clause, err)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("xquery: %s needs a whole number, got %q at %d", clause, t.text, t.pos)
+	}
+	return n, nil
 }
 
 // parseReturn parses the return expression: "$v", an aggregate — "count($v)"

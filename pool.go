@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/conc"
 	"repro/internal/metrics"
-	"repro/internal/plan"
 )
 
 // Pool is a bounded-concurrency front end over one shared Engine: at most
@@ -23,6 +22,12 @@ import (
 // while its shard evaluations contend on the engine-wide shard limiter, so
 // total shard goroutines stay bounded by the engine's cap no matter how many
 // pool workers scatter at once.
+//
+// Execute returns a streaming cursor whose admission slot stays held until
+// the cursor finishes — exhaustion, failure, Close, or (for a cursor leaked
+// without Close) the runtime cleanup that garbage collection triggers — so a
+// slow or abandoned consumer cannot grow the pool past its bound, and a
+// leaked cursor cannot shrink it permanently.
 //
 // The pool also aggregates per-query cost into a shared metrics.Aggregator,
 // giving servers fleet-wide statistics for free.
@@ -63,54 +68,81 @@ func (p *Pool) acquire(ctx context.Context) error {
 
 func (p *Pool) release() { p.lim.Release() }
 
+// Execute evaluates a Request on a pool worker and returns its streaming
+// cursor, waiting for a free slot if all are busy. The slot is released when
+// the cursor finishes — drain it or Close it; an un-Closed cursor that gets
+// garbage collected releases the slot through its leak cleanup. ctx cancels
+// the wait, the evaluation and the stream.
+func (p *Pool) Execute(ctx context.Context, req Request) (*Rows, error) {
+	if err := p.acquire(ctx); err != nil {
+		return nil, err
+	}
+	return p.adopt(p.eng.Execute(ctx, req))
+}
+
+// ExecutePrepared evaluates a prepared statement on a pool worker: no
+// recompilation, plan-cache lookup first, with the same cursor slot
+// lifecycle as Execute. The statement must be prepared on this pool's
+// engine.
+func (p *Pool) ExecutePrepared(ctx context.Context, prep *Prepared, opts ...ExecOption) (*Rows, error) {
+	if prep.eng != p.eng {
+		return nil, fmt.Errorf("rox: prepared statement belongs to a different engine")
+	}
+	if err := p.acquire(ctx); err != nil {
+		return nil, err
+	}
+	return p.adopt(prep.Execute(ctx, opts...))
+}
+
+// adopt ties an Execute outcome to the already-held admission slot: failures
+// release it immediately, cursors carry it until they finish, at which point
+// the query's cost folds into the pool aggregate.
+func (p *Pool) adopt(rows *Rows, err error) (*Rows, error) {
+	if err != nil {
+		p.agg.ObserveError()
+		p.release()
+		return nil, err
+	}
+	rows.c.onFinish(func(rec *metrics.Recorder, ferr error) {
+		if ferr != nil {
+			p.agg.ObserveError()
+		} else {
+			p.agg.Observe(rec)
+		}
+		p.release()
+	})
+	return rows, nil
+}
+
 // Query evaluates q with the ROX run-time optimizer on a pool worker,
 // waiting for a free slot if all are busy. ctx cancels both the wait and the
-// evaluation itself.
+// evaluation itself. It drains an Execute cursor; prefer Execute for
+// incremental consumption.
 func (p *Pool) Query(ctx context.Context, q string) (*Result, error) {
-	return p.run(ctx, func(env *plan.Env) (*Result, *metrics.Recorder, error) {
-		return p.eng.query(ctx, env, q)
-	})
+	return p.drain(p.Execute(ctx, Request{Query: q}))
 }
 
 // QueryStatic evaluates q with the classical compile-time baseline on a pool
-// worker.
+// worker. Prefer Execute (with Request.Static) for new code.
 func (p *Pool) QueryStatic(ctx context.Context, q string) (*Result, error) {
-	return p.run(ctx, func(env *plan.Env) (*Result, *metrics.Recorder, error) {
-		return p.eng.queryStatic(env, q)
-	})
+	return p.drain(p.Execute(ctx, Request{Query: q, Static: true}))
 }
 
 // QueryPrepared evaluates a prepared statement on a pool worker: no
 // recompilation, plan-cache lookup first. The statement must be prepared on
-// this pool's engine.
+// this pool's engine. Prefer ExecutePrepared for new code.
 func (p *Pool) QueryPrepared(ctx context.Context, prep *Prepared) (*Result, error) {
-	if prep.eng != p.eng {
-		return nil, fmt.Errorf("rox: prepared statement belongs to a different engine")
+	return p.drain(p.ExecutePrepared(ctx, prep))
+}
+
+// drain materializes a pooled cursor into the legacy Result shape.
+func (p *Pool) drain(rows *Rows, err error) (*Result, error) {
+	if err != nil {
+		return nil, err
 	}
-	return p.run(ctx, func(env *plan.Env) (*Result, *metrics.Recorder, error) {
-		return p.eng.queryCompiled(ctx, env, prep.comp, prep.fp)
-	})
+	return rows.collect()
 }
 
 // CacheStats reports the engine's plan-cache counters — the servable
 // fleet-wide view next to Aggregator's tuple costs.
 func (p *Pool) CacheStats() CacheStats { return p.eng.CacheStats() }
-
-// run owns the pool protocol shared by every evaluation flavor: admission,
-// per-query env construction with cancellation wired in, and folding the
-// finished recorder (or the error) into the aggregate.
-func (p *Pool) run(ctx context.Context, eval func(*plan.Env) (*Result, *metrics.Recorder, error)) (*Result, error) {
-	if err := p.acquire(ctx); err != nil {
-		return nil, err
-	}
-	defer p.release()
-	env := p.eng.newQueryEnv()
-	env.Interrupt = ctx.Err
-	res, rec, err := eval(env)
-	if err != nil {
-		p.agg.ObserveError()
-		return nil, err
-	}
-	p.agg.Observe(rec)
-	return res, nil
-}

@@ -1,0 +1,363 @@
+package rox
+
+// This file is the streaming half of the public API: the Rows cursor behind
+// Engine.Execute, Prepared.Execute and Pool.Execute, and the row sources the
+// execution paths plug into it. The cursor owns the post-join result
+// incrementally — items are serialized (and, for collection queries, merged
+// across shards) one Next at a time — which is what lets a `limit 10` query
+// stop after ten items instead of materializing the full result first. See
+// the "Streaming execution and limit pushdown" section of DESIGN.md.
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/table"
+	"repro/internal/xmltree"
+	"repro/internal/xquery"
+)
+
+// Request describes one evaluation for Engine.Execute or Pool.Execute: the
+// query text plus execution knobs that previously each had a dedicated
+// method. The zero value of everything but Query is the default ROX path.
+type Request struct {
+	// Query is the XQuery text.
+	Query string
+	// Static evaluates with the classical compile-time baseline instead of
+	// the ROX run-time optimizer (the old QueryStatic path). Static
+	// evaluation does not support collection() queries.
+	Static bool
+	// Limit, when positive, caps the number of returned items; Offset skips
+	// that many items first. A non-zero Limit or Offset overrides any
+	// `limit ... offset ...` clause in the query text itself — the
+	// programmatic window wins, which is what a paginating caller wants.
+	// Negative values are an error; both zero means "no window beyond the
+	// query's own".
+	Limit int
+	// Offset is the number of result items skipped before the first
+	// returned item.
+	Offset int
+}
+
+// ExecOption tunes one Prepared.Execute call.
+type ExecOption func(*execOpts)
+
+type execOpts struct {
+	limit, offset int
+	windowed      bool
+}
+
+// WithLimit caps the number of items the cursor returns; n <= 0 means no
+// cap. Together with WithOffset this overrides any limit clause compiled
+// into the prepared text, so one Prepared serves every page of a paginated
+// result.
+func WithLimit(n int) ExecOption {
+	return func(o *execOpts) { o.limit = n; o.windowed = true }
+}
+
+// WithOffset skips the first n items of the result.
+func WithOffset(n int) ExecOption {
+	return func(o *execOpts) { o.offset = n; o.windowed = true }
+}
+
+// requestWindow validates a programmatic limit/offset pair and turns it into
+// a tail window; (0, 0) means none (nil spec).
+func requestWindow(limit, offset int) (*plan.LimitSpec, error) {
+	if limit < 0 {
+		return nil, fmt.Errorf("rox: negative limit %d", limit)
+	}
+	if offset < 0 {
+		return nil, fmt.Errorf("rox: negative offset %d", offset)
+	}
+	if limit == 0 && offset == 0 {
+		return nil, nil
+	}
+	return &plan.LimitSpec{Count: limit, Offset: offset}, nil
+}
+
+// Rows is a streaming query result cursor, in the style of database/sql:
+//
+//	rows, err := eng.Execute(ctx, rox.Request{Query: q})
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//		use(rows.Item())
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// or, with the Go 1.23 iterator adapter:
+//
+//	for item, err := range rows.All() { ... }
+//
+// Items are produced incrementally: serialization — and for collection
+// queries the scatter-gather shard merge — happens one Next at a time, and
+// closing the cursor early cancels whatever shard work is still running. A
+// Rows must not be used from multiple goroutines concurrently. An abandoned
+// cursor that is garbage-collected without Close releases its resources (and
+// its Pool admission slot) via a runtime cleanup, but relying on that trades
+// promptness for convenience — Close deterministically.
+type Rows struct {
+	c *rowsCore
+}
+
+// rowsCore is the shared cursor state. It is split from Rows so the leak
+// cleanup registered on the Rows handle can reference it (runtime.AddCleanup
+// forbids the cleanup argument to be the handle itself).
+type rowsCore struct {
+	src   rowSource
+	env   *plan.Env
+	sw    metrics.Stopwatch
+	item  string
+	err   error
+	stats Stats
+
+	mu     sync.Mutex
+	done   bool
+	hooks  []func(rec *metrics.Recorder, err error)
+	unhook func() // stops the leak cleanup once finished
+}
+
+// rowSource produces the cursor's items. Implementations are single-consumer
+// and are driven only through rowsCore.
+type rowSource interface {
+	// next returns the next item; ok = false ends the stream, with err as
+	// the terminal error (nil for normal exhaustion).
+	next() (item string, ok bool, err error)
+	// finalize folds end-of-stream statistics into st and releases any
+	// resources (shard goroutines, context). Called exactly once, after the
+	// stream ended or the cursor was closed; st.Rows already holds the
+	// number of items handed out.
+	finalize(st *Stats)
+}
+
+// newRows wraps a source into a cursor. stats carries the execution-phase
+// statistics known up front (plan, cache outcome, tuple costs); the cursor
+// adds Rows/Scanned/Truncated/Elapsed as the stream progresses. The returned
+// cursor self-closes if it becomes unreachable without Close, so an
+// abandoned cursor cannot leak shard goroutines or pool slots.
+func newRows(env *plan.Env, sw metrics.Stopwatch, stats Stats, src rowSource) *Rows {
+	c := &rowsCore{src: src, env: env, sw: sw, stats: stats}
+	r := &Rows{c: c}
+	cleanup := runtime.AddCleanup(r, func(c *rowsCore) { c.finish(nil) }, c)
+	c.unhook = func() { cleanup.Stop() }
+	return r
+}
+
+// Next advances to the next item, returning false when the stream ends —
+// either exhausted, failed (see Err) or closed. The first Next triggers the
+// first serialization (and, on the scatter path, the first shard merge).
+func (r *Rows) Next() bool {
+	// KeepAlive pins the handle for the duration of the call: without it the
+	// collector may see the handle dead after `r.c` is loaded and run the
+	// leak cleanup's finish concurrently with the in-flight src.next.
+	defer runtime.KeepAlive(r)
+	c := r.c
+	if c.done {
+		return false
+	}
+	item, ok, err := c.src.next()
+	if !ok {
+		c.finish(err)
+		return false
+	}
+	c.item = item
+	c.stats.Rows++
+	return true
+}
+
+// Item returns the item Next advanced to: the serialized XML of one result
+// (or the single rendered value of an aggregate query).
+func (r *Rows) Item() string {
+	defer runtime.KeepAlive(r) // see Next
+	return r.c.item
+}
+
+// Err returns the terminal stream error: nil after normal exhaustion or
+// Close, the context's error when the evaluation was canceled mid-stream,
+// or the evaluation failure that ended the stream.
+func (r *Rows) Err() error {
+	defer runtime.KeepAlive(r) // see Next
+	return r.c.err
+}
+
+// Close ends the stream early: remaining shard work is canceled, resources
+// are released, and Stats is finalized with what was actually done. Close is
+// idempotent and safe after exhaustion; it returns Err.
+func (r *Rows) Close() error {
+	defer runtime.KeepAlive(r) // see Next
+	r.c.finish(nil)
+	return r.c.err
+}
+
+// Stats reports the evaluation statistics gathered so far. The counters are
+// final once the stream ended (Next returned false or Close was called);
+// before that, Rows counts the items handed out and the scatter-gather
+// rollups (Shards, Scanned) are not yet populated.
+func (r *Rows) Stats() Stats {
+	defer runtime.KeepAlive(r) // see Next
+	return r.c.stats
+}
+
+// All returns a single-use iterator over the remaining items, closing the
+// cursor when the loop ends. A mid-stream failure yields one final
+// ("", err) pair — callers that range over All must check the error value.
+func (r *Rows) All() iter.Seq2[string, error] {
+	return func(yield func(string, error) bool) {
+		defer r.Close()
+		for r.Next() {
+			if !yield(r.Item(), nil) {
+				return
+			}
+		}
+		if err := r.Err(); err != nil {
+			yield("", err)
+		}
+	}
+}
+
+// collect drains the cursor into the materialized Result shape of the
+// legacy Query methods.
+func (r *Rows) collect() (*Result, error) {
+	defer r.Close()
+	items := []string{}
+	for r.Next() {
+		items = append(items, r.Item())
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return &Result{Items: items, Stats: r.Stats()}, nil
+}
+
+// onFinish registers a hook run exactly once when the stream ends (normal
+// exhaustion, failure, Close, or the leak cleanup). Hooks receive the
+// query's recorder and the terminal error; Pool uses this to release its
+// admission slot and fold the cost into its aggregator.
+func (c *rowsCore) onFinish(h func(rec *metrics.Recorder, err error)) {
+	c.mu.Lock()
+	if !c.done {
+		c.hooks = append(c.hooks, h)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	h(c.env.Rec, c.err)
+}
+
+// finish ends the stream once: records the terminal error, finalizes the
+// source (which cancels and drains outstanding shard work), stamps the
+// remaining statistics and runs the finish hooks.
+func (c *rowsCore) finish(err error) {
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		return
+	}
+	c.done = true
+	c.mu.Unlock()
+	if err != nil {
+		c.err = err
+	}
+	c.src.finalize(&c.stats)
+	c.stats.Elapsed = c.sw.Elapsed()
+	c.mu.Lock()
+	hooks := c.hooks
+	c.hooks = nil
+	unhook := c.unhook
+	c.unhook = nil
+	c.mu.Unlock()
+	if unhook != nil {
+		unhook()
+	}
+	for _, h := range hooks {
+		h(c.env.Rec, c.err)
+	}
+}
+
+// relRows streams the rows of a finished single-catalog evaluation: the join
+// has fully materialized (that is ROX's execution model), but each item's
+// serialization is deferred to its Next call, so a window or an early Close
+// never renders rows it does not return. The relation arrives already
+// windowed by the tail; scanned is the pre-window cardinality.
+type relRows struct {
+	ctx     context.Context
+	comp    *xquery.Compiled
+	rel     *table.Relation
+	row     int
+	scanned int
+}
+
+func (s *relRows) next() (string, bool, error) {
+	if err := s.ctx.Err(); err != nil {
+		return "", false, err
+	}
+	if s.rel == nil || s.row >= s.rel.NumRows() {
+		return "", false, nil
+	}
+	item := renderItem(s.comp, s.rel, s.row)
+	s.row++
+	return item, true, nil
+}
+
+func (s *relRows) finalize(st *Stats) {
+	st.Scanned = s.scanned
+	if st.Rows < st.Scanned {
+		st.Truncated = true
+	}
+	s.rel = nil
+}
+
+// itemsRows streams a pre-rendered item list — the single item of an
+// aggregate query, whose fold already consumed the whole relation. scanned
+// is the folded tuple cardinality.
+type itemsRows struct {
+	ctx     context.Context
+	items   []string
+	i       int
+	scanned int
+}
+
+func (s *itemsRows) next() (string, bool, error) {
+	if err := s.ctx.Err(); err != nil {
+		return "", false, err
+	}
+	if s.i >= len(s.items) {
+		return "", false, nil
+	}
+	item := s.items[s.i]
+	s.i++
+	return item, true, nil
+}
+
+func (s *itemsRows) finalize(st *Stats) {
+	st.Scanned = s.scanned
+	if st.Rows < len(s.items) {
+		// The stream was cut before every rendered item went out (an early
+		// Close or cancellation before the aggregate's single item).
+		st.Truncated = true
+	}
+}
+
+// renderItem serializes one result row: the return expression's variables,
+// optionally wrapped in the constructor element.
+func renderItem(comp *xquery.Compiled, rel *table.Relation, row int) string {
+	ret := comp.Return
+	var sb strings.Builder
+	if ret.Elem != "" {
+		sb.WriteString("<" + ret.Elem + ">")
+	}
+	for _, v := range ret.Vars {
+		vertex := comp.Vars[v]
+		sb.WriteString(xmltree.SerializeString(rel.Doc(vertex), rel.Column(vertex)[row]))
+	}
+	if ret.Elem != "" {
+		sb.WriteString("</" + ret.Elem + ">")
+	}
+	return sb.String()
+}

@@ -18,16 +18,20 @@
 // internal/ and are documented in DESIGN.md.
 //
 // One Engine serves any number of concurrent queries over its loaded
-// documents: the corpus lives in an immutable shared catalog and every
-// Query/QueryStatic call gets its own per-query evaluation state. Plans the
+// documents: the corpus lives in an immutable shared catalog and every call
+// gets its own per-query evaluation state. Execute is the context-first
+// streaming entry point — it returns a Rows cursor that serializes items
+// incrementally and pushes limit/offset windows down into the execution
+// (Query and friends drain a cursor into a materialized Result). Plans the
 // optimizer discovers are cached by canonical Join Graph fingerprint, so
 // repeated queries replay with zero sampling work until the data drifts
 // (Prepare compiles once for that hot path). Corpora larger than one
 // shredded tree load as sharded collections (LoadCollection) and are queried
 // with collection("name") — scatter-gather execution that runs the full ROX
-// optimizer independently per shard and merges ordered results. See Pool for
-// a bounded-concurrency front end and cmd/roxserve for an HTTP server built
-// on it.
+// optimizer independently per shard and streams the merged result through
+// the cursor, stopping early (and canceling leftover shard work) once a
+// limit window fills. See Pool for a bounded-concurrency front end and
+// cmd/roxserve for an HTTP server built on it.
 package rox
 
 import (
@@ -36,7 +40,6 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"strings"
 	"sync"
 	"time"
 
@@ -303,11 +306,22 @@ func (e *Engine) CollectionShards(coll string) ([]string, error) {
 
 // Stats reports how a query evaluation spent its work.
 type Stats struct {
-	// Rows is the number of result items; it always equals len(Result.Items)
-	// — for aggregate queries (count, sum, avg, min, max) that is 1, the
-	// single aggregate item; for order by queries it is the ordered item
-	// count.
+	// Rows is the number of result items actually returned — for a drained
+	// legacy Query it equals len(Result.Items); for a streaming cursor it is
+	// the number of items Next handed out. Aggregate queries (count, sum,
+	// avg, min, max) return 1, the single aggregate item; a limit/offset
+	// window counts post-truncation.
 	Rows int
+	// Scanned is the result cardinality before any limit/offset window: the
+	// distinct sorted join output the evaluation produced (for aggregates,
+	// the tuples the fold consumed). Scanned == Rows whenever no window,
+	// early Close or cancellation truncated the stream. For collection
+	// queries it sums over the shards that completed their join.
+	Scanned int
+	// Truncated reports that not every scanned row was returned: a
+	// limit/offset window, an early-terminating scatter-gather merge, a
+	// mid-stream cancellation or an early cursor Close cut the stream short.
+	Truncated bool
 	// Elapsed is the wall-clock evaluation time, sampling included.
 	Elapsed time.Duration
 	// ExecTuples and SampleTuples split the deterministic tuple work
@@ -343,22 +357,40 @@ type ShardStats struct {
 	Stats Stats
 }
 
-// Result is a query result: the serialized XML of every returned item, in
-// query order, plus evaluation statistics. Aggregate queries (count, sum,
-// avg, min, max) always carry exactly one item — avg/min/max over an empty
-// sequence render as an empty item, XQuery's empty sequence.
+// Result is a materialized query result: the serialized XML of every
+// returned item, in query order, plus evaluation statistics. Aggregate
+// queries (count, sum, avg, min, max) always carry exactly one item —
+// avg/min/max over an empty sequence render as an empty item, XQuery's empty
+// sequence. The legacy Query methods return a Result by draining a Rows
+// cursor; callers that want items incrementally use Execute.
 type Result struct {
 	Items []string
 	Stats Stats
+}
 
-	// agg is the partial-aggregate fold state of an aggregate query; the
-	// scatter-gather gather side merges shard states algebraically (sums of
-	// exact sums, min/max of extrema, avg as (sum, count)) instead of
-	// touching the rendered items. nil for non-aggregate queries.
-	agg *plan.AggState
-	// keys holds the per-item order-by keys of an ordered query, consumed by
-	// the gather side's k-way merge. nil for unordered queries.
-	keys []plan.Key
+// Execute evaluates a Request and returns a streaming Rows cursor: the join
+// work (compile → plan-cache lookup → ROX optimize or replay) happens before
+// Execute returns, but items are serialized — and, for collection queries,
+// scatter-gathered across shards — incrementally as the cursor advances.
+// Closing the cursor early cancels outstanding shard work; ctx cancels both
+// the evaluation and the stream. Safe to call from any number of goroutines
+// (each call gets its own cursor). The legacy Query/QueryContext/QueryStatic
+// methods are thin wrappers that drain an Execute cursor.
+func (e *Engine) Execute(ctx context.Context, req Request) (*Rows, error) {
+	comp, err := xquery.CompileString(req.Query, xquery.CompileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	window, err := requestWindow(req.Limit, req.Offset)
+	if err != nil {
+		return nil, err
+	}
+	if window != nil {
+		if comp, err = overrideWindow(comp, window); err != nil {
+			return nil, err
+		}
+	}
+	return e.executeCompiled(ctx, comp, "", req.Static)
 }
 
 // Query evaluates an XQuery through the compile → plan-cache lookup →
@@ -366,65 +398,109 @@ type Result struct {
 // shape replays with zero sampling work; otherwise the ROX run-time
 // optimizer runs and its discovered plan is installed. Safe to call from any
 // number of goroutines. For repeated queries prefer Prepare, which also
-// skips recompilation.
+// skips recompilation; for incremental consumption (or limit/offset
+// push-down without a clause in the query text) prefer Execute, which Query
+// wraps by draining its cursor.
 func (e *Engine) Query(q string) (*Result, error) {
-	res, _, err := e.query(context.Background(), e.newQueryEnv(), q)
-	return res, err
+	return e.QueryContext(context.Background(), q)
 }
 
 // QueryContext is Query with cancellation: when ctx is canceled or exceeds
 // its deadline, the evaluation aborts between operator executions and the
-// context's error is returned.
+// context's error is returned. Prefer Execute for new code.
 func (e *Engine) QueryContext(ctx context.Context, q string) (*Result, error) {
-	env := e.newQueryEnv()
-	env.Interrupt = ctx.Err
-	res, _, err := e.query(ctx, env, q)
-	return res, err
+	rows, err := e.Execute(ctx, Request{Query: q})
+	if err != nil {
+		return nil, err
+	}
+	return rows.collect()
 }
 
 // QueryStatic evaluates an XQuery with the classical compile-time baseline:
 // a static plan ordered by per-document statistics, blind to correlations.
-// Safe to call from any number of goroutines.
+// Safe to call from any number of goroutines. Prefer Execute (with
+// Request.Static) for new code.
 func (e *Engine) QueryStatic(q string) (*Result, error) {
-	res, _, err := e.queryStatic(e.newQueryEnv(), q)
-	return res, err
+	return e.QueryStaticContext(context.Background(), q)
 }
 
 // QueryStaticContext is QueryStatic with cancellation, like QueryContext.
+// Prefer Execute (with Request.Static) for new code.
 func (e *Engine) QueryStaticContext(ctx context.Context, q string) (*Result, error) {
+	rows, err := e.Execute(ctx, Request{Query: q, Static: true})
+	if err != nil {
+		return nil, err
+	}
+	return rows.collect()
+}
+
+// overrideWindow applies a programmatic limit/offset window to a compiled
+// query, replacing any limit clause of the query text.
+func overrideWindow(comp *xquery.Compiled, window *plan.LimitSpec) (*xquery.Compiled, error) {
+	if comp.Tail.Agg != nil {
+		return nil, fmt.Errorf("rox: limit/offset cannot apply to an aggregate return (%s yields one item)", comp.Return.String())
+	}
+	return comp.WithTailLimit(window), nil
+}
+
+// executeCompiled is the execution pipeline behind Execute and
+// Prepared.Execute: build the per-query environment, then route — static
+// baseline, scatter-gather for collection queries, or cached single-catalog
+// execution at the current catalog generation — and wrap the outcome in a
+// cursor. fp is the precomputed cache key ("" = compute here); see cacheKey.
+func (e *Engine) executeCompiled(ctx context.Context, comp *xquery.Compiled, fp string, static bool) (*Rows, error) {
 	env := e.newQueryEnv()
 	env.Interrupt = ctx.Err
-	res, _, err := e.queryStatic(env, q)
-	return res, err
-}
-
-// query compiles q and runs the prepared pipeline (plan-cache lookup, then
-// the ROX optimizer on a miss) in the given per-query environment, returning
-// the result plus the environment's recorder (for aggregation). ctx bounds
-// the scatter-gather fan-out of collection queries (operator-level
-// cancellation goes through env.Interrupt).
-func (e *Engine) query(ctx context.Context, env *plan.Env, q string) (*Result, *metrics.Recorder, error) {
-	comp, err := xquery.CompileString(q, xquery.CompileOptions{})
-	if err != nil {
-		return nil, env.Rec, err
+	if static {
+		return e.executeStatic(ctx, env, comp)
 	}
-	return e.queryCompiled(ctx, env, comp, "")
-}
-
-// queryCompiled is the execution pipeline behind Query and Prepared.Query:
-// route collection queries to the scatter-gather executor, everything else
-// straight to the cached single-catalog execution at the current catalog
-// generation. fp is the precomputed cache key ("" = compute here); see
-// cacheKey.
-func (e *Engine) queryCompiled(ctx context.Context, env *plan.Env, comp *xquery.Compiled, fp string) (*Result, *metrics.Recorder, error) {
 	if e.cache != nil && fp == "" {
 		fp = cacheKey(comp)
 	}
 	if len(comp.Collections) > 0 {
-		return e.queryCollection(ctx, env, comp, fp)
+		return e.executeCollection(ctx, env, comp, fp)
 	}
-	res, err := e.executeCached(env, comp, fp, env.Catalog().Generation(), false)
-	return res, env.Rec, err
+	exr, err := e.executeCached(env, comp, fp, env.Catalog().Generation())
+	if err != nil {
+		return nil, err
+	}
+	src, err := exr.source(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(env, exr.sw, exr.stats, src), nil
+}
+
+// execResult is the outcome of one pipeline execution before serialization:
+// the windowed final relation (nil only for failed runs), the order-by merge
+// keys when the tail sorts, the pre-window cardinality, and the statistics of
+// the join phase. The caller turns it into a row source — lazily serializing
+// items for the cursor — or, on the scatter path, streams it into a shard
+// channel.
+type execResult struct {
+	comp    *xquery.Compiled
+	rel     *table.Relation
+	keys    []plan.Key
+	scanned int
+	stats   Stats // Rows, Scanned, Truncated, Elapsed are the cursor's to fill
+	sw      metrics.Stopwatch
+}
+
+// source builds the cursor row source for a single-catalog execution:
+// aggregate tails fold eagerly (the fold consumes the whole relation and can
+// fail the query), everything else streams row serialization.
+func (x *execResult) source(ctx context.Context) (rowSource, error) {
+	if x.comp.Tail.Agg != nil {
+		st, err := plan.FoldAgg(x.rel, x.comp.Tail.Agg)
+		if err != nil {
+			return nil, fmt.Errorf("rox: %s: %w", x.comp.Return.String(), err)
+		}
+		// Aggregates always yield exactly one item; avg/min/max over an
+		// empty sequence render XQuery's empty sequence as an empty item.
+		item, _ := st.Render(x.comp.Tail.Agg.Kind)
+		return &itemsRows{ctx: ctx, items: []string{item}, scanned: x.scanned}, nil
+	}
+	return &relRows{ctx: ctx, comp: x.comp, rel: x.rel, scanned: x.scanned}, nil
 }
 
 // executeCached runs one compiled graph through fingerprint → plan-cache
@@ -443,10 +519,7 @@ func (e *Engine) queryCompiled(ctx context.Context, env *plan.Env, comp *xquery.
 //     revalidated for gen; beyond it the entry is dropped and the query
 //     re-optimized on the spot by a full ROX run.
 //   - Miss: run ROX and install the discovered plan.
-//
-// wantKeys asks serialization to attach per-item order-by merge keys — set
-// only for shard evaluations, whose results feed the gather-side k-way merge.
-func (e *Engine) executeCached(env *plan.Env, comp *xquery.Compiled, fp string, gen uint64, wantKeys bool) (*Result, error) {
+func (e *Engine) executeCached(env *plan.Env, comp *xquery.Compiled, fp string, gen uint64) (*execResult, error) {
 	// The stopwatch and recorder baselines start before the cache lookup so
 	// that on the drift path — replay first, then a full re-optimization —
 	// the returned Stats cover everything this request actually did, not
@@ -470,7 +543,7 @@ func (e *Engine) executeCached(env *plan.Env, comp *xquery.Compiled, fp string, 
 			case outcome == plancache.Hit:
 				// Exact generation: the catalog is immutable per generation,
 				// so the data cannot have drifted — serve without verifying.
-				return e.serveReplay(env, comp, entry, rel, stats, sw, startExec, startSample, wantKeys)
+				return e.replayResult(env, comp, entry, rel, stats, sw, startExec, startSample), nil
 			default: // StaleGeneration: verify the successful replay
 				if _, _, _, drifted := plancache.Drift(entry.Expected, stats.EdgeRows, e.driftRatio); drifted {
 					// The data moved out from under the plan: evict and
@@ -482,7 +555,7 @@ func (e *Engine) executeCached(env *plan.Env, comp *xquery.Compiled, fp string, 
 					replayIntermediate = stats.CumulativeIntermediate
 				} else {
 					e.cache.Revalidate(fp, gen, stats.EdgeRows)
-					return e.serveReplay(env, comp, entry, rel, stats, sw, startExec, startSample, wantKeys)
+					return e.replayResult(env, comp, entry, rel, stats, sw, startExec, startSample), nil
 				}
 			}
 		}
@@ -491,10 +564,12 @@ func (e *Engine) executeCached(env *plan.Env, comp *xquery.Compiled, fp string, 
 	if err != nil {
 		return nil, translateErr(err)
 	}
-	// Install before serializing: the discovered plan is valid even when the
-	// tail's data fails serialization (e.g. a non-numeric aggregate value),
-	// so a repeatedly-failing query replays cheaply instead of re-running the
-	// full sampling loop on every retry.
+	// Install before any serialization: the discovered plan is valid even
+	// when the tail's data later fails it (e.g. a non-numeric aggregate
+	// value), so a repeatedly-failing query replays cheaply instead of
+	// re-running the full sampling loop on every retry. It also means a
+	// cursor canceled mid-stream leaves the plan installed — the join work
+	// that discovered it is already done.
 	if e.cache != nil {
 		e.cache.Install(&plancache.Entry{
 			Fingerprint: fp,
@@ -503,109 +578,112 @@ func (e *Engine) executeCached(env *plan.Env, comp *xquery.Compiled, fp string, 
 			Expected:    res.EdgeRows,
 		})
 	}
-	out, err := serialize(comp, rel, wantKeys, res.Keys)
-	if err != nil {
-		return nil, err
-	}
-	out.Stats = Stats{
-		Rows: len(out.Items),
-		// Stopped after serialize, matching serveReplay, so hit and miss
-		// Elapsed are comparable.
-		Elapsed: sw.Elapsed(),
-		// Recorder deltas, not res.ExecCost/SampleCost, and the replay's
-		// intermediates folded in: on the drift path the request also paid
-		// for the abandoned replay, so every cost field covers it.
-		ExecTuples:             env.Rec.CostOf(metrics.PhaseExecute).Sub(startExec).Tuples,
-		SampleTuples:           env.Rec.CostOf(metrics.PhaseSample).Sub(startSample).Tuples,
-		CumulativeIntermediate: res.CumulativeIntermediate + replayIntermediate,
-		Plan:                   res.Plan.String(),
-		Reoptimized:            reoptimized,
-	}
-	return out, nil
+	return &execResult{
+		comp:    comp,
+		rel:     rel,
+		keys:    res.Keys,
+		scanned: res.Scanned,
+		sw:      sw,
+		stats: Stats{
+			// Recorder deltas, not res.ExecCost/SampleCost, and the replay's
+			// intermediates folded in: on the drift path the request also paid
+			// for the abandoned replay, so every cost field covers it.
+			ExecTuples:             env.Rec.CostOf(metrics.PhaseExecute).Sub(startExec).Tuples,
+			SampleTuples:           env.Rec.CostOf(metrics.PhaseSample).Sub(startSample).Tuples,
+			CumulativeIntermediate: res.CumulativeIntermediate + replayIntermediate,
+			Plan:                   res.Plan.String(),
+			Reoptimized:            reoptimized,
+		},
+	}, nil
 }
 
 // cacheKey derives the plan-cache key of a compiled query: the canonical
 // Join Graph fingerprint extended with the tail's vertex lists and its
-// order-by/aggregate specs. The plan is a property of the graph alone, but
-// replay verification compares projection-sensitive intermediate
-// cardinalities (EagerProject reduces by the tail's required columns), so two
-// queries sharing a graph while differing in their tail must key separately
-// or their expectations would thrash each other's entries — and a tail
-// change (new sort key, different aggregate) must be a cache miss, never a
-// replay under the wrong tail.
+// order-by/aggregate/limit specs. The plan is a property of the graph alone
+// — joingraph.Fingerprint is invariant under every tail spec, so plans
+// transfer between tail variants — but replay verification compares
+// projection-sensitive intermediate cardinalities (EagerProject reduces by
+// the tail's required columns), so two queries sharing a graph while
+// differing in order/aggregate/projection must key separately or their
+// expectations would thrash each other's entries. The limit window cannot
+// shift join-phase cardinalities (it applies strictly after them), but it is
+// keyed all the same — conservatively, so each window's entry carries its
+// own replay observations and a window change is a clean miss rather than a
+// shared entry accumulating mixed history. The cost is one extra cold run
+// per distinct window of a paginated query; after that every page replays.
 func cacheKey(comp *xquery.Compiled) string {
-	return fmt.Sprintf("%s|t:%v:%v:%v|o:%s|a:%s", comp.Graph.Fingerprint(),
+	return fmt.Sprintf("%s|t:%v:%v:%v|o:%s|a:%s|l:%s", comp.Graph.Fingerprint(),
 		comp.Tail.Project, comp.Tail.Sort, comp.Tail.Final,
-		comp.Tail.Order, comp.Tail.Agg)
+		comp.Tail.Order, comp.Tail.Agg, comp.Tail.Limit)
 }
 
 // replay executes a cached plan over the freshly compiled graph, recording
 // per-edge observed cardinalities. No sampling happens on this path — the
-// whole point of the cache is SampleTuples == 0. Serialization is deferred
-// to serveReplay so a replay that ends up drift-rejected never pays it.
+// whole point of the cache is SampleTuples == 0. Serialization stays with
+// the cursor, so a replay that ends up drift-rejected never pays it.
 func (e *Engine) replay(env *plan.Env, comp *xquery.Compiled, entry *plancache.Entry) (*table.Relation, *plan.RunStats, error) {
 	p := entry.Plan
 	return plan.RunWithConfig(env, comp.Graph, &p, comp.Tail,
 		plan.RunConfig{EagerProject: e.opts.EagerProject})
 }
 
-// serveReplay serializes an accepted replay and assembles its Stats from the
+// replayResult packages an accepted replay, assembling its Stats from the
 // recorder deltas since the request began (replay work only — the cache
 // lookup itself charges nothing).
-func (e *Engine) serveReplay(env *plan.Env, comp *xquery.Compiled, entry *plancache.Entry,
+func (e *Engine) replayResult(env *plan.Env, comp *xquery.Compiled, entry *plancache.Entry,
 	rel *table.Relation, stats *plan.RunStats,
-	sw metrics.Stopwatch, startExec, startSample metrics.Cost, wantKeys bool) (*Result, error) {
-	out, err := serialize(comp, rel, wantKeys, stats.Keys)
-	if err != nil {
-		return nil, err
-	}
+	sw metrics.Stopwatch, startExec, startSample metrics.Cost) *execResult {
 	p := entry.Plan
-	out.Stats = Stats{
-		Rows:                   len(out.Items),
-		Elapsed:                sw.Elapsed(),
-		ExecTuples:             env.Rec.CostOf(metrics.PhaseExecute).Sub(startExec).Tuples,
-		SampleTuples:           env.Rec.CostOf(metrics.PhaseSample).Sub(startSample).Tuples,
-		CumulativeIntermediate: stats.CumulativeIntermediate,
-		Plan:                   p.String(),
-		CacheHit:               true,
+	return &execResult{
+		comp:    comp,
+		rel:     rel,
+		keys:    stats.Keys,
+		scanned: stats.Scanned,
+		sw:      sw,
+		stats: Stats{
+			ExecTuples:             env.Rec.CostOf(metrics.PhaseExecute).Sub(startExec).Tuples,
+			SampleTuples:           env.Rec.CostOf(metrics.PhaseSample).Sub(startSample).Tuples,
+			CumulativeIntermediate: stats.CumulativeIntermediate,
+			Plan:                   p.String(),
+			CacheHit:               true,
+		},
 	}
-	return out, nil
 }
 
-// queryStatic runs the classical baseline path in the given per-query
-// environment.
-func (e *Engine) queryStatic(env *plan.Env, q string) (*Result, *metrics.Recorder, error) {
-	comp, err := xquery.CompileString(q, xquery.CompileOptions{})
-	if err != nil {
-		return nil, env.Rec, err
-	}
+// executeStatic runs the classical baseline path in the given per-query
+// environment and wraps it in a cursor.
+func (e *Engine) executeStatic(ctx context.Context, env *plan.Env, comp *xquery.Compiled) (*Rows, error) {
 	if len(comp.Collections) > 0 {
-		return nil, env.Rec, fmt.Errorf("%w: query reads collection %q", ErrStaticCollection, comp.Collections[0])
+		return nil, fmt.Errorf("%w: query reads collection %q", ErrStaticCollection, comp.Collections[0])
 	}
 	// Plan-time statistics are the optimizer's work, not query execution;
 	// charge them to a scratch recorder as the baseline prescribes.
 	pl, err := classical.StaticPlan(env.WithScratchRecorder(), comp.Graph)
 	if err != nil {
-		return nil, env.Rec, translateErr(err)
+		return nil, translateErr(err)
 	}
 	sw := metrics.Start()
 	rel, stats, err := plan.Run(env, comp.Graph, pl, comp.Tail)
 	if err != nil {
-		return nil, env.Rec, translateErr(err)
+		return nil, translateErr(err)
 	}
-	elapsed := sw.Elapsed()
-	out, err := serialize(comp, rel, false, stats.Keys)
+	exr := &execResult{
+		comp:    comp,
+		rel:     rel,
+		keys:    stats.Keys,
+		scanned: stats.Scanned,
+		sw:      sw,
+		stats: Stats{
+			ExecTuples:             env.Rec.CostOf(metrics.PhaseExecute).Tuples,
+			CumulativeIntermediate: stats.CumulativeIntermediate,
+			Plan:                   pl.String(),
+		},
+	}
+	src, err := exr.source(ctx)
 	if err != nil {
-		return nil, env.Rec, err
+		return nil, err
 	}
-	out.Stats = Stats{
-		Rows:                   len(out.Items),
-		Elapsed:                elapsed,
-		ExecTuples:             env.Rec.CostOf(metrics.PhaseExecute).Tuples,
-		CumulativeIntermediate: stats.CumulativeIntermediate,
-		Plan:                   pl.String(),
-	}
-	return out, env.Rec, nil
+	return newRows(env, sw, exr.stats, src), nil
 }
 
 // Explain compiles a query and returns the Join Graph rendering — what the
@@ -648,48 +726,6 @@ func (e *Engine) XPathCount(docName, path string) (int, error) {
 	return xpath.Count(ix, path)
 }
 
-// serialize renders the tail's final relation into result items. Aggregate
-// returns fold the relation into a partial-aggregate state (count, exact sum,
-// extrema) and render its single item; for shard evaluations (wantKeys),
-// ordered returns attach the per-item merge keys the scatter-gather gather
-// side consumes — keys is the tail executor's one-time extraction, in final
-// row order. Both the state and the keys ride along in unexported Result
-// fields — they are the shard merge algebra's inputs, not part of the public
-// result.
-func serialize(comp *xquery.Compiled, rel *table.Relation, wantKeys bool, keys []plan.Key) (*Result, error) {
-	ret := comp.Return
-	if comp.Tail.Agg != nil {
-		st, err := plan.FoldAgg(rel, comp.Tail.Agg)
-		if err != nil {
-			return nil, fmt.Errorf("rox: %s: %w", ret.String(), err)
-		}
-		// Aggregates always yield exactly one item; avg/min/max over an
-		// empty sequence render XQuery's empty sequence as an empty item.
-		item, _ := st.Render(comp.Tail.Agg.Kind)
-		return &Result{Items: []string{item}, agg: st}, nil
-	}
-	n := rel.NumRows()
-	out := &Result{Items: make([]string, 0, n)}
-	for row := 0; row < n; row++ {
-		var sb strings.Builder
-		if ret.Elem != "" {
-			sb.WriteString("<" + ret.Elem + ">")
-		}
-		for _, v := range ret.Vars {
-			vertex := comp.Vars[v]
-			sb.WriteString(xmltree.SerializeString(rel.Doc(vertex), rel.Column(vertex)[row]))
-		}
-		if ret.Elem != "" {
-			sb.WriteString("</" + ret.Elem + ">")
-		}
-		out.Items = append(out.Items, sb.String())
-	}
-	if wantKeys && comp.Tail.Order != nil {
-		out.keys = keys
-	}
-	return out, nil
-}
-
 // Prepared is a compiled query bound to an Engine: Prepare pays the lexing,
 // parsing and Join Graph Isolation cost once, and every Prepared.Query call
 // goes straight to the plan-cache lookup. The compiled graph is immutable
@@ -714,20 +750,46 @@ func (e *Engine) Prepare(q string) (*Prepared, error) {
 	return &Prepared{eng: e, comp: comp, text: q, fp: cacheKey(comp)}, nil
 }
 
-// Query evaluates the prepared statement: plan-cache lookup first, the full
-// ROX optimizer only on a miss or after drift. Safe to call from any number
-// of goroutines.
-func (p *Prepared) Query() (*Result, error) {
-	res, _, err := p.eng.queryCompiled(context.Background(), p.eng.newQueryEnv(), p.comp, p.fp)
-	return res, err
+// Execute evaluates the prepared statement and returns a streaming Rows
+// cursor: plan-cache lookup first, the full ROX optimizer only on a miss or
+// after drift. Options set a limit/offset window without recompiling —
+// WithLimit/WithOffset override any limit clause of the prepared text, so
+// one statement serves every page of a paginated result. Safe to call from
+// any number of goroutines.
+func (p *Prepared) Execute(ctx context.Context, opts ...ExecOption) (*Rows, error) {
+	var eo execOpts
+	for _, o := range opts {
+		o(&eo)
+	}
+	comp, fp := p.comp, p.fp
+	if eo.windowed {
+		window, err := requestWindow(eo.limit, eo.offset)
+		if err != nil {
+			return nil, err
+		}
+		if comp, err = overrideWindow(comp, window); err != nil {
+			return nil, err
+		}
+		fp = "" // the window is part of the cache key; recompute for it
+	}
+	return p.eng.executeCompiled(ctx, comp, fp, false)
 }
 
-// QueryContext is Query with cancellation, like Engine.QueryContext.
+// Query evaluates the prepared statement: plan-cache lookup first, the full
+// ROX optimizer only on a miss or after drift. Safe to call from any number
+// of goroutines. Prefer Execute for new code — Query drains its cursor.
+func (p *Prepared) Query() (*Result, error) {
+	return p.QueryContext(context.Background())
+}
+
+// QueryContext is Query with cancellation, like Engine.QueryContext. Prefer
+// Execute for new code.
 func (p *Prepared) QueryContext(ctx context.Context) (*Result, error) {
-	env := p.eng.newQueryEnv()
-	env.Interrupt = ctx.Err
-	res, _, err := p.eng.queryCompiled(ctx, env, p.comp, p.fp)
-	return res, err
+	rows, err := p.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return rows.collect()
 }
 
 // Text returns the query text the statement was prepared from.

@@ -9,7 +9,8 @@ import (
 	"repro/internal/xquery"
 )
 
-// This file implements scatter-gather evaluation of collection() queries.
+// This file implements streaming scatter-gather evaluation of collection()
+// queries.
 //
 // A collection is an ordered list of shards — independently shredded and
 // indexed documents registered under one logical name. A query that reads
@@ -22,62 +23,120 @@ import (
 // order its own value distributions justify, instead of trusting statistics
 // averaged over the whole corpus.
 //
-// Results merge in a gather tail whose shape depends on the query's own tail
-// (the "Aggregation and ordering tail" section of DESIGN.md):
+// The gather side is pull-driven: every shard streams its serialized items
+// through a bounded channel, and the Rows cursor merges them one Next at a
+// time (the "Streaming execution and limit pushdown" section of DESIGN.md).
+// The merge shape depends on the query's own tail:
 //
-//   - Plain ordered-item queries stream: the gather side consumes shards in
-//     shard registration order, appending each shard's ordered items as soon
-//     as that shard finishes. Within a shard the tail sort restores document
-//     order, so the concatenation equals the document order of the same data
-//     loaded as one catalog whenever the shards partition the corpus in
-//     order — the byte-identity contract the sharding tests pin down.
+//   - Plain ordered-item queries concatenate: the gather consumes shards in
+//     shard registration order, pulling each shard's items as that shard
+//     produces them. Within a shard the tail sort restores document order,
+//     so the concatenation equals the document order of the same data loaded
+//     as one catalog whenever the shards partition the corpus in order — the
+//     byte-identity contract the sharding tests pin down.
 //   - Aggregate queries (count, sum, avg, min, max) merge algebraically:
 //     every shard returns its partial-aggregate fold state and the gather
 //     side combines them — counts add, sums add exactly (the states keep
 //     exact floating-point expansions, so grouping does not change the
 //     rounded result), avg merges as (sum, count), min/max take the extrema
 //     of the per-shard extrema. Only the merged state is rendered.
-//   - order by queries k-way merge: every shard returns its items already
+//   - order by queries k-way merge: every shard streams its items already
 //     key-sorted plus the extracted keys, and the gather side repeatedly
-//     takes the best head among the shards, ties going to the earliest
-//     shard — which, with stable per-shard sorting, reproduces the single
-//     catalog's stable sort byte for byte.
+//     takes the best head among the shard streams, ties going to the
+//     earliest shard — which, with stable per-shard sorting, reproduces the
+//     single catalog's stable sort byte for byte.
+//
+// A limit/offset window pushes down: each shard's tail keeps only its first
+// offset+limit rows (any shard can contribute at most that many items to the
+// merged prefix), and the gather stops pulling — and cancels the shard work
+// still running — as soon as offset+limit items came off the merge. `limit
+// 10` over a 12-shard collection therefore does ~10 merge steps and aborts
+// the shards it never needed, instead of computing the full union.
 
-// shardOutcome carries one shard's evaluation off its goroutine.
-type shardOutcome struct {
-	res *Result
-	rec *metrics.Recorder
-	err error
+// shardStreamBuf is the per-shard item channel capacity: enough slack that a
+// producing shard stays ahead of the merge without the gather buffering an
+// unbounded result.
+const shardStreamBuf = 16
+
+// shardItem is one serialized result item in flight from a shard to the
+// gather, with its order-by merge key when the tail sorts.
+type shardItem struct {
+	item string
+	key  plan.Key
 }
 
-// queryCollection evaluates a compiled collection query scatter-gather. The
-// caller's env supplies the catalog snapshot (all shards are read at the
-// generation the query started at) and receives the merged cost rollup.
-// baseFP is the precomputed cache key ("" when caching is disabled); the
-// compiler guarantees exactly one collection.
-func (e *Engine) queryCollection(ctx context.Context, env *plan.Env, comp *xquery.Compiled, baseFP string) (*Result, *metrics.Recorder, error) {
+// shardDone is a shard's end-of-stream report: its full per-shard Stats, the
+// recorder to fold into the query's rollup, the partial-aggregate state for
+// aggregate queries, and the error that ended the shard early (nil for
+// normal completion; the context error when the gather canceled it).
+type shardDone struct {
+	stats Stats
+	rec   *metrics.Recorder
+	agg   *plan.AggState
+	err   error
+}
+
+// shardStream is one shard's side of the scatter: items is closed when the
+// shard stops emitting; done (buffered) always receives exactly one report
+// before items closes.
+type shardStream struct {
+	name  string
+	items chan shardItem
+	done  chan shardDone
+}
+
+// gather modes.
+const (
+	gatherPlain = iota
+	gatherOrdered
+	gatherAgg
+)
+
+// executeCollection evaluates a compiled collection query scatter-gather and
+// returns its streaming cursor. The caller's env supplies the catalog
+// snapshot (all shards are read at the generation the query started at) and
+// receives the merged cost rollup when the cursor finishes. baseFP is the
+// precomputed cache key ("" when caching is disabled); the compiler
+// guarantees exactly one collection.
+func (e *Engine) executeCollection(ctx context.Context, env *plan.Env, comp *xquery.Compiled, baseFP string) (*Rows, error) {
 	if len(comp.Collections) != 1 {
 		// Unreachable: xquery.Compile rejects multi-collection queries.
-		return nil, env.Rec, fmt.Errorf("rox: a query may read at most one collection, got %d (%v)",
+		return nil, fmt.Errorf("rox: a query may read at most one collection, got %d (%v)",
 			len(comp.Collections), comp.Collections)
 	}
 	collName := comp.Collections[0]
 	cat := env.Catalog()
 	col, err := cat.Collection(collName)
 	if err != nil {
-		return nil, env.Rec, translateErr(err)
+		return nil, translateErr(err)
 	}
 	sw := metrics.Start()
 	shards := col.Shards
 
+	// Push the window down per shard: a shard can contribute at most
+	// offset+count items to the merged prefix, so its own tail needs no more
+	// than that. The offset itself must stay at the gather — the skipped
+	// items may come from any shard, so a shard-local skip would drop the
+	// wrong rows. An offset-only window therefore clears the shard tail
+	// entirely (nothing bounds what one shard may contribute).
+	window := comp.Tail.Limit
+	shardComp := comp
+	if window != nil {
+		var shardSpec *plan.LimitSpec
+		if window.Count > 0 {
+			shardSpec = &plan.LimitSpec{Count: window.Offset + window.Count}
+		}
+		shardComp = comp.WithTailLimit(shardSpec)
+	}
+
 	// Scatter. Each shard gets its own env (recorder + seeded random stream)
 	// over the shared snapshot; the derived context aborts the remaining
-	// shards as soon as one fails or the caller cancels.
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	// shards as soon as one fails, the caller cancels, the cursor closes, or
+	// the gather's window fills.
+	sctx, cancel := context.WithCancel(ctx)
 	parentInterrupt := env.Interrupt
 	interrupt := func() error {
-		if err := ctx.Err(); err != nil {
+		if err := sctx.Err(); err != nil {
 			return err
 		}
 		if parentInterrupt != nil {
@@ -85,124 +144,76 @@ func (e *Engine) queryCollection(ctx context.Context, env *plan.Env, comp *xquer
 		}
 		return nil
 	}
-	outs := make([]chan shardOutcome, len(shards))
+	streams := make([]*shardStream, len(shards))
 	for i, sh := range shards {
-		outs[i] = make(chan shardOutcome, 1)
-		go func(out chan<- shardOutcome, sh *plan.Shard) {
-			out <- e.runShard(ctx, cat, comp, collName, sh, baseFP, interrupt)
-		}(outs[i], sh)
+		st := &shardStream{
+			name:  sh.Name(),
+			items: make(chan shardItem, shardStreamBuf),
+			done:  make(chan shardDone, 1),
+		}
+		streams[i] = st
+		go e.runShardStream(sctx, cat, shardComp, collName, sh, baseFP, interrupt, st)
 	}
 
-	// Gather. Shards complete in any order; the gather consumes them in
-	// shard order. Plain item queries stream (items append in collection
-	// order while later shards are still evaluating); aggregate queries
-	// merge fold states; order by queries buffer each shard's sorted items
-	// for the final k-way merge.
-	merged := &Result{}
-	stats := Stats{
-		Plan:     fmt.Sprintf("scatter(%s/%d)", collName, len(shards)),
-		CacheHit: len(shards) > 0,
-		Shards:   make([]ShardStats, 0, len(shards)),
-	}
-	aggQ, orderQ := comp.Tail.Agg != nil, comp.Tail.Order != nil
-	var agg plan.AggState
-	var lists [][]string
-	var keyLists [][]plan.Key
-	var firstErr error
-	for i := range outs {
-		o := <-outs[i]
-		if o.err != nil {
-			if firstErr == nil {
-				firstErr = o.err
-				cancel() // abort the shards still running; keep draining
-			}
-			continue
-		}
-		if firstErr != nil {
-			continue // drained only so the goroutine can exit
-		}
-		env.Rec.Merge(o.rec)
-		switch {
-		case aggQ:
-			agg.Merge(o.res.agg)
-		case orderQ:
-			lists = append(lists, o.res.Items)
-			keyLists = append(keyLists, o.res.keys)
-		default:
-			merged.Items = append(merged.Items, o.res.Items...)
-		}
-		stats.ExecTuples += o.res.Stats.ExecTuples
-		stats.SampleTuples += o.res.Stats.SampleTuples
-		stats.CumulativeIntermediate += o.res.Stats.CumulativeIntermediate
-		stats.CacheHit = stats.CacheHit && o.res.Stats.CacheHit
-		stats.Reoptimized = stats.Reoptimized || o.res.Stats.Reoptimized
-		stats.Shards = append(stats.Shards, ShardStats{Shard: shards[i].Name(), Stats: o.res.Stats})
-	}
-	if firstErr != nil {
-		return nil, env.Rec, firstErr
+	src := &scatterRows{
+		parent:  ctx,
+		cancel:  cancel,
+		env:     env,
+		streams: streams,
+		dones:   make([]*shardDone, len(streams)),
+		mode:    gatherPlain,
+		lo:      0,
+		hi:      -1,
 	}
 	switch {
-	case aggQ:
-		item, _ := agg.Render(comp.Tail.Agg.Kind)
-		merged.Items = []string{item}
-		merged.agg = &agg
-	case orderQ:
-		merged.Items, merged.keys = mergeOrdered(lists, keyLists, comp.Tail.Order.Desc)
+	case comp.Tail.Agg != nil:
+		src.mode = gatherAgg
+		src.aggKind = comp.Tail.Agg.Kind
+	case comp.Tail.Order != nil:
+		src.mode = gatherOrdered
+		src.desc = comp.Tail.Order.Desc
 	}
-	stats.Rows = len(merged.Items)
-	stats.Elapsed = sw.Elapsed()
-	merged.Stats = stats
-	return merged, env.Rec, nil
-}
-
-// mergeOrdered k-way merges per-shard item lists that are already key-sorted
-// (ascending or, when desc, descending). The strict better-than comparison
-// leaves ties with the earliest shard, which — shards partitioning the corpus
-// in document order, per-shard sorts being stable — makes the merge output
-// byte-identical to a stable sort over the single-catalog corpus.
-func mergeOrdered(lists [][]string, keys [][]plan.Key, desc bool) ([]string, []plan.Key) {
-	total := 0
-	for _, l := range lists {
-		total += len(l)
-	}
-	items := make([]string, 0, total)
-	outKeys := make([]plan.Key, 0, total)
-	heads := make([]int, len(lists))
-	for len(items) < total {
-		best := -1
-		for s := range lists {
-			if heads[s] >= len(lists[s]) {
-				continue
-			}
-			if best == -1 {
-				best = s
-				continue
-			}
-			c := keys[s][heads[s]].Compare(keys[best][heads[best]])
-			if (desc && c > 0) || (!desc && c < 0) {
-				best = s
-			}
+	if window != nil {
+		if src.lo = window.Offset; src.lo < 0 {
+			src.lo = 0
 		}
-		items = append(items, lists[best][heads[best]])
-		outKeys = append(outKeys, keys[best][heads[best]])
-		heads[best]++
+		if window.Count > 0 {
+			src.hi = src.lo + window.Count
+		}
 	}
-	return items, outKeys
+	stats := Stats{Plan: fmt.Sprintf("scatter(%s/%d)", collName, len(shards))}
+	return newRows(env, sw, stats, src), nil
 }
 
-// runShard evaluates the query over one shard: acquire an engine-wide
-// fan-out slot, rebind the compiled graph to the shard document, and run the
-// cached-execution pipeline against the shard's own generation stamp — so a
-// reload of this shard invalidates exactly this shard's cached plans and no
-// others.
-func (e *Engine) runShard(ctx context.Context, cat *plan.Catalog, comp *xquery.Compiled,
-	coll string, sh *plan.Shard, baseFP string, interrupt func() error) shardOutcome {
-	if err := e.shardLim.Acquire(ctx); err != nil {
-		return shardOutcome{err: err}
-	}
-	defer e.shardLim.Release()
+// runShardStream evaluates the query over one shard and streams the result:
+// acquire an engine-wide fan-out slot, rebind the compiled graph to the
+// shard document, run the cached-execution pipeline against the shard's own
+// generation stamp (so a reload of this shard invalidates exactly this
+// shard's cached plans and no others), release the slot, then serialize the
+// shard's rows one by one into the bounded item channel. The done report is
+// always sent before the item channel closes.
+func (e *Engine) runShardStream(ctx context.Context, cat *plan.Catalog, comp *xquery.Compiled,
+	coll string, sh *plan.Shard, baseFP string, interrupt func() error, st *shardStream) {
+	defer close(st.items)
+	sw := metrics.Start()
 	senv := plan.NewQueryEnv(cat, metrics.NewRecorder(), e.seed)
 	senv.Interrupt = interrupt
+	abort := func(err error) {
+		st.done <- shardDone{
+			err: err,
+			rec: senv.Rec,
+			stats: Stats{
+				ExecTuples:   senv.Rec.CostOf(metrics.PhaseExecute).Tuples,
+				SampleTuples: senv.Rec.CostOf(metrics.PhaseSample).Tuples,
+				Elapsed:      sw.Elapsed(),
+				Truncated:    true,
+			},
+		}
+	}
+	if err := e.shardLim.Acquire(ctx); err != nil {
+		abort(err)
+		return
+	}
 	scomp := comp.ForShard(coll, sh.Name())
 	fp := ""
 	if baseFP != "" {
@@ -211,9 +222,265 @@ func (e *Engine) runShard(ctx context.Context, cat *plan.Catalog, comp *xquery.C
 		// shard of every query (Prepared computes baseFP once, ever).
 		fp = baseFP + "|shard:" + sh.Name()
 	}
-	res, err := e.executeCached(senv, scomp, fp, sh.Gen, true)
+	exr, err := e.executeCached(senv, scomp, fp, sh.Gen)
+	// Release the fan-out slot before emitting: the join work the limiter
+	// bounds is done, and an ordered gather needs every shard's head before
+	// it can merge — a shard still holding its slot while blocked on a full
+	// item channel could starve the shards the merge is waiting for.
+	e.shardLim.Release()
 	if err != nil {
-		return shardOutcome{err: err, rec: senv.Rec}
+		abort(err)
+		return
 	}
-	return shardOutcome{res: res, rec: senv.Rec}
+	stats := exr.stats
+	stats.Scanned = exr.scanned
+
+	if scomp.Tail.Agg != nil {
+		agg, err := plan.FoldAgg(exr.rel, scomp.Tail.Agg)
+		if err != nil {
+			abort(fmt.Errorf("rox: %s: %w", scomp.Return.String(), err))
+			return
+		}
+		stats.Rows = 1 // the shard's single partial-aggregate item
+		stats.Elapsed = sw.Elapsed()
+		st.done <- shardDone{stats: stats, rec: senv.Rec, agg: agg}
+		return
+	}
+
+	ordered := scomp.Tail.Order != nil
+	emitted := 0
+	var cause error
+	n := exr.rel.NumRows()
+emit:
+	for row := 0; row < n; row++ {
+		it := shardItem{item: renderItem(scomp, exr.rel, row)}
+		if ordered {
+			it.key = exr.keys[row]
+		}
+		select {
+		case st.items <- it:
+			emitted++
+		case <-ctx.Done():
+			cause = ctx.Err()
+			break emit
+		}
+	}
+	stats.Rows = emitted
+	stats.Elapsed = sw.Elapsed()
+	if emitted < stats.Scanned || cause != nil {
+		// Fewer items than the shard's join produced: the per-shard limit
+		// window or the gather's early termination cut the stream short.
+		stats.Truncated = true
+	}
+	st.done <- shardDone{stats: stats, rec: senv.Rec, err: cause}
+}
+
+// scatterRows is the gather side as a cursor row source: it pulls the merged
+// result one item at a time from the shard streams, applies the global
+// offset/limit window, and on finalize cancels whatever shard work the
+// window made unnecessary before assembling the per-shard statistics.
+type scatterRows struct {
+	parent  context.Context // caller's ctx: its cancellation is a stream error
+	cancel  context.CancelFunc
+	env     *plan.Env
+	streams []*shardStream
+	dones   []*shardDone
+	mode    int
+	desc    bool
+	aggKind plan.AggKind
+
+	lo, hi int // global window over merged items; hi < 0 = unbounded
+	pulled int // merged items consumed, offset skips included
+
+	cur     int // gatherPlain: stream currently being drained
+	heads   []shardItem
+	hasHead []bool
+	started bool
+	aggDone bool
+}
+
+func (s *scatterRows) next() (string, bool, error) {
+	if s.mode == gatherAgg {
+		return s.nextAgg()
+	}
+	for {
+		if s.hi >= 0 && s.pulled >= s.hi {
+			return "", false, nil // window full: finalize cancels the rest
+		}
+		it, ok, err := s.nextMerged()
+		if err != nil || !ok {
+			return "", false, err
+		}
+		s.pulled++
+		if s.pulled <= s.lo {
+			continue // inside the global offset: skip
+		}
+		return it.item, true, nil
+	}
+}
+
+// nextMerged produces the next item of the merged shard order: shard
+// concatenation for plain queries, k-way key merge for ordered ones.
+func (s *scatterRows) nextMerged() (shardItem, bool, error) {
+	if s.mode == gatherOrdered {
+		return s.nextOrdered()
+	}
+	for s.cur < len(s.streams) {
+		it, ok, err := s.pull(s.cur)
+		if err != nil {
+			return shardItem{}, false, err
+		}
+		if ok {
+			return it, true, nil
+		}
+		s.cur++ // stream exhausted cleanly: move to the next shard
+	}
+	return shardItem{}, false, nil
+}
+
+// nextOrdered k-way merges the shard streams by order key. Every stream's
+// head is pulled before the first emission; afterwards only the winning
+// stream is refilled. The strict better-than comparison leaves ties with the
+// earliest shard, which — shards partitioning the corpus in document order,
+// per-shard sorts being stable — makes the merge output byte-identical to a
+// stable sort over the single-catalog corpus.
+func (s *scatterRows) nextOrdered() (shardItem, bool, error) {
+	if !s.started {
+		s.started = true
+		s.heads = make([]shardItem, len(s.streams))
+		s.hasHead = make([]bool, len(s.streams))
+		for i := range s.streams {
+			if err := s.fill(i); err != nil {
+				return shardItem{}, false, err
+			}
+		}
+	}
+	best := -1
+	for i := range s.streams {
+		if !s.hasHead[i] {
+			continue
+		}
+		if best == -1 {
+			best = i
+			continue
+		}
+		c := s.heads[i].key.Compare(s.heads[best].key)
+		if (s.desc && c > 0) || (!s.desc && c < 0) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return shardItem{}, false, nil
+	}
+	it := s.heads[best]
+	s.hasHead[best] = false
+	if err := s.fill(best); err != nil {
+		return shardItem{}, false, err
+	}
+	return it, true, nil
+}
+
+// fill refreshes stream i's head slot.
+func (s *scatterRows) fill(i int) error {
+	it, ok, err := s.pull(i)
+	if err != nil {
+		return err
+	}
+	s.heads[i] = it
+	s.hasHead[i] = ok
+	return nil
+}
+
+// pull takes the next item off stream i, honoring the caller's cancellation.
+// ok = false means the stream ended; a stream that ended because its shard
+// failed surfaces that failure as the stream error.
+func (s *scatterRows) pull(i int) (shardItem, bool, error) {
+	select {
+	case it, ok := <-s.streams[i].items:
+		if !ok {
+			if d := s.doneOf(i); d.err != nil {
+				return shardItem{}, false, d.err
+			}
+			return shardItem{}, false, nil
+		}
+		return it, true, nil
+	case <-s.parent.Done():
+		return shardItem{}, false, s.parent.Err()
+	}
+}
+
+// nextAgg waits for every shard's partial-aggregate state, merges them
+// algebraically and emits the single rendered item.
+func (s *scatterRows) nextAgg() (string, bool, error) {
+	if s.aggDone {
+		return "", false, nil
+	}
+	s.aggDone = true
+	var merged plan.AggState
+	for i := range s.streams {
+		d := s.doneOf(i)
+		if d.err != nil {
+			return "", false, d.err
+		}
+		merged.Merge(d.agg)
+	}
+	item, _ := merged.Render(s.aggKind)
+	return item, true, nil
+}
+
+// doneOf returns stream i's end-of-stream report, waiting for it if the
+// shard is still running. The report is memoized — finalize reads it again
+// for the stats rollup.
+func (s *scatterRows) doneOf(i int) *shardDone {
+	if s.dones[i] == nil {
+		d := <-s.streams[i].done
+		s.dones[i] = &d
+	}
+	return s.dones[i]
+}
+
+// finalize ends the scatter: cancel the shards the merge no longer needs,
+// drain their streams so every goroutine exits, and roll the per-shard
+// statistics up into the query's Stats — in shard (result) order, truncated
+// shards included, so observability survives early termination.
+func (s *scatterRows) finalize(st *Stats) {
+	s.cancel()
+	completed := 0
+	allHit := true
+	for i := range s.streams {
+		for range s.streams[i].items {
+			// Drain whatever the shard had buffered so its goroutine exits.
+		}
+		d := s.doneOf(i)
+		st.ExecTuples += d.stats.ExecTuples
+		st.SampleTuples += d.stats.SampleTuples
+		st.CumulativeIntermediate += d.stats.CumulativeIntermediate
+		st.Scanned += d.stats.Scanned
+		st.Reoptimized = st.Reoptimized || d.stats.Reoptimized
+		if d.err == nil {
+			completed++
+			allHit = allHit && d.stats.CacheHit
+		} else {
+			// A shard that did not run to completion — whether the window
+			// filled, the caller canceled, or the cursor closed early —
+			// means the stream did not cover the full union.
+			st.Truncated = true
+		}
+		st.Shards = append(st.Shards, ShardStats{Shard: s.streams[i].name, Stats: d.stats})
+		s.env.Rec.Merge(d.rec)
+	}
+	// CacheHit reports that every shard that completed replayed a cached
+	// plan; shards the window's early termination canceled don't count
+	// against it (nor for it).
+	st.CacheHit = completed > 0 && allHit
+	switch {
+	case s.mode == gatherAgg:
+		// The aggregate stream carries exactly one item; ending before it
+		// went out is a truncation regardless of scanned counts.
+		if st.Rows < 1 {
+			st.Truncated = true
+		}
+	case st.Rows < st.Scanned:
+		st.Truncated = true
+	}
 }
