@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// loadSrc type-checks one import-free source file into a Package.
+func loadSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := NewInfo()
+	conf := types.Config{}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Package{Fset: fset, Files: []*ast.File{f}, Types: pkg, Info: info}
+}
+
+// incAnalyzer reports every increment statement — a minimal analyzer for
+// exercising the RunPackage pipeline and the ignore directive.
+var incAnalyzer = &Analyzer{
+	Name: "inc",
+	Doc:  "reports ++ statements (test analyzer)",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if st, ok := n.(*ast.IncDecStmt); ok {
+					p.Reportf(st.Pos(), "increment")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestIgnoreDirective pins the //roxvet:ignore contract: a directive with a
+// reason suppresses same-line and line-below diagnostics; a bare directive
+// suppresses nothing and is itself reported.
+func TestIgnoreDirective(t *testing.T) {
+	const src = `package p
+
+func f() {
+	x := 0
+	x++
+	x++ //roxvet:ignore benchmark counter, not product state
+	//roxvet:ignore counter is test-local
+	x++
+	//roxvet:ignore
+	x++
+	_ = x
+}
+`
+	findings, err := RunPackage(loadSrc(t, src), []*Analyzer{incAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type want struct {
+		line     int
+		analyzer string
+	}
+	wants := []want{
+		{5, "inc"},    // unguarded increment
+		{9, "roxvet"}, // the bare directive itself
+		{10, "inc"},   // the bare directive must not have applied
+	}
+	if len(findings) != len(wants) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(findings), len(wants), findings)
+	}
+	for i, w := range wants {
+		f := findings[i]
+		if f.Position.Line != w.line || f.Analyzer != w.analyzer {
+			t.Errorf("finding %d = line %d [%s], want line %d [%s]: %s",
+				i, f.Position.Line, f.Analyzer, w.line, w.analyzer, f.Message)
+		}
+	}
+	if got := findings[1].Message; got == "" || !containsAll(got, "requires a reason", "not applied") {
+		t.Errorf("bare-directive message = %q", got)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPathHasSuffix(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"repro/internal/plan", "internal/plan", true},
+		{"internal/plan", "internal/plan", true},
+		{"repro/internal/plancache", "internal/plan", false},
+		{"notinternal/plan", "internal/plan", false},
+		{"repro/internal/plan-b", "internal/plan", false},
+	}
+	for _, c := range cases {
+		if got := PathHasSuffix(c.path, c.suffix); got != c.want {
+			t.Errorf("PathHasSuffix(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}
+
+func TestFuncAnnotated(t *testing.T) {
+	const src = `package p
+
+// marked does something unusual.
+//
+//roxvet:cow single owner until publish
+func marked() {}
+
+// unmarked mentions roxvet:cow in prose only, not as a directive line.
+func unmarked() {}
+`
+	pkg := loadSrc(t, src)
+	for _, decl := range pkg.Files[0].Decls {
+		fd := decl.(*ast.FuncDecl)
+		want := fd.Name.Name == "marked"
+		if got := FuncAnnotated(fd, "cow"); got != want {
+			t.Errorf("FuncAnnotated(%s, cow) = %v, want %v", fd.Name.Name, got, want)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package analysistest is a golden-test harness for roxvet analyzers in the
+// style of golang.org/x/tools/go/analysis/analysistest: test packages live
+// under <analyzer>/testdata/src/<path>, and expected diagnostics are spelled
+// inline as `// want "regexp"` comments on the offending line. The harness
+// loads the package (resolving imports from sibling testdata packages first,
+// then from the real build via `go list -export`), runs the analyzer through
+// the same RunPackage pipeline the production front ends use — so the
+// `//roxvet:ignore` directive path is exercised by the same code tests see —
+// and diffs reported findings against the want set.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each package path from dir/src and checks the analyzer's
+// findings against the `// want` comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	ld := &loader{
+		srcDir: filepath.Join(dir, "src"),
+		fset:   token.NewFileSet(),
+		pkgs:   make(map[string]*loaded),
+	}
+	for _, path := range paths {
+		lp, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading testdata package %q: %v", path, err)
+		}
+		findings, err := analysis.RunPackage(lp.pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s over %q: %v", a.Name, path, err)
+		}
+		checkWants(t, ld.fset, lp.pkg.Files, findings)
+	}
+}
+
+// loaded pairs a type-checked testdata package with its source files.
+type loaded struct {
+	pkg *analysis.Package
+}
+
+// loader resolves testdata packages from source and everything else from
+// the real build's export data.
+type loader struct {
+	srcDir string
+	fset   *token.FileSet
+	pkgs   map[string]*loaded
+	// checking guards against import cycles in testdata.
+	checking []string
+}
+
+func (ld *loader) load(path string) (*loaded, error) {
+	if lp, ok := ld.pkgs[path]; ok {
+		return lp, nil
+	}
+	for _, p := range ld.checking {
+		if p == path {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+	}
+	dir := filepath.Join(ld.srcDir, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	ld.checking = append(ld.checking, path)
+	defer func() { ld.checking = ld.checking[:len(ld.checking)-1] }()
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: &testImporter{ld: ld}}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loaded{pkg: &analysis.Package{Fset: ld.fset, Files: files, Types: tpkg, Info: info}}
+	ld.pkgs[path] = lp
+	return lp, nil
+}
+
+// testImporter resolves imports for testdata packages: a sibling testdata
+// directory shadows everything; otherwise the path is resolved against the
+// real build (std and module packages) via export data.
+type testImporter struct {
+	ld *loader
+}
+
+func (ti *testImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, err := os.Stat(filepath.Join(ti.ld.srcDir, filepath.FromSlash(path))); err == nil {
+		lp, err := ti.ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg.Types, nil
+	}
+	return importReal(ti.ld.fset, path)
+}
+
+// realImports caches real-build imports across all tests in the process:
+// resolving "context" once is enough.
+var (
+	realMu   sync.Mutex
+	realImps = make(map[string]*importResult)
+)
+
+type importResult struct {
+	pkg *types.Package
+	err error
+}
+
+// importReal resolves one import path from the surrounding Go build: it asks
+// `go list -export` for the package's compiled export data (building it into
+// the cache if needed — works fully offline) and imports that. Each path
+// gets its own importer instance because importers memoize against one
+// FileSet; the resulting types.Package is position-free, which is fine for
+// dependencies.
+func importReal(fset *token.FileSet, path string) (*types.Package, error) {
+	realMu.Lock()
+	defer realMu.Unlock()
+	if r, ok := realImps[path]; ok {
+		return r.pkg, r.err
+	}
+	pkg, err := importRealUncached(fset, path)
+	realImps[path] = &importResult{pkg: pkg, err: err}
+	return pkg, err
+}
+
+func importRealUncached(fset *token.FileSet, path string) (*types.Package, error) {
+	cmd := exec.Command("go", "list", "-export", "-deps", "-json", "--", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp struct{ ImportPath, Export string }
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	lookup := func(p string) (io.ReadCloser, error) {
+		file, ok := exports[p]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup).Import(path)
+}
+
+// wantRe matches the trailing want clause of a comment; the quoted patterns
+// after it are parsed by parseWants.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// parseWants extracts the expected-diagnostic patterns from one comment
+// text: a sequence of double-quoted or backquoted regexps.
+func parseWants(text string) ([]string, bool) {
+	m := wantRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil, false
+	}
+	rest := strings.TrimSpace(m[1])
+	var pats []string
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, false
+			}
+			s, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, false
+			}
+			pats = append(pats, s)
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, false
+			}
+			pats = append(pats, rest[1:end+1])
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return nil, false
+		}
+	}
+	return pats, true
+}
+
+// checkWants diffs findings against the want comments of the files.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pats, ok := parseWants(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the finding's line whose pattern
+// matches the message.
+func claim(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != f.Position.Filename || w.line != f.Position.Line {
+			continue
+		}
+		if w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

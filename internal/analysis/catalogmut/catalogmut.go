@@ -1,0 +1,130 @@
+// Package catalogmut enforces the engine's copy-on-write catalog contract:
+// a published plan.Catalog (and the Collection/Shard values hanging off it)
+// is immutable — concurrent queries read it lock-free — so every field write
+// must happen inside the plan package's own constructor/loader/clone
+// functions, before the catalog escapes to readers. Any other write is a
+// data race waiting for traffic; the fix is always "mutate a Clone and swap
+// the pointer". See the "Invariants and static enforcement" section of
+// DESIGN.md.
+package catalogmut
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags writes to plan.Catalog, plan.Collection and plan.Shard
+// fields outside whitelisted COW constructor/clone functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "catalogmut",
+	Doc: "catalogmut reports writes to plan.Catalog/Collection/Shard fields outside " +
+		"the plan package's COW constructor, loader and clone functions. Published " +
+		"catalogs are read concurrently without locks; mutate a Clone and swap instead. " +
+		"Functions legitimately part of the single-owner load path carry //roxvet:cow.",
+	Run: run,
+}
+
+// protectedNames are the catalog object types whose fields are immutable
+// after publish.
+var protectedNames = map[string]bool{
+	"Catalog":    true,
+	"Collection": true,
+	"Shard":      true,
+}
+
+// cowPrefixes whitelist the plan package's own single-owner mutation surface:
+// constructors (New*), the documented load-phase registration calls (Add*),
+// COW cloning (Clone*, With*) and the internal shard refresh they share.
+var cowPrefixes = []string{"New", "Add", "Clone", "With", "refresh"}
+
+func run(pass *analysis.Pass) error {
+	inPlan := analysis.PathHasSuffix(pass.Pkg.Path(), "internal/plan")
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			// Test fixtures own their catalogs single-threaded; the COW
+			// contract is about published, concurrently-read state.
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if inPlan && (hasCOWName(fd.Name.Name) || analysis.FuncAnnotated(fd, "cow")) {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func hasCOWName(name string) bool {
+	for _, p := range cowPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkWrite(pass, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, st.X)
+		}
+		return true
+	})
+}
+
+// checkWrite walks the LHS spine of an assignment (selectors, indexing,
+// dereferences) and reports if any step selects a field out of a protected
+// catalog type: `sh.Gen = 3`, `col.Shards[i] = s` and `c.colls[k] = v` are
+// all writes into protected storage.
+func checkWrite(pass *analysis.Pass, e ast.Expr) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if name, ok := protectedBase(pass.TypesInfo, x.X); ok {
+				pass.Reportf(x.Sel.Pos(),
+					"write to plan.%s field %s outside a COW constructor/clone: published catalogs are immutable, mutate a Clone and swap (or mark a load-phase helper //roxvet:cow)",
+					name, x.Sel.Name)
+				return
+			}
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// protectedBase reports whether the expression's type (after pointers) is
+// one of the protected plan types, returning its name.
+func protectedBase(info *types.Info, e ast.Expr) (string, bool) {
+	t := info.TypeOf(e)
+	n := analysis.NamedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return "", false
+	}
+	if !analysis.PathHasSuffix(n.Obj().Pkg().Path(), "internal/plan") {
+		return "", false
+	}
+	if !protectedNames[n.Obj().Name()] {
+		return "", false
+	}
+	return n.Obj().Name(), true
+}

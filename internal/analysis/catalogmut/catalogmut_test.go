@@ -1,0 +1,12 @@
+package catalogmut_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/catalogmut"
+)
+
+func TestCatalogMut(t *testing.T) {
+	analysistest.Run(t, "testdata", catalogmut.Analyzer, "repro/internal/plan", "a")
+}

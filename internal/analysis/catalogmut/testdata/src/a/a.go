@@ -1,0 +1,36 @@
+// Package a exercises catalogmut outside the plan package, where no function
+// name whitelists writes.
+package a
+
+import "repro/internal/plan"
+
+// NewSnapshot has a constructor name, but the COW whitelist applies only
+// inside the plan package itself.
+func NewSnapshot(c *plan.Catalog) {
+	c.Gen = 7 // want `write to plan.Catalog field Gen`
+}
+
+func rewire(col *plan.Collection, s *plan.Shard) {
+	col.Shards[0] = s // want `write to plan.Collection field Shards`
+	s.Gen++           // want `write to plan.Shard field Gen`
+}
+
+func reindex(c *plan.Catalog, col *plan.Collection) {
+	c.Colls["x"] = col // want `write to plan.Catalog field Colls`
+}
+
+// swapIn demonstrates the escape hatch: the directive carries its reason.
+func swapIn(c *plan.Catalog) {
+	c.Gen = 1 //roxvet:ignore single-owner before publish, covered by load tests
+}
+
+func readOnly(c *plan.Catalog) int {
+	return c.Gen // no diagnostic: reads are the whole point of publishing
+}
+
+var (
+	_ = rewire
+	_ = reindex
+	_ = swapIn
+	_ = readOnly
+)

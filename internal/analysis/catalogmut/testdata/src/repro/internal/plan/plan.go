@@ -1,0 +1,56 @@
+// Package plan is a testdata stand-in for the engine's plan package: it
+// declares the protected catalog types and exercises the COW whitelist,
+// which applies only here.
+package plan
+
+// Catalog mirrors the real catalog: immutable once published.
+type Catalog struct {
+	Gen   int
+	Colls map[string]*Collection
+}
+
+// Collection is a named group of shards.
+type Collection struct {
+	Name   string
+	Shards []*Shard
+}
+
+// Shard is one partition of a collection.
+type Shard struct {
+	Gen  int
+	Docs []string
+}
+
+// NewCatalog is a constructor: single-owner writes are the point.
+func NewCatalog() *Catalog {
+	c := &Catalog{Colls: make(map[string]*Collection)}
+	c.Gen = 1 // no diagnostic: COW constructor
+	return c
+}
+
+// Clone copies the catalog for mutate-and-swap.
+func (c *Catalog) Clone() *Catalog {
+	n := &Catalog{Colls: c.Colls}
+	n.Gen = c.Gen + 1 // no diagnostic: COW clone
+	return n
+}
+
+// AddCollection registers a collection during load.
+func (c *Catalog) AddCollection(col *Collection) {
+	c.Colls[col.Name] = col // no diagnostic: load-phase registration
+}
+
+// installShards is part of the single-owner load path but has no COW name.
+//
+//roxvet:cow runs before the catalog is published
+func installShards(col *Collection, shards []*Shard) {
+	col.Shards = shards // no diagnostic: annotated load-phase helper
+}
+
+// bump mutates a catalog outside any sanctioned surface.
+func bump(c *Catalog) {
+	c.Gen++ // want `write to plan.Catalog field Gen outside a COW constructor/clone`
+}
+
+var _ = installShards
+var _ = bump

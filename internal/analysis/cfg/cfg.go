@@ -1,0 +1,256 @@
+// Package cfg builds a lightweight intra-function control-flow graph over
+// go/ast, sized for roxvet's path-sensitive passes (rowsclose). It models
+// the constructs that matter for resource-lifecycle checking — sequencing,
+// if/else, for and range loops, switch/type-switch/select, break, continue
+// and return — and deliberately approximates the rest: goto and labeled
+// branches fall back to conservative edges, and panics are treated as
+// normal statements (a panic unwinds through defers, which is exactly when
+// a deferred Close still runs).
+package cfg
+
+import "go/ast"
+
+// Block is a basic block: a sequence of AST nodes executed in order, then a
+// transfer to one of Succs. The function's Exit block is empty and has no
+// successors.
+type Block struct {
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// Graph is one function body's control-flow graph.
+type Graph struct {
+	Entry, Exit *Block
+	Blocks      []*Block
+
+	// Site locates each statement-level node in its block, for analyses
+	// that start a traversal at a known statement.
+	Site map[ast.Node]Pos
+}
+
+// Pos addresses one node inside the graph.
+type Pos struct {
+	Block *Block
+	Index int
+}
+
+// builder carries the loop/switch context stacks during construction.
+type builder struct {
+	g *Graph
+	// breakTo / continueTo are the innermost targets for unlabeled
+	// break/continue. Labeled branches conservatively use the same targets.
+	breakTo    []*Block
+	continueTo []*Block
+}
+
+// New builds the CFG of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{Site: make(map[ast.Node]Pos)}
+	b := &builder{g: g}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	last := b.stmts(g.Entry, body.List)
+	b.edge(last, g.Exit)
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from != nil {
+		from.Succs = append(from.Succs, to)
+	}
+}
+
+// add appends a node to the block and records its site. A nil block (code
+// after a return) swallows the node: it is unreachable.
+func (b *builder) add(blk *Block, n ast.Node) {
+	if blk == nil || n == nil {
+		return
+	}
+	b.g.Site[n] = Pos{Block: blk, Index: len(blk.Nodes)}
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+// stmts threads a statement list through cur, returning the block control
+// falls out of (nil when the list always transfers away).
+func (b *builder) stmts(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
+	if cur == nil {
+		// Unreachable code: keep building (nested funcs etc. are analyzed
+		// separately) but don't wire edges.
+		cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(cur, s.Init)
+		}
+		b.add(cur, s.Cond)
+		join := b.newBlock()
+		then := b.newBlock()
+		b.edge(cur, then)
+		b.edge(b.stmts(then, s.Body.List), join)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cur, els)
+			b.edge(b.stmt(els, s.Else), join)
+		} else {
+			b.edge(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(cur, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			b.add(head, s.Cond)
+		}
+		exit := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body)
+		// Conservative: every loop may run zero times and may terminate,
+		// even `for {}` — for lifecycle checking the safe error is claiming
+		// a path exists, never hiding one.
+		b.edge(head, exit)
+		post := b.newBlock()
+		if s.Post != nil {
+			b.add(post, s.Post)
+		}
+		b.breakTo = append(b.breakTo, exit)
+		b.continueTo = append(b.continueTo, post)
+		b.edge(b.stmts(body, s.Body.List), post)
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.continueTo = b.continueTo[:len(b.continueTo)-1]
+		b.edge(post, head)
+		return exit
+
+	case *ast.RangeStmt:
+		b.add(cur, s.X)
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Key != nil {
+			b.add(head, s.Key)
+		}
+		exit := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, exit)
+		b.breakTo = append(b.breakTo, exit)
+		b.continueTo = append(b.continueTo, head)
+		b.edge(b.stmts(body, s.Body.List), head)
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.continueTo = b.continueTo[:len(b.continueTo)-1]
+		return exit
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return b.switchLike(cur, s)
+
+	case *ast.ReturnStmt:
+		b.add(cur, s)
+		b.edge(cur, b.g.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		b.add(cur, s)
+		switch s.Tok.String() {
+		case "break":
+			if n := len(b.breakTo); n > 0 {
+				b.edge(cur, b.breakTo[n-1])
+				return nil
+			}
+		case "continue":
+			if n := len(b.continueTo); n > 0 {
+				b.edge(cur, b.continueTo[n-1])
+				return nil
+			}
+		case "goto":
+			// Conservative: treat goto as possibly reaching the exit.
+			b.edge(cur, b.g.Exit)
+			return nil
+		}
+		// fallthrough (or an unresolved label): keep sequencing.
+		return cur
+
+	case *ast.LabeledStmt:
+		return b.stmt(cur, s.Stmt)
+
+	default:
+		// Expression, assignment, declaration, defer, go, send, inc/dec:
+		// straight-line nodes.
+		b.add(cur, s)
+		return cur
+	}
+}
+
+// switchLike lowers switch, type-switch and select: every clause body runs
+// after the header and transfers to the common join; a missing default adds
+// a header→join edge.
+func (b *builder) switchLike(cur *Block, s ast.Stmt) *Block {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(cur, s.Init)
+		}
+		if s.Tag != nil {
+			b.add(cur, s.Tag)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(cur, s.Init)
+		}
+		b.add(cur, s.Assign)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	join := b.newBlock()
+	b.breakTo = append(b.breakTo, join)
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				b.add(cur, e)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				b.add(cur, cl.Comm)
+			}
+			stmts = cl.Body
+		}
+		blk := b.newBlock()
+		b.edge(cur, blk)
+		b.edge(b.stmts(blk, stmts), join)
+	}
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	if !hasDefault {
+		b.edge(cur, join)
+	}
+	return join
+}

@@ -1,0 +1,132 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses `func f() { body }` and returns its CFG.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return New(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// assignSite finds the site of the first *ast.AssignStmt, scanning blocks in
+// construction order (deterministic, unlike ranging over the Site map).
+func assignSite(t *testing.T, g *Graph) Pos {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if _, ok := n.(*ast.AssignStmt); ok {
+				return Pos{Block: b, Index: i}
+			}
+		}
+	}
+	t.Fatal("no AssignStmt in graph")
+	return Pos{}
+}
+
+func TestStraightLineIsOneBlock(t *testing.T) {
+	g := build(t, "x := 1\nx++\n_ = x")
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry has %d nodes, want 3", len(g.Entry.Nodes))
+	}
+	for i, n := range g.Entry.Nodes {
+		p, ok := g.Site[n]
+		if !ok || p.Block != g.Entry || p.Index != i {
+			t.Errorf("node %d: site = %+v, ok = %v", i, p, ok)
+		}
+	}
+	if !reachable(g)[g.Exit] {
+		t.Error("exit not reachable")
+	}
+}
+
+func TestReturnMakesTailUnreachable(t *testing.T) {
+	g := build(t, "return\n_ = 1")
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Error("exit not reachable through the return")
+	}
+	if p := assignSite(t, g); r[p.Block] {
+		t.Error("statement after return is reachable")
+	}
+}
+
+func TestLoopConservativelyExits(t *testing.T) {
+	// Even `for {}` gets a head→exit edge: for lifecycle checking the safe
+	// error is claiming a path exists, never hiding one.
+	g := build(t, "for {\nf()\n}\n_ = 1")
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Error("exit not reachable around an infinite loop")
+	}
+	if p := assignSite(t, g); !r[p.Block] {
+		t.Error("statement after the loop not reachable")
+	}
+}
+
+func TestBreakReachesLoopExit(t *testing.T) {
+	g := build(t, "for {\nbreak\n}\n_ = 1")
+	if p := assignSite(t, g); !reachable(g)[p.Block] {
+		t.Error("statement after break-terminated loop not reachable")
+	}
+}
+
+func TestIfWithReturnKeepsElsePath(t *testing.T) {
+	g := build(t, "if c() {\nreturn\n}\n_ = 1")
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Error("exit not reachable")
+	}
+	if p := assignSite(t, g); !r[p.Block] {
+		t.Error("fall-through after if-return not reachable")
+	}
+}
+
+func TestRangeBodyAndExitReachable(t *testing.T) {
+	g := build(t, "for k := range m() {\nuse(k)\n}\n_ = 1")
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Error("exit not reachable")
+	}
+	if p := assignSite(t, g); !r[p.Block] {
+		t.Error("statement after range not reachable")
+	}
+}
+
+func TestSwitchClausesJoin(t *testing.T) {
+	g := build(t, "switch v() {\ncase 1:\na()\ndefault:\nb()\n}\n_ = 1")
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Error("exit not reachable")
+	}
+	if p := assignSite(t, g); !r[p.Block] {
+		t.Error("statement after switch not reachable")
+	}
+}

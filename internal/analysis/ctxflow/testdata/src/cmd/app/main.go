@@ -1,0 +1,13 @@
+// Command app may mint context roots: main owns the process lifecycle.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // no diagnostic: package main is a root
+	work(ctx)
+}
+
+func work(ctx context.Context) {
+	_ = ctx
+}

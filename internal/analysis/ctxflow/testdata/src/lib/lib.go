@@ -1,0 +1,51 @@
+// Package lib is library code: fresh context roots are banned here.
+package lib
+
+import "context"
+
+func mint() {
+	ctx := context.Background() // want `context.Background\(\) in library code severs cancellation`
+	_ = ctx
+}
+
+func todo() error {
+	_ = context.TODO() // want `context.TODO\(\) in library code`
+	return nil
+}
+
+func threaded(ctx context.Context) {
+	sub := context.Background() // want `already has a ctx parameter`
+	_, _ = sub, ctx
+}
+
+func nested(ctx context.Context) {
+	go func() {
+		_ = context.Background() // want `already has a ctx parameter`
+	}()
+	_ = ctx
+}
+
+// legacyRoot is the blessed escape hatch for no-ctx convenience wrappers.
+//
+//roxvet:ctxroot compatibility wrapper for callers without a ctx
+func legacyRoot() {
+	_ = context.Background() // no diagnostic: annotated root
+}
+
+// Serve is exported with a misplaced ctx.
+func Serve(name string, ctx context.Context) { // want `context.Context must be the first parameter of exported Serve`
+	_, _ = name, ctx
+}
+
+// Run has ctx first: the canonical signature.
+func Run(ctx context.Context, name string) {
+	_, _ = ctx, name
+}
+
+var (
+	_ = mint
+	_ = todo
+	_ = threaded
+	_ = nested
+	_ = legacyRoot
+)

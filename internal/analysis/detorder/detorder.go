@@ -1,0 +1,203 @@
+// Package detorder enforces the engine's determinism-of-iteration rules.
+// Two results of the same query over the same corpus must be byte-identical
+// — that is what makes scatter merges verifiable, plan replay testable and
+// fingerprints stable — so map iteration order must never leak into anything
+// ordered: serialized output, hash inputs, channel sends, or "first match
+// wins" selections. Likewise the planning packages (internal/plan,
+// internal/joingraph) must draw randomness only from the per-query seeded
+// Env.Rand and never read wall-clock time, or sampling runs stop being
+// reproducible. See the "Invariants and static enforcement" section of
+// DESIGN.md.
+package detorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags order-sensitive work inside map iterations, and global
+// randomness/time sources in the deterministic planning packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "detorder",
+	Doc: "detorder reports ranging over a map while writing/serializing/hashing, " +
+		"sending on a channel, or returning values derived from the visited entry " +
+		"(first-match-wins is nondeterministic) — collect keys and sort instead. In " +
+		"internal/plan and internal/joingraph it also reports global math/rand " +
+		"functions and time.Now: sampling must draw from the seeded Env.Rand only.",
+	Run: run,
+}
+
+// emitMethods are method names whose call inside a map range turns random
+// iteration order into observable output order.
+var emitMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Sum": true, "Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true, "Encode": true,
+}
+
+// deterministicPkgs are the package-path suffixes where global rand/time are
+// banned outright.
+var deterministicPkgs = []string{"internal/plan", "internal/joingraph"}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		checkMapRanges(pass, f)
+	}
+	if inDeterministicPkg(pass.Pkg.Path()) {
+		for _, f := range pass.Files {
+			if analysis.IsTestFile(pass.Fset, f.Pos()) {
+				continue // tests may stopwatch themselves
+			}
+			checkGlobalRandTime(pass, f)
+		}
+	}
+	return nil
+}
+
+func inDeterministicPkg(path string) bool {
+	for _, p := range deterministicPkgs {
+		if analysis.PathHasSuffix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMapRanges inspects every `for ... := range m` over a map.
+func checkMapRanges(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapBody(pass, rng)
+		return true
+	})
+}
+
+// checkMapBody flags order-sensitive operations in one map-range body.
+// Nested function literals are skipped: they run later, in whatever order
+// their own caller imposes.
+func checkMapBody(pass *analysis.Pass, rng *ast.RangeStmt) {
+	loopVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			// An inner map range reports on its own behalf.
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside map iteration: delivery order is random per run; collect and sort keys first")
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesAny(pass.TypesInfo, res, loopVars) {
+					pass.Reportf(n.Pos(),
+						"return of a map-iteration entry: which entry is seen first is random per run; iterate sorted keys for a deterministic pick")
+					break
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := emitCall(pass.TypesInfo, n); ok {
+				pass.Reportf(n.Pos(),
+					"%s inside map iteration feeds random order into serialized/hashed output; collect and sort keys first", name)
+			}
+		}
+		return true
+	})
+}
+
+// emitCall recognizes calls that emit ordered output: selector methods named
+// like Write/Sum/Encode, and the fmt Fprint/Print families.
+func emitCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if !emitMethods[sel.Sel.Name] {
+		return "", false
+	}
+	// Package-level functions only count for fmt (Fprintf etc.); any method
+	// with an emitting name counts regardless of receiver — builders, hash
+	// writers and encoders all qualify.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+			if pkg.Imported().Path() != "fmt" {
+				return "", false
+			}
+			return "fmt." + sel.Sel.Name, true
+		}
+	}
+	return sel.Sel.Name, true
+}
+
+// usesAny reports whether the expression references any of the objects.
+func usesAny(info *types.Info, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkGlobalRandTime flags global math/rand functions and time.Now in the
+// deterministic planning packages.
+func checkGlobalRandTime(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			// Constructors of seeded sources are the sanctioned path; the
+			// package-level convenience functions share hidden global state.
+			if sig != nil && sig.Recv() == nil && !strings.HasPrefix(fn.Name(), "New") {
+				pass.Reportf(call.Pos(),
+					"global %s.%s in a deterministic planning package: draw from the per-query seeded Env.Rand instead", fn.Pkg().Name(), fn.Name())
+			}
+		case "time":
+			if fn.Name() == "Now" && sig != nil && sig.Recv() == nil {
+				pass.Reportf(call.Pos(),
+					"time.Now in a deterministic planning package: plan and fingerprint state must not depend on wall-clock time")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,61 @@
+// Package do exercises the map-iteration determinism checks.
+package do
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// renderUnsorted serializes in map order: different output every run.
+func renderUnsorted(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(sb, "%s=%d\n", k, v) // want `fmt.Fprintf inside map iteration`
+		sb.WriteString(k)                // want `WriteString inside map iteration`
+	}
+}
+
+// firstKey returns whichever entry the runtime visits first.
+func firstKey(m map[string]int) string {
+	for k := range m {
+		return k // want `return of a map-iteration entry`
+	}
+	return ""
+}
+
+// send drains a map into a channel in random order.
+func send(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+// renderSorted is the canonical fix: collect, sort, then emit.
+func renderSorted(m map[string]int, sb *strings.Builder) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(sb, "%s=%d\n", k, m[k]) // no diagnostic: slice iteration
+	}
+}
+
+// collect builds closures: they run later, under the caller's ordering.
+func collect(m map[string]int) []func() string {
+	var fns []func() string
+	for k := range m {
+		k := k
+		fns = append(fns, func() string { return k })
+	}
+	return fns
+}
+
+var (
+	_ = renderUnsorted
+	_ = firstKey
+	_ = send
+	_ = renderSorted
+	_ = collect
+)

@@ -1,0 +1,30 @@
+// Package plan is a testdata stand-in for the deterministic planning layer,
+// where global randomness and wall-clock reads are banned outright.
+package plan
+
+import (
+	"math/rand"
+	"time"
+)
+
+// sampleGlobal draws from the process-global generator.
+func sampleGlobal(n int) int {
+	return rand.Intn(n) // want `global rand.Intn in a deterministic planning package`
+}
+
+// stamp reads the wall clock.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in a deterministic planning package`
+}
+
+// sampleSeeded is the sanctioned pattern: an explicit seeded source.
+func sampleSeeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n) // no diagnostic: method on a seeded *rand.Rand
+}
+
+var (
+	_ = sampleGlobal
+	_ = stamp
+	_ = sampleSeeded
+)

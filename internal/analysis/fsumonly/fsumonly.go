@@ -1,0 +1,162 @@
+// Package fsumonly guards the bit-for-bit determinism of the aggregation
+// merge algebra: float64 addition is not associative, so a raw `sum += x`
+// loop in a fold or merge path makes the result depend on how rows were
+// grouped across shards — the exact property the scatter gather must not
+// have. All floating-point accumulation in fold/merge code belongs in
+// plan.AggState, whose exact (Shewchuk expansion) summation is
+// grouping-invariant; everything else either uses it or carries an explicit
+// //roxvet:fsum justification. See the "Invariants and static enforcement"
+// section of DESIGN.md.
+package fsumonly
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags raw float64 accumulation loops in fold/merge paths outside
+// plan.AggState.
+var Analyzer = &analysis.Analyzer{
+	Name: "fsumonly",
+	Doc: "fsumonly reports raw float64 += (or x = x + e) accumulation inside loops " +
+		"of fold/merge/gather functions outside plan.AggState: non-associative float " +
+		"addition makes merged results depend on shard grouping. Accumulate through " +
+		"plan.AggState's exact summation, or annotate a deliberate exception with " +
+		"//roxvet:fsum <reason>.",
+	Run: run,
+}
+
+// foldyNames marks function names that are part of fold/merge paths.
+var foldyNames = []string{"fold", "merge", "sum", "accum", "gather", "agg"}
+
+// scopePkgNames are the packages whose fold/merge paths are covered: the
+// public engine (rox), the execution layer (plan) and the operator library
+// (ops).
+var scopePkgNames = map[string]bool{"rox": true, "plan": true, "ops": true}
+
+func run(pass *analysis.Pass) error {
+	if !scopePkgNames[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue // tests may sum floats to assert against
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !foldyName(fd.Name.Name) {
+				continue
+			}
+			if receiverIsAggState(pass.TypesInfo, fd) || analysis.FuncAnnotated(fd, "fsum") {
+				continue
+			}
+			checkLoops(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func foldyName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, f := range foldyNames {
+		if strings.Contains(lower, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverIsAggState reports whether the method's receiver is plan.AggState
+// — the one sanctioned home of float accumulation.
+func receiverIsAggState(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	return analysis.IsNamedType(info.TypeOf(fd.Recv.List[0].Type), "internal/plan", "AggState") ||
+		analysis.IsNamedType(info.TypeOf(fd.Recv.List[0].Type), "plan", "AggState")
+}
+
+// checkLoops flags float64 accumulation statements inside for/range bodies.
+func checkLoops(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			checkAccum(pass, n.Body)
+		case *ast.RangeStmt:
+			checkAccum(pass, n.Body)
+		}
+		return true
+	})
+}
+
+func checkAccum(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch st.Tok {
+		case token.ADD_ASSIGN:
+			if len(st.Lhs) == 1 && isFloat64(pass.TypesInfo, st.Lhs[0]) {
+				pass.Reportf(st.Pos(),
+					"raw float64 accumulation in a fold/merge path: += is not associative, so the merged result depends on shard grouping; use plan.AggState's exact summation (or //roxvet:fsum <reason>)")
+			}
+		case token.ASSIGN:
+			if len(st.Lhs) == 1 && len(st.Rhs) == 1 && isFloat64(pass.TypesInfo, st.Lhs[0]) &&
+				selfAddition(pass.TypesInfo, st.Lhs[0], st.Rhs[0]) {
+				pass.Reportf(st.Pos(),
+					"raw float64 accumulation in a fold/merge path: x = x + e is not associative, so the merged result depends on shard grouping; use plan.AggState's exact summation (or //roxvet:fsum <reason>)")
+			}
+		}
+		return true
+	})
+}
+
+func isFloat64(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+// selfAddition reports whether rhs is an addition chain with lhs as one of
+// its operands (x = x + e, x = e + x, x = x + e1 + e2).
+func selfAddition(info *types.Info, lhs, rhs ast.Expr) bool {
+	bin, ok := rhs.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.ADD {
+		return false
+	}
+	lobj := exprObj(info, lhs)
+	if lobj == nil {
+		return false
+	}
+	var hasOperand func(e ast.Expr) bool
+	hasOperand = func(e ast.Expr) bool {
+		if b, ok := e.(*ast.BinaryExpr); ok && b.Op == token.ADD {
+			return hasOperand(b.X) || hasOperand(b.Y)
+		}
+		return exprObj(info, e) == lobj
+	}
+	return hasOperand(bin.X) || hasOperand(bin.Y)
+}
+
+// exprObj resolves a plain identifier operand to its object (selectors and
+// index expressions return nil: aliasing through them is out of scope).
+func exprObj(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := e.(*ast.Ident); ok {
+		return info.ObjectOf(id)
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package fsumonly_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/fsumonly"
+)
+
+func TestFsumOnly(t *testing.T) {
+	analysistest.Run(t, "testdata", fsumonly.Analyzer, "repro/internal/plan")
+}

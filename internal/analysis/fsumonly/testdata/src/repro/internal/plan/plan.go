@@ -1,0 +1,74 @@
+// Package plan is a testdata stand-in for the aggregation layer: AggState is
+// the one sanctioned home of raw float accumulation.
+package plan
+
+// AggState accumulates exactly (stand-in for the Shewchuk expansion).
+type AggState struct {
+	total float64
+	parts []float64
+}
+
+// Add folds one value into the state.
+func (a *AggState) Add(x float64) {
+	a.parts = append(a.parts, x)
+}
+
+// merge folds another state in: exempt by receiver even though it raw-sums.
+func (a *AggState) merge(o *AggState) {
+	for _, p := range o.parts {
+		a.total += p // no diagnostic: AggState owns float accumulation
+	}
+}
+
+// mergeTotals is a fold path accumulating raw float64s.
+func mergeTotals(xs []float64) float64 {
+	var total float64
+	for _, x := range xs {
+		total += x // want `raw float64 accumulation in a fold/merge path`
+	}
+	return total
+}
+
+// foldPairs uses the x = x + e spelling of the same mistake.
+func foldPairs(xs, ys []float64) float64 {
+	var s float64
+	for i := range xs {
+		s = s + xs[i] + ys[i] // want `raw float64 accumulation in a fold/merge path`
+	}
+	return s
+}
+
+// sumCounts accumulates integers: only floats are non-associative.
+func sumCounts(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// scaleAll is not a fold/merge path by name: out of scope.
+func scaleAll(xs []float64, f float64) {
+	for i := range xs {
+		xs[i] += f
+	}
+}
+
+// sumResidual is a deliberate, justified exception.
+//
+//roxvet:fsum residual term is order-independent by construction here
+func sumResidual(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+var (
+	_ = mergeTotals
+	_ = foldPairs
+	_ = sumCounts
+	_ = scaleAll
+	_ = sumResidual
+)

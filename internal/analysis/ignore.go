@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreMarker is the suppression directive: a comment of the form
+//
+//	//roxvet:ignore <reason>
+//
+// silences every roxvet diagnostic reported on the same source line (an
+// end-of-line comment) or on the line directly below (a standalone comment
+// above the offending statement). The reason is mandatory — a bare
+// `//roxvet:ignore` suppresses nothing and is itself reported, so every
+// escape hatch in the tree carries its justification next to the code it
+// excuses.
+const ignoreMarker = "roxvet:ignore"
+
+// ignoreSet is the per-package directive index built by scanIgnores.
+type ignoreSet struct {
+	// lines maps filename -> set of lines carrying a well-formed ignore
+	// directive.
+	lines map[string]map[int]bool
+	// malformed collects a finding per reason-less directive.
+	malformed []Finding
+}
+
+// scanIgnores harvests the ignore directives of every file. A comment is a
+// directive when its text, after the comment marker, starts with
+// ignoreMarker; the remainder of that comment is the reason.
+func scanIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	ig := &ignoreSet{lines: make(map[string]map[int]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text != ignoreMarker && !strings.HasPrefix(text, ignoreMarker+" ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				reason := strings.TrimSpace(strings.TrimPrefix(text, ignoreMarker))
+				if reason == "" {
+					ig.malformed = append(ig.malformed, Finding{
+						Position: pos,
+						Analyzer: "roxvet",
+						Message:  fmt.Sprintf("//%s requires a reason (//%s <why this invariant does not apply here>); the directive was not applied", ignoreMarker, ignoreMarker),
+					})
+					continue
+				}
+				m := ig.lines[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					ig.lines[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	return ig
+}
+
+// suppressed reports whether a diagnostic at pos is covered by a directive:
+// one on the same line, or one on the line directly above.
+func (ig *ignoreSet) suppressed(pos token.Position) bool {
+	m := ig.lines[pos.Filename]
+	if m == nil {
+		return false
+	}
+	return m[pos.Line] || m[pos.Line-1]
+}

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// This file is the standalone front end's package loader: it shells out to
+// the go toolchain (`go list -export -deps -json`) to enumerate the target
+// packages and obtain compiled export data for every dependency, then
+// type-checks each target from source. Export-data import is how the real
+// toolchain composes too — since Go 1.20 there are no pre-compiled .a files
+// under GOROOT, so the classic importer.Default() cannot resolve even
+// "fmt"; routing every import through the build cache's export files is the
+// only dependency-free way to type-check a module offline.
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` over the patterns in dir and
+// decodes the package stream.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPackage
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from compiled export-data files, with an
+// optional import-path rewrite map (vendoring, test variants).
+type exportImporter struct {
+	gc        types.ImporterFrom
+	importMap map[string]string
+}
+
+// newExportImporter builds an importer over path -> export-file bindings.
+func newExportImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{
+		gc:        importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+		importMap: importMap,
+	}
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	return ei.ImportFrom(path, "", 0)
+}
+
+func (ei *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := ei.importMap[path]; ok {
+		path = mapped
+	}
+	return ei.gc.ImportFrom(path, dir, 0)
+}
+
+// parseDir parses the named files of one package directory with comments.
+func parseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// checkFiles type-checks one package's parsed files.
+func checkFiles(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Load enumerates the packages matching the patterns (relative to dir; empty
+// patterns default to "./...") and returns them parsed and type-checked,
+// ready for RunPackage. Dependencies resolve through export data, so only
+// the matched packages themselves are re-parsed from source. Test files are
+// not included — the `go vet -vettool` path covers those.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	lps, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, lp := range lps {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, lp := range lps {
+		if lp.DepOnly || lp.Name == "" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		files, err := parseDir(fset, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, err := checkFiles(fset, lp.ImportPath, files, newExportImporter(fset, exports, lp.ImportMap))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}

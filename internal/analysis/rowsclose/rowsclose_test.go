@@ -1,0 +1,12 @@
+package rowsclose_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/rowsclose"
+)
+
+func TestRowsClose(t *testing.T) {
+	analysistest.Run(t, "testdata", rowsclose.Analyzer, "rc")
+}

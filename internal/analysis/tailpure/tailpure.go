@@ -1,0 +1,115 @@
+// Package tailpure enforces the join-graph/tail isolation line from XQuery
+// Join Graph Isolation: the join graph is what run-time optimization orders,
+// and the tail (order by, aggregates, limit windows) is what runs after it —
+// so internal/joingraph must never import or reference tail concepts, and
+// fingerprint computations must never read tail fields. That isolation is
+// what makes joingraph.Fingerprint tail-invariant, which is what lets one
+// cached plan serve every ordering/aggregation/window of the same graph
+// shape. See the "Invariants and static enforcement" section of DESIGN.md.
+package tailpure
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags tail references inside internal/joingraph and tail-field
+// reads inside fingerprint computations anywhere.
+var Analyzer = &analysis.Analyzer{
+	Name: "tailpure",
+	Doc: "tailpure reports violations of the graph/tail isolation line: the " +
+		"internal/joingraph package must not import internal/plan or internal/xquery " +
+		"nor reference tail concepts (Tail, OrderSpec, AggSpec, LimitSpec), and " +
+		"functions computing fingerprints must not read tail fields — fingerprints " +
+		"must stay tail-invariant so cached plans transfer across tails.",
+	Run: run,
+}
+
+// tailIdents are the tail-spec type names whose very mention inside
+// joingraph crosses the isolation line.
+var tailIdents = map[string]bool{
+	"Tail":      true,
+	"OrderSpec": true,
+	"AggSpec":   true,
+	"LimitSpec": true,
+}
+
+// tailFields are the field names that carry tail state on plan/xquery types.
+var tailFields = map[string]bool{
+	"Tail":  true,
+	"Order": true,
+	"Agg":   true,
+	"Limit": true,
+}
+
+// forbiddenImports are the packages holding tail definitions (and everything
+// above them) that joingraph must stay independent of.
+var forbiddenImports = []string{"internal/plan", "internal/xquery"}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathHasSuffix(pass.Pkg.Path(), "internal/joingraph") {
+		checkJoingraph(pass)
+	}
+	checkFingerprints(pass)
+	return nil
+}
+
+// checkJoingraph reports forbidden imports and tail-concept identifiers in
+// the joingraph package itself.
+func checkJoingraph(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			for _, forbidden := range forbiddenImports {
+				if analysis.PathHasSuffix(path, forbidden) {
+					pass.Reportf(imp.Pos(),
+						"joingraph must not import %s: the join graph is tail-free by design (graph/tail isolation)", path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || !tailIdents[id.Name] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"joingraph must not reference tail concept %s: order/agg/limit specs live outside the graph (graph/tail isolation)", id.Name)
+			return true
+		})
+	}
+}
+
+// checkFingerprints reports tail-field reads inside any function whose name
+// mentions Fingerprint: the hash must not see tail state, or two queries
+// differing only in their tail would stop sharing cached plans — or worse,
+// start colliding when they should not.
+func checkFingerprints(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.Contains(fd.Name.Name, "Fingerprint") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !tailFields[sel.Sel.Name] {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(sel.X)
+				named := analysis.NamedOf(t)
+				if named == nil || named.Obj().Pkg() == nil {
+					return true
+				}
+				path := named.Obj().Pkg().Path()
+				if analysis.PathHasSuffix(path, "internal/plan") || analysis.PathHasSuffix(path, "internal/xquery") {
+					pass.Reportf(sel.Sel.Pos(),
+						"fingerprint input reads tail field %s.%s: fingerprints must be tail-invariant so cached plans transfer across order/agg/limit changes",
+						named.Obj().Name(), sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+}

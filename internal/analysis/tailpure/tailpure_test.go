@@ -1,0 +1,12 @@
+package tailpure_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/tailpure"
+)
+
+func TestTailPure(t *testing.T) {
+	analysistest.Run(t, "testdata", tailpure.Analyzer, "repro/internal/joingraph", "fp")
+}

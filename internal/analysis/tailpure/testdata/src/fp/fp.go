@@ -1,0 +1,31 @@
+// Package fp exercises the tail-invariance of fingerprint computations:
+// outside joingraph, tail reads are fine anywhere except under a function
+// whose name says Fingerprint.
+package fp
+
+import "repro/internal/plan"
+
+// Fingerprint hashes the graph shape; reading the tail would stop cached
+// plans transferring across order/agg/limit changes.
+func Fingerprint(q *plan.Query) string {
+	_ = q.Tail // want `fingerprint input reads tail field Query.Tail`
+	return q.Name
+}
+
+// graphFingerprint is matched by name anywhere in the function's body.
+func graphFingerprint(q *plan.Query) int {
+	if q.Tail.Limit > 0 { // want `fingerprint input reads tail field Query.Tail` `fingerprint input reads tail field Tail.Limit`
+		return 1
+	}
+	return 0
+}
+
+// describe is not a fingerprint: tail reads are the normal case.
+func describe(q *plan.Query) int {
+	return q.Tail.Limit
+}
+
+var (
+	_ = graphFingerprint
+	_ = describe
+)

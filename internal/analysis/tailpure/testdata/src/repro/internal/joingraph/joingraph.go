@@ -1,0 +1,15 @@
+// Package joingraph is a testdata stand-in that crosses the graph/tail
+// isolation line in both forbidden ways: importing the plan package and
+// referencing tail concepts.
+package joingraph
+
+import "repro/internal/plan" // want `joingraph must not import repro/internal/plan`
+
+// Graph should be tail-free — this one smuggles tail state in.
+type Graph struct {
+	Edges []string
+	Spec  plan.Tail // want `joingraph must not reference tail concept Tail`
+}
+
+// OrderSpec re-declares a tail concept inside the graph layer.
+type OrderSpec struct{} // want `joingraph must not reference tail concept OrderSpec`

@@ -1,0 +1,15 @@
+// Package plan is a testdata stand-in carrying tail state.
+package plan
+
+// Tail is the post-graph spec: ordering, aggregation, window.
+type Tail struct {
+	Order string
+	Agg   string
+	Limit int
+}
+
+// Query pairs a graph shape with its tail.
+type Query struct {
+	Name string
+	Tail Tail
+}
