@@ -4,16 +4,24 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
 
 // benchOutput renders fake `go test -bench` output: count samples per
-// benchmark at the given ns/op.
+// benchmark at the given ns/op, in sorted benchmark order so the rendered
+// text is the same every run.
 func benchOutput(benches map[string]float64, count int) string {
 	var sb strings.Builder
 	sb.WriteString("goos: linux\ngoarch: amd64\npkg: repro\n")
-	for name, ns := range benches {
+	names := make([]string, 0, len(benches))
+	for name := range benches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ns := benches[name]
 		for i := 0; i < count; i++ {
 			fmt.Fprintf(&sb, "%s-4   \t     100\t      %.1f ns/op\n", name, ns)
 		}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/datagen"
@@ -83,7 +84,15 @@ func run(kind, out, outdir string, scale, divisor int, seed int64, venuesFlag st
 		cfg.Scale = scale
 		cfg.TagDivisor = divisor
 		docs := datagen.GenerateDBLP(cfg, venues)
-		for name, d := range docs {
+		// Write and report in sorted name order: docs is a map, and callers
+		// (and the smoke tests) deserve the same output line order every run.
+		names := make([]string, 0, len(docs))
+		for name := range docs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			d := docs[name]
 			path := filepath.Join(outdir, name)
 			if binaryOut {
 				path += ".roxd"

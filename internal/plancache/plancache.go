@@ -28,6 +28,7 @@ package plancache
 import (
 	"container/list"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/metrics"
@@ -251,7 +252,16 @@ func Drift(expected, observed map[int]int, ratio float64) (edge, expRows, obsRow
 	if ratio <= 1 {
 		ratio = DefaultDriftRatio
 	}
-	for id, exp := range expected {
+	// Walk edges in sorted order: "first offending edge" must be the same
+	// edge on every run, or drift diagnostics (and the tests pinning them)
+	// would flap with map iteration order.
+	ids := make([]int, 0, len(expected))
+	for id := range expected {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		exp := expected[id]
 		obs, ok := observed[id]
 		if !ok {
 			continue
