@@ -401,6 +401,8 @@ func (e *Engine) Execute(ctx context.Context, req Request) (*Rows, error) {
 // skips recompilation; for incremental consumption (or limit/offset
 // push-down without a clause in the query text) prefer Execute, which Query
 // wraps by draining its cursor.
+//
+//roxvet:ctxroot legacy no-ctx convenience; cancellation-aware callers use QueryContext/Execute.
 func (e *Engine) Query(q string) (*Result, error) {
 	return e.QueryContext(context.Background(), q)
 }
@@ -420,6 +422,8 @@ func (e *Engine) QueryContext(ctx context.Context, q string) (*Result, error) {
 // a static plan ordered by per-document statistics, blind to correlations.
 // Safe to call from any number of goroutines. Prefer Execute (with
 // Request.Static) for new code.
+//
+//roxvet:ctxroot legacy no-ctx convenience; cancellation-aware callers use QueryStaticContext.
 func (e *Engine) QueryStatic(q string) (*Result, error) {
 	return e.QueryStaticContext(context.Background(), q)
 }
@@ -778,6 +782,8 @@ func (p *Prepared) Execute(ctx context.Context, opts ...ExecOption) (*Rows, erro
 // Query evaluates the prepared statement: plan-cache lookup first, the full
 // ROX optimizer only on a miss or after drift. Safe to call from any number
 // of goroutines. Prefer Execute for new code — Query drains its cursor.
+//
+//roxvet:ctxroot legacy no-ctx convenience; cancellation-aware callers use QueryContext/Execute.
 func (p *Prepared) Query() (*Result, error) {
 	return p.QueryContext(context.Background())
 }
