@@ -382,6 +382,7 @@ func TestCursorCancelMidStreamSingle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rows.Close() // idempotent after exhaustion; keeps every path finished
 	for i := 0; i < 3; i++ {
 		if !rows.Next() {
 			t.Fatalf("Next %d returned false early: %v", i, rows.Err())
@@ -440,6 +441,7 @@ func TestCursorCancelMidStreamSharded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rows.Close() // idempotent after exhaustion; keeps every path finished
 	for i := 0; i < 3; i++ {
 		if !rows.Next() {
 			t.Fatalf("Next %d returned false early: %v", i, rows.Err())
@@ -614,12 +616,15 @@ func TestWindowValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	const aggQ = `for $p in doc("ppl.xml")//person return count($p)`
+	//roxvet:ignore the call must fail validation; no cursor exists on the error path
 	if _, err := e.Execute(context.Background(), Request{Query: `for $p in doc("ppl.xml")//person return $p`, Limit: -1}); err == nil {
 		t.Error("negative limit accepted")
 	}
+	//roxvet:ignore the call must fail validation; no cursor exists on the error path
 	if _, err := e.Execute(context.Background(), Request{Query: `for $p in doc("ppl.xml")//person return $p`, Offset: -2}); err == nil {
 		t.Error("negative offset accepted")
 	}
+	//roxvet:ignore the call must fail validation; no cursor exists on the error path
 	if _, err := e.Execute(context.Background(), Request{Query: aggQ, Limit: 3}); err == nil || !strings.Contains(err.Error(), "aggregate") {
 		t.Errorf("window on aggregate request: err = %v", err)
 	}
@@ -630,6 +635,7 @@ func TestWindowValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//roxvet:ignore the call must fail validation; no cursor exists on the error path
 	if _, err := prep.Execute(context.Background(), WithLimit(3)); err == nil || !strings.Contains(err.Error(), "aggregate") {
 		t.Errorf("WithLimit on prepared aggregate: err = %v", err)
 	}
