@@ -12,6 +12,10 @@
 // documents whose contents partition the single-document corpus in order —
 // load them with roxserve -collection or rox.LoadCollection and query them
 // with collection("name").
+//
+// With -pack each document is emitted as a packed ROXD v2 container
+// (.roxd) with persistent value indices — the mmap-able shard files
+// roxpack produces, generated directly without an XML intermediate.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/datagen"
+	"repro/internal/index"
 	"repro/internal/xmltree"
 )
 
@@ -35,19 +40,39 @@ func main() {
 	seed := flag.Int64("seed", 2009, "generation seed")
 	venuesFlag := flag.String("venues", "", "comma-separated venue subset (default: all 23)")
 	binaryOut := flag.Bool("binary", false, "write the binary shredded format (.roxd) instead of XML text")
+	pack := flag.Bool("pack", false, "write packed v2 containers with persistent indices (.roxd) instead of XML text")
 	persons := flag.Int("persons", 600, "xmark: person count")
 	items := flag.Int("items", 500, "xmark: item count")
 	auctions := flag.Int("auctions", 400, "xmark: open auction count")
 	shards := flag.Int("shards", 0, "xmark: split the corpus into N shard files (written to -outdir)")
 	flag.Parse()
 
-	if err := run(*kind, *out, *outdir, *scale, *divisor, *seed, *venuesFlag, *binaryOut, *persons, *items, *auctions, *shards); err != nil {
+	mode := modeXML
+	switch {
+	case *binaryOut && *pack:
+		fmt.Fprintln(os.Stderr, "datagen: -binary and -pack are mutually exclusive")
+		os.Exit(1)
+	case *binaryOut:
+		mode = modeBinary
+	case *pack:
+		mode = modePacked
+	}
+	if err := run(*kind, *out, *outdir, *scale, *divisor, *seed, *venuesFlag, mode, *persons, *items, *auctions, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind, out, outdir string, scale, divisor int, seed int64, venuesFlag string, binaryOut bool, persons, items, auctions, shards int) error {
+// outMode selects the on-disk representation of generated documents.
+type outMode int
+
+const (
+	modeXML    outMode = iota // XML text
+	modeBinary                // ROXD v1 sequential stream
+	modePacked                // ROXD v2 packed container + persistent indices
+)
+
+func run(kind, out, outdir string, scale, divisor int, seed int64, venuesFlag string, mode outMode, persons, items, auctions, shards int) error {
 	switch kind {
 	case "xmark":
 		cfg := datagen.DefaultXMarkConfig()
@@ -55,18 +80,15 @@ func run(kind, out, outdir string, scale, divisor int, seed int64, venuesFlag st
 		cfg.Persons, cfg.Items, cfg.OpenAuctions = persons, items, auctions
 		if shards > 0 {
 			for _, d := range datagen.XMarkShards(cfg, shards) {
-				path := filepath.Join(outdir, d.Name())
-				if binaryOut {
-					path += ".roxd"
-				}
-				if err := writeDoc(d, path, binaryOut); err != nil {
+				path := docPath(outdir, d.Name(), mode)
+				if err := writeDoc(d, path, mode); err != nil {
 					return err
 				}
 				fmt.Printf("wrote %s\n", path)
 			}
 			return nil
 		}
-		return writeDoc(datagen.XMark(cfg), out, binaryOut)
+		return writeDoc(datagen.XMark(cfg), out, mode)
 	case "dblp":
 		venues := datagen.Catalog()
 		if venuesFlag != "" {
@@ -93,11 +115,8 @@ func run(kind, out, outdir string, scale, divisor int, seed int64, venuesFlag st
 		sort.Strings(names)
 		for _, name := range names {
 			d := docs[name]
-			path := filepath.Join(outdir, name)
-			if binaryOut {
-				path += ".roxd"
-			}
-			if err := writeDoc(d, path, binaryOut); err != nil {
+			path := docPath(outdir, name, mode)
+			if err := writeDoc(d, path, mode); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s (%d author tags)\n", path, datagen.AuthorTagCount(d))
@@ -108,9 +127,20 @@ func run(kind, out, outdir string, scale, divisor int, seed int64, venuesFlag st
 	}
 }
 
-func writeDoc(d *xmltree.Document, path string, binaryOut bool) error {
-	if binaryOut {
+func docPath(outdir, name string, mode outMode) string {
+	path := filepath.Join(outdir, name)
+	if mode != modeXML {
+		path += ".roxd"
+	}
+	return path
+}
+
+func writeDoc(d *xmltree.Document, path string, mode outMode) error {
+	switch mode {
+	case modeBinary:
 		return xmltree.WriteBinaryFile(d, path)
+	case modePacked:
+		return index.WritePackedFile(path, index.New(d))
 	}
 	f, err := os.Create(path)
 	if err != nil {

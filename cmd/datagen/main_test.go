@@ -6,13 +6,14 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/index"
 	"repro/internal/xmltree"
 )
 
 func TestRunXMark(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "x.xml")
-	if err := run("xmark", out, dir, 1, 1, 7, "", false, 30, 20, 15, 0); err != nil {
+	if err := run("xmark", out, dir, 1, 1, 7, "", modeXML, 30, 20, 15, 0); err != nil {
 		t.Fatalf("run xmark: %v", err)
 	}
 	d, err := xmltree.ParseFile("", out)
@@ -27,7 +28,7 @@ func TestRunXMark(t *testing.T) {
 func TestRunXMarkBinary(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "x.roxd")
-	if err := run("xmark", out, dir, 1, 1, 7, "", true, 30, 20, 15, 0); err != nil {
+	if err := run("xmark", out, dir, 1, 1, 7, "", modeBinary, 30, 20, 15, 0); err != nil {
 		t.Fatalf("run xmark binary: %v", err)
 	}
 	d, err := xmltree.ReadBinaryFile(out)
@@ -39,9 +40,37 @@ func TestRunXMarkBinary(t *testing.T) {
 	}
 }
 
+func TestRunXMarkPackedShards(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("xmark", "", dir, 1, 1, 7, "", modePacked, 30, 20, 15, 2); err != nil {
+		t.Fatalf("run xmark packed shards: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	persons := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".roxd") {
+			t.Fatalf("unexpected non-packed output %s", e.Name())
+		}
+		ix, err := index.OpenPackedFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("open packed %s: %v", e.Name(), err)
+		}
+		persons += ix.CountElements("person")
+	}
+	if len(entries) != 2 {
+		t.Errorf("wrote %d shards, want 2", len(entries))
+	}
+	if persons != 30 {
+		t.Errorf("persons across shards = %d, want 30", persons)
+	}
+}
+
 func TestRunDBLPSubset(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("dblp", "", dir, 1, 50, 7, "VLDB,ADBIS", false, 0, 0, 0, 0); err != nil {
+	if err := run("dblp", "", dir, 1, 50, 7, "VLDB,ADBIS", modeXML, 0, 0, 0, 0); err != nil {
 		t.Fatalf("run dblp: %v", err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -61,7 +90,7 @@ func TestRunDBLPSubset(t *testing.T) {
 
 func TestRunDBLPBinary(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("dblp", "", dir, 1, 50, 7, "EDBT", true, 0, 0, 0, 0); err != nil {
+	if err := run("dblp", "", dir, 1, 50, 7, "EDBT", modeBinary, 0, 0, 0, 0); err != nil {
 		t.Fatalf("run dblp binary: %v", err)
 	}
 	entries, _ := os.ReadDir(dir)
@@ -81,10 +110,10 @@ func TestRunDBLPBinary(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("nope", "", dir, 1, 1, 7, "", false, 0, 0, 0, 0); err == nil {
+	if err := run("nope", "", dir, 1, 1, 7, "", modeXML, 0, 0, 0, 0); err == nil {
 		t.Errorf("unknown kind should fail")
 	}
-	if err := run("dblp", "", dir, 1, 1, 7, "NotAVenue", false, 0, 0, 0, 0); err == nil {
+	if err := run("dblp", "", dir, 1, 1, 7, "NotAVenue", modeXML, 0, 0, 0, 0); err == nil {
 		t.Errorf("unknown venue should fail")
 	}
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+const sampleXML = `<site><people><person id="p1"><name>Ada</name><age>36</age></person>` +
+	`<person id="p2"><name>Grace</name><age>45</age></person></people></site>`
+
+func writeSample(t *testing.T, dir, name string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(sampleXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPackXMLAndCheck(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSample(t, dir, "people.xml")
+	out := filepath.Join(dir, "out")
+	if err := os.Mkdir(out, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(os.Stdout, out, false, []string{in}); err != nil {
+		t.Fatalf("pack: %v", err)
+	}
+	packed := filepath.Join(out, "people.roxd")
+	ix, err := index.OpenPackedFile(packed)
+	if err != nil {
+		t.Fatalf("open packed: %v", err)
+	}
+	if got := ix.Doc().Name(); got != "people.xml" {
+		t.Errorf("stored doc name = %q, want people.xml", got)
+	}
+	if n := ix.CountElements("person"); n != 2 {
+		t.Errorf("person count = %d, want 2", n)
+	}
+	if err := run(os.Stdout, out, true, []string{packed}); err != nil {
+		t.Errorf("check: %v", err)
+	}
+}
+
+func TestRepackV1(t *testing.T) {
+	dir := t.TempDir()
+	d, err := xmltree.ParseString("legacy.xml", sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := filepath.Join(dir, "legacy.roxd")
+	if err := xmltree.WriteBinaryFile(d, v1); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out")
+	if err := os.Mkdir(out, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(os.Stdout, out, false, []string{v1}); err != nil {
+		t.Fatalf("repack v1: %v", err)
+	}
+	p, err := xmltree.OpenPackedFile(filepath.Join(out, "legacy.roxd"))
+	if err != nil {
+		t.Fatalf("open repacked: %v", err)
+	}
+	if _, err := index.FromPacked(p); err != nil {
+		t.Errorf("repacked container lacks index sections: %v", err)
+	}
+	if got := p.Doc().Name(); got != "legacy.xml" {
+		t.Errorf("repacked doc name = %q, want legacy.xml", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(os.Stdout, dir, false, nil); err == nil {
+		t.Errorf("no inputs should fail")
+	}
+	if err := run(os.Stdout, dir, false, []string{filepath.Join(dir, "absent.xml")}); err == nil {
+		t.Errorf("missing input should fail")
+	}
+	bad := filepath.Join(dir, "bad.roxd")
+	if err := os.WriteFile(bad, []byte("not a container"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(os.Stdout, dir, true, []string{bad}); err == nil {
+		t.Errorf("check of a corrupt file should fail")
+	}
+}

@@ -28,15 +28,23 @@
 //	POST /collections/load?name=C&shard=S    replace (or append) one shard of
 //	                                         collection C from the XML body;
 //	                                         404 unless C exists or &create=1
+//	POST /collections/load?name=C&file=PATH  swap in a shard from a file on the
+//	                                         server: a packed .roxd shard is
+//	                                         memory-mapped in O(1) (no body, no
+//	                                         re-shred, no index rebuild), an
+//	                                         XML file is parsed under &shard=S
+//	                                         (default: its base name)
 //
 // Each -doc FILE is loaded under its base name, so doc("people.xml") refers
 // to -doc path/to/people.xml. Files ending in .roxd are loaded from the
-// binary shredded format (see cmd/datagen -binary).
+// binary shredded format: packed v2 containers (cmd/roxpack, datagen -pack)
+// are memory-mapped with their persistent value indices attached zero-copy,
+// v1 streams (datagen -binary) are decoded into the heap and indexed.
 //
 // Sharded collections load with -collection NAME=GLOB, e.g.
 //
-//	datagen -kind xmark -shards 4 -outdir corpus/
-//	roxserve -collection xmark=corpus/xmark-*.xml
+//	datagen -kind xmark -shards 4 -pack -outdir corpus/
+//	roxserve -collection xmark=corpus/xmark-*.roxd
 //
 // and are queried scatter-gather with collection("NAME") — every shard runs
 // the full ROX sampling loop independently, so each discovers its own plan.
@@ -106,11 +114,9 @@ func run(docs, colls []string, addr string, workers, tau int, seed int64, demo b
 		loadDemo(eng)
 	}
 	for _, path := range docs {
-		d, err := loadShredded(path)
-		if err != nil {
+		if err := loadDoc(eng, path); err != nil {
 			return err
 		}
-		eng.LoadDocument(d)
 	}
 	for _, spec := range colls {
 		if err := loadCollectionSpec(eng, spec); err != nil {
@@ -139,26 +145,27 @@ func run(docs, colls []string, addr string, workers, tau int, seed int64, demo b
 	}
 }
 
-// loadShredded reads one document from disk: .roxd files through the binary
-// shredded format, anything else as XML text named by its base name.
-func loadShredded(path string) (*xmltree.Document, error) {
+// loadDoc registers one document from disk: .roxd files go through the
+// packed loader (a v2 container is memory-mapped with its persistent indices
+// attached, a v1 stream is decoded and indexed), anything else is parsed as
+// XML text named by its base name.
+func loadDoc(eng *rox.Engine, path string) error {
 	if strings.HasSuffix(path, ".roxd") {
-		d, err := xmltree.ReadBinaryFile(path)
-		if err != nil {
-			return nil, fmt.Errorf("load %s: %w", path, err)
+		if err := eng.LoadPacked(path); err != nil {
+			return fmt.Errorf("load %s: %w", path, err)
 		}
-		return d, nil
+		return nil
 	}
-	d, err := xmltree.ParseFile(filepath.Base(path), path)
-	if err != nil {
-		return nil, fmt.Errorf("load %s: %w", path, err)
+	if err := eng.LoadFile(filepath.Base(path), path); err != nil {
+		return fmt.Errorf("load %s: %w", path, err)
 	}
-	return d, nil
+	return nil
 }
 
 // loadCollectionSpec loads one -collection NAME=GLOB spec: every matching
 // file becomes a shard, registered in sorted path order (which fixes the
-// collection's result order).
+// collection's result order). An all-.roxd glob goes through the packed
+// collection loader — every shard mapped, no shredding or index builds.
 func loadCollectionSpec(eng *rox.Engine, spec string) error {
 	name, pattern, ok := strings.Cut(spec, "=")
 	if !ok || name == "" || pattern == "" {
@@ -172,11 +179,34 @@ func loadCollectionSpec(eng *rox.Engine, spec string) error {
 		return fmt.Errorf("-collection %s: no files match %q", name, pattern)
 	}
 	sort.Strings(paths)
+	packed := true
+	for _, path := range paths {
+		if !strings.HasSuffix(path, ".roxd") {
+			packed = false
+			break
+		}
+	}
+	if packed {
+		if err := eng.LoadCollectionPacked(name, paths); err != nil {
+			return fmt.Errorf("-collection %s: %w", name, err)
+		}
+		return nil
+	}
 	docs := make([]*xmltree.Document, 0, len(paths))
 	for _, path := range paths {
-		d, err := loadShredded(path)
+		if strings.HasSuffix(path, ".roxd") {
+			// Mixed spec: decode the binary shard into the heap so the whole
+			// collection still registers in one copy-on-write swap.
+			d, err := xmltree.ReadBinaryFile(path)
+			if err != nil {
+				return fmt.Errorf("load %s: %w", path, err)
+			}
+			docs = append(docs, d)
+			continue
+		}
+		d, err := xmltree.ParseFile(filepath.Base(path), path)
 		if err != nil {
-			return err
+			return fmt.Errorf("load %s: %w", path, err)
 		}
 		docs = append(docs, d)
 	}
@@ -377,8 +407,9 @@ func newHandler(pool *rox.Pool, maxBody int64) http.Handler {
 		}
 		name := r.URL.Query().Get("name")
 		shard := r.URL.Query().Get("shard")
-		if name == "" || shard == "" {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("pass ?name=COLLECTION&shard=DOCNAME"))
+		file := r.URL.Query().Get("file")
+		if name == "" || (shard == "" && file == "") {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("pass ?name=COLLECTION&shard=DOCNAME (XML body) or ?name=COLLECTION&file=PATH"))
 			return
 		}
 		// A mistyped collection name must not silently register a junk
@@ -391,6 +422,42 @@ func newHandler(pool *rox.Pool, maxBody int64) http.Handler {
 					fmt.Errorf("collection %q not loaded (pass &create=1 to create it): %w", name, err))
 				return
 			}
+		}
+		if file != "" {
+			// Server-side file swap. A packed .roxd shard is memory-mapped and
+			// its persistent indices attached — an O(1) swap with no body
+			// upload, no re-shred and no index rebuild; the old mapping stays
+			// valid for queries already streaming from it and is unmapped when
+			// they finish. The shard keeps the document name stored in the
+			// container (or, for XML files, &shard= / the base name).
+			if strings.HasSuffix(file, ".roxd") {
+				if err := pool.Engine().LoadCollectionShardPacked(name, file); err != nil {
+					writeError(w, http.StatusBadRequest, fmt.Errorf("load shard file %s: %w", file, err))
+					return
+				}
+				writeJSON(w, http.StatusOK, map[string]any{
+					"collection": name,
+					"file":       file,
+					"status":     "mapped",
+				})
+				return
+			}
+			if shard == "" {
+				shard = filepath.Base(file)
+			}
+			d, err := xmltree.ParseFile(shard, file)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("parse shard file %s: %w", file, err))
+				return
+			}
+			pool.Engine().LoadCollectionShard(name, d)
+			writeJSON(w, http.StatusOK, map[string]any{
+				"collection": name,
+				"shard":      shard,
+				"file":       file,
+				"status":     "loaded",
+			})
+			return
 		}
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 		if err != nil {

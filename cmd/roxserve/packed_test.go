@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+// postJSON posts body (possibly empty) and decodes the JSON response after
+// asserting the status code.
+func postJSON(t *testing.T, url, body string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "text/xml", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// packFixture shreds xml into a packed .roxd container named docName.
+func packFixture(t *testing.T, dir, docName, xml string) string {
+	t.Helper()
+	d, err := xmltree.ParseString(docName, xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, docName+".roxd")
+	if err := index.WritePackedFile(path, index.New(d)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadDocPacked(t *testing.T) {
+	dir := t.TempDir()
+	path := packFixture(t, dir, "people.xml", peopleXML)
+	eng := rox.NewEngine(rox.WithSeed(7))
+	if err := loadDoc(eng, path); err != nil {
+		t.Fatalf("loadDoc packed: %v", err)
+	}
+	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 2), 1<<20))
+	defer ts.Close()
+	q := url.QueryEscape(`for $p in doc("people.xml")//person[city = "zurich"]/name return $p`)
+	out := getJSON(t, ts.URL+"/query?q="+q, http.StatusOK)
+	items, _ := out["items"].([]any)
+	if len(items) != 2 {
+		t.Fatalf("items = %v, want ann and cat", out["items"])
+	}
+	if err := loadDoc(eng, filepath.Join(dir, "missing.roxd")); err == nil {
+		t.Errorf("missing packed doc should fail")
+	}
+}
+
+func TestLoadCollectionSpecPacked(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		packFixture(t, dir, fmt.Sprintf("ppl-%d.xml", i), shardBody(2))
+	}
+	eng := rox.NewEngine(rox.WithSeed(7))
+	if err := loadCollectionSpec(eng, "ppl="+filepath.Join(dir, "*.roxd")); err != nil {
+		t.Fatalf("loadCollectionSpec packed: %v", err)
+	}
+	shards, err := eng.CollectionShards("ppl")
+	if err != nil || len(shards) != 3 {
+		t.Fatalf("shards = %v (%v), want 3", shards, err)
+	}
+	res, err := eng.Query(`for $p in collection("ppl")//person/name return $p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 6 {
+		t.Fatalf("items = %d, want 6", len(res.Items))
+	}
+}
+
+// TestCollectionLoadFileEndpoint swaps one shard of a served collection by
+// pointing the endpoint at a packed file on disk — the O(1) mapped swap.
+func TestCollectionLoadFileEndpoint(t *testing.T) {
+	ts := collectionServer(t)
+	dir := t.TempDir()
+
+	// The packed replacement carries the stored name ppl-1.xml, so the swap
+	// replaces that shard rather than appending.
+	path := packFixture(t, dir, "ppl-1.xml", shardBody(4))
+	out := postJSON(t, ts.URL+"/collections/load?name=ppl&file="+url.QueryEscape(path), "", http.StatusOK)
+	if out["status"] != "mapped" {
+		t.Fatalf("status = %v, want mapped", out["status"])
+	}
+	q := url.QueryEscape(`for $p in collection("ppl")//person/name return $p`)
+	res := getJSON(t, ts.URL+"/query?q="+q, http.StatusOK)
+	items, _ := res["items"].([]any)
+	if len(items) != 8 { // shards of 2 + 4 + 2 persons
+		t.Fatalf("items after swap = %d, want 8", len(items))
+	}
+
+	// XML files swap through the same endpoint, named by &shard= (or base name).
+	xmlPath := filepath.Join(dir, "bigger.xml")
+	if err := os.WriteFile(xmlPath, []byte(shardBody(5)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = postJSON(t, ts.URL+"/collections/load?name=ppl&shard=ppl-2.xml&file="+url.QueryEscape(xmlPath), "", http.StatusOK)
+	if out["status"] != "loaded" {
+		t.Fatalf("status = %v, want loaded", out["status"])
+	}
+	res = getJSON(t, ts.URL+"/query?q="+q, http.StatusOK)
+	items, _ = res["items"].([]any)
+	if len(items) != 11 { // 2 + 4 + 5
+		t.Fatalf("items after xml swap = %d, want 11", len(items))
+	}
+
+	// Error paths: absent file, and the create guard still applies to files.
+	postJSON(t, ts.URL+"/collections/load?name=ppl&file="+url.QueryEscape(filepath.Join(dir, "nope.roxd")),
+		"", http.StatusBadRequest)
+	postJSON(t, ts.URL+"/collections/load?name=brand-new&file="+url.QueryEscape(path),
+		"", http.StatusNotFound)
+}

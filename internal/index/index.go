@@ -27,10 +27,18 @@ import (
 	"repro/internal/xmltree"
 )
 
-// Index holds all per-document indices. Build one with New; afterwards it is
-// immutable and safe for concurrent readers.
+// Index holds all per-document indices. Build one with New (an O(n) scan)
+// or attach one to the persistent sections of a packed container with
+// FromPacked / OpenPackedFile (no scan — the mapped sections are the index);
+// afterwards it is immutable and safe for concurrent readers. Both backings
+// answer every lookup identically.
 type Index struct {
 	doc *xmltree.Document
+
+	// pk is the mapped backing: non-nil for an index attached to persistent
+	// sections, in which case the map fields below stay nil and every
+	// accessor reads the offset tables and posting arrays instead.
+	pk *packed
 
 	elems map[int32][]xmltree.NodeID // elem name id → elem nodes
 	attrs map[int32][]xmltree.NodeID // attr name id → attr nodes
@@ -115,6 +123,9 @@ func (ix *Index) Elements(qname string) []xmltree.NodeID {
 	if !ok {
 		return nil
 	}
+	if ix.pk != nil {
+		return ix.pk.postings(ix.pk.elemOff, ix.pk.elemPst, id)
+	}
 	return ix.elems[id]
 }
 
@@ -125,6 +136,9 @@ func (ix *Index) AttributesByName(qattr string) []xmltree.NodeID {
 	if !ok {
 		return nil
 	}
+	if ix.pk != nil {
+		return ix.pk.postings(ix.pk.attrOff, ix.pk.attrPst, id)
+	}
 	return ix.attrs[id]
 }
 
@@ -133,6 +147,9 @@ func (ix *Index) TextEq(v string) []xmltree.NodeID {
 	id, ok := ix.doc.Values().Lookup(v)
 	if !ok {
 		return nil
+	}
+	if ix.pk != nil {
+		return ix.pk.postings(ix.pk.textOff, ix.pk.textPst, id)
 	}
 	return ix.texts[id]
 }
@@ -147,6 +164,14 @@ func (ix *Index) AttrEq(qattr, v string) []xmltree.NodeID {
 	val, ok := ix.doc.Values().Lookup(v)
 	if !ok {
 		return nil
+	}
+	if ix.pk != nil {
+		key := aeqKey(name, val)
+		i := sort.Search(len(ix.pk.aeqKey), func(i int) bool { return ix.pk.aeqKey[i] >= key })
+		if i == len(ix.pk.aeqKey) || ix.pk.aeqKey[i] != key {
+			return nil
+		}
+		return ix.pk.postings(ix.pk.aeqOff, ix.pk.aeqPst, int32(i))
 	}
 	return ix.attrEq[attrKey{name, val}]
 }
@@ -231,31 +256,54 @@ func (op RangeOp) Compare(v, bound float64) bool {
 	}
 }
 
+// numLen/numValAt/numPreAt read the sorted numeric auxiliary through
+// whichever backing the index has (struct slice on the heap, two parallel
+// mapped arrays when packed).
+func (ix *Index) numLen() int {
+	if ix.pk != nil {
+		return len(ix.pk.numVal)
+	}
+	return len(ix.numericTexts)
+}
+
+func (ix *Index) numValAt(i int) float64 {
+	if ix.pk != nil {
+		return ix.pk.numVal[i]
+	}
+	return ix.numericTexts[i].val
+}
+
+func (ix *Index) numPreAt(i int) xmltree.NodeID {
+	if ix.pk != nil {
+		return ix.pk.numPre[i]
+	}
+	return ix.numericTexts[i].pre
+}
+
 // TextRange returns all text nodes with a numeric value v satisfying
 // "v op bound", in document order. Cost O(log n + |R| log |R|).
 func (ix *Index) TextRange(op RangeOp, bound float64) []xmltree.NodeID {
-	nt := ix.numericTexts
-	n := len(nt)
-	var lo, hi int // half-open [lo, hi) range in the value-sorted slice
+	n := ix.numLen()
+	var lo, hi int // half-open [lo, hi) range in the value-sorted auxiliary
 	switch op {
 	case Lt:
-		lo, hi = 0, sort.Search(n, func(i int) bool { return nt[i].val >= bound })
+		lo, hi = 0, sort.Search(n, func(i int) bool { return ix.numValAt(i) >= bound })
 	case Le:
-		lo, hi = 0, sort.Search(n, func(i int) bool { return nt[i].val > bound })
+		lo, hi = 0, sort.Search(n, func(i int) bool { return ix.numValAt(i) > bound })
 	case Gt:
-		lo, hi = sort.Search(n, func(i int) bool { return nt[i].val > bound }), n
+		lo, hi = sort.Search(n, func(i int) bool { return ix.numValAt(i) > bound }), n
 	case Ge:
-		lo, hi = sort.Search(n, func(i int) bool { return nt[i].val >= bound }), n
+		lo, hi = sort.Search(n, func(i int) bool { return ix.numValAt(i) >= bound }), n
 	case EqNum:
-		lo = sort.Search(n, func(i int) bool { return nt[i].val >= bound })
-		hi = sort.Search(n, func(i int) bool { return nt[i].val > bound })
+		lo = sort.Search(n, func(i int) bool { return ix.numValAt(i) >= bound })
+		hi = sort.Search(n, func(i int) bool { return ix.numValAt(i) > bound })
 	}
 	if lo >= hi {
 		return nil
 	}
 	out := make([]xmltree.NodeID, hi-lo)
 	for i := lo; i < hi; i++ {
-		out[i-lo] = nt[i].pre
+		out[i-lo] = ix.numPreAt(i)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out
@@ -263,15 +311,30 @@ func (ix *Index) TextRange(op RangeOp, bound float64) []xmltree.NodeID {
 
 // Texts returns every text node of the document in document order (the kind
 // restriction D_text).
-func (ix *Index) Texts() []xmltree.NodeID { return ix.allTexts }
+func (ix *Index) Texts() []xmltree.NodeID {
+	if ix.pk != nil {
+		return ix.pk.allText
+	}
+	return ix.allTexts
+}
 
 // AllElements returns every element node in document order (the kind
 // restriction D_elem, the "*" name test).
-func (ix *Index) AllElements() []xmltree.NodeID { return ix.allElems }
+func (ix *Index) AllElements() []xmltree.NodeID {
+	if ix.pk != nil {
+		return ix.pk.allElem
+	}
+	return ix.allElems
+}
 
 // AllAttributes returns every attribute node in document order (the "@*"
 // test).
-func (ix *Index) AllAttributes() []xmltree.NodeID { return ix.allAttrs }
+func (ix *Index) AllAttributes() []xmltree.NodeID {
+	if ix.pk != nil {
+		return ix.pk.allAttr
+	}
+	return ix.allAttrs
+}
 
 // CountElements returns the number of elements named qname at index-lookup
 // cost, without materializing anything new.
@@ -283,9 +346,18 @@ func (ix *Index) CountTextEq(v string) int { return len(ix.TextEq(v)) }
 // ElementNames returns all distinct element names present in the document,
 // sorted (used by catalogs and the plan enumerator).
 func (ix *Index) ElementNames() []string {
-	out := make([]string, 0, len(ix.elems))
-	for id := range ix.elems {
-		out = append(out, ix.doc.QNames().String(id))
+	var out []string
+	if ix.pk != nil {
+		for id := 0; id+1 < len(ix.pk.elemOff); id++ {
+			if ix.pk.elemOff[id+1] > ix.pk.elemOff[id] {
+				out = append(out, ix.doc.QNames().String(int32(id)))
+			}
+		}
+	} else {
+		out = make([]string, 0, len(ix.elems))
+		for id := range ix.elems {
+			out = append(out, ix.doc.QNames().String(id))
+		}
 	}
 	sort.Strings(out)
 	return out

@@ -1,0 +1,176 @@
+package index
+
+import (
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// buildPacked writes the indexed test document through the packed container
+// and opens it back — heap index and mapped index over the same corpus.
+func buildPacked(t *testing.T) (*Index, *Index) {
+	t.Helper()
+	d, err := xmltree.ParseString("a.xml", doc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	heap := New(d)
+	path := filepath.Join(t.TempDir(), "a.roxd")
+	if err := WritePackedFile(path, heap); err != nil {
+		t.Fatalf("WritePackedFile: %v", err)
+	}
+	packed, err := OpenPackedFile(path)
+	if err != nil {
+		t.Fatalf("OpenPackedFile: %v", err)
+	}
+	if packed.pk == nil {
+		t.Fatalf("opened index is not backed by persistent sections")
+	}
+	if runtime.GOOS == "linux" && !packed.Doc().Mapped() {
+		t.Errorf("packed document should be memory-mapped on linux")
+	}
+	return heap, packed
+}
+
+// eq compares a lookup between backings, treating nil and empty as equal is
+// NOT allowed: the packed backing must reproduce the heap's nil-on-miss
+// convention exactly.
+func eq(t *testing.T, what string, heap, packed []xmltree.NodeID) {
+	t.Helper()
+	if !reflect.DeepEqual(heap, packed) {
+		t.Errorf("%s: heap %v vs packed %v", what, heap, packed)
+	}
+}
+
+func TestPackedEquivalence(t *testing.T) {
+	heap, packed := buildPacked(t)
+
+	for _, q := range []string{"item", "person", "price", "note", "name", "auction", "absent", "id", "ref"} {
+		eq(t, "Elements("+q+")", heap.Elements(q), packed.Elements(q))
+		eq(t, "AttributesByName("+q+")", heap.AttributesByName(q), packed.AttributesByName(q))
+		if h, p := heap.CountElements(q), packed.CountElements(q); h != p {
+			t.Errorf("CountElements(%s): %d vs %d", q, h, p)
+		}
+	}
+	for _, v := range []string{"10", "145", "200", "rare", "Alice", "i1", "i3", "absent"} {
+		eq(t, "TextEq("+v+")", heap.TextEq(v), packed.TextEq(v))
+		if h, p := heap.CountTextEq(v), packed.CountTextEq(v); h != p {
+			t.Errorf("CountTextEq(%s): %d vs %d", v, h, p)
+		}
+	}
+	for _, c := range [][2]string{
+		{"id", "i1"}, {"id", "i3"}, {"ref", "i1"}, {"ref", "i3"},
+		{"id", "absent"}, {"absent", "i1"}, {"ref", "10"},
+	} {
+		eq(t, "AttrEq("+c[0]+","+c[1]+")", heap.AttrEq(c[0], c[1]), packed.AttrEq(c[0], c[1]))
+	}
+	for _, c := range [][3]string{
+		{"i1", "", "ref"}, {"i1", "person", "ref"}, {"i1", "item", "ref"},
+		{"i3", "item", "id"}, {"i3", "", "id"},
+	} {
+		eq(t, "AttrParents("+c[0]+","+c[1]+","+c[2]+")",
+			heap.AttrParents(c[0], c[1], c[2]), packed.AttrParents(c[0], c[1], c[2]))
+	}
+	for _, op := range []RangeOp{Lt, Le, Gt, Ge, EqNum} {
+		for _, bound := range []float64{-5, 10, 144.5, 145, 200, 1e6} {
+			what := "TextRange(" + op.String() + ")"
+			eq(t, what, heap.TextRange(op, bound), packed.TextRange(op, bound))
+		}
+	}
+	eq(t, "Texts", heap.Texts(), packed.Texts())
+	eq(t, "AllElements", heap.AllElements(), packed.AllElements())
+	eq(t, "AllAttributes", heap.AllAttributes(), packed.AllAttributes())
+	if h, p := heap.ElementNames(), packed.ElementNames(); !reflect.DeepEqual(h, p) {
+		t.Errorf("ElementNames: %v vs %v", h, p)
+	}
+}
+
+func TestPackSectionsRoundTrip(t *testing.T) {
+	d, err := xmltree.ParseString("a.xml", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := New(d)
+	secs := PackSections(heap)
+	// Deterministic: a second pack produces identical bytes per section.
+	again := PackSections(heap)
+	if len(secs) != len(again) {
+		t.Fatalf("section count varies: %d vs %d", len(secs), len(again))
+	}
+	for i := range secs {
+		if secs[i].Name != again[i].Name || string(secs[i].Data) != string(again[i].Data) {
+			t.Errorf("section %s not deterministic", secs[i].Name)
+		}
+	}
+}
+
+func TestFromPackedMismatch(t *testing.T) {
+	d, err := xmltree.ParseString("a.xml", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := New(d)
+
+	// No index sections at all → ErrNoIndexSections.
+	path := filepath.Join(t.TempDir(), "bare.roxd")
+	if err := xmltree.WritePackedFile(path, d, nil); err != nil {
+		t.Fatal(err)
+	}
+	p, err := xmltree.OpenPackedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromPacked(p); err != ErrNoIndexSections {
+		t.Errorf("FromPacked without sections = %v, want ErrNoIndexSections", err)
+	}
+	// ...but OpenPackedFile degrades to the O(n) rebuild.
+	ix, err := OpenPackedFile(path)
+	if err != nil {
+		t.Fatalf("OpenPackedFile fallback: %v", err)
+	}
+	if got := ix.CountElements("item"); got != heap.CountElements("item") {
+		t.Errorf("fallback index CountElements(item) = %d", got)
+	}
+
+	// Sections from a different document revision → typed failure, not
+	// silent wrong answers.
+	other, err := xmltree.ParseString("b.xml", "<r><x a='1'>t</x><x>u</x><y/></r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.roxd")
+	if err := xmltree.WritePackedFile(bad, other, PackSections(heap)); err != nil {
+		t.Fatal(err)
+	}
+	pb, err := xmltree.OpenPackedFile(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromPacked(pb); err == nil {
+		t.Errorf("mismatched index sections accepted")
+	}
+}
+
+func TestOpenPackedFileV1(t *testing.T) {
+	d, err := xmltree.ParseString("a.xml", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "v1.roxd")
+	if err := xmltree.WriteBinaryFile(d, path); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := OpenPackedFile(path)
+	if err != nil {
+		t.Fatalf("OpenPackedFile on v1: %v", err)
+	}
+	if ix.pk != nil {
+		t.Errorf("v1 file should build a heap index")
+	}
+	if got := ix.CountElements("item"); got != 3 {
+		t.Errorf("CountElements(item) = %d, want 3", got)
+	}
+}

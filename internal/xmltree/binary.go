@@ -12,7 +12,18 @@ import (
 // expensive than reading back the columnar node table, so tools cache the
 // shredded form (the moral equivalent of MonetDB's BAT storage).
 //
-// Format (little endian):
+// Two format versions share the "ROXD" magic:
+//
+//   - v1 (this file) is a sequential stream: columns and dictionaries are
+//     length-prefixed and must be decoded value by value into the heap.
+//   - v2 (packed.go) is the mmap-able container: page-aligned fixed-width
+//     sections readable zero-copy, plus appended persistent index sections.
+//
+// WriteBinary keeps emitting v1 (the compact interchange form); WritePacked
+// emits v2. ReadBinary accepts both, always decoding into the heap; use
+// OpenPackedFile to map a v2 file zero-copy.
+//
+// v1 format (little endian):
 //
 //	magic "ROXD" | version u8 | name | nodeCount u32
 //	kinds  [n]u8
@@ -25,9 +36,15 @@ import (
 const (
 	binaryMagic   = "ROXD"
 	binaryVersion = 1
+
+	// maxNodes/maxString/maxDict bound decoded allocations so a corrupt or
+	// hostile header cannot ask for gigabytes.
+	maxNodes  = 1 << 30
+	maxString = 1 << 28
+	maxDict   = 1 << 28
 )
 
-// WriteBinary writes the document in the binary shredded format.
+// WriteBinary writes the document in the v1 binary shredded format.
 func WriteBinary(w io.Writer, d *Document) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
@@ -62,59 +79,94 @@ func WriteBinary(w io.Writer, d *Document) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a document written by WriteBinary and validates its
-// structural invariants.
+// ReadBinary reads a document written by WriteBinary (v1) or WritePacked
+// (v2) and validates its structural invariants. The result is always
+// heap-backed — a v2 stream is buffered and decoded with copying casts; use
+// OpenPackedFile for the zero-copy mapped path. Malformed input — bad magic,
+// an unknown version, a truncated column or dictionary — fails with a
+// *FormatError; a short read mid-section is never surfaced as a bare io.EOF.
 func ReadBinary(r io.Reader) (*Document, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("xmltree: read magic: %w", err)
+		return nil, formatErr(0, "", "reading magic", err)
 	}
 	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("xmltree: not a shredded document (magic %q)", magic)
+		return nil, formatErr(0, "", fmt.Sprintf("not a shredded document (magic %q)", magic), nil)
 	}
 	version, err := br.ReadByte()
 	if err != nil {
-		return nil, err
+		return nil, formatErr(0, "", "reading version", err)
 	}
-	if version != binaryVersion {
-		return nil, fmt.Errorf("xmltree: unsupported version %d", version)
+	switch version {
+	case binaryVersion:
+		return readBinaryV1(br)
+	case packedVersion:
+		// Re-assemble the full container (the directory addresses by byte
+		// offset) and decode it over the heap buffer.
+		rest, err := io.ReadAll(br)
+		if err != nil {
+			return nil, formatErr(packedVersion, "", "reading container body", err)
+		}
+		data := make([]byte, 0, len(magic)+1+len(rest))
+		data = append(data, magic...)
+		data = append(data, version)
+		data = append(data, rest...)
+		p, err := DecodePacked(data)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Verify(); err != nil {
+			return nil, formatErr(packedVersion, "", "corrupt shredded document", err)
+		}
+		return p.Doc(), nil
+	default:
+		return nil, formatErr(int(version), "", fmt.Sprintf("unsupported version %d", version), nil)
 	}
+}
+
+// readBinaryV1 decodes the sequential v1 stream after magic and version.
+func readBinaryV1(br *bufio.Reader) (*Document, error) {
 	name, err := readString(br)
 	if err != nil {
-		return nil, err
+		return nil, formatErr(binaryVersion, "name", "reading document name", err)
 	}
 	var n uint32
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
+		return nil, formatErr(binaryVersion, "name", "reading node count", err)
 	}
-	const maxNodes = 1 << 30
 	if n == 0 || n > maxNodes {
-		return nil, fmt.Errorf("xmltree: implausible node count %d", n)
+		return nil, formatErr(binaryVersion, "", fmt.Sprintf("implausible node count %d", n), nil)
 	}
 	d := &Document{name: name}
 	kinds := make([]byte, n)
 	if _, err := io.ReadFull(br, kinds); err != nil {
-		return nil, err
+		return nil, formatErr(binaryVersion, secKinds, "truncated kind column", err)
 	}
 	d.kinds = make([]Kind, n)
 	for i, k := range kinds {
 		d.kinds[i] = Kind(k)
 	}
-	for _, col := range []*[]int32{&d.sizes, &d.levels, &d.names, &d.values, &d.parents} {
-		*col = make([]int32, n)
-		if err := binary.Read(br, binary.LittleEndian, *col); err != nil {
-			return nil, err
+	for _, col := range []struct {
+		sec string
+		dst *[]int32
+	}{
+		{secSizes, &d.sizes}, {secLevels, &d.levels}, {secNames, &d.names},
+		{secValues, &d.values}, {secParents, &d.parents},
+	} {
+		*col.dst = make([]int32, n)
+		if err := binary.Read(br, binary.LittleEndian, *col.dst); err != nil {
+			return nil, formatErr(binaryVersion, col.sec, "truncated column", err)
 		}
 	}
 	if d.qnames, err = readDict(br); err != nil {
-		return nil, err
+		return nil, formatErr(binaryVersion, secQNBlob, "reading qname dictionary", err)
 	}
 	if d.vals, err = readDict(br); err != nil {
-		return nil, err
+		return nil, formatErr(binaryVersion, secValBlob, "reading value dictionary", err)
 	}
 	if err := d.Validate(); err != nil {
-		return nil, fmt.Errorf("xmltree: corrupt shredded document: %w", err)
+		return nil, formatErr(binaryVersion, "", "corrupt shredded document", err)
 	}
 	return d, nil
 }
@@ -132,7 +184,8 @@ func WriteBinaryFile(d *Document, path string) error {
 	return f.Close()
 }
 
-// ReadBinaryFile reads a document from a file.
+// ReadBinaryFile reads a document from a file (either format version,
+// heap-backed; see ReadBinary).
 func ReadBinaryFile(path string) (*Document, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -155,9 +208,8 @@ func readString(r io.Reader) (string, error) {
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return "", err
 	}
-	const maxString = 1 << 28
 	if n > maxString {
-		return "", fmt.Errorf("xmltree: implausible string length %d", n)
+		return "", fmt.Errorf("implausible string length %d", n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -183,9 +235,8 @@ func readDict(r io.Reader) (*Dict, error) {
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return nil, err
 	}
-	const maxDict = 1 << 28
 	if n > maxDict {
-		return nil, fmt.Errorf("xmltree: implausible dictionary size %d", n)
+		return nil, fmt.Errorf("implausible dictionary size %d", n)
 	}
 	d := NewDict()
 	for i := uint32(0); i < n; i++ {

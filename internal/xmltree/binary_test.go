@@ -2,6 +2,8 @@ package xmltree
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math/rand"
 	"path/filepath"
 	"testing"
@@ -73,15 +75,35 @@ func TestBinaryRejectsGarbage(t *testing.T) {
 		nil,
 		[]byte("shrt"),
 		[]byte("NOPE....."),
-		[]byte("ROXD\x02"),                 // wrong version
+		[]byte("ROXD\x02"),                 // valid version, truncated container
+		[]byte("ROXD\x03"),                 // unknown version
+		[]byte("ROXD\x7f garbage trailer"), // unknown version with payload
 		[]byte("ROXD\x01\xff\xff\xff\xff"), // implausible name length
 	}
 	for i, c := range cases {
-		if _, err := ReadBinary(bytes.NewReader(c)); err == nil {
+		_, err := ReadBinary(bytes.NewReader(c))
+		if err == nil {
 			t.Errorf("case %d: garbage accepted", i)
+			continue
+		}
+		// Every rejection past the magic check is a typed *FormatError so
+		// callers can distinguish corruption from transport errors — never a
+		// bare io.EOF.
+		var fe *FormatError
+		if len(c) >= 5 && !errors.As(err, &fe) {
+			t.Errorf("case %d: error %v (%T) is not a *FormatError", i, err, err)
+		}
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("case %d: bare io.EOF leaked: %v", i, err)
 		}
 	}
-	// Truncated valid stream.
+	// Unknown versions must name themselves in the typed error.
+	_, err := ReadBinary(bytes.NewReader([]byte("ROXD\x03trailing")))
+	var fe *FormatError
+	if !errors.As(err, &fe) || fe.Version != 3 {
+		t.Errorf("unknown version error = %v, want *FormatError with Version 3", err)
+	}
+	// Truncated valid stream: always a typed error, never bare io.EOF.
 	d := mustParse(t, sampleXML)
 	var buf bytes.Buffer
 	if err := WriteBinary(&buf, d); err != nil {
@@ -89,8 +111,21 @@ func TestBinaryRejectsGarbage(t *testing.T) {
 	}
 	full := buf.Bytes()
 	for _, cut := range []int{10, len(full) / 2, len(full) - 3} {
-		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+		_, err := ReadBinary(bytes.NewReader(full[:cut]))
+		if err == nil {
 			t.Errorf("truncated at %d accepted", cut)
+			continue
+		}
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("truncated at %d: bare io.EOF leaked: %v", cut, err)
+		}
+		if cut > len(binaryMagic) {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Errorf("truncated at %d: error %v (%T) is not a *FormatError", cut, err, err)
+			} else if fe.Section == "" {
+				t.Errorf("truncated at %d: FormatError has no section name: %v", cut, err)
+			}
 		}
 	}
 	// Corrupted structure must fail Validate.

@@ -37,7 +37,16 @@ type Document struct {
 
 	qnames *Dict // qualified names
 	vals   *Dict // text and attribute values
+
+	// mapped marks a document whose columns are zero-copy views into a
+	// memory-mapped packed container (see OpenPackedFile). The mapping is
+	// released when the document becomes unreachable.
+	mapped bool
 }
+
+// Mapped reports whether the document's columns are backed by a
+// memory-mapped packed container rather than heap allocations.
+func (d *Document) Mapped() bool { return d.mapped }
 
 // Name returns the document identifier (typically its URL or file name).
 func (d *Document) Name() string { return d.name }

@@ -1,0 +1,26 @@
+//go:build linux
+
+package xmltree
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy open path; non-linux platforms fall back
+// to reading packed files into the heap (see OpenPackedFile).
+const mmapSupported = true
+
+// mmapFile maps the whole file read-only and returns the mapping plus its
+// release function. The mapping outlives the file descriptor.
+func mmapFile(f *os.File, size int64) ([]byte, func(), error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {
+		// Unmap failures are unactionable at cleanup time; the mapping is
+		// gone either way when the process exits.
+		_ = syscall.Munmap(data)
+	}, nil
+}

@@ -1,0 +1,17 @@
+//go:build !linux
+
+package xmltree
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported: no memory mapping on this platform; OpenPackedFile reads
+// packed containers into the heap instead (same decode path, same zero-copy
+// casts over the heap buffer — only the shared page cache is lost).
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, func(), error) {
+	return nil, nil, errors.New("xmltree: mmap unsupported on this platform")
+}

@@ -238,6 +238,79 @@ func (e *Engine) LoadDocument(d *xmltree.Document) {
 	e.publish(d)
 }
 
+// publishIndexed registers a pre-built index through the same copy-on-write
+// swap as publish — the path for packed files, whose indices come off disk
+// instead of an O(n) build.
+func (e *Engine) publishIndexed(ix *index.Index) {
+	e.mu.Lock()
+	cat := e.cat.Clone()
+	cat.AddIndexed(ix)
+	e.cat = cat
+	e.mu.Unlock()
+}
+
+// LoadPacked registers a document from a .roxd file produced by cmd/roxpack
+// (or datagen -pack). A packed v2 container is memory-mapped and queried
+// zero-copy, with its persistent index sections attached directly — cold
+// start does none of the O(corpus) shredding and index building of LoadFile.
+// The document is addressed by the name stored in the container. A v1 .roxd
+// file loads too, via the heap decode + index rebuild. On platforms without
+// mmap the container is read into the heap (same layout, same indices).
+func (e *Engine) LoadPacked(path string) error {
+	ix, err := index.OpenPackedFile(path) // mapping + attach, outside the lock
+	if err != nil {
+		return err
+	}
+	e.publishIndexed(ix)
+	return nil
+}
+
+// LoadCollectionShardPacked registers (or replaces, matching on the stored
+// document name) one shard of the named collection from a .roxd file. This
+// is the O(1) shard swap: replacing a shard maps the new file — no
+// re-shred, no index rebuild, no stop-the-world — and bumps only that
+// shard's generation stamp, so cached plans of sibling shards stay exactly
+// valid while the plan cache's stale-generation machinery absorbs the
+// change for the swapped shard. The old mapping stays valid for in-flight
+// queries over the previous catalog snapshot and is unmapped once
+// unreachable.
+func (e *Engine) LoadCollectionShardPacked(coll, path string) error {
+	ix, err := index.OpenPackedFile(path)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	cat := e.cat.Clone()
+	cat.AddCollectionShard(coll, ix)
+	e.cat = cat
+	e.mu.Unlock()
+	return nil
+}
+
+// LoadCollectionPacked registers every .roxd file as a shard of the named
+// collection, in slice order (which becomes the collection's result order).
+// Like LoadCollection, all shards are published in one copy-on-write swap:
+// concurrent queries see either the catalog before the call or the complete
+// collection, never a prefix.
+func (e *Engine) LoadCollectionPacked(coll string, paths []string) error {
+	ixs := make([]*index.Index, len(paths)) // mapping + attach, outside the lock
+	for i, path := range paths {
+		ix, err := index.OpenPackedFile(path)
+		if err != nil {
+			return err
+		}
+		ixs[i] = ix
+	}
+	e.mu.Lock()
+	cat := e.cat.Clone()
+	for _, ix := range ixs {
+		cat.AddCollectionShard(coll, ix)
+	}
+	e.cat = cat
+	e.mu.Unlock()
+	return nil
+}
+
 // LoadCollectionShard registers (or replaces, matching on document name) one
 // shard of the named collection, creating the collection on first use.
 // collection(coll) in queries scatters over the shards in registration order;
