@@ -28,12 +28,15 @@
 //	POST /collections/load?name=C&shard=S    replace (or append) one shard of
 //	                                         collection C from the XML body;
 //	                                         404 unless C exists or &create=1
-//	POST /collections/load?name=C&file=PATH  swap in a shard from a file on the
-//	                                         server: a packed .roxd shard is
-//	                                         memory-mapped in O(1) (no body, no
-//	                                         re-shred, no index rebuild), an
-//	                                         XML file is parsed under &shard=S
-//	                                         (default: its base name)
+//	POST /collections/load?name=C&file=PATH  swap in a shard from a file under
+//	                                         -corpusdir (403 unless that flag is
+//	                                         set; PATH is relative to it, or
+//	                                         absolute but inside it): a packed
+//	                                         .roxd shard is memory-mapped in
+//	                                         O(1) (no body, no re-shred, no
+//	                                         index rebuild), an XML file is
+//	                                         parsed under &shard=S (default:
+//	                                         its base name)
 //
 // Each -doc FILE is loaded under its base name, so doc("people.xml") refers
 // to -doc path/to/people.xml. Files ending in .roxd are loaded from the
@@ -94,19 +97,29 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for sampling (per query, reproducible)")
 	demo := flag.Bool("demo", false, "load a generated miniature DBLP corpus instead of -doc files")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum POST body size in bytes")
+	corpusDir := flag.String("corpusdir", "", "directory server-side ?file= shard loads are confined to (unset = file loads disabled)")
 	cacheSize := flag.Int("cache", rox.DefaultPlanCacheSize, "plan-cache capacity in entries (0 disables caching)")
 	drift := flag.Float64("drift", rox.DefaultDriftRatio, "cardinality drift ratio that re-optimizes a cached plan")
 	flag.Parse()
 
-	if err := run(docs, colls, *addr, *workers, *tau, *seed, *demo, *maxBody, *cacheSize, *drift); err != nil {
+	if err := run(docs, colls, *addr, *workers, *tau, *seed, *demo, *maxBody, *cacheSize, *drift, *corpusDir); err != nil {
 		fmt.Fprintln(os.Stderr, "roxserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(docs, colls []string, addr string, workers, tau int, seed int64, demo bool, maxBody int64, cacheSize int, drift float64) error {
+func run(docs, colls []string, addr string, workers, tau int, seed int64, demo bool, maxBody int64, cacheSize int, drift float64, corpusDir string) error {
 	if len(docs) == 0 && len(colls) == 0 && !demo {
 		return fmt.Errorf("nothing to serve: pass -doc files, -collection specs or -demo")
+	}
+	if corpusDir != "" {
+		st, err := os.Stat(corpusDir)
+		if err != nil {
+			return fmt.Errorf("-corpusdir: %w", err)
+		}
+		if !st.IsDir() {
+			return fmt.Errorf("-corpusdir %s: not a directory", corpusDir)
+		}
 	}
 	eng := rox.NewEngine(rox.WithSampleSize(tau), rox.WithSeed(seed),
 		rox.WithPlanCache(cacheSize), rox.WithDriftRatio(drift))
@@ -124,7 +137,7 @@ func run(docs, colls []string, addr string, workers, tau int, seed int64, demo b
 		}
 	}
 	pool := rox.NewPool(eng, workers)
-	srv := &http.Server{Addr: addr, Handler: newHandler(pool, maxBody)}
+	srv := &http.Server{Addr: addr, Handler: newHandler(pool, maxBody, corpusDir)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -277,8 +290,11 @@ func toQueryStats(s rox.Stats) queryStats {
 }
 
 // newHandler builds the HTTP API over a query pool. Split from run for
-// httptest coverage.
-func newHandler(pool *rox.Pool, maxBody int64) http.Handler {
+// httptest coverage. corpusDir confines server-side ?file= shard loads; ""
+// disables them — the server binds all interfaces by default, so an
+// unrestricted ?file= would hand every HTTP client a read primitive over
+// any file the process can open.
+func newHandler(pool *rox.Pool, maxBody int64, corpusDir string) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
@@ -430,8 +446,13 @@ func newHandler(pool *rox.Pool, maxBody int64) http.Handler {
 			// valid for queries already streaming from it and is unmapped when
 			// they finish. The shard keeps the document name stored in the
 			// container (or, for XML files, &shard= / the base name).
+			path, err := resolveCorpusPath(corpusDir, file)
+			if err != nil {
+				writeError(w, http.StatusForbidden, err)
+				return
+			}
 			if strings.HasSuffix(file, ".roxd") {
-				if err := pool.Engine().LoadCollectionShardPacked(name, file); err != nil {
+				if err := pool.Engine().LoadCollectionShardPacked(name, path); err != nil {
 					writeError(w, http.StatusBadRequest, fmt.Errorf("load shard file %s: %w", file, err))
 					return
 				}
@@ -445,7 +466,7 @@ func newHandler(pool *rox.Pool, maxBody int64) http.Handler {
 			if shard == "" {
 				shard = filepath.Base(file)
 			}
-			d, err := xmltree.ParseFile(shard, file)
+			d, err := xmltree.ParseFile(shard, path)
 			if err != nil {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("parse shard file %s: %w", file, err))
 				return
@@ -487,6 +508,48 @@ func newHandler(pool *rox.Pool, maxBody int64) http.Handler {
 		})
 	})
 	return mux
+}
+
+// resolveCorpusPath confines a client-supplied ?file= path to the configured
+// corpus directory. Relative paths are taken relative to corpusDir; absolute
+// paths must land inside it. Both sides are resolved through filepath.Abs +
+// EvalSymlinks before the containment check, so neither ".." segments nor a
+// symlink planted inside the corpus directory can escape it. An empty
+// corpusDir means server-side file loads are disabled entirely.
+func resolveCorpusPath(corpusDir, file string) (string, error) {
+	if corpusDir == "" {
+		return "", fmt.Errorf("server-side file loads are disabled (start roxserve with -corpusdir)")
+	}
+	root, err := filepath.Abs(corpusDir)
+	if err == nil {
+		root, err = filepath.EvalSymlinks(root)
+	}
+	if err != nil {
+		return "", fmt.Errorf("corpus directory %s: %w", corpusDir, err)
+	}
+	p := file
+	if !filepath.IsAbs(p) {
+		p = filepath.Join(root, p)
+	}
+	abs, err := filepath.Abs(p)
+	if err != nil {
+		return "", fmt.Errorf("file %q is outside the corpus directory", file)
+	}
+	switch resolved, rerr := filepath.EvalSymlinks(abs); {
+	case rerr == nil:
+		abs = resolved
+	case errors.Is(rerr, os.ErrNotExist):
+		// A path that does not exist cannot be read; the lexically cleaned
+		// abs goes through the containment check below and the load itself
+		// reports the missing file as a 400.
+	default:
+		return "", fmt.Errorf("file %q is outside the corpus directory", file)
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("file %q is outside the corpus directory", file)
+	}
+	return abs, nil
 }
 
 // intParam reads a non-negative integer query parameter ("" = 0).

@@ -26,7 +26,7 @@ func testServer(t *testing.T) *httptest.Server {
 	if err := eng.LoadXML("people.xml", peopleXML); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 4), 1<<20))
+	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 4), 1<<20, ""))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -109,7 +109,7 @@ func TestQueryBodyTooLarge(t *testing.T) {
 	if err := eng.LoadXML("people.xml", peopleXML); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 1), 16))
+	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 1), 16, ""))
 	defer ts.Close()
 	body := strings.NewReader(`for $p in doc("people.xml")//person return $p`)
 	resp, err := http.Post(ts.URL+"/query", "text/plain", body)
@@ -207,8 +207,16 @@ func shardBody(n int) string {
 	return sb.String()
 }
 
-// collectionServer serves a 3-shard collection "ppl" next to people.xml.
+// collectionServer serves a 3-shard collection "ppl" next to people.xml,
+// with server-side ?file= loads disabled (no corpus directory).
 func collectionServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	return collectionServerCorpus(t, "")
+}
+
+// collectionServerCorpus is collectionServer with ?file= loads confined to
+// corpusDir.
+func collectionServerCorpus(t *testing.T, corpusDir string) *httptest.Server {
 	t.Helper()
 	eng := rox.NewEngine(rox.WithSeed(7))
 	if err := eng.LoadXML("people.xml", peopleXML); err != nil {
@@ -219,7 +227,7 @@ func collectionServer(t *testing.T) *httptest.Server {
 			t.Fatal(err)
 		}
 	}
-	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 4), 1<<20))
+	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 4), 1<<20, corpusDir))
 	t.Cleanup(ts.Close)
 	return ts
 }

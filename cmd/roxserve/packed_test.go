@@ -56,7 +56,7 @@ func TestLoadDocPacked(t *testing.T) {
 	if err := loadDoc(eng, path); err != nil {
 		t.Fatalf("loadDoc packed: %v", err)
 	}
-	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 2), 1<<20))
+	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 2), 1<<20, ""))
 	defer ts.Close()
 	q := url.QueryEscape(`for $p in doc("people.xml")//person[city = "zurich"]/name return $p`)
 	out := getJSON(t, ts.URL+"/query?q="+q, http.StatusOK)
@@ -92,10 +92,11 @@ func TestLoadCollectionSpecPacked(t *testing.T) {
 }
 
 // TestCollectionLoadFileEndpoint swaps one shard of a served collection by
-// pointing the endpoint at a packed file on disk — the O(1) mapped swap.
+// pointing the endpoint at a packed file in the corpus directory — the O(1)
+// mapped swap.
 func TestCollectionLoadFileEndpoint(t *testing.T) {
-	ts := collectionServer(t)
 	dir := t.TempDir()
+	ts := collectionServerCorpus(t, dir)
 
 	// The packed replacement carries the stored name ppl-1.xml, so the swap
 	// replaces that shard rather than appending.
@@ -126,9 +127,59 @@ func TestCollectionLoadFileEndpoint(t *testing.T) {
 		t.Fatalf("items after xml swap = %d, want 11", len(items))
 	}
 
+	// A corpus-relative path works too.
+	out = postJSON(t, ts.URL+"/collections/load?name=ppl&file=ppl-1.xml.roxd", "", http.StatusOK)
+	if out["status"] != "mapped" {
+		t.Fatalf("relative file status = %v, want mapped", out["status"])
+	}
+
 	// Error paths: absent file, and the create guard still applies to files.
 	postJSON(t, ts.URL+"/collections/load?name=ppl&file="+url.QueryEscape(filepath.Join(dir, "nope.roxd")),
 		"", http.StatusBadRequest)
 	postJSON(t, ts.URL+"/collections/load?name=brand-new&file="+url.QueryEscape(path),
 		"", http.StatusNotFound)
+}
+
+// TestCollectionLoadFileConfinement pins the ?file= security contract: loads
+// are refused outright without -corpusdir, and a configured corpus directory
+// cannot be escaped with absolute paths, ".." segments or symlinks.
+func TestCollectionLoadFileConfinement(t *testing.T) {
+	outside := t.TempDir()
+	secret := filepath.Join(outside, "secret.xml")
+	if err := os.WriteFile(secret, []byte(shardBody(1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// No -corpusdir: every file load is forbidden, even a plausible one.
+	ts := collectionServer(t)
+	postJSON(t, ts.URL+"/collections/load?name=ppl&file="+url.QueryEscape(secret),
+		"", http.StatusForbidden)
+	postJSON(t, ts.URL+"/collections/load?name=ppl&file=anything.roxd",
+		"", http.StatusForbidden)
+
+	// With a corpus directory, escapes are rejected before any file access.
+	dir := t.TempDir()
+	if err := os.Symlink(secret, filepath.Join(dir, "sneaky.xml")); err != nil {
+		t.Fatal(err)
+	}
+	ts = collectionServerCorpus(t, dir)
+	for _, file := range []string{
+		secret,                        // absolute path outside
+		"../" + filepath.Base(secret), // relative escape
+		filepath.Join(dir, "..", filepath.Base(outside), "secret.xml"), // lexical inside, .. outside
+		"sneaky.xml", // symlink inside the corpus dir pointing outside
+	} {
+		out := postJSON(t, ts.URL+"/collections/load?name=ppl&file="+url.QueryEscape(file),
+			"", http.StatusForbidden)
+		if msg, _ := out["error"].(string); !strings.Contains(msg, "corpus directory") {
+			t.Errorf("file %q: error = %q, want a corpus-directory rejection", file, msg)
+		}
+	}
+
+	// The confinement does not break legitimate loads in the same server.
+	good := packFixture(t, dir, "ppl-0.xml", shardBody(3))
+	out := postJSON(t, ts.URL+"/collections/load?name=ppl&file="+url.QueryEscape(good), "", http.StatusOK)
+	if out["status"] != "mapped" {
+		t.Fatalf("legitimate load status = %v, want mapped", out["status"])
+	}
 }

@@ -9,6 +9,7 @@ package index
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -208,7 +209,66 @@ func FromPacked(p *xmltree.Packed) (*Index, error) {
 		return nil, fmt.Errorf("index: numeric auxiliary arrays sized %d vs %d",
 			len(pk.numVal), len(pk.numPre))
 	}
+	// Bounds validation of the mapped sections, at attach time rather than at
+	// query time: a corrupt or hostile container must fail the load with a
+	// typed error, not panic a posting slice or a node-column access inside a
+	// query goroutine (roxserve maps files on request, so a deferred panic
+	// would be remotely triggerable). O(postings) — linear scans over mapped
+	// memory, still far cheaper than the O(n) rebuild this path avoids.
+	for _, tbl := range []struct {
+		sec string
+		off []uint32
+		pst []xmltree.NodeID
+	}{
+		{secElemOff, pk.elemOff, pk.elemPst},
+		{secAttrOff, pk.attrOff, pk.attrPst},
+		{secTextOff, pk.textOff, pk.textPst},
+		{secAeqOff, pk.aeqOff, pk.aeqPst},
+	} {
+		if err := checkOffsets(tbl.sec, tbl.off, len(tbl.pst)); err != nil {
+			return nil, err
+		}
+	}
+	for _, ps := range []struct {
+		sec string
+		pst []xmltree.NodeID
+	}{
+		{secElemPst, pk.elemPst}, {secAttrPst, pk.attrPst}, {secTextPst, pk.textPst},
+		{secAeqPst, pk.aeqPst}, {secNumPre, pk.numPre},
+		{secAllElem, pk.allElem}, {secAllAttr, pk.allAttr}, {secAllText, pk.allText},
+	} {
+		if err := checkNodeIDs(ps.sec, ps.pst, doc.Len()); err != nil {
+			return nil, err
+		}
+	}
 	return &Index{doc: doc, pk: pk}, nil
+}
+
+// checkOffsets rejects an offset table whose entries decrease or point past
+// the posting array — either would make postings() slice out of bounds.
+func checkOffsets(sec string, off []uint32, pstLen int) error {
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return fmt.Errorf("index: section %s: offset table decreases at entry %d (%d after %d)",
+				sec, i, off[i], off[i-1])
+		}
+	}
+	if len(off) > 0 && uint64(off[len(off)-1]) > uint64(pstLen) {
+		return fmt.Errorf("index: section %s: offset table ends at %d, posting array holds %d entries",
+			sec, off[len(off)-1], pstLen)
+	}
+	return nil
+}
+
+// checkNodeIDs rejects postings that reference nodes outside the document.
+func checkNodeIDs(sec string, pst []xmltree.NodeID, n int) error {
+	for i, id := range pst {
+		if id < 0 || int(id) >= n {
+			return fmt.Errorf("index: section %s: posting %d references node %d of a %d-node document",
+				sec, i, id, n)
+		}
+	}
+	return nil
 }
 
 // castSection applies a zero-copy cast to a section, treating a missing
@@ -240,8 +300,11 @@ func OpenPackedFile(path string) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	// io.ReadFull, not Read: a single Read may legally return fewer than 5
+	// bytes without error, which would misroute a v2 container to the v1
+	// heap-decode fallback. A genuinely short file is simply not packed.
 	var ver [5]byte
-	_, rerr := f.Read(ver[:])
+	_, rerr := io.ReadFull(f, ver[:])
 	f.Close()
 	if rerr == nil && string(ver[:4]) == "ROXD" && ver[4] == 2 {
 		p, err := xmltree.OpenPackedFile(path)

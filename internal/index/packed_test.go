@@ -1,6 +1,7 @@
 package index
 
 import (
+	"encoding/binary"
 	"path/filepath"
 	"reflect"
 	"runtime"
@@ -151,6 +152,77 @@ func TestFromPackedMismatch(t *testing.T) {
 	}
 	if _, err := FromPacked(pb); err == nil {
 		t.Errorf("mismatched index sections accepted")
+	}
+}
+
+// TestFromPackedCorruptSections: a corrupt or hostile container must fail at
+// attach time with a typed error — never panic later inside query execution,
+// where roxserve's on-request file mapping would make the crash remotely
+// triggerable.
+func TestFromPackedCorruptSections(t *testing.T) {
+	d, err := xmltree.ParseString("a.xml", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := New(d)
+	cases := []struct {
+		name    string
+		section string
+		tamper  func(b []byte)
+	}{
+		{"posting node id out of range", secElemPst, func(b []byte) {
+			binary.LittleEndian.PutUint32(b, 1<<30)
+		}},
+		{"negative posting node id", secTextPst, func(b []byte) {
+			binary.LittleEndian.PutUint32(b, 0xffffffff)
+		}},
+		{"numeric auxiliary node id out of range", secNumPre, func(b []byte) {
+			binary.LittleEndian.PutUint32(b, 1<<29)
+		}},
+		{"kind restriction node id out of range", secAllElem, func(b []byte) {
+			binary.LittleEndian.PutUint32(b, 1<<29)
+		}},
+		{"offset table past posting array", secElemOff, func(b []byte) {
+			binary.LittleEndian.PutUint32(b[len(b)-4:], 1<<31)
+		}},
+		{"offset table not monotonic", secTextOff, func(b []byte) {
+			binary.LittleEndian.PutUint32(b, 0xffff0000)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			secs := PackSections(heap)
+			tampered := false
+			for i := range secs {
+				// Unalias: PackSections returns zero-copy views of the heap
+				// index's own arrays.
+				secs[i].Data = append([]byte(nil), secs[i].Data...)
+				if secs[i].Name == tc.section {
+					if len(secs[i].Data) < 4 {
+						t.Fatalf("section %s too small to tamper with", tc.section)
+					}
+					tc.tamper(secs[i].Data)
+					tampered = true
+				}
+			}
+			if !tampered {
+				t.Fatalf("section %s not emitted by PackSections", tc.section)
+			}
+			path := filepath.Join(t.TempDir(), "corrupt.roxd")
+			if err := xmltree.WritePackedFile(path, d, secs); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := OpenPackedFile(path); err == nil {
+				t.Error("corrupt container attached without error")
+			}
+			p, err := xmltree.OpenPackedFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := FromPacked(p); err == nil {
+				t.Error("FromPacked accepted corrupt sections")
+			}
+		})
 	}
 }
 

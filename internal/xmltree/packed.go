@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"unsafe"
@@ -257,12 +258,18 @@ func Float64sBytes(vals []float64) []byte {
 	return out
 }
 
-// dictSections encodes d as an offset table + concatenated blob.
-func dictSections(d *Dict, offName, blobName string) []Section {
+// dictSections encodes d as an offset table + concatenated blob. The offset
+// table is u32, so a blob past 4 GiB is unrepresentable: values are unbounded
+// (maxString caps one entry at 256 MiB, not the sum), and wrapping offsets
+// would silently emit a corrupt container.
+func dictSections(d *Dict, offName, blobName string) ([]Section, error) {
 	off := make([]uint32, d.Len()+1)
-	total := 0
+	var total uint64
 	for i := 0; i < d.Len(); i++ {
-		total += len(d.String(int32(i)))
+		total += uint64(len(d.String(int32(i))))
+	}
+	if total > math.MaxUint32 {
+		return nil, fmt.Errorf("xmltree: dictionary blob %s is %d bytes, beyond what u32 offsets address", blobName, total)
 	}
 	blob := make([]byte, 0, total)
 	for i := 0; i < d.Len(); i++ {
@@ -270,11 +277,11 @@ func dictSections(d *Dict, offName, blobName string) []Section {
 		blob = append(blob, d.String(int32(i))...)
 	}
 	off[d.Len()] = uint32(len(blob))
-	return []Section{{offName, Uint32sBytes(off)}, {blobName, blob}}
+	return []Section{{offName, Uint32sBytes(off)}, {blobName, blob}}, nil
 }
 
 // coreSections lists the document's own sections in canonical order.
-func coreSections(d *Document) []Section {
+func coreSections(d *Document) ([]Section, error) {
 	kinds := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(d.kinds))), len(d.kinds))
 	secs := []Section{
 		{secKinds, kinds},
@@ -284,9 +291,17 @@ func coreSections(d *Document) []Section {
 		{secValues, Int32sBytes(d.values)},
 		{secParents, Int32sBytes(d.parents)},
 	}
-	secs = append(secs, dictSections(d.qnames, secQNOff, secQNBlob)...)
-	secs = append(secs, dictSections(d.vals, secValOff, secValBlob)...)
-	return secs
+	qn, err := dictSections(d.qnames, secQNOff, secQNBlob)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := dictSections(d.vals, secValOff, secValBlob)
+	if err != nil {
+		return nil, err
+	}
+	secs = append(secs, qn...)
+	secs = append(secs, vals...)
+	return secs, nil
 }
 
 // WritePacked writes d as a ROXD v2 packed container, appending the extra
@@ -297,7 +312,11 @@ func WritePacked(w io.Writer, d *Document, extra []Section) error {
 	if err := d.Validate(); err != nil {
 		return fmt.Errorf("xmltree: refusing to pack invalid document: %w", err)
 	}
-	secs := append(coreSections(d), extra...)
+	core, err := coreSections(d)
+	if err != nil {
+		return err
+	}
+	secs := append(core, extra...)
 
 	// Directory geometry: header length decides the first section offset.
 	headerLen := 4 + 1 + 3 + 4 + len(d.name) + 4 + 4
