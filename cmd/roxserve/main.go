@@ -24,6 +24,15 @@
 //	GET  /stats                              aggregate evaluation statistics
 //	GET  /cache                              plan-cache size + hit/miss/drift
 //	                                         counters
+//	GET  /shards                             shard inventory: every loaded
+//	                                         document with its generation stamp
+//	                                         (what LoadCollectionRemote
+//	                                         discovers)
+//	POST /shards/{shard}/execute             execute one shard of a collection
+//	                                         query and stream the result as
+//	                                         NDJSON (the coordinator-facing
+//	                                         wire protocol; see DESIGN.md
+//	                                         "Shard-server wire contract")
 //	GET  /collections                        registered collections + shards
 //	POST /collections/load?name=C&shard=S    replace (or append) one shard of
 //	                                         collection C from the XML body;
@@ -37,6 +46,26 @@
 //	                                         index rebuild), an XML file is
 //	                                         parsed under &shard=S (default:
 //	                                         its base name)
+//
+// Every endpoint is served both under the versioned prefix /v1/ (the stable,
+// documented surface new clients should target) and at its historical
+// unprefixed path (a frozen alias kept for existing deployments); /v1/query
+// and /query are the same handler.
+//
+// Roles:
+//
+//	-role standalone   (default) the full surface above
+//	-role shard        a shard server: everything except /query — it executes
+//	                   shard requests for a remote coordinator but is not a
+//	                   client-facing query endpoint
+//
+// A coordinator registers remote shards with
+//
+//	roxserve -remote-collection logs=http://shard1:8080,http://shard2:8080
+//
+// which asks each URL for its inventory (GET /v1/shards) and scatters
+// collection("logs") queries over those servers, merging exactly as if the
+// shards were local. Remote and local shards mix freely in one collection.
 //
 // Each -doc FILE is loaded under its base name, so doc("people.xml") refers
 // to -doc path/to/people.xml. Files ending in .roxd are loaded from the
@@ -64,6 +93,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -76,6 +106,7 @@ import (
 	"repro"
 	"repro/internal/datagen"
 	"repro/internal/metrics"
+	"repro/internal/shardrpc"
 	"repro/internal/xmltree"
 )
 
@@ -88,9 +119,11 @@ func (m *multiFlag) Set(s string) error {
 }
 
 func main() {
-	var docs, colls multiFlag
+	var docs, colls, remotes multiFlag
 	flag.Var(&docs, "doc", "XML file to load (repeatable); addressed by base name")
 	flag.Var(&colls, "collection", "NAME=GLOB sharded collection to load (repeatable); queried with collection(\"NAME\")")
+	flag.Var(&remotes, "remote-collection", "NAME=URL1,URL2 collection served by remote shard servers (repeatable); shards discovered via GET /v1/shards")
+	role := flag.String("role", "standalone", "server role: standalone (full query surface) or shard (shard-execution only, no /query)")
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "max concurrent query evaluations (0 = GOMAXPROCS)")
 	tau := flag.Int("tau", 100, "ROX sample size τ")
@@ -102,15 +135,18 @@ func main() {
 	drift := flag.Float64("drift", rox.DefaultDriftRatio, "cardinality drift ratio that re-optimizes a cached plan")
 	flag.Parse()
 
-	if err := run(docs, colls, *addr, *workers, *tau, *seed, *demo, *maxBody, *cacheSize, *drift, *corpusDir); err != nil {
+	if err := run(docs, colls, remotes, *role, *addr, *workers, *tau, *seed, *demo, *maxBody, *cacheSize, *drift, *corpusDir); err != nil {
 		fmt.Fprintln(os.Stderr, "roxserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(docs, colls []string, addr string, workers, tau int, seed int64, demo bool, maxBody int64, cacheSize int, drift float64, corpusDir string) error {
-	if len(docs) == 0 && len(colls) == 0 && !demo {
-		return fmt.Errorf("nothing to serve: pass -doc files, -collection specs or -demo")
+func run(docs, colls, remotes []string, role, addr string, workers, tau int, seed int64, demo bool, maxBody int64, cacheSize int, drift float64, corpusDir string) error {
+	if role != "standalone" && role != "shard" {
+		return fmt.Errorf("bad -role %q: want standalone or shard", role)
+	}
+	if len(docs) == 0 && len(colls) == 0 && len(remotes) == 0 && !demo {
+		return fmt.Errorf("nothing to serve: pass -doc files, -collection or -remote-collection specs, or -demo")
 	}
 	if corpusDir != "" {
 		st, err := os.Stat(corpusDir)
@@ -136,8 +172,19 @@ func run(docs, colls []string, addr string, workers, tau int, seed int64, demo b
 			return err
 		}
 	}
+	if len(remotes) > 0 {
+		// Discovery is a startup-time network call; bound it so a dead shard
+		// server fails the boot promptly instead of hanging it.
+		rctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, spec := range remotes {
+			if err := loadRemoteCollectionSpec(rctx, eng, spec); err != nil {
+				return err
+			}
+		}
+	}
 	pool := rox.NewPool(eng, workers)
-	srv := &http.Server{Addr: addr, Handler: newHandler(pool, maxBody, corpusDir)}
+	srv := &http.Server{Addr: addr, Handler: newHandler(pool, maxBody, corpusDir, role)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -227,6 +274,31 @@ func loadCollectionSpec(eng *rox.Engine, spec string) error {
 	return nil
 }
 
+// loadRemoteCollectionSpec registers one -remote-collection NAME=URL1,URL2
+// spec: each URL is a shard server whose inventory (GET /v1/shards) becomes
+// this collection's remote shards, registered in the order the URLs were
+// given (the server lists its documents name-sorted, which fixes the
+// collection's result order).
+func loadRemoteCollectionSpec(ctx context.Context, eng *rox.Engine, spec string) error {
+	name, list, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || list == "" {
+		return fmt.Errorf("bad -remote-collection spec %q: want NAME=URL1,URL2", spec)
+	}
+	var eps []rox.Endpoint
+	for _, u := range strings.Split(list, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			eps = append(eps, rox.Endpoint{URL: u})
+		}
+	}
+	if len(eps) == 0 {
+		return fmt.Errorf("bad -remote-collection spec %q: no endpoint URLs", spec)
+	}
+	if err := eng.LoadCollectionRemote(ctx, name, eps); err != nil {
+		return fmt.Errorf("-remote-collection %s: %w", name, err)
+	}
+	return nil
+}
+
 // loadDemo fills the engine with a miniature generated DBLP corpus (four
 // correlated venues — the paper's running example at toy scale).
 func loadDemo(eng *rox.Engine) {
@@ -289,20 +361,38 @@ func toQueryStats(s rox.Stats) queryStats {
 	return out
 }
 
+// handle registers one route twice: at its historical unprefixed pattern and
+// under the versioned /v1/ prefix. Both names resolve to the same handler —
+// /v1/ is the documented stable surface, the unprefixed path a frozen alias.
+// Method patterns ("POST /shards/{shard}/execute") keep the method in front
+// of the inserted prefix.
+func handle(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, h)
+	if method, path, ok := strings.Cut(pattern, " "); ok {
+		mux.HandleFunc(method+" /v1"+path, h)
+	} else {
+		mux.HandleFunc("/v1"+pattern, h)
+	}
+}
+
 // newHandler builds the HTTP API over a query pool. Split from run for
 // httptest coverage. corpusDir confines server-side ?file= shard loads; ""
 // disables them — the server binds all interfaces by default, so an
 // unrestricted ?file= would hand every HTTP client a read primitive over
-// any file the process can open.
-func newHandler(pool *rox.Pool, maxBody int64, corpusDir string) http.Handler {
+// any file the process can open. role "shard" drops /query: a shard server
+// executes shard requests for a coordinator but is not a client-facing query
+// endpoint.
+func newHandler(pool *rox.Pool, maxBody int64, corpusDir, role string) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle(mux, "GET /shards", shardrpc.HandleInventory(pool.Engine()))
+	handle(mux, "POST /shards/{shard}/execute", shardrpc.HandleExecute(pool.Engine()))
+	handle(mux, "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":    "ok",
 			"documents": pool.Engine().Documents(),
 		})
 	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle(mux, "/stats", func(w http.ResponseWriter, r *http.Request) {
 		agg := pool.Aggregator()
 		exec, sample := agg.CostOf(metrics.PhaseExecute), agg.CostOf(metrics.PhaseSample)
 		writeJSON(w, http.StatusOK, map[string]any{
@@ -313,7 +403,7 @@ func newHandler(pool *rox.Pool, maxBody int64, corpusDir string) http.Handler {
 			"sample":  map[string]int64{"tuples": sample.Tuples, "ops": sample.Ops},
 		})
 	})
-	mux.HandleFunc("/cache", func(w http.ResponseWriter, r *http.Request) {
+	handle(mux, "/cache", func(w http.ResponseWriter, r *http.Request) {
 		cs := pool.CacheStats()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"enabled":       cs.Enabled,
@@ -329,7 +419,7 @@ func newHandler(pool *rox.Pool, maxBody int64, corpusDir string) http.Handler {
 			"hit_rate":      cs.Counters.HitRate(),
 		})
 	})
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+	queryHandler := func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")
 		if q == "" && (r.Method == http.MethodPost || r.Method == http.MethodPut) {
 			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
@@ -399,8 +489,11 @@ func newHandler(pool *rox.Pool, maxBody int64, corpusDir string) http.Handler {
 			Items: items,
 			Stats: toQueryStats(rows.Stats()),
 		})
-	})
-	mux.HandleFunc("/collections", func(w http.ResponseWriter, r *http.Request) {
+	}
+	if role != "shard" {
+		handle(mux, "/query", queryHandler)
+	}
+	handle(mux, "/collections", func(w http.ResponseWriter, r *http.Request) {
 		eng := pool.Engine()
 		type collInfo struct {
 			Name   string   `json:"name"`
@@ -416,7 +509,7 @@ func newHandler(pool *rox.Pool, maxBody int64, corpusDir string) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"collections": out})
 	})
-	mux.HandleFunc("/collections/load", func(w http.ResponseWriter, r *http.Request) {
+	handle(mux, "/collections/load", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost && r.Method != http.MethodPut {
 			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST or PUT an XML shard body"))
 			return
@@ -592,13 +685,25 @@ func streamNDJSON(w http.ResponseWriter, rows *rox.Rows) {
 }
 
 // statusFor classifies an evaluation error: cancellation → 503 (client went
-// away or timed out), client mistakes (unparsable query, unknown document) →
-// 400, anything else is an engine-internal failure → 500 so monitoring sees
-// it and clients know to retry.
+// away or timed out), a remote shard server's 4xx (it rejected the shard
+// request as malformed or unknown) → 400, any other remote-shard failure
+// (server unreachable, 5xx, mid-stream drop) → 502 so clients can tell a
+// cluster fault from a coordinator fault, client mistakes (unparsable query,
+// unknown document) → 400, anything else is an engine-internal failure → 500
+// so monitoring sees it and clients know to retry.
 func statusFor(err error) int {
+	var remote *shardrpc.RemoteError
+	var uerr *url.Error
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
+	case errors.As(err, &remote):
+		if remote.Status >= 400 && remote.Status < 500 {
+			return http.StatusBadRequest
+		}
+		return http.StatusBadGateway
+	case errors.As(err, &uerr):
+		return http.StatusBadGateway
 	case errors.Is(err, rox.ErrNoSuchDocument) ||
 		errors.Is(err, rox.ErrNoSuchCollection) ||
 		errors.Is(err, rox.ErrStaticCollection) ||

@@ -26,7 +26,7 @@ func testServer(t *testing.T) *httptest.Server {
 	if err := eng.LoadXML("people.xml", peopleXML); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 4), 1<<20, ""))
+	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 4), 1<<20, "", "standalone"))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -109,7 +109,7 @@ func TestQueryBodyTooLarge(t *testing.T) {
 	if err := eng.LoadXML("people.xml", peopleXML); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 1), 16, ""))
+	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 1), 16, "", "standalone"))
 	defer ts.Close()
 	body := strings.NewReader(`for $p in doc("people.xml")//person return $p`)
 	resp, err := http.Post(ts.URL+"/query", "text/plain", body)
@@ -227,7 +227,7 @@ func collectionServerCorpus(t *testing.T, corpusDir string) *httptest.Server {
 			t.Fatal(err)
 		}
 	}
-	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 4), 1<<20, corpusDir))
+	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 4), 1<<20, corpusDir, "standalone"))
 	t.Cleanup(ts.Close)
 	return ts
 }

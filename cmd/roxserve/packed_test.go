@@ -56,7 +56,7 @@ func TestLoadDocPacked(t *testing.T) {
 	if err := loadDoc(eng, path); err != nil {
 		t.Fatalf("loadDoc packed: %v", err)
 	}
-	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 2), 1<<20, ""))
+	ts := httptest.NewServer(newHandler(rox.NewPool(eng, 2), 1<<20, "", "standalone"))
 	defer ts.Close()
 	q := url.QueryEscape(`for $p in doc("people.xml")//person[city = "zurich"]/name return $p`)
 	out := getJSON(t, ts.URL+"/query?q="+q, http.StatusOK)

@@ -28,13 +28,31 @@ type Catalog struct {
 	// the other shards untouched.
 	colls map[string]*Collection
 
-	// gen counts document registrations across this catalog's copy-on-write
-	// lineage. Every AddDocument/AddIndexed bumps it, so two catalog
-	// snapshots with the same generation hold the same corpus. Plan caches
-	// key on (query fingerprint, generation): a reload under the same name
-	// changes the generation and therefore invalidates exact cache hits even
-	// though the name set is unchanged.
+	// gen counts registrations across this catalog's copy-on-write lineage —
+	// documents via AddDocument/AddIndexed and remote shards via
+	// AddCollectionShardRemote — so two catalog snapshots with the same
+	// generation hold the same corpus. Plan caches key on (query fingerprint,
+	// generation): a reload under the same name changes the generation and
+	// therefore invalidates exact cache hits even though the name set is
+	// unchanged.
 	gen uint64
+
+	// docGens records, per document name, the generation at which that
+	// document was last (re)registered. This is what a shard server reports
+	// to coordinators: a remote shard's cached plans validate against the
+	// serving document's own stamp, so reloading one document on one server
+	// invalidates exactly that shard's plans cluster-wide and no others.
+	docGens map[string]uint64
+}
+
+// Remote is a shard's backend slot when its data lives in another process: the
+// base URL of the shard server (a roxserve in shard-server role) and the
+// document name there. A Shard carrying a Remote has no local index — the
+// engine routes its execution through the HTTP shard backend instead of the
+// in-process one.
+type Remote struct {
+	Endpoint string
+	Doc      string
 }
 
 // Shard is one partition of a collection: a shredded document with its own
@@ -43,16 +61,28 @@ type Catalog struct {
 // a new Shard value, so holding a *Shard from a catalog snapshot is always
 // safe.
 type Shard struct {
+	// Ix is the shard's local index; nil when Remote is set.
 	Ix *index.Index
 	// Gen is the catalog generation at this shard's registration. Per-shard
 	// plan-cache entries pair a fingerprint with this value: reloading one
 	// shard bumps only its own stamp, leaving the cached plans of sibling
-	// shards exactly valid.
+	// shards exactly valid. For a remote shard this stamps the registration,
+	// not the remote data — the serving document's own generation travels on
+	// the wire with every response instead.
 	Gen uint64
+	// Remote, when non-nil, is the shard's backend slot: the shard's data is
+	// served by another process and the engine executes it over HTTP.
+	Remote *Remote
 }
 
-// Name returns the shard's document name.
-func (s *Shard) Name() string { return s.Ix.Doc().Name() }
+// Name returns the shard's document name (for a remote shard, the document
+// name on its serving endpoint).
+func (s *Shard) Name() string {
+	if s.Remote != nil {
+		return s.Remote.Doc
+	}
+	return s.Ix.Doc().Name()
+}
 
 // Collection is a logical document set queried as one unit: collection(name)
 // in a query scatters over the shards in registration order and concatenates
@@ -74,9 +104,10 @@ func (c *Collection) ShardNames() []string {
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
 	return &Catalog{
-		docs:  make(map[string]*xmltree.Document),
-		idxs:  make(map[string]*index.Index),
-		colls: make(map[string]*Collection),
+		docs:    make(map[string]*xmltree.Document),
+		idxs:    make(map[string]*index.Index),
+		colls:   make(map[string]*Collection),
+		docGens: make(map[string]uint64),
 	}
 }
 
@@ -121,6 +152,7 @@ func (c *Catalog) AddIndexed(ix *index.Index) {
 	c.docs[ix.Doc().Name()] = ix.Doc()
 	c.idxs[ix.Doc().Name()] = ix
 	c.gen++
+	c.docGens[ix.Doc().Name()] = c.gen
 	c.refreshShard(ix)
 }
 
@@ -160,6 +192,31 @@ func (c *Catalog) AddCollectionShard(coll string, ix *index.Index) {
 	col.Shards = append(col.Shards, &Shard{Ix: ix, Gen: c.gen})
 }
 
+// AddCollectionShardRemote registers (or replaces, matching on document name)
+// one remote shard of the named collection: a shard whose data is served by
+// another process at r.Endpoint under the document name r.Doc. The shard is
+// not registered as a plain document — doc(r.Doc) stays a query-time error
+// here — and a later local load under the same name replaces the remote slot
+// (refreshShard matches on name), which lets a coordinator promote a remote
+// shard to a local one without re-registering the collection. Single-owner
+// only, like AddDocument.
+func (c *Catalog) AddCollectionShardRemote(coll string, r Remote) {
+	c.gen++
+	sh := &Shard{Gen: c.gen, Remote: &r}
+	col := c.colls[coll]
+	if col == nil {
+		c.colls[coll] = &Collection{Name: coll, Shards: []*Shard{sh}}
+		return
+	}
+	for i, old := range col.Shards {
+		if old.Name() == r.Doc {
+			col.Shards[i] = sh
+			return
+		}
+	}
+	col.Shards = append(col.Shards, sh)
+}
+
 // Collection returns the named collection.
 func (c *Catalog) Collection(name string) (*Collection, error) {
 	col, ok := c.colls[name]
@@ -187,16 +244,20 @@ func (c *Catalog) Collections() []string {
 // shard replace in the clone never shows through to holders of the original.
 func (c *Catalog) Clone() *Catalog {
 	out := &Catalog{
-		docs:  make(map[string]*xmltree.Document, len(c.docs)),
-		idxs:  make(map[string]*index.Index, len(c.idxs)),
-		colls: make(map[string]*Collection, len(c.colls)),
-		gen:   c.gen,
+		docs:    make(map[string]*xmltree.Document, len(c.docs)),
+		idxs:    make(map[string]*index.Index, len(c.idxs)),
+		colls:   make(map[string]*Collection, len(c.colls)),
+		docGens: make(map[string]uint64, len(c.docGens)),
+		gen:     c.gen,
 	}
 	for name, d := range c.docs {
 		out.docs[name] = d
 	}
 	for name, ix := range c.idxs {
 		out.idxs[name] = ix
+	}
+	for name, g := range c.docGens {
+		out.docGens[name] = g
 	}
 	for name, col := range c.colls {
 		out.colls[name] = &Collection{
@@ -266,3 +327,9 @@ func (c *Catalog) Len() int { return len(c.docs) }
 // by Clone, so a (fingerprint, generation) pair identifies a query shape over
 // one specific corpus state.
 func (c *Catalog) Generation() uint64 { return c.gen }
+
+// DocGeneration returns the generation at which the named document was last
+// (re)registered, or 0 for a name this catalog does not hold. A shard server
+// stamps every execute response with this value, so a coordinator's cached
+// plan hints validate against exactly the document that served them.
+func (c *Catalog) DocGeneration(name string) uint64 { return c.docGens[name] }

@@ -1,0 +1,101 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func mustDoc(t *testing.T, name, xml string) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(name, xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestAddCollectionShardRemote covers the remote shard registry: append in
+// order, replace by name (local→remote and remote→remote), and the Name()
+// accessor on index-less shards.
+func TestAddCollectionShardRemote(t *testing.T) {
+	c := NewCatalog()
+	c.AddCollectionShardRemote("c", Remote{Endpoint: "http://a", Doc: "s0.xml"})
+	c.AddCollectionShardRemote("c", Remote{Endpoint: "http://b", Doc: "s1.xml"})
+	col, err := c.Collection("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := col.ShardNames(); len(got) != 2 || got[0] != "s0.xml" || got[1] != "s1.xml" {
+		t.Fatalf("ShardNames = %v, want registration order", got)
+	}
+	for _, sh := range col.Shards {
+		if sh.Remote == nil || sh.Ix != nil {
+			t.Errorf("shard %s: Remote=%v Ix=%v, want remote slot without local index",
+				sh.Name(), sh.Remote, sh.Ix)
+		}
+	}
+
+	// Re-registering an existing name replaces the slot, keeping order, and
+	// bumps the generation stamp.
+	g0 := col.Shards[0].Gen
+	c.AddCollectionShardRemote("c", Remote{Endpoint: "http://c", Doc: "s0.xml"})
+	col, _ = c.Collection("c")
+	if got := col.ShardNames(); len(got) != 2 || got[0] != "s0.xml" {
+		t.Fatalf("after replace: ShardNames = %v", got)
+	}
+	if col.Shards[0].Remote.Endpoint != "http://c" {
+		t.Errorf("replaced shard endpoint = %s, want http://c", col.Shards[0].Remote.Endpoint)
+	}
+	if col.Shards[0].Gen <= g0 {
+		t.Errorf("replace did not advance the shard generation: %d -> %d", g0, col.Shards[0].Gen)
+	}
+}
+
+// TestRemoteShardThenLocalLoad: loading a local document under a remote
+// shard's name replaces the remote slot — migration of a shard back into the
+// process, mirroring how refreshShard swaps local shards.
+func TestRemoteShardThenLocalLoad(t *testing.T) {
+	c := NewCatalog()
+	c.AddCollectionShardRemote("c", Remote{Endpoint: "http://a", Doc: "s0.xml"})
+	c.AddDocument(mustDoc(t, "s0.xml", `<r><x>v</x></r>`))
+	col, err := c.Collection("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Shards) != 1 {
+		t.Fatalf("shards = %v", col.ShardNames())
+	}
+	sh := col.Shards[0]
+	if sh.Remote != nil || sh.Ix == nil {
+		t.Errorf("local load did not replace the remote slot: Remote=%v Ix=%v", sh.Remote, sh.Ix)
+	}
+}
+
+// TestDocGenerations: DocGeneration reports each document's own registration
+// stamp — 0 for unknown names, advancing per reload, surviving Clone.
+func TestDocGenerations(t *testing.T) {
+	c := NewCatalog()
+	if g := c.DocGeneration("nope.xml"); g != 0 {
+		t.Errorf("unknown document generation = %d, want 0", g)
+	}
+	c.AddDocument(mustDoc(t, "a.xml", `<r><x>1</x></r>`))
+	c.AddDocument(mustDoc(t, "b.xml", `<r><x>2</x></r>`))
+	ga, gb := c.DocGeneration("a.xml"), c.DocGeneration("b.xml")
+	if ga == 0 || gb == 0 || ga == gb {
+		t.Fatalf("generations a=%d b=%d, want distinct non-zero stamps", ga, gb)
+	}
+
+	clone := c.Clone()
+	if clone.DocGeneration("a.xml") != ga || clone.DocGeneration("b.xml") != gb {
+		t.Error("Clone dropped document generations")
+	}
+	// A reload in the clone advances its stamp without touching the original.
+	clone.AddDocument(mustDoc(t, "a.xml", `<r><x>1b</x></r>`))
+	if clone.DocGeneration("a.xml") <= ga {
+		t.Errorf("reload did not advance the clone's stamp: %d", clone.DocGeneration("a.xml"))
+	}
+	if c.DocGeneration("a.xml") != ga {
+		t.Errorf("clone reload leaked into the original: %d != %d", c.DocGeneration("a.xml"), ga)
+	}
+}

@@ -385,6 +385,19 @@ func (a *AggState) Merge(b *AggState) {
 	}
 }
 
+// Partials exposes the exact-sum expansion for wire transfer: a fold state
+// serialized as (Count, Min, Max, Partials) and rebuilt with RestoreAggState
+// merges bit-for-bit like the original, because every partial is a finite
+// float64 that JSON round-trips exactly. The returned slice is the state's
+// own storage — callers must not modify it.
+func (a *AggState) Partials() []float64 { return a.partials }
+
+// RestoreAggState rebuilds a fold state from its transferred fields (see
+// Partials). The partials slice is adopted, not copied.
+func RestoreAggState(count int64, min, max float64, partials []float64) *AggState {
+	return &AggState{Count: count, Min: min, Max: max, partials: partials}
+}
+
 // Sum returns the correctly rounded float64 value of the exact sum, using the
 // round-half-even correction of math.Fsum so the result is independent of
 // how the expansion was built.

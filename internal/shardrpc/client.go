@@ -1,0 +1,130 @@
+package shardrpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// maxErrorBody bounds how much of a non-200 response body the client reads
+// looking for the error envelope.
+const maxErrorBody = 1 << 16
+
+// Client issues shard-server requests. The zero client is not usable; build
+// one with NewClient. One Client is safe for concurrent use by any number of
+// goroutines and should be shared so the underlying transport reuses
+// connections across scatters.
+type Client struct {
+	hc *http.Client
+}
+
+// NewClient wraps an http.Client (nil for a default one). The client must not
+// set an overall request timeout — execute responses stream for as long as
+// the query runs; per-query deadlines belong on the caller's context.
+func NewClient(hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{hc: hc}
+}
+
+// Shards fetches the server's document inventory (GET /v1/shards).
+func (c *Client) Shards(ctx context.Context, base string) ([]ShardInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, joinURL(base, "/v1/shards"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteErr(base, resp)
+	}
+	var list ShardList
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxErrorBody)).Decode(&list); err != nil {
+		return nil, fmt.Errorf("shardrpc: %s: decoding shard list: %w", base, err)
+	}
+	return list.Shards, nil
+}
+
+// Execute starts one shard execution (POST /v1/shards/{shard}/execute) and
+// returns its response stream. The request is sent with the given context:
+// canceling it aborts an in-flight stream and closes the connection, which is
+// how a coordinator's filled limit window stops remote work. The caller must
+// Close the returned stream on every path.
+func (c *Client) Execute(ctx context.Context, base, shard string, req *ExecRequest) (*Stream, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	u := joinURL(base, "/v1/shards/"+url.PathEscape(shard)+"/execute")
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, remoteErr(base, resp)
+	}
+	return &Stream{body: resp.Body, dec: json.NewDecoder(resp.Body), endpoint: base}, nil
+}
+
+// Stream is the NDJSON message sequence of one execute response. Next returns
+// messages until the done report (the protocol's last message); the caller
+// recognizes it by Message.Done and stops there.
+type Stream struct {
+	body     io.ReadCloser
+	dec      *json.Decoder
+	endpoint string
+}
+
+// Next decodes the next message. A stream that ends without a done report was
+// cut mid-flight (server died, connection dropped) and surfaces as an error.
+func (s *Stream) Next() (*Message, error) {
+	var m Message
+	if err := s.dec.Decode(&m); err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("shardrpc: %s: stream ended without done report", s.endpoint)
+		}
+		return nil, fmt.Errorf("shardrpc: %s: reading stream: %w", s.endpoint, err)
+	}
+	if m.Item == nil && m.Done == nil {
+		return nil, fmt.Errorf("shardrpc: %s: malformed stream message", s.endpoint)
+	}
+	return &m, nil
+}
+
+// Close releases the response. Closing before the done report aborts the
+// remote execution: the server sees its request context cancel.
+func (s *Stream) Close() error { return s.body.Close() }
+
+// remoteErr builds the typed error for a non-200 response, reading the error
+// envelope when the server sent one.
+func remoteErr(base string, resp *http.Response) error {
+	msg := resp.Status
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+	if err == nil && len(b) > 0 {
+		var env errorEnvelope
+		if json.Unmarshal(b, &env) == nil && env.Error != "" {
+			msg = env.Error
+		}
+	}
+	return &RemoteError{Status: resp.StatusCode, Endpoint: base, Msg: msg}
+}
+
+// joinURL appends a path to a base URL, tolerating a trailing slash.
+func joinURL(base, path string) string {
+	return strings.TrimSuffix(base, "/") + path
+}

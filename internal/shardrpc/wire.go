@@ -1,0 +1,225 @@
+// Package shardrpc is the wire protocol of the distributed scatter-gather:
+// the JSON types, NDJSON framing, HTTP client and HTTP handler through which
+// a coordinator engine executes one shard of a collection query on a remote
+// roxserve running in shard-server role.
+//
+// The protocol ships the paper's central artifact — a run-time discovered
+// plan — instead of raw data: a request carries the query text, the shard's
+// slice of the limit window, and a plan hint (cache fingerprint + the replay
+// payload of a previously discovered plan); the response streams serialized
+// result items (with their order-by keys when the query sorts), or a single
+// exact partial-aggregate fold state, followed by one done report carrying
+// per-shard stats, the serving document's generation stamp, and the replay
+// payload the coordinator should hint with next time. Everything rides
+// NDJSON over a single POST so the coordinator can merge streams incremental
+// and abort a remote shard by closing the response body.
+//
+// Two endpoints, mounted under /v1/ by cmd/roxserve:
+//
+//	GET  /v1/shards                        → ShardList (inventory + generations)
+//	POST /v1/shards/{shard}/execute        → NDJSON stream of Message lines
+//
+// Errors before the stream starts use an HTTP status plus an {"error": ...}
+// JSON envelope; failures after streaming began arrive in-band as the done
+// report's error field. See DESIGN.md "Shard-server wire contract".
+package shardrpc
+
+import (
+	"fmt"
+
+	"repro/internal/ops"
+	"repro/internal/plan"
+)
+
+// ExecRequest is the body of POST /v1/shards/{shard}/execute.
+type ExecRequest struct {
+	// Collection is the collection name of the coordinator's query; the
+	// compiled graph is rebound from it to the target shard document.
+	Collection string `json:"collection"`
+	// Query is the XQuery text, compiled on the shard server (compilation is
+	// deterministic, so coordinator and server agree on the graph's edge IDs
+	// and a plan hint's steps name the same joins on both sides).
+	Query string `json:"query"`
+	// ShardLimit caps how many rows this shard's tail may produce
+	// (coordinator offset+count); 0 means unlimited. It always replaces any
+	// limit clause of the query text — the coordinator may have overridden
+	// the text's window programmatically, so the text is not authoritative.
+	ShardLimit int `json:"shard_limit,omitempty"`
+	// Fingerprint is the coordinator's base plan-cache key for this query
+	// shape; the server derives its per-shard key from it exactly like the
+	// in-process path ("" lets the server key on its own).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Hint carries the replay payload of a plan a previous execution of this
+	// shard discovered, letting the server replay with zero sampling when
+	// its data still matches the hint's generation (and fall into the
+	// replay-and-verify → drift machinery when it does not).
+	Hint *PlanHint `json:"hint,omitempty"`
+}
+
+// PlanHint is a cached plan's replay payload: the discovered step order, the
+// per-edge cardinalities the discovering run observed (the drift baseline),
+// and the shard document generation the plan was discovered at.
+type PlanHint struct {
+	Generation uint64      `json:"generation"`
+	Steps      []PlanStep  `json:"steps"`
+	Expected   map[int]int `json:"expected,omitempty"`
+}
+
+// PlanStep is one wire-encoded plan step.
+type PlanStep struct {
+	Edge    int  `json:"edge"`
+	Reverse bool `json:"reverse,omitempty"`
+	Alg     int  `json:"alg,omitempty"`
+}
+
+// StepsFromPlan encodes a plan's step order for the wire.
+func StepsFromPlan(p *plan.Plan) []PlanStep {
+	out := make([]PlanStep, len(p.Steps))
+	for i, s := range p.Steps {
+		out[i] = PlanStep{Edge: s.EdgeID, Reverse: s.Reverse, Alg: int(s.Alg)}
+	}
+	return out
+}
+
+// ToPlan decodes wire steps back into an executable plan.
+func ToPlan(steps []PlanStep) plan.Plan {
+	out := plan.Plan{Steps: make([]plan.Step, len(steps))}
+	for i, s := range steps {
+		out.Steps[i] = plan.Step{EdgeID: s.Edge, Reverse: s.Reverse, Alg: ops.JoinAlg(s.Alg)}
+	}
+	return out
+}
+
+// Key is a wire-encoded order-by merge key. All numeric keys are finite by
+// construction (plan.ExtractKeys only marks finite parses as numeric), so the
+// float64 JSON round-trip is exact and the coordinator's k-way merge compares
+// exactly the keys the shard sorted by.
+type Key struct {
+	Present bool    `json:"p,omitempty"`
+	Num     bool    `json:"n,omitempty"`
+	F       float64 `json:"f"`
+	S       string  `json:"s,omitempty"`
+}
+
+// KeyFromPlan encodes a merge key for the wire.
+func KeyFromPlan(k plan.Key) Key {
+	return Key{Present: k.Present, Num: k.IsNum, F: k.Num, S: k.Str}
+}
+
+// ToPlan decodes the wire key.
+func (k Key) ToPlan() plan.Key {
+	return plan.Key{Present: k.Present, IsNum: k.Num, Num: k.F, Str: k.S}
+}
+
+// Agg is a wire-encoded partial-aggregate fold state. The partials slice is
+// the exact-sum expansion; every element is finite, so the transfer is exact
+// and merging transferred states is bit-for-bit the same as merging local
+// ones.
+type Agg struct {
+	Count    int64     `json:"count"`
+	Min      float64   `json:"min,omitempty"`
+	Max      float64   `json:"max,omitempty"`
+	Partials []float64 `json:"partials,omitempty"`
+}
+
+// AggFromState encodes a fold state for the wire.
+func AggFromState(st *plan.AggState) *Agg {
+	return &Agg{Count: st.Count, Min: st.Min, Max: st.Max, Partials: st.Partials()}
+}
+
+// State decodes the wire fold state.
+func (a *Agg) State() *plan.AggState {
+	return plan.RestoreAggState(a.Count, a.Min, a.Max, a.Partials)
+}
+
+// Stats mirrors the scalar fields of rox.Stats for the wire (the coordinator
+// folds them into its ShardStats rollup).
+type Stats struct {
+	Rows                   int    `json:"rows"`
+	Scanned                int    `json:"scanned"`
+	Truncated              bool   `json:"truncated,omitempty"`
+	ElapsedNS              int64  `json:"elapsed_ns"`
+	ExecTuples             int64  `json:"exec_tuples"`
+	SampleTuples           int64  `json:"sample_tuples"`
+	CumulativeIntermediate int64  `json:"cumulative_intermediate"`
+	Plan                   string `json:"plan,omitempty"`
+	CacheHit               bool   `json:"cache_hit,omitempty"`
+	Reoptimized            bool   `json:"reoptimized,omitempty"`
+}
+
+// Done is a shard execution's end-of-stream report: the last message of every
+// execute response stream.
+type Done struct {
+	// Error, when non-empty, reports a failure after streaming began (errors
+	// before any output use the HTTP status + error envelope instead).
+	Error string `json:"error,omitempty"`
+	// Generation is the serving document's own generation stamp; the
+	// coordinator stores it with the returned replay payload so the next
+	// request's hint validates against exactly this data version.
+	Generation uint64 `json:"generation,omitempty"`
+	// Stats is the shard-side cost breakdown of this execution.
+	Stats *Stats `json:"stats,omitempty"`
+	// Agg is the partial-aggregate fold state for aggregate queries (such
+	// streams carry no item lines).
+	Agg *Agg `json:"agg,omitempty"`
+	// Plan and Expected are the replay payload of the plan this execution
+	// ran (discovered or replayed): what the coordinator should hint with
+	// next time.
+	Plan     []PlanStep  `json:"plan,omitempty"`
+	Expected map[int]int `json:"expected,omitempty"`
+}
+
+// Message is one NDJSON line of an execute response stream: an item (with its
+// sort key when the query orders), or the final done report.
+type Message struct {
+	Item *string `json:"item,omitempty"`
+	Key  *Key    `json:"key,omitempty"`
+	Done *Done   `json:"done,omitempty"`
+}
+
+// ShardInfo is one entry of a shard server's document inventory.
+type ShardInfo struct {
+	Name       string `json:"name"`
+	Generation uint64 `json:"generation"`
+}
+
+// ShardList is the body of GET /v1/shards: every document the server can
+// execute shard requests against, sorted by name.
+type ShardList struct {
+	Shards []ShardInfo `json:"shards"`
+}
+
+// errorEnvelope is the JSON body of a non-200 response, matching roxserve's
+// error envelope.
+type errorEnvelope struct {
+	Error string `json:"error"`
+}
+
+// RemoteError is a shard-server request that failed with an HTTP error
+// status: the server rejected it (4xx — bad query, unknown shard) or failed
+// serving it (5xx). The coordinator surfaces it typed so API layers can map
+// client-side remote rejections back to client errors.
+type RemoteError struct {
+	Status   int
+	Endpoint string
+	Msg      string
+}
+
+// Error renders the failure with endpoint and status.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("shardrpc: %s responded %d: %s", e.Endpoint, e.Status, e.Msg)
+}
+
+// StatusError attaches an HTTP status to a server-side execution failure, so
+// the handler can map Executor errors onto the envelope without inspecting
+// error strings.
+type StatusError struct {
+	Status int
+	Err    error
+}
+
+// Error renders the wrapped failure.
+func (e *StatusError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the wrapped failure to errors.Is/As.
+func (e *StatusError) Unwrap() error { return e.Err }

@@ -1,0 +1,318 @@
+package shardrpc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/ops"
+	"repro/internal/plan"
+)
+
+// TestKeyRoundTrip: merge keys survive the wire bit-for-bit — the
+// coordinator's k-way merge compares exactly what the shard sorted by.
+func TestKeyRoundTrip(t *testing.T) {
+	keys := []plan.Key{
+		{},
+		{Present: true, IsNum: true, Num: 0},
+		{Present: true, IsNum: true, Num: -42.5},
+		{Present: true, IsNum: true, Num: math.MaxFloat64},
+		{Present: true, IsNum: true, Num: math.SmallestNonzeroFloat64},
+		{Present: true, Str: "zebra"},
+		{Present: true, Str: ""},
+	}
+	for i, k := range keys {
+		b, err := json.Marshal(KeyFromPlan(k))
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+		var w Key
+		if err := json.Unmarshal(b, &w); err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+		if got := w.ToPlan(); got != k {
+			t.Errorf("key %d: round-trip %+v != %+v", i, got, k)
+		}
+	}
+}
+
+// TestAggRoundTripExact: the partial-aggregate fold state transfers exactly —
+// merging a state that crossed the wire is bit-for-bit the same as merging
+// the local original, which is what keeps distributed sums grouping-invariant.
+func TestAggRoundTripExact(t *testing.T) {
+	var local plan.AggState
+	for i := 0; i < 1000; i++ {
+		// Values chosen to leave a multi-element exact-sum expansion.
+		local.Add(0.1 + float64(i)*1e-13)
+	}
+	b, err := json.Marshal(AggFromState(&local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w Agg
+	if err := json.Unmarshal(b, &w); err != nil {
+		t.Fatal(err)
+	}
+	remote := w.State()
+
+	var mergedLocal, mergedRemote plan.AggState
+	mergedLocal.Add(3.25)
+	mergedRemote.Add(3.25)
+	mergedLocal.Merge(&local)
+	mergedRemote.Merge(remote)
+	li, _ := mergedLocal.Render(plan.AggSum)
+	ri, _ := mergedRemote.Render(plan.AggSum)
+	if li != ri {
+		t.Errorf("merged renders differ: local %s, wire %s", li, ri)
+	}
+	if mergedLocal.Count != mergedRemote.Count {
+		t.Errorf("counts differ: %d vs %d", mergedLocal.Count, mergedRemote.Count)
+	}
+}
+
+// TestPlanStepsRoundTrip: a plan's step order survives the wire.
+func TestPlanStepsRoundTrip(t *testing.T) {
+	p := plan.Plan{Steps: []plan.Step{
+		{EdgeID: 3, Reverse: true, Alg: ops.JoinAlg(1)},
+		{EdgeID: 0},
+		{EdgeID: 7, Alg: ops.JoinAlg(2)},
+	}}
+	b, err := json.Marshal(StepsFromPlan(&p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []PlanStep
+	if err := json.Unmarshal(b, &steps); err != nil {
+		t.Fatal(err)
+	}
+	if got := ToPlan(steps); !reflect.DeepEqual(got, p) {
+		t.Errorf("round-trip %+v != %+v", got, p)
+	}
+}
+
+// fakeRun is a scripted ShardRun.
+type fakeRun struct {
+	items  []string
+	keys   []plan.Key
+	done   Done
+	pos    int
+	closed bool
+}
+
+func (r *fakeRun) Next() bool {
+	if r.pos >= len(r.items) {
+		return false
+	}
+	r.pos++
+	return true
+}
+func (r *fakeRun) Item() string { return r.items[r.pos-1] }
+func (r *fakeRun) Key() (plan.Key, bool) {
+	if r.keys == nil {
+		return plan.Key{}, false
+	}
+	return r.keys[r.pos-1], true
+}
+func (r *fakeRun) Done() Done { return r.done }
+func (r *fakeRun) Close()     { r.closed = true }
+
+// fakeExec is a scripted Executor.
+type fakeExec struct {
+	run     *fakeRun
+	execErr error
+	gotReq  *ExecRequest
+	shards  []ShardInfo
+}
+
+func (e *fakeExec) ExecuteShard(ctx context.Context, shard string, req *ExecRequest) (ShardRun, error) {
+	e.gotReq = req
+	if e.execErr != nil {
+		return nil, e.execErr
+	}
+	return e.run, nil
+}
+func (e *fakeExec) ShardInventory() []ShardInfo { return e.shards }
+
+// TestHandlerExecuteStream: the handler streams items as NDJSON messages and
+// always ends with the done report; the client decodes the same sequence.
+func TestHandlerExecuteStream(t *testing.T) {
+	gen := uint64(7)
+	run := &fakeRun{
+		items: []string{"<a/>", "<b/>"},
+		keys:  []plan.Key{{Present: true, IsNum: true, Num: 1}, {Present: true, IsNum: true, Num: 2}},
+		done:  Done{Generation: gen, Stats: &Stats{Rows: 2, Scanned: 2}},
+	}
+	exec := &fakeExec{run: run}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/shards/{shard}/execute", HandleExecute(exec))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := NewClient(nil)
+	stream, err := c.Execute(context.Background(), ts.URL, "s.xml",
+		&ExecRequest{Collection: "c", Query: `q`, ShardLimit: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	var items []string
+	for {
+		m, err := stream.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Done != nil {
+			if m.Done.Generation != gen {
+				t.Errorf("done generation = %d, want %d", m.Done.Generation, gen)
+			}
+			if m.Done.Stats == nil || m.Done.Stats.Scanned != 2 {
+				t.Errorf("done stats = %+v", m.Done.Stats)
+			}
+			break
+		}
+		if m.Key == nil {
+			t.Error("ordered item arrived without a key")
+		}
+		items = append(items, *m.Item)
+	}
+	if !reflect.DeepEqual(items, run.items) {
+		t.Errorf("items = %v, want %v", items, run.items)
+	}
+	if exec.gotReq.ShardLimit != 9 || exec.gotReq.Collection != "c" {
+		t.Errorf("handler decoded request %+v", exec.gotReq)
+	}
+	if !run.closed {
+		t.Error("handler did not close the run")
+	}
+}
+
+// TestHandlerStatusErrors: pre-stream failures map StatusError onto the HTTP
+// status + error envelope, and the client surfaces them as RemoteError.
+func TestHandlerStatusErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		execErr    error
+		wantStatus int
+	}{
+		{"typed 404", &StatusError{Status: http.StatusNotFound, Err: errors.New("no such shard")}, http.StatusNotFound},
+		{"typed 400", &StatusError{Status: http.StatusBadRequest, Err: errors.New("bad query")}, http.StatusBadRequest},
+		{"untyped is 500", errors.New("boom"), http.StatusInternalServerError},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			exec := &fakeExec{execErr: tc.execErr}
+			mux := http.NewServeMux()
+			mux.HandleFunc("POST /v1/shards/{shard}/execute", HandleExecute(exec))
+			ts := httptest.NewServer(mux)
+			defer ts.Close()
+
+			_, err := NewClient(nil).Execute(context.Background(), ts.URL, "s.xml", &ExecRequest{})
+			var re *RemoteError
+			if !errors.As(err, &re) {
+				t.Fatalf("err = %v, want *RemoteError", err)
+			}
+			if re.Status != tc.wantStatus {
+				t.Errorf("status = %d, want %d", re.Status, tc.wantStatus)
+			}
+			if re.Msg != tc.execErr.Error() {
+				t.Errorf("msg = %q, want %q", re.Msg, tc.execErr.Error())
+			}
+		})
+	}
+}
+
+// TestHandlerInventory: the inventory round-trips through the client.
+func TestHandlerInventory(t *testing.T) {
+	exec := &fakeExec{shards: []ShardInfo{{Name: "a.xml", Generation: 1}, {Name: "b.xml", Generation: 4}}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/shards", HandleInventory(exec))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	got, err := NewClient(nil).Shards(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, exec.shards) {
+		t.Errorf("inventory = %+v, want %+v", got, exec.shards)
+	}
+}
+
+// TestClientTruncatedStream: a stream that ends without a done report is an
+// error, not a silently short result.
+func TestClientTruncatedStream(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/shards/{shard}/execute", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		item := "<a/>"
+		_ = json.NewEncoder(w).Encode(Message{Item: &item})
+		// ...and no done line.
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	stream, err := NewClient(nil).Execute(context.Background(), ts.URL, "s.xml", &ExecRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	if m, err := stream.Next(); err != nil || m.Item == nil {
+		t.Fatalf("first item: m=%+v err=%v", m, err)
+	}
+	if _, err := stream.Next(); err == nil {
+		t.Fatal("truncated stream ended without an error")
+	}
+}
+
+// TestClientShardNameEscaping: shard names with path metacharacters address
+// the right route (and never escape it).
+func TestClientShardNameEscaping(t *testing.T) {
+	var gotShard string
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/shards/{shard}/execute", func(w http.ResponseWriter, r *http.Request) {
+		gotShard = r.PathValue("shard")
+		writeError(w, http.StatusNotFound, "nope")
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	name := "odd shard?.xml"
+	_, err := NewClient(nil).Execute(context.Background(), ts.URL, name, &ExecRequest{})
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Status != http.StatusNotFound {
+		t.Fatalf("err = %v, want 404 RemoteError", err)
+	}
+	if gotShard != name {
+		t.Errorf("server saw shard %q, want %q", gotShard, name)
+	}
+}
+
+// TestMessageWireShape pins the NDJSON field names — the wire contract
+// documented in DESIGN.md ("Shard-server wire contract").
+func TestMessageWireShape(t *testing.T) {
+	item := "<a/>"
+	m := Message{Item: &item, Key: &Key{Present: true, Num: true, F: 1.5}}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// encoding/json HTML-escapes angle brackets; the decoder undoes it, so
+	// XML payloads survive the round-trip with these wire bytes.
+	want := `{"item":"\u003ca/\u003e","key":{"p":true,"n":true,"f":1.5}}`
+	if string(b) != want {
+		t.Errorf("message encodes as %s, want %s", b, want)
+	}
+	d := Message{Done: &Done{Generation: 3, Stats: &Stats{Rows: 1, ElapsedNS: 2, ExecTuples: 3, SampleTuples: 0, CumulativeIntermediate: 4}}}
+	b, err = json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDone := `{"done":{"generation":3,"stats":{"rows":1,"scanned":0,"elapsed_ns":2,"exec_tuples":3,"sample_tuples":0,"cumulative_intermediate":4}}}`
+	if string(b) != wantDone {
+		t.Errorf("done encodes as %s, want %s", b, wantDone)
+	}
+}

@@ -1,0 +1,580 @@
+package rox
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/shardrpc"
+)
+
+// swapExec is a shardrpc.Executor that delegates to a swappable engine — the
+// test stand-in for a shard-server process that reloads data or restarts
+// (fresh engine, empty plan cache) behind a stable URL.
+type swapExec struct {
+	mu  sync.Mutex
+	eng *Engine
+}
+
+func (s *swapExec) swap(e *Engine) {
+	s.mu.Lock()
+	s.eng = e
+	s.mu.Unlock()
+}
+
+func (s *swapExec) current() *Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng
+}
+
+func (s *swapExec) ExecuteShard(ctx context.Context, shard string, req *shardrpc.ExecRequest) (shardrpc.ShardRun, error) {
+	return s.current().ExecuteShard(ctx, shard, req)
+}
+
+func (s *swapExec) ShardInventory() []shardrpc.ShardInfo {
+	return s.current().ShardInventory()
+}
+
+// newShardServer mounts a shard-server surface (the same shardrpc handlers
+// cmd/roxserve mounts) over eng behind an httptest server.
+func newShardServer(t *testing.T, eng *Engine) (*swapExec, *httptest.Server) {
+	t.Helper()
+	ex := &swapExec{eng: eng}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/shards", shardrpc.HandleInventory(ex))
+	mux.HandleFunc("POST /v1/shards/{shard}/execute", shardrpc.HandleExecute(ex))
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ex, ts
+}
+
+// pricedSingleEngine loads the concatenation of the given pricedShardXML
+// spans as one document "ppl.xml".
+func pricedSingleEngine(t *testing.T, spans [][2]int) *Engine {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("<people>")
+	for _, sp := range spans {
+		inner := pricedShardXML(sp[0], sp[1])
+		sb.WriteString(strings.TrimSuffix(strings.TrimPrefix(inner, "<people>"), "</people>"))
+	}
+	sb.WriteString("</people>")
+	eng := NewEngine()
+	if err := eng.LoadXML("ppl.xml", sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// pricedServerEngine loads the given spans as plain documents ppl-<i>.xml —
+// what a shard server holds (the server serves documents; collection
+// membership lives on the coordinator).
+func pricedServerEngine(t *testing.T, idx []int, spans [][2]int) *Engine {
+	t.Helper()
+	eng := NewEngine()
+	for _, i := range idx {
+		if err := eng.LoadXML(fmt.Sprintf("ppl-%d.xml", i), pricedShardXML(spans[i][0], spans[i][1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng
+}
+
+// remoteEquivQueries is the tail-shape matrix of the remote equivalence
+// contract: plain, ordered (asc/desc, string keys), aggregate, and a
+// limit+offset window, each as a doc()/collection() pair.
+var remoteEquivQueries = []struct {
+	name, docQ, collQ string
+}{
+	{"plain", `for $p in doc("ppl.xml")//person return $p`,
+		`for $p in collection("ppl")//person return $p`},
+	{"ordered by age desc", `for $p in doc("ppl.xml")//person order by $p/age descending return $p`,
+		`for $p in collection("ppl")//person order by $p/age descending return $p`},
+	{"ordered by string id", `for $p in doc("ppl.xml")//person order by $p/@id return $p`,
+		`for $p in collection("ppl")//person order by $p/@id return $p`},
+	{"sum of decimal salaries", `for $p in doc("ppl.xml")//person return sum($p/salary)`,
+		`for $p in collection("ppl")//person return sum($p/salary)`},
+	{"avg of decimal salaries", `for $p in doc("ppl.xml")//person return avg($p/salary)`,
+		`for $p in collection("ppl")//person return avg($p/salary)`},
+	{"limit offset window", `for $p in doc("ppl.xml")//person order by $p/age return $p limit 10 offset 5`,
+		`for $p in collection("ppl")//person order by $p/age return $p limit 10 offset 5`},
+}
+
+// TestRemoteCollectionEquivalence is the distributed acceptance contract: a
+// collection scattered over remote shard servers — and a mixed local+remote
+// registration — returns results byte-identical to the single-catalog and
+// all-local-sharded evaluations, for every tail shape, on the cold scatter
+// AND on the prepared replay (which must be a full per-shard cache hit with
+// zero sampling on both sides of the wire).
+func TestRemoteCollectionEquivalence(t *testing.T) {
+	spans := [][2]int{{0, 30}, {100, 30}, {200, 30}}
+	single := pricedSingleEngine(t, spans)
+
+	local := NewEngine()
+	for i, sp := range spans {
+		if err := local.LoadCollectionShardXML("ppl", fmt.Sprintf("ppl-%d.xml", i),
+			pricedShardXML(sp[0], sp[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Remote: shards 0,1 on server A, shard 2 on server B; discovery orders a
+	// server's inventory by name, endpoints keep argument order.
+	_, tsA := newShardServer(t, pricedServerEngine(t, []int{0, 1}, spans))
+	_, tsB := newShardServer(t, pricedServerEngine(t, []int{2}, spans))
+	remote := NewEngine()
+	if err := remote.LoadCollectionRemote(context.Background(), "ppl",
+		[]Endpoint{{URL: tsA.URL}, {URL: tsB.URL}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mixed: shard 0 local, shards 1,2 remote.
+	_, tsC := newShardServer(t, pricedServerEngine(t, []int{1, 2}, spans))
+	mixed := NewEngine()
+	if err := mixed.LoadCollectionShardXML("ppl", "ppl-0.xml",
+		pricedShardXML(spans[0][0], spans[0][1])); err != nil {
+		t.Fatal(err)
+	}
+	if err := mixed.LoadCollectionRemote(context.Background(), "ppl",
+		[]Endpoint{{URL: tsC.URL}}); err != nil {
+		t.Fatal(err)
+	}
+
+	configs := []struct {
+		name string
+		eng  *Engine
+	}{{"local-sharded", local}, {"remote", remote}, {"mixed", mixed}}
+	for _, q := range remoteEquivQueries {
+		want, err := single.Query(q.docQ)
+		if err != nil {
+			t.Fatalf("%s: single-catalog query: %v", q.name, err)
+		}
+		for _, cfg := range configs {
+			t.Run(cfg.name+"/"+q.name, func(t *testing.T) {
+				prep, err := cfg.eng.Prepare(q.collQ)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := prep.Query()
+				if err != nil {
+					t.Fatalf("cold scatter: %v", err)
+				}
+				assertSameItems(t, "cold scatter", want.Items, cold.Items)
+				if len(cold.Stats.Shards) != 3 {
+					t.Errorf("ShardStats count = %d, want 3", len(cold.Stats.Shards))
+				}
+				replay, err := prep.Query()
+				if err != nil {
+					t.Fatalf("prepared replay: %v", err)
+				}
+				assertSameItems(t, "prepared replay", want.Items, replay.Items)
+				if !replay.Stats.CacheHit || replay.Stats.SampleTuples != 0 {
+					t.Errorf("replay: CacheHit=%v SampleTuples=%d, want per-shard hits with zero sampling",
+						replay.Stats.CacheHit, replay.Stats.SampleTuples)
+				}
+				for _, sh := range replay.Stats.Shards {
+					if !sh.Stats.CacheHit {
+						t.Errorf("shard %s replay missed its server-side cache", sh.Shard)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRemoteDriftReoptimization is the drift leg of the distributed contract:
+// after a remote shard server reloads one document with 10x the data, the
+// coordinator's prepared statements must return results matching the new
+// corpus, the reloaded shard must re-optimize on its server, and the
+// untouched shards must keep replaying their cached plans.
+func TestRemoteDriftReoptimization(t *testing.T) {
+	spans := [][2]int{{0, 30}, {100, 30}, {200, 30}}
+	exA, tsA := newShardServer(t, pricedServerEngine(t, []int{0, 1}, spans))
+	_, tsB := newShardServer(t, pricedServerEngine(t, []int{2}, spans))
+	coord := NewEngine()
+	if err := coord.LoadCollectionRemote(context.Background(), "ppl",
+		[]Endpoint{{URL: tsA.URL}, {URL: tsB.URL}}); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []struct{ name, collQ, docQ string }{
+		{"ordered", `for $p in collection("ppl")//person order by $p/age descending return $p`,
+			`for $p in doc("ppl.xml")//person order by $p/age descending return $p`},
+		{"sum", `for $p in collection("ppl")//person return sum($p/salary)`,
+			`for $p in doc("ppl.xml")//person return sum($p/salary)`},
+	}
+	preps := make([]*Prepared, len(queries))
+	for i, q := range queries {
+		p, err := coord.Prepare(q.collQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preps[i] = p
+		if _, err := p.Query(); err != nil { // warm both sides
+			t.Fatalf("%s warm-up: %v", q.name, err)
+		}
+	}
+
+	// Reload ppl-1.xml on server A with 10x the data — the server's document
+	// generation moves, so the coordinator's next request replays-and-verifies
+	// and the drift machinery re-optimizes on the server.
+	spans[1] = [2]int{100, 300}
+	if err := exA.current().LoadXML("ppl-1.xml",
+		pricedShardXML(spans[1][0], spans[1][1])); err != nil {
+		t.Fatal(err)
+	}
+	single := pricedSingleEngine(t, spans)
+	for i, q := range queries {
+		want, err := single.Query(q.docQ)
+		if err != nil {
+			t.Fatalf("%s single after reload: %v", q.name, err)
+		}
+		drift, err := preps[i].Query()
+		if err != nil {
+			t.Fatalf("%s drift query: %v", q.name, err)
+		}
+		assertSameItems(t, q.name+" drift", want.Items, drift.Items)
+		if !drift.Stats.Reoptimized {
+			t.Errorf("%s: reloaded remote shard did not re-optimize", q.name)
+		}
+		for _, sh := range drift.Stats.Shards {
+			if sh.Shard != "ppl-1.xml" && (!sh.Stats.CacheHit || sh.Stats.SampleTuples != 0) {
+				t.Errorf("%s: untouched remote shard %s lost its cached plan", q.name, sh.Shard)
+			}
+		}
+		settled, err := preps[i].Query()
+		if err != nil {
+			t.Fatalf("%s settled query: %v", q.name, err)
+		}
+		assertSameItems(t, q.name+" settled", want.Items, settled.Items)
+		if !settled.Stats.CacheHit || settled.Stats.SampleTuples != 0 {
+			t.Errorf("%s settled run missed the cache: CacheHit=%v SampleTuples=%d",
+				q.name, settled.Stats.CacheHit, settled.Stats.SampleTuples)
+		}
+	}
+}
+
+// TestRemotePlanHintSeedsRestartedServer pins the plan-hint transfer: after a
+// shard server restarts cold (fresh engine, empty plan cache, same data), the
+// coordinator's hint — the replay payload the old server returned — lets the
+// new server replay without any sampling, instead of re-discovering the plan.
+func TestRemotePlanHintSeedsRestartedServer(t *testing.T) {
+	spans := [][2]int{{0, 40}, {100, 40}}
+	ex, ts := newShardServer(t, pricedServerEngine(t, []int{0, 1}, spans))
+	coord := NewEngine()
+	if err := coord.LoadCollectionRemote(context.Background(), "ppl",
+		[]Endpoint{{URL: ts.URL}}); err != nil {
+		t.Fatal(err)
+	}
+	prep, err := coord.Prepare(`for $p in collection("ppl")//person order by $p/age return $p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := prep.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.SampleTuples == 0 {
+		t.Fatal("cold run did no sampling — the test premise is broken")
+	}
+
+	// "Restart" the server: same documents in the same load order (so the
+	// generation stamps match), but an empty plan cache.
+	ex.swap(pricedServerEngine(t, []int{0, 1}, spans))
+
+	seeded, err := prep.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameItems(t, "hint-seeded run", first.Items, seeded.Items)
+	if !seeded.Stats.CacheHit || seeded.Stats.SampleTuples != 0 {
+		t.Errorf("restarted server sampled despite the coordinator's hint: CacheHit=%v SampleTuples=%d",
+			seeded.Stats.CacheHit, seeded.Stats.SampleTuples)
+	}
+}
+
+// TestRemoteShardServerDown covers the unreachable-endpoint surface: under
+// the default fail-fast policy the query fails with the endpoint in the
+// error; under ShardRetryThenPartial it completes on the shards that
+// answered, marks the result truncated and records the failure in the dead
+// shard's ShardStats.
+func TestRemoteShardServerDown(t *testing.T) {
+	spans := [][2]int{{0, 30}, {100, 30}}
+	_, ts := newShardServer(t, pricedServerEngine(t, []int{1}, spans))
+	deadURL := ts.URL
+	ts.Close() // registered explicitly below, so no discovery call needed
+
+	build := func(opts ...Option) *Engine {
+		eng := NewEngine(opts...)
+		if err := eng.LoadCollectionShardXML("ppl", "ppl-0.xml",
+			pricedShardXML(spans[0][0], spans[0][1])); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.LoadCollectionRemote(context.Background(), "ppl",
+			[]Endpoint{{URL: deadURL, Shards: []string{"ppl-1.xml"}}}); err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	const q = `for $p in collection("ppl")//person return $p`
+
+	t.Run("fail-fast", func(t *testing.T) {
+		_, err := build().Query(q)
+		if err == nil {
+			t.Fatal("query over a dead shard server succeeded")
+		}
+		if !strings.Contains(err.Error(), "ppl-1.xml") {
+			t.Errorf("error %v does not name the failing shard", err)
+		}
+	})
+	t.Run("retry-then-partial", func(t *testing.T) {
+		res, err := build(WithShardRetry(ShardRetryThenPartial)).Query(q)
+		if err != nil {
+			t.Fatalf("partial policy failed the query: %v", err)
+		}
+		if len(res.Items) != spans[0][1] {
+			t.Errorf("partial result has %d items, want the %d local ones", len(res.Items), spans[0][1])
+		}
+		if !res.Stats.Truncated {
+			t.Error("partial result not marked Truncated")
+		}
+		var found bool
+		for _, sh := range res.Stats.Shards {
+			if sh.Shard == "ppl-1.xml" {
+				found = true
+				if sh.Err == "" {
+					t.Error("dead shard's ShardStats carries no error")
+				}
+			}
+		}
+		if !found {
+			t.Error("dead shard missing from ShardStats")
+		}
+	})
+}
+
+// fakeShardServer mounts a hand-rolled execute handler — for fault shapes a
+// real engine cannot produce (mid-stream drops, stalls, endless streams).
+func fakeShardServer(t *testing.T, execute http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/shards/{shard}/execute", execute)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRemoteMidStreamFailure: a shard server dying mid-stream (items out, no
+// done report) fails the query under fail-fast; under the partial policy the
+// query completes truncated — without retrying, since the dead shard's items
+// already entered the merge and a restart could duplicate them.
+func TestRemoteMidStreamFailure(t *testing.T) {
+	var calls int
+	var mu sync.Mutex
+	ts := fakeShardServer(t, func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		fl, _ := w.(http.Flusher)
+		for i := 0; i < 2; i++ {
+			item := fmt.Sprintf("<x>%d</x>", i)
+			if err := enc.Encode(shardrpc.Message{Item: &item}); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		panic(http.ErrAbortHandler) // kill the connection without a done report
+	})
+	build := func(opts ...Option) *Engine {
+		eng := NewEngine(opts...)
+		if err := eng.LoadCollectionShardXML("c", "c-0.xml", `<r><x>local</x></r>`); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.LoadCollectionRemote(context.Background(), "c",
+			[]Endpoint{{URL: ts.URL, Shards: []string{"c-1.xml"}}}); err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	const q = `for $x in collection("c")//x return $x`
+
+	t.Run("fail-fast", func(t *testing.T) {
+		_, err := build().Query(q)
+		if err == nil {
+			t.Fatal("query over a mid-stream drop succeeded")
+		}
+	})
+	t.Run("partial keeps merged items", func(t *testing.T) {
+		mu.Lock()
+		calls = 0
+		mu.Unlock()
+		res, err := build(WithShardRetry(ShardRetryThenPartial)).Query(q)
+		if err != nil {
+			t.Fatalf("partial policy failed the query: %v", err)
+		}
+		if len(res.Items) != 3 { // 1 local + the 2 that made it over the wire
+			t.Errorf("partial result has %d items, want 3", len(res.Items))
+		}
+		if !res.Stats.Truncated {
+			t.Error("partial result not marked Truncated")
+		}
+		mu.Lock()
+		n := calls
+		mu.Unlock()
+		if n != 1 {
+			t.Errorf("shard was executed %d times; items already merged must not retry", n)
+		}
+	})
+}
+
+// TestRemoteSlowShardDeadline: a stalled shard server cannot hold a query
+// past its context deadline — the coordinator gives up with
+// context.DeadlineExceeded and the in-flight request is released.
+func TestRemoteSlowShardDeadline(t *testing.T) {
+	ts := fakeShardServer(t, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done(): // coordinator gave up
+		case <-time.After(10 * time.Second):
+		}
+	})
+	eng := NewEngine()
+	if err := eng.LoadCollectionRemote(context.Background(), "c",
+		[]Endpoint{{URL: ts.URL, Shards: []string{"c-0.xml"}}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := eng.QueryContext(ctx, `for $x in collection("c")//x return $x`)
+	if err == nil {
+		t.Fatal("query over a stalled shard server succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline took %v to fire", elapsed)
+	}
+}
+
+// TestRemoteCancelOnWindowFill pins the distributed limit push-down: once the
+// gather's window fills, the coordinator closes the remote response body,
+// which cancels the shard server's request context — remote work the merge no
+// longer needs actually stops, it does not stream into the void.
+func TestRemoteCancelOnWindowFill(t *testing.T) {
+	canceled := make(chan struct{})
+	var once sync.Once
+	ts := fakeShardServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		fl, _ := w.(http.Flusher)
+		for i := 0; ; i++ {
+			item := fmt.Sprintf("<x>%d</x>", i)
+			if err := enc.Encode(shardrpc.Message{Item: &item}); err != nil {
+				once.Do(func() { close(canceled) })
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+			select {
+			case <-r.Context().Done():
+				once.Do(func() { close(canceled) })
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	})
+	eng := NewEngine()
+	if err := eng.LoadCollectionRemote(context.Background(), "c",
+		[]Endpoint{{URL: ts.URL, Shards: []string{"c-0.xml"}}}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := eng.Execute(context.Background(),
+		Request{Query: `for $x in collection("c")//x return $x`, Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("windowed stream failed: %v", err)
+	}
+	rows.Close()
+	if n != 5 {
+		t.Errorf("window returned %d items, want 5", n)
+	}
+	if !rows.Stats().Truncated {
+		t.Error("windowed scatter not marked Truncated")
+	}
+	select {
+	case <-canceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("remote shard request was never canceled after the window filled")
+	}
+}
+
+// TestRemoteErrorTypes: a shard server's pre-stream rejection surfaces as a
+// typed *shardrpc.RemoteError carrying the HTTP status, so API layers (like
+// cmd/roxserve's statusFor) can classify cluster faults without string
+// matching.
+func TestRemoteErrorTypes(t *testing.T) {
+	spans := [][2]int{{0, 10}}
+	_, ts := newShardServer(t, pricedServerEngine(t, []int{0}, spans))
+	eng := NewEngine()
+	// Register a shard name the server does not hold: the server answers 404.
+	if err := eng.LoadCollectionRemote(context.Background(), "ppl",
+		[]Endpoint{{URL: ts.URL, Shards: []string{"nope.xml"}}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := eng.Query(`for $p in collection("ppl")//person return $p`)
+	if err == nil {
+		t.Fatal("query over an unknown remote shard succeeded")
+	}
+	var re *shardrpc.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not a *shardrpc.RemoteError", err)
+	}
+	if re.Status != http.StatusNotFound {
+		t.Errorf("RemoteError.Status = %d, want 404", re.Status)
+	}
+}
+
+// TestLoadCollectionRemoteValidation covers the registration failure surface.
+func TestLoadCollectionRemoteValidation(t *testing.T) {
+	eng := NewEngine()
+	if err := eng.LoadCollectionRemote(context.Background(), "c",
+		[]Endpoint{{URL: "  "}}); err == nil {
+		t.Error("empty endpoint URL accepted")
+	}
+	// An empty inventory registers nothing and says so.
+	_, ts := newShardServer(t, NewEngine())
+	if err := eng.LoadCollectionRemote(context.Background(), "c",
+		[]Endpoint{{URL: ts.URL}}); err == nil || !strings.Contains(err.Error(), "no documents") {
+		t.Errorf("empty-inventory registration err = %v, want no-documents failure", err)
+	}
+	// Discovery against a dead endpoint fails the registration.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	if err := eng.LoadCollectionRemote(context.Background(), "c",
+		[]Endpoint{{URL: dead.URL}}); err == nil {
+		t.Error("discovery against a dead endpoint succeeded")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"runtime"
 	"sync"
 	"time"
@@ -50,6 +51,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/plancache"
+	"repro/internal/shardrpc"
 	"repro/internal/table"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -86,6 +88,14 @@ type Engine struct {
 	// query admission (internal/conc).
 	shardLim     *conc.Limiter
 	shardWorkers int
+
+	// local and remote are the two ShardBackend implementations collection
+	// queries dispatch shards to (see backend.go); shardRetry is the
+	// failure policy WithShardRetry selects.
+	local      *localBackend
+	remote     *httpBackend
+	remoteHTTP *http.Client
+	shardRetry ShardFailurePolicy
 }
 
 // DefaultPlanCacheSize is the plan-cache LRU bound of NewEngine.
@@ -171,6 +181,12 @@ func NewEngine(options ...Option) *Engine {
 		e.shardWorkers = runtime.GOMAXPROCS(0)
 	}
 	e.shardLim = conc.NewLimiter(e.shardWorkers)
+	e.local = &localBackend{e: e}
+	e.remote = &httpBackend{
+		e:      e,
+		client: shardrpc.NewClient(e.remoteHTTP),
+		hints:  plancache.New(DefaultPlanCacheSize),
+	}
 	return e
 }
 
@@ -183,17 +199,6 @@ func (e *Engine) catalog() *plan.Catalog {
 	return e.cat
 }
 
-// publish registers a document through a copy-on-write catalog swap. The
-// index build (the expensive part) happens outside the lock.
-func (e *Engine) publish(d *xmltree.Document) {
-	ix := index.New(d)
-	e.mu.Lock()
-	cat := e.cat.Clone()
-	cat.AddIndexed(ix)
-	e.cat = cat
-	e.mu.Unlock()
-}
-
 // newQueryEnv builds the per-query evaluation state over the current
 // catalog snapshot.
 func (e *Engine) newQueryEnv() *plan.Env {
@@ -201,41 +206,32 @@ func (e *Engine) newQueryEnv() *plan.Env {
 }
 
 // LoadXML shreds and indexes an XML document given as a string. The name is
-// what doc("name") in queries refers to.
+// what doc("name") in queries refers to. Thin wrapper over
+// LoadSource(name, FromXML(...)).
 func (e *Engine) LoadXML(name, xml string) error {
-	d, err := xmltree.ParseString(name, xml)
-	if err != nil {
-		return err
-	}
-	e.publish(d)
-	return nil
+	return e.LoadSource(name, FromXML(name, xml))
 }
 
-// Load shreds and indexes an XML document from a reader.
+// Load shreds and indexes an XML document from a reader. Thin wrapper over
+// LoadSource(name, FromReader(...)).
 func (e *Engine) Load(name string, r io.Reader) error {
-	d, err := xmltree.Parse(name, r, xmltree.ParseOptions{})
-	if err != nil {
-		return err
-	}
-	e.publish(d)
-	return nil
+	return e.LoadSource(name, FromReader(name, r))
 }
 
 // LoadFile shreds and indexes an XML file; queries address it by the given
-// name (or the path if name is empty).
+// name (or the path's base name if name is empty). Thin wrapper over
+// LoadSource(name, FromFile(...)).
 func (e *Engine) LoadFile(name, path string) error {
-	d, err := xmltree.ParseFile(name, path)
-	if err != nil {
-		return err
-	}
-	e.publish(d)
-	return nil
+	return e.LoadSource(name, FromFile(name, path))
 }
 
 // LoadDocument registers a pre-shredded document (e.g. from the dataset
-// generators in internal/datagen).
+// generators in internal/datagen). Thin wrapper over
+// LoadSource("", FromDocument(d)).
 func (e *Engine) LoadDocument(d *xmltree.Document) {
-	e.publish(d)
+	// FromDocument with no name override cannot fail: the document is
+	// already shredded and keeps its own name.
+	_ = e.LoadSource("", FromDocument(d))
 }
 
 // publishIndexed registers a pre-built index through the same copy-on-write
@@ -256,13 +252,9 @@ func (e *Engine) publishIndexed(ix *index.Index) {
 // The document is addressed by the name stored in the container. A v1 .roxd
 // file loads too, via the heap decode + index rebuild. On platforms without
 // mmap the container is read into the heap (same layout, same indices).
+// Thin wrapper over LoadSource("", FromPacked(path)).
 func (e *Engine) LoadPacked(path string) error {
-	ix, err := index.OpenPackedFile(path) // mapping + attach, outside the lock
-	if err != nil {
-		return err
-	}
-	e.publishIndexed(ix)
-	return nil
+	return e.LoadSource("", FromPacked(path))
 }
 
 // LoadCollectionShardPacked registers (or replaces, matching on the stored
@@ -273,42 +265,23 @@ func (e *Engine) LoadPacked(path string) error {
 // valid while the plan cache's stale-generation machinery absorbs the
 // change for the swapped shard. The old mapping stays valid for in-flight
 // queries over the previous catalog snapshot and is unmapped once
-// unreachable.
+// unreachable. Thin wrapper over LoadCollectionSource(coll, FromPacked(path)).
 func (e *Engine) LoadCollectionShardPacked(coll, path string) error {
-	ix, err := index.OpenPackedFile(path)
-	if err != nil {
-		return err
-	}
-	e.mu.Lock()
-	cat := e.cat.Clone()
-	cat.AddCollectionShard(coll, ix)
-	e.cat = cat
-	e.mu.Unlock()
-	return nil
+	return e.LoadCollectionSource(coll, FromPacked(path))
 }
 
 // LoadCollectionPacked registers every .roxd file as a shard of the named
 // collection, in slice order (which becomes the collection's result order).
 // Like LoadCollection, all shards are published in one copy-on-write swap:
 // concurrent queries see either the catalog before the call or the complete
-// collection, never a prefix.
+// collection, never a prefix. Thin wrapper over LoadCollectionSource with
+// FromPacked sources.
 func (e *Engine) LoadCollectionPacked(coll string, paths []string) error {
-	ixs := make([]*index.Index, len(paths)) // mapping + attach, outside the lock
+	srcs := make([]Source, len(paths))
 	for i, path := range paths {
-		ix, err := index.OpenPackedFile(path)
-		if err != nil {
-			return err
-		}
-		ixs[i] = ix
+		srcs[i] = FromPacked(path)
 	}
-	e.mu.Lock()
-	cat := e.cat.Clone()
-	for _, ix := range ixs {
-		cat.AddCollectionShard(coll, ix)
-	}
-	e.cat = cat
-	e.mu.Unlock()
-	return nil
+	return e.LoadCollectionSource(coll, srcs...)
 }
 
 // LoadCollectionShard registers (or replaces, matching on document name) one
@@ -317,43 +290,31 @@ func (e *Engine) LoadCollectionPacked(coll string, paths []string) error {
 // each shard also stays addressable as doc(shardName). Like every Load*, this
 // is a copy-on-write catalog swap, safe while queries are in flight: a
 // replaced shard bumps only its own generation stamp, so cached plans of the
-// sibling shards remain exactly valid.
+// sibling shards remain exactly valid. Thin wrapper over
+// LoadCollectionSource(coll, FromDocument(d)).
 func (e *Engine) LoadCollectionShard(coll string, d *xmltree.Document) {
-	ix := index.New(d) // the expensive part, outside the lock
-	e.mu.Lock()
-	cat := e.cat.Clone()
-	cat.AddCollectionShard(coll, ix)
-	e.cat = cat
-	e.mu.Unlock()
+	// FromDocument cannot fail on an already-shredded document.
+	_ = e.LoadCollectionSource(coll, FromDocument(d))
 }
 
 // LoadCollection registers every document as a shard of the named collection,
 // in slice order (which becomes the collection's result order). All shards
 // are published in one copy-on-write swap: concurrent queries see either the
-// catalog before the call or the complete collection, never a prefix.
+// catalog before the call or the complete collection, never a prefix. Thin
+// wrapper over LoadCollectionSource with FromDocument sources.
 func (e *Engine) LoadCollection(coll string, docs []*xmltree.Document) {
-	ixs := make([]*index.Index, len(docs)) // index builds outside the lock
+	srcs := make([]Source, len(docs))
 	for i, d := range docs {
-		ixs[i] = index.New(d)
+		srcs[i] = FromDocument(d)
 	}
-	e.mu.Lock()
-	cat := e.cat.Clone()
-	for _, ix := range ixs {
-		cat.AddCollectionShard(coll, ix)
-	}
-	e.cat = cat
-	e.mu.Unlock()
+	_ = e.LoadCollectionSource(coll, srcs...)
 }
 
 // LoadCollectionShardXML shreds, indexes and registers one XML shard given as
-// a string; name is the shard's document name.
+// a string; name is the shard's document name. Thin wrapper over
+// LoadCollectionSource(coll, FromXML(name, xml)).
 func (e *Engine) LoadCollectionShardXML(coll, name, xml string) error {
-	d, err := xmltree.ParseString(name, xml)
-	if err != nil {
-		return err
-	}
-	e.LoadCollectionShard(coll, d)
-	return nil
+	return e.LoadCollectionSource(coll, FromXML(name, xml))
 }
 
 // Documents returns the names of the currently loaded documents, sorted
@@ -428,6 +389,11 @@ type Stats struct {
 type ShardStats struct {
 	Shard string
 	Stats Stats
+	// Err records a shard the ShardRetryThenPartial policy completed
+	// without: the failure that exhausted the shard's retry, rendered as a
+	// string. Empty on every other path — under the default fail-fast
+	// policy a shard failure fails the query instead.
+	Err string
 }
 
 // Result is a materialized query result: the serialized XML of every
@@ -463,7 +429,7 @@ func (e *Engine) Execute(ctx context.Context, req Request) (*Rows, error) {
 			return nil, err
 		}
 	}
-	return e.executeCompiled(ctx, comp, "", req.Static)
+	return e.executeCompiled(ctx, comp, req.Query, "", req.Static)
 }
 
 // Query evaluates an XQuery through the compile → plan-cache lookup →
@@ -524,8 +490,10 @@ func overrideWindow(comp *xquery.Compiled, window *plan.LimitSpec) (*xquery.Comp
 // Prepared.Execute: build the per-query environment, then route — static
 // baseline, scatter-gather for collection queries, or cached single-catalog
 // execution at the current catalog generation — and wrap the outcome in a
-// cursor. fp is the precomputed cache key ("" = compute here); see cacheKey.
-func (e *Engine) executeCompiled(ctx context.Context, comp *xquery.Compiled, fp string, static bool) (*Rows, error) {
+// cursor. text is the original query text (remote shard backends ship it
+// instead of a serialized graph); fp is the precomputed cache key ("" =
+// compute here); see cacheKey.
+func (e *Engine) executeCompiled(ctx context.Context, comp *xquery.Compiled, text, fp string, static bool) (*Rows, error) {
 	env := e.newQueryEnv()
 	env.Interrupt = ctx.Err
 	if static {
@@ -535,7 +503,7 @@ func (e *Engine) executeCompiled(ctx context.Context, comp *xquery.Compiled, fp 
 		fp = cacheKey(comp)
 	}
 	if len(comp.Collections) > 0 {
-		return e.executeCollection(ctx, env, comp, fp)
+		return e.executeCollection(ctx, env, comp, text, fp)
 	}
 	exr, err := e.executeCached(env, comp, fp, env.Catalog().Generation())
 	if err != nil {
@@ -561,6 +529,11 @@ type execResult struct {
 	scanned int
 	stats   Stats // Rows, Scanned, Truncated, Elapsed are the cursor's to fill
 	sw      metrics.Stopwatch
+	// ranPlan and edgeRows are the executed plan and its observed per-edge
+	// cardinalities — the replay payload a shard server returns so the
+	// coordinator can hint the next execution (nil on the static path).
+	ranPlan  *plan.Plan
+	edgeRows map[int]int
 }
 
 // source builds the cursor row source for a single-catalog execution:
@@ -656,11 +629,13 @@ func (e *Engine) executeCached(env *plan.Env, comp *xquery.Compiled, fp string, 
 		})
 	}
 	return &execResult{
-		comp:    comp,
-		rel:     rel,
-		keys:    res.Keys,
-		scanned: res.Scanned,
-		sw:      sw,
+		comp:     comp,
+		rel:      rel,
+		keys:     res.Keys,
+		scanned:  res.Scanned,
+		sw:       sw,
+		ranPlan:  &res.Plan,
+		edgeRows: res.EdgeRows,
 		stats: Stats{
 			// Recorder deltas, not res.ExecCost/SampleCost, and the replay's
 			// intermediates folded in: on the drift path the request also paid
@@ -717,6 +692,10 @@ func (e *Engine) replayResult(env *plan.Env, comp *xquery.Compiled, entry *planc
 		keys:    stats.Keys,
 		scanned: stats.Scanned,
 		sw:      sw,
+		ranPlan: &p,
+		// The replay's own observations, not the entry's: observed on the
+		// current data, they are the better drift baseline for the next hint.
+		edgeRows: stats.EdgeRows,
 		stats: Stats{
 			ExecTuples:             env.Rec.CostOf(metrics.PhaseExecute).Sub(startExec).Tuples,
 			SampleTuples:           env.Rec.CostOf(metrics.PhaseSample).Sub(startSample).Tuples,
@@ -849,7 +828,7 @@ func (p *Prepared) Execute(ctx context.Context, opts ...ExecOption) (*Rows, erro
 		}
 		fp = "" // the window is part of the cache key; recompute for it
 	}
-	return p.eng.executeCompiled(ctx, comp, fp, false)
+	return p.eng.executeCompiled(ctx, comp, p.text, fp, false)
 }
 
 // Query evaluates the prepared statement: plan-cache lookup first, the full
@@ -908,8 +887,10 @@ func (e *Engine) CacheStats() CacheStats {
 	}
 }
 
-// Version is the library version.
-const Version = "1.0.0"
+// Version is the library version. The roxserve HTTP surface is versioned
+// separately: every endpoint lives under /v1/ (see cmd/roxserve and the
+// "Shard-server wire contract" section of DESIGN.md).
+const Version = "1.1.0"
 
 // ErrNoSuchDocument is the sentinel for queries addressing a document that
 // was never loaded; match it with errors.Is. The concrete error carries the

@@ -68,12 +68,23 @@ type shardItem struct {
 // shardDone is a shard's end-of-stream report: its full per-shard Stats, the
 // recorder to fold into the query's rollup, the partial-aggregate state for
 // aggregate queries, and the error that ended the shard early (nil for
-// normal completion; the context error when the gather canceled it).
+// normal completion; the context error when the gather canceled it). The
+// backend also reports the generation stamp it validated cached plans
+// against and the executed plan's replay payload (what a shard server hands
+// back for the coordinator's next plan hint).
 type shardDone struct {
 	stats Stats
 	rec   *metrics.Recorder
 	agg   *plan.AggState
 	err   error
+	// partial marks a shard the ShardRetryThenPartial policy gave up on: err
+	// is recorded in the shard's stats instead of failing the query.
+	partial bool
+	gen     uint64
+	ranPlan *plan.Plan
+	// edgeRows is the executed plan's observed per-edge cardinalities — the
+	// drift baseline that travels with the plan.
+	edgeRows map[int]int
 }
 
 // shardStream is one shard's side of the scatter: items is closed when the
@@ -83,6 +94,15 @@ type shardStream struct {
 	name  string
 	items chan shardItem
 	done  chan shardDone
+}
+
+// newShardStream builds one shard's stream pair.
+func newShardStream(name string) *shardStream {
+	return &shardStream{
+		name:  name,
+		items: make(chan shardItem, shardStreamBuf),
+		done:  make(chan shardDone, 1),
+	}
 }
 
 // gather modes.
@@ -95,10 +115,14 @@ const (
 // executeCollection evaluates a compiled collection query scatter-gather and
 // returns its streaming cursor. The caller's env supplies the catalog
 // snapshot (all shards are read at the generation the query started at) and
-// receives the merged cost rollup when the cursor finishes. baseFP is the
+// receives the merged cost rollup when the cursor finishes. Each shard runs
+// on its registered backend — in-process for local shards, shardrpc HTTP for
+// remote ones — behind the uniform ShardBackend contract, so the gather
+// merges mixed local/remote collections without knowing. text is the query
+// text (remote shards ship it instead of a serialized graph); baseFP is the
 // precomputed cache key ("" when caching is disabled); the compiler
 // guarantees exactly one collection.
-func (e *Engine) executeCollection(ctx context.Context, env *plan.Env, comp *xquery.Compiled, baseFP string) (*Rows, error) {
+func (e *Engine) executeCollection(ctx context.Context, env *plan.Env, comp *xquery.Compiled, text, baseFP string) (*Rows, error) {
 	if len(comp.Collections) != 1 {
 		// Unreachable: xquery.Compile rejects multi-collection queries.
 		return nil, fmt.Errorf("rox: a query may read at most one collection, got %d (%v)",
@@ -121,10 +145,12 @@ func (e *Engine) executeCollection(ctx context.Context, env *plan.Env, comp *xqu
 	// entirely (nothing bounds what one shard may contribute).
 	window := comp.Tail.Limit
 	shardComp := comp
+	shardLimit := 0
 	if window != nil {
 		var shardSpec *plan.LimitSpec
 		if window.Count > 0 {
 			shardSpec = &plan.LimitSpec{Count: window.Offset + window.Count}
+			shardLimit = shardSpec.Count
 		}
 		shardComp = comp.WithTailLimit(shardSpec)
 	}
@@ -146,13 +172,26 @@ func (e *Engine) executeCollection(ctx context.Context, env *plan.Env, comp *xqu
 	}
 	streams := make([]*shardStream, len(shards))
 	for i, sh := range shards {
-		st := &shardStream{
-			name:  sh.Name(),
-			items: make(chan shardItem, shardStreamBuf),
-			done:  make(chan shardDone, 1),
-		}
+		st := newShardStream(sh.Name())
 		streams[i] = st
-		go e.runShardStream(sctx, cat, shardComp, collName, sh, baseFP, interrupt, st)
+		x := &shardExec{
+			coll:       collName,
+			shard:      sh.Name(),
+			gen:        sh.Gen,
+			remote:     sh.Remote,
+			cat:        cat,
+			comp:       shardComp,
+			query:      text,
+			shardLimit: shardLimit,
+			baseFP:     baseFP,
+			interrupt:  interrupt,
+		}
+		be := e.backendFor(sh)
+		if e.shardRetry == ShardRetryThenPartial {
+			go e.runShardGuarded(sctx, be, x, st)
+		} else {
+			go be.run(sctx, x, st)
+		}
 	}
 
 	src := &scatterRows{
@@ -183,96 +222,6 @@ func (e *Engine) executeCollection(ctx context.Context, env *plan.Env, comp *xqu
 	}
 	stats := Stats{Plan: fmt.Sprintf("scatter(%s/%d)", collName, len(shards))}
 	return newRows(env, sw, stats, src), nil
-}
-
-// runShardStream evaluates the query over one shard and streams the result:
-// acquire an engine-wide fan-out slot, rebind the compiled graph to the
-// shard document, run the cached-execution pipeline against the shard's own
-// generation stamp (so a reload of this shard invalidates exactly this
-// shard's cached plans and no others), release the slot, then serialize the
-// shard's rows one by one into the bounded item channel. The done report is
-// always sent before the item channel closes.
-func (e *Engine) runShardStream(ctx context.Context, cat *plan.Catalog, comp *xquery.Compiled,
-	coll string, sh *plan.Shard, baseFP string, interrupt func() error, st *shardStream) {
-	defer close(st.items)
-	sw := metrics.Start()
-	senv := plan.NewQueryEnv(cat, metrics.NewRecorder(), e.seed)
-	senv.Interrupt = interrupt
-	abort := func(err error) {
-		st.done <- shardDone{
-			err: err,
-			rec: senv.Rec,
-			stats: Stats{
-				ExecTuples:   senv.Rec.CostOf(metrics.PhaseExecute).Tuples,
-				SampleTuples: senv.Rec.CostOf(metrics.PhaseSample).Tuples,
-				Elapsed:      sw.Elapsed(),
-				Truncated:    true,
-			},
-		}
-	}
-	if err := e.shardLim.Acquire(ctx); err != nil {
-		abort(err)
-		return
-	}
-	scomp := comp.ForShard(coll, sh.Name())
-	fp := ""
-	if baseFP != "" {
-		// The rebound graph's own fingerprint would differ per shard too, but
-		// deriving the key from the base avoids re-hashing the graph on every
-		// shard of every query (Prepared computes baseFP once, ever).
-		fp = baseFP + "|shard:" + sh.Name()
-	}
-	exr, err := e.executeCached(senv, scomp, fp, sh.Gen)
-	// Release the fan-out slot before emitting: the join work the limiter
-	// bounds is done, and an ordered gather needs every shard's head before
-	// it can merge — a shard still holding its slot while blocked on a full
-	// item channel could starve the shards the merge is waiting for.
-	e.shardLim.Release()
-	if err != nil {
-		abort(err)
-		return
-	}
-	stats := exr.stats
-	stats.Scanned = exr.scanned
-
-	if scomp.Tail.Agg != nil {
-		agg, err := plan.FoldAgg(exr.rel, scomp.Tail.Agg)
-		if err != nil {
-			abort(fmt.Errorf("rox: %s: %w", scomp.Return.String(), err))
-			return
-		}
-		stats.Rows = 1 // the shard's single partial-aggregate item
-		stats.Elapsed = sw.Elapsed()
-		st.done <- shardDone{stats: stats, rec: senv.Rec, agg: agg}
-		return
-	}
-
-	ordered := scomp.Tail.Order != nil
-	emitted := 0
-	var cause error
-	n := exr.rel.NumRows()
-emit:
-	for row := 0; row < n; row++ {
-		it := shardItem{item: renderItem(scomp, exr.rel, row)}
-		if ordered {
-			it.key = exr.keys[row]
-		}
-		select {
-		case st.items <- it:
-			emitted++
-		case <-ctx.Done():
-			cause = ctx.Err()
-			break emit
-		}
-	}
-	stats.Rows = emitted
-	stats.Elapsed = sw.Elapsed()
-	if emitted < stats.Scanned || cause != nil {
-		// Fewer items than the shard's join produced: the per-shard limit
-		// window or the gather's early termination cut the stream short.
-		stats.Truncated = true
-	}
-	st.done <- shardDone{stats: stats, rec: senv.Rec, err: cause}
 }
 
 // scatterRows is the gather side as a cursor row source: it pulls the merged
@@ -393,12 +342,14 @@ func (s *scatterRows) fill(i int) error {
 
 // pull takes the next item off stream i, honoring the caller's cancellation.
 // ok = false means the stream ended; a stream that ended because its shard
-// failed surfaces that failure as the stream error.
+// failed surfaces that failure as the stream error — unless the failure
+// policy converted it to a partial completion, which ends the stream cleanly
+// (finalize records the shard's error in its stats).
 func (s *scatterRows) pull(i int) (shardItem, bool, error) {
 	select {
 	case it, ok := <-s.streams[i].items:
 		if !ok {
-			if d := s.doneOf(i); d.err != nil {
+			if d := s.doneOf(i); d.err != nil && !d.partial {
 				return shardItem{}, false, d.err
 			}
 			return shardItem{}, false, nil
@@ -420,6 +371,9 @@ func (s *scatterRows) nextAgg() (string, bool, error) {
 	for i := range s.streams {
 		d := s.doneOf(i)
 		if d.err != nil {
+			if d.partial {
+				continue // policy: aggregate over the shards that answered
+			}
 			return "", false, d.err
 		}
 		merged.Merge(d.agg)
@@ -462,11 +416,16 @@ func (s *scatterRows) finalize(st *Stats) {
 			allHit = allHit && d.stats.CacheHit
 		} else {
 			// A shard that did not run to completion — whether the window
-			// filled, the caller canceled, or the cursor closed early —
-			// means the stream did not cover the full union.
+			// filled, the caller canceled, the cursor closed early, or the
+			// failure policy gave the shard up — means the stream did not
+			// cover the full union.
 			st.Truncated = true
 		}
-		st.Shards = append(st.Shards, ShardStats{Shard: s.streams[i].name, Stats: d.stats})
+		ss := ShardStats{Shard: s.streams[i].name, Stats: d.stats}
+		if d.partial {
+			ss.Err = d.err.Error()
+		}
+		st.Shards = append(st.Shards, ss)
 		s.env.Rec.Merge(d.rec)
 	}
 	// CacheHit reports that every shard that completed replayed a cached

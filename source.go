@@ -1,0 +1,148 @@
+package rox
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+// Source is one loadable document in any of the engine's ingestion formats:
+// XML text, a reader, a file, a packed .roxd container, or a pre-shredded
+// document. Build one with the From* constructors and load it with
+// Engine.LoadSource (single document) or Engine.LoadCollectionSource (shards
+// of a collection). The ten legacy Load* methods are thin wrappers over this
+// surface.
+//
+// A Source is single-use in spirit but safe to reload: every open call
+// re-reads its input (re-parses the XML, re-opens the file), so loading the
+// same Source twice registers the current state of the input both times.
+type Source struct {
+	// open materializes the document's index. name is the caller's override:
+	// "" means use the source's intrinsic name; fixed-name sources (packed
+	// containers, pre-shredded documents) reject a conflicting override.
+	open func(name string) (*index.Index, error)
+	desc string
+}
+
+// FromXML sources a document from XML text; name is the document name
+// (doc("name") in queries), overridable at LoadSource.
+func FromXML(name, xml string) Source {
+	return Source{desc: "xml", open: func(override string) (*index.Index, error) {
+		d, err := xmltree.ParseString(pick(override, name), xml)
+		if err != nil {
+			return nil, err
+		}
+		return index.New(d), nil
+	}}
+}
+
+// FromReader sources a document from an XML reader. The reader is consumed
+// when the source is loaded — a Source built from a reader loads once.
+func FromReader(name string, r io.Reader) Source {
+	return Source{desc: "reader", open: func(override string) (*index.Index, error) {
+		d, err := xmltree.Parse(pick(override, name), r, xmltree.ParseOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return index.New(d), nil
+	}}
+}
+
+// FromFile sources a document from an XML file; an empty name (and empty
+// override) names the document after the path's base name, like LoadFile.
+func FromFile(name, path string) Source {
+	return Source{desc: "file " + path, open: func(override string) (*index.Index, error) {
+		docName := pick(override, name)
+		if docName == "" {
+			docName = filepath.Base(path)
+		}
+		d, err := xmltree.ParseFile(docName, path)
+		if err != nil {
+			return nil, err
+		}
+		return index.New(d), nil
+	}}
+}
+
+// FromPacked sources a document from a .roxd container produced by
+// cmd/roxpack (or datagen -pack): memory-mapped, indices attached from disk,
+// no O(n) rebuild. The document name is the one stored in the container; a
+// LoadSource name override must match it or the load errors (a packed
+// document cannot be renamed — its serialized index postings embed the name).
+func FromPacked(path string) Source {
+	return Source{desc: "packed " + path, open: func(override string) (*index.Index, error) {
+		ix, err := index.OpenPackedFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if override != "" && override != ix.Doc().Name() {
+			return nil, fmt.Errorf("rox: packed file %s holds document %q, not %q (packed documents cannot be renamed)",
+				path, ix.Doc().Name(), override)
+		}
+		return ix, nil
+	}}
+}
+
+// FromDocument sources a pre-shredded document (e.g. from the dataset
+// generators in internal/datagen). The document keeps its own name; a
+// LoadSource name override must match it.
+func FromDocument(d *xmltree.Document) Source {
+	return Source{desc: "document " + d.Name(), open: func(override string) (*index.Index, error) {
+		if override != "" && override != d.Name() {
+			return nil, fmt.Errorf("rox: document is named %q, not %q (pre-shredded documents cannot be renamed)",
+				d.Name(), override)
+		}
+		return index.New(d), nil
+	}}
+}
+
+// pick resolves a name override against a constructor-time name.
+func pick(override, name string) string {
+	if override != "" {
+		return override
+	}
+	return name
+}
+
+// LoadSource loads one document from any Source. name overrides the source's
+// intrinsic document name when non-empty ("" keeps it); fixed-name sources
+// (FromPacked, FromDocument) reject a conflicting override. Like every
+// Load*, the expensive work (parsing, shredding, index building, mapping)
+// happens outside the engine lock and the registration is one copy-on-write
+// catalog swap, safe while queries are in flight.
+func (e *Engine) LoadSource(name string, src Source) error {
+	ix, err := src.open(name)
+	if err != nil {
+		return err
+	}
+	e.publishIndexed(ix)
+	return nil
+}
+
+// LoadCollectionSource loads every Source as a shard of the named collection,
+// in argument order (which becomes the collection's result order); each
+// shard keeps its source's intrinsic document name. All sources materialize
+// before anything registers, and registration is one copy-on-write swap:
+// concurrent queries see either the catalog before the call or the complete
+// collection, never a prefix — and a source error loads nothing at all.
+func (e *Engine) LoadCollectionSource(coll string, srcs ...Source) error {
+	ixs := make([]*index.Index, len(srcs)) // the expensive part, outside the lock
+	for i, src := range srcs {
+		ix, err := src.open("")
+		if err != nil {
+			return fmt.Errorf("rox: collection %q shard %d (%s): %w", coll, i, src.desc, err)
+		}
+		ixs[i] = ix
+	}
+	e.mu.Lock()
+	cat := e.cat.Clone()
+	for _, ix := range ixs {
+		cat.AddCollectionShard(coll, ix)
+	}
+	e.cat = cat
+	e.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,161 @@
+package rox
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/xmltree"
+)
+
+// TestSourceConstructorEquivalence: every From* constructor loaded through
+// LoadSource yields the same query results as the legacy Load* wrapper it
+// backs — they are one surface.
+func TestSourceConstructorEquivalence(t *testing.T) {
+	const xml = `<r><x>a</x><x>b</x></r>`
+	const q = `for $x in doc("d.xml")//x return $x`
+
+	legacy := NewEngine()
+	if err := legacy.LoadXML("d.xml", xml); err != nil {
+		t.Fatal(err)
+	}
+	want, err := legacy.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "d.xml")
+	if err := os.WriteFile(xmlPath, []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmltree.ParseString("d.xml", xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedPath := filepath.Join(dir, "d.roxd")
+	if err := index.WritePackedFile(packedPath, index.New(doc)); err != nil {
+		t.Fatal(err)
+	}
+
+	sources := []struct {
+		name string
+		src  Source
+	}{
+		{"FromXML", FromXML("d.xml", xml)},
+		{"FromReader", FromReader("d.xml", strings.NewReader(xml))},
+		{"FromFile", FromFile("", xmlPath)}, // empty name: path base
+		{"FromPacked", FromPacked(packedPath)},
+		{"FromDocument", FromDocument(doc)},
+	}
+	for _, s := range sources {
+		t.Run(s.name, func(t *testing.T) {
+			eng := NewEngine()
+			if err := eng.LoadSource("", s.src); err != nil {
+				t.Fatalf("LoadSource: %v", err)
+			}
+			got, err := eng.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameItems(t, s.name, want.Items, got.Items)
+		})
+	}
+}
+
+// TestSourceRenameRules: a LoadSource name override renames renameable
+// sources and is rejected by fixed-name ones (packed containers and
+// pre-shredded documents embed their names).
+func TestSourceRenameRules(t *testing.T) {
+	const xml = `<r><x>v</x></r>`
+	t.Run("override renames xml", func(t *testing.T) {
+		eng := NewEngine()
+		if err := eng.LoadSource("other.xml", FromXML("d.xml", xml)); err != nil {
+			t.Fatal(err)
+		}
+		if docs := eng.Documents(); len(docs) != 1 || docs[0] != "other.xml" {
+			t.Errorf("Documents() = %v, want [other.xml]", docs)
+		}
+	})
+	t.Run("packed rejects rename", func(t *testing.T) {
+		doc, err := xmltree.ParseString("d.xml", xml)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "d.roxd")
+		if err := index.WritePackedFile(path, index.New(doc)); err != nil {
+			t.Fatal(err)
+		}
+		eng := NewEngine()
+		err = eng.LoadSource("other.xml", FromPacked(path))
+		if err == nil || !strings.Contains(err.Error(), "cannot be renamed") {
+			t.Errorf("packed rename err = %v, want cannot-be-renamed failure", err)
+		}
+		// A matching override is not a rename.
+		if err := eng.LoadSource("d.xml", FromPacked(path)); err != nil {
+			t.Errorf("matching override rejected: %v", err)
+		}
+	})
+	t.Run("document rejects rename", func(t *testing.T) {
+		doc, err := xmltree.ParseString("d.xml", xml)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := NewEngine()
+		err = eng.LoadSource("other.xml", FromDocument(doc))
+		if err == nil || !strings.Contains(err.Error(), "cannot be renamed") {
+			t.Errorf("document rename err = %v, want cannot-be-renamed failure", err)
+		}
+	})
+}
+
+// TestLoadCollectionSourceAtomicity: one bad source loads nothing at all, and
+// the error names the failing shard position and source kind.
+func TestLoadCollectionSourceAtomicity(t *testing.T) {
+	eng := NewEngine()
+	err := eng.LoadCollectionSource("c",
+		FromXML("c-0.xml", `<r><x>v</x></r>`),
+		FromXML("c-1.xml", `<r><x`)) // malformed
+	if err == nil {
+		t.Fatal("malformed shard accepted")
+	}
+	if !strings.Contains(err.Error(), `collection "c" shard 1 (xml)`) {
+		t.Errorf("error %v does not name the failing shard", err)
+	}
+	if got := eng.Collections(); len(got) != 0 {
+		t.Errorf("failed load registered collections %v", got)
+	}
+	if got := eng.Documents(); len(got) != 0 {
+		t.Errorf("failed load registered documents %v", got)
+	}
+}
+
+// TestLoadCollectionSourceOrder: argument order is shard (result) order, and
+// a collection query sees every shard.
+func TestLoadCollectionSourceOrder(t *testing.T) {
+	eng := NewEngine()
+	var srcs []Source
+	for i := 0; i < 3; i++ {
+		srcs = append(srcs, FromXML(fmt.Sprintf("s%d.xml", i),
+			fmt.Sprintf(`<r><x>v%d</x></r>`, i)))
+	}
+	if err := eng.LoadCollectionSource("c", srcs...); err != nil {
+		t.Fatal(err)
+	}
+	shards, err := eng.CollectionShards("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 3 || shards[0] != "s0.xml" || shards[2] != "s2.xml" {
+		t.Errorf("CollectionShards = %v, want argument order", shards)
+	}
+	res, err := eng.Query(`for $x in collection("c")//x return $x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<x>v0</x>", "<x>v1</x>", "<x>v2</x>"}
+	assertSameItems(t, "collection source order", want, res.Items)
+}

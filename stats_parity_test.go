@@ -1,0 +1,150 @@
+package rox
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestQueryStatsParity is the stats-parity audit of the query entry points:
+// Execute (drained manually), Query, QueryContext and Prepared.Query are all
+// the same pipeline behind different conveniences, so for the same corpus and
+// seed they must report identical Rows, Scanned, Truncated and per-shard
+// breakdowns. Each path runs on its own fresh engine so plan-cache state
+// cannot leak between them.
+func TestQueryStatsParity(t *testing.T) {
+	spans := [][2]int{{0, 25}, {100, 25}, {200, 25}}
+	newEng := func(t *testing.T) *Engine {
+		t.Helper()
+		eng := NewEngine()
+		for i, sp := range spans {
+			if err := eng.LoadCollectionShardXML("ppl", fmt.Sprintf("ppl-%d.xml", i),
+				pricedShardXML(sp[0], sp[1])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.LoadXML("ppl.xml", pricedShardXML(0, 50)); err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	queries := []struct {
+		name, q  string
+		agg      bool // aggregates fold Scanned tuples into 1 row by design
+		racyScan bool // early-terminated scatter: Scanned depends on cancellation timing
+	}{
+		{"single document", `for $p in doc("ppl.xml")//person return $p`, false, false},
+		{"document windowed", `for $p in doc("ppl.xml")//person return $p limit 7 offset 3`, false, false},
+		{"document aggregate", `for $p in doc("ppl.xml")//person return sum($p/salary)`, true, false},
+		{"collection plain", `for $p in collection("ppl")//person return $p`, false, false},
+		{"collection ordered", `for $p in collection("ppl")//person order by $p/age return $p`, false, false},
+		// A limit window over a scatter cancels the remaining shards the
+		// moment it fills; how far each shard got before the cancellation
+		// landed is scheduling-dependent, so Scanned and the per-shard
+		// breakdown are not comparable across runs for this shape.
+		{"collection windowed", `for $p in collection("ppl")//person return $p limit 7 offset 3`, false, true},
+		{"collection aggregate", `for $p in collection("ppl")//person return avg($p/salary)`, true, false},
+	}
+
+	type outcome struct {
+		items []string
+		stats Stats
+	}
+	paths := []struct {
+		name string
+		run  func(t *testing.T, eng *Engine, q string) outcome
+	}{
+		{"Execute", func(t *testing.T, eng *Engine, q string) outcome {
+			rows, err := eng.Execute(context.Background(), Request{Query: q})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rows.Close()
+			var items []string
+			for rows.Next() {
+				items = append(items, rows.Item())
+			}
+			if err := rows.Err(); err != nil {
+				t.Fatal(err)
+			}
+			rows.Close()
+			return outcome{items: items, stats: rows.Stats()}
+		}},
+		{"Query", func(t *testing.T, eng *Engine, q string) outcome {
+			res, err := eng.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return outcome{items: res.Items, stats: res.Stats}
+		}},
+		{"QueryContext", func(t *testing.T, eng *Engine, q string) outcome {
+			res, err := eng.QueryContext(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return outcome{items: res.Items, stats: res.Stats}
+		}},
+		{"Prepared.Query", func(t *testing.T, eng *Engine, q string) outcome {
+			prep, err := eng.Prepare(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := prep.Query()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return outcome{items: res.Items, stats: res.Stats}
+		}},
+	}
+
+	for _, q := range queries {
+		t.Run(q.name, func(t *testing.T) {
+			var ref outcome
+			for i, p := range paths {
+				got := p.run(t, newEng(t), q.q)
+				if i == 0 {
+					ref = got
+					continue
+				}
+				assertSameItems(t, p.name, ref.items, got.items)
+				if got.stats.Rows != ref.stats.Rows {
+					t.Errorf("%s: Rows = %d, Execute reported %d", p.name, got.stats.Rows, ref.stats.Rows)
+				}
+				if !q.racyScan && got.stats.Scanned != ref.stats.Scanned {
+					t.Errorf("%s: Scanned = %d, Execute reported %d", p.name, got.stats.Scanned, ref.stats.Scanned)
+				}
+				if got.stats.Truncated != ref.stats.Truncated {
+					t.Errorf("%s: Truncated = %v, Execute reported %v", p.name, got.stats.Truncated, ref.stats.Truncated)
+				}
+				if len(got.stats.Shards) != len(ref.stats.Shards) {
+					t.Fatalf("%s: %d shard stats, Execute reported %d",
+						p.name, len(got.stats.Shards), len(ref.stats.Shards))
+				}
+				for j, sh := range got.stats.Shards {
+					want := ref.stats.Shards[j]
+					if sh.Shard != want.Shard {
+						t.Errorf("%s: shard %d = %s, Execute reported %s",
+							p.name, j, sh.Shard, want.Shard)
+					}
+					if q.racyScan {
+						continue
+					}
+					if sh.Stats.Scanned != want.Stats.Scanned ||
+						sh.Stats.Rows != want.Stats.Rows || sh.Stats.Truncated != want.Stats.Truncated {
+						t.Errorf("%s: shard %d = {%s rows=%d scanned=%d trunc=%v}, Execute reported {%s rows=%d scanned=%d trunc=%v}",
+							p.name, j, sh.Shard, sh.Stats.Rows, sh.Stats.Scanned, sh.Stats.Truncated,
+							want.Shard, want.Stats.Rows, want.Stats.Scanned, want.Stats.Truncated)
+					}
+				}
+			}
+			// Scanned/Rows/Truncated are mutually consistent on every path
+			// (aggregates excepted: their fold consumes Scanned tuples into
+			// one row without that being a truncation).
+			if !q.agg && ref.stats.Truncated != (ref.stats.Rows < ref.stats.Scanned) {
+				t.Errorf("Execute: Truncated=%v with Rows=%d Scanned=%d",
+					ref.stats.Truncated, ref.stats.Rows, ref.stats.Scanned)
+			}
+		})
+	}
+}
