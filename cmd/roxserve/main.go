@@ -10,7 +10,9 @@
 //	roxserve -demo                                          # built-in DBLP demo corpus
 //	roxserve -addr :8080 -workers 8 -tau 100 -seed 1
 //
-// Endpoints:
+// Endpoints (implemented in internal/serve; every endpoint is served both
+// under the versioned /v1/ prefix — the stable, documented surface — and at
+// its historical unprefixed path, a frozen alias):
 //
 //	GET  /query?q=XQUERY[&mode=rox|static]   evaluate a query (or POST the
 //	         [&limit=N][&offset=M]           query text as the request body);
@@ -22,6 +24,7 @@
 //	                                         of buffering the full result
 //	GET  /healthz                            liveness + loaded documents
 //	GET  /stats                              aggregate evaluation statistics
+//	                                         plus goroutine/heap samples
 //	GET  /cache                              plan-cache size + hit/miss/drift
 //	                                         counters
 //	GET  /shards                             shard inventory: every loaded
@@ -46,11 +49,6 @@
 //	                                         index rebuild), an XML file is
 //	                                         parsed under &shard=S (default:
 //	                                         its base name)
-//
-// Every endpoint is served both under the versioned prefix /v1/ (the stable,
-// documented surface new clients should target) and at its historical
-// unprefixed path (a frozen alias kept for existing deployments); /v1/query
-// and /query are the same handler.
 //
 // Roles:
 //
@@ -82,31 +80,33 @@
 // the full ROX sampling loop independently, so each discovers its own plan.
 // Replacing one shard via /collections/load (safe while serving; loads are
 // copy-on-write) invalidates only that shard's cached plans.
+//
+// Lifecycle: -addr 127.0.0.1:0 binds an ephemeral port, and -portfile PATH
+// publishes the bound address (written atomically) so scripts can discover
+// it without racing on fixed port numbers. On SIGINT/SIGTERM the server
+// stops accepting, gives in-flight requests -drain-grace to finish, then
+// cancels them — a draining NDJSON stream always ends with a terminal
+// {"error": ...} line, never a silent truncation.
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
+	"net"
 	"net/http"
-	"net/url"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/datagen"
-	"repro/internal/metrics"
-	"repro/internal/shardrpc"
+	"repro/internal/serve"
 	"repro/internal/xmltree"
 )
 
@@ -124,7 +124,8 @@ func main() {
 	flag.Var(&colls, "collection", "NAME=GLOB sharded collection to load (repeatable); queried with collection(\"NAME\")")
 	flag.Var(&remotes, "remote-collection", "NAME=URL1,URL2 collection served by remote shard servers (repeatable); shards discovered via GET /v1/shards")
 	role := flag.String("role", "standalone", "server role: standalone (full query surface) or shard (shard-execution only, no /query)")
-	addr := flag.String("addr", ":8080", "listen address")
+	addr := flag.String("addr", ":8080", "listen address (use 127.0.0.1:0 with -portfile for an ephemeral port)")
+	portFile := flag.String("portfile", "", "write the bound listen address to this file once serving (for scripts using ephemeral ports)")
 	workers := flag.Int("workers", 0, "max concurrent query evaluations (0 = GOMAXPROCS)")
 	tau := flag.Int("tau", 100, "ROX sample size τ")
 	seed := flag.Int64("seed", 1, "random seed for sampling (per query, reproducible)")
@@ -133,76 +134,139 @@ func main() {
 	corpusDir := flag.String("corpusdir", "", "directory server-side ?file= shard loads are confined to (unset = file loads disabled)")
 	cacheSize := flag.Int("cache", rox.DefaultPlanCacheSize, "plan-cache capacity in entries (0 disables caching)")
 	drift := flag.Float64("drift", rox.DefaultDriftRatio, "cardinality drift ratio that re-optimizes a cached plan")
+	drainGrace := flag.Duration("drain-grace", 2*time.Second, "how long in-flight requests may finish after a shutdown signal before they are canceled")
 	flag.Parse()
 
-	if err := run(docs, colls, remotes, *role, *addr, *workers, *tau, *seed, *demo, *maxBody, *cacheSize, *drift, *corpusDir); err != nil {
+	cfg := serverConfig{
+		docs: docs, colls: colls, remotes: remotes,
+		role: *role, addr: *addr, portFile: *portFile,
+		workers: *workers, tau: *tau, seed: *seed, demo: *demo,
+		maxBody: *maxBody, cacheSize: *cacheSize, drift: *drift,
+		corpusDir: *corpusDir, drainGrace: *drainGrace,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "roxserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(docs, colls, remotes []string, role, addr string, workers, tau int, seed int64, demo bool, maxBody int64, cacheSize int, drift float64, corpusDir string) error {
-	if role != "standalone" && role != "shard" {
-		return fmt.Errorf("bad -role %q: want standalone or shard", role)
+// serverConfig carries the parsed flags into run.
+type serverConfig struct {
+	docs, colls, remotes []string
+	role, addr, portFile string
+	workers, tau         int
+	seed                 int64
+	demo                 bool
+	maxBody              int64
+	cacheSize            int
+	drift                float64
+	corpusDir            string
+	drainGrace           time.Duration
+}
+
+func run(cfg serverConfig) error {
+	if cfg.role != "standalone" && cfg.role != "shard" {
+		return fmt.Errorf("bad -role %q: want standalone or shard", cfg.role)
 	}
-	if len(docs) == 0 && len(colls) == 0 && len(remotes) == 0 && !demo {
+	if len(cfg.docs) == 0 && len(cfg.colls) == 0 && len(cfg.remotes) == 0 && !cfg.demo {
 		return fmt.Errorf("nothing to serve: pass -doc files, -collection or -remote-collection specs, or -demo")
 	}
-	if corpusDir != "" {
-		st, err := os.Stat(corpusDir)
+	if cfg.corpusDir != "" {
+		st, err := os.Stat(cfg.corpusDir)
 		if err != nil {
 			return fmt.Errorf("-corpusdir: %w", err)
 		}
 		if !st.IsDir() {
-			return fmt.Errorf("-corpusdir %s: not a directory", corpusDir)
+			return fmt.Errorf("-corpusdir %s: not a directory", cfg.corpusDir)
 		}
 	}
-	eng := rox.NewEngine(rox.WithSampleSize(tau), rox.WithSeed(seed),
-		rox.WithPlanCache(cacheSize), rox.WithDriftRatio(drift))
-	if demo {
+	eng := rox.NewEngine(rox.WithSampleSize(cfg.tau), rox.WithSeed(cfg.seed),
+		rox.WithPlanCache(cfg.cacheSize), rox.WithDriftRatio(cfg.drift))
+	if cfg.demo {
 		loadDemo(eng)
 	}
-	for _, path := range docs {
+	for _, path := range cfg.docs {
 		if err := loadDoc(eng, path); err != nil {
 			return err
 		}
 	}
-	for _, spec := range colls {
+	for _, spec := range cfg.colls {
 		if err := loadCollectionSpec(eng, spec); err != nil {
 			return err
 		}
 	}
-	if len(remotes) > 0 {
+	if len(cfg.remotes) > 0 {
 		// Discovery is a startup-time network call; bound it so a dead shard
 		// server fails the boot promptly instead of hanging it.
 		rctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		for _, spec := range remotes {
+		for _, spec := range cfg.remotes {
 			if err := loadRemoteCollectionSpec(rctx, eng, spec); err != nil {
 				return err
 			}
 		}
 	}
-	pool := rox.NewPool(eng, workers)
-	srv := &http.Server{Addr: addr, Handler: newHandler(pool, maxBody, corpusDir, role)}
+	pool := rox.NewPool(eng, cfg.workers)
+	handler := newHandler(pool, cfg.maxBody, cfg.corpusDir, cfg.role)
+	srv := &http.Server{Handler: handler}
+
+	// Listen before publishing the address: once -portfile exists, the
+	// server is accepting connections (health may still need a poll).
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	if cfg.portFile != "" {
+		if err := writePortFile(cfg.portFile, ln.Addr().String()); err != nil {
+			ln.Close()
+			return err
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("roxserve: serving %d documents on %s (%d workers)",
-			len(eng.Documents()), addr, pool.Workers())
-		errc <- srv.ListenAndServe()
+			len(eng.Documents()), ln.Addr(), pool.Workers())
+		errc <- srv.Serve(ln)
 	}()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		log.Printf("roxserve: shutting down")
-		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		log.Printf("roxserve: shutting down (draining up to %s)", cfg.drainGrace)
+		// Stop accepting and let in-flight requests finish on their own for
+		// the grace period; after it, Drain cancels them so every NDJSON
+		// stream still open terminates with a clean {"error": ...} line
+		// instead of being cut mid-item when Shutdown's deadline closes the
+		// connections.
+		grace := time.AfterFunc(cfg.drainGrace, handler.Drain)
+		defer grace.Stop()
+		sctx, cancel := context.WithTimeout(context.Background(), cfg.drainGrace+10*time.Second)
 		defer cancel()
 		return srv.Shutdown(sctx)
 	}
+}
+
+// newHandler builds the HTTP API over a query pool (the implementation lives
+// in internal/serve so test harnesses boot the production handler
+// in-process). Kept as a local constructor for the httptest suites.
+func newHandler(pool *rox.Pool, maxBody int64, corpusDir, role string) *serve.Handler {
+	return serve.New(pool, serve.Config{MaxBody: maxBody, CorpusDir: corpusDir, Role: role})
+}
+
+// writePortFile publishes the bound address atomically (write temp + rename)
+// so a script polling for the file never reads a partial line.
+func writePortFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return fmt.Errorf("-portfile: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("-portfile: %w", err)
+	}
+	return nil
 }
 
 // loadDoc registers one document from disk: .roxd files go through the
@@ -313,418 +377,4 @@ func loadDemo(eng *rox.Engine) {
 	for _, d := range datagen.GenerateDBLP(cfg, venues) {
 		eng.LoadDocument(d)
 	}
-}
-
-// queryResponse is the JSON shape of a successful /query evaluation.
-type queryResponse struct {
-	Items []string   `json:"items"`
-	Stats queryStats `json:"stats"`
-}
-
-type queryStats struct {
-	Rows                   int          `json:"rows"`
-	Scanned                int          `json:"scanned"`
-	Truncated              bool         `json:"truncated"`
-	ElapsedNS              int64        `json:"elapsed_ns"`
-	ExecTuples             int64        `json:"exec_tuples"`
-	SampleTuples           int64        `json:"sample_tuples"`
-	CumulativeIntermediate int64        `json:"cumulative_intermediate"`
-	Plan                   string       `json:"plan"`
-	CacheHit               bool         `json:"cache_hit"`
-	Reoptimized            bool         `json:"reoptimized"`
-	Shards                 []shardStats `json:"shards,omitempty"`
-}
-
-// shardStats is the per-shard breakdown of a scatter-gather evaluation.
-type shardStats struct {
-	Shard string     `json:"shard"`
-	Stats queryStats `json:"stats"`
-}
-
-// toQueryStats converts engine stats (recursively over shard breakdowns).
-func toQueryStats(s rox.Stats) queryStats {
-	out := queryStats{
-		Rows:                   s.Rows,
-		Scanned:                s.Scanned,
-		Truncated:              s.Truncated,
-		ElapsedNS:              s.Elapsed.Nanoseconds(),
-		ExecTuples:             s.ExecTuples,
-		SampleTuples:           s.SampleTuples,
-		CumulativeIntermediate: s.CumulativeIntermediate,
-		Plan:                   s.Plan,
-		CacheHit:               s.CacheHit,
-		Reoptimized:            s.Reoptimized,
-	}
-	for _, sh := range s.Shards {
-		out.Shards = append(out.Shards, shardStats{Shard: sh.Shard, Stats: toQueryStats(sh.Stats)})
-	}
-	return out
-}
-
-// handle registers one route twice: at its historical unprefixed pattern and
-// under the versioned /v1/ prefix. Both names resolve to the same handler —
-// /v1/ is the documented stable surface, the unprefixed path a frozen alias.
-// Method patterns ("POST /shards/{shard}/execute") keep the method in front
-// of the inserted prefix.
-func handle(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
-	mux.HandleFunc(pattern, h)
-	if method, path, ok := strings.Cut(pattern, " "); ok {
-		mux.HandleFunc(method+" /v1"+path, h)
-	} else {
-		mux.HandleFunc("/v1"+pattern, h)
-	}
-}
-
-// newHandler builds the HTTP API over a query pool. Split from run for
-// httptest coverage. corpusDir confines server-side ?file= shard loads; ""
-// disables them — the server binds all interfaces by default, so an
-// unrestricted ?file= would hand every HTTP client a read primitive over
-// any file the process can open. role "shard" drops /query: a shard server
-// executes shard requests for a coordinator but is not a client-facing query
-// endpoint.
-func newHandler(pool *rox.Pool, maxBody int64, corpusDir, role string) http.Handler {
-	mux := http.NewServeMux()
-	handle(mux, "GET /shards", shardrpc.HandleInventory(pool.Engine()))
-	handle(mux, "POST /shards/{shard}/execute", shardrpc.HandleExecute(pool.Engine()))
-	handle(mux, "/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":    "ok",
-			"documents": pool.Engine().Documents(),
-		})
-	})
-	handle(mux, "/stats", func(w http.ResponseWriter, r *http.Request) {
-		agg := pool.Aggregator()
-		exec, sample := agg.CostOf(metrics.PhaseExecute), agg.CostOf(metrics.PhaseSample)
-		writeJSON(w, http.StatusOK, map[string]any{
-			"queries": agg.Queries(),
-			"errors":  agg.Errors(),
-			"workers": pool.Workers(),
-			"execute": map[string]int64{"tuples": exec.Tuples, "ops": exec.Ops},
-			"sample":  map[string]int64{"tuples": sample.Tuples, "ops": sample.Ops},
-		})
-	})
-	handle(mux, "/cache", func(w http.ResponseWriter, r *http.Request) {
-		cs := pool.CacheStats()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"enabled":       cs.Enabled,
-			"size":          cs.Size,
-			"capacity":      cs.Capacity,
-			"hits":          cs.Counters.Hits,
-			"stale_hits":    cs.Counters.StaleHits,
-			"misses":        cs.Counters.Misses,
-			"drifts":        cs.Counters.Drifts,
-			"evictions":     cs.Counters.Evictions,
-			"installs":      cs.Counters.Installs,
-			"invalidations": cs.Counters.Invalidations,
-			"hit_rate":      cs.Counters.HitRate(),
-		})
-	})
-	queryHandler := func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query().Get("q")
-		if q == "" && (r.Method == http.MethodPost || r.Method == http.MethodPut) {
-			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
-			if err != nil {
-				var tooLarge *http.MaxBytesError
-				if errors.As(err, &tooLarge) {
-					writeError(w, http.StatusRequestEntityTooLarge,
-						fmt.Errorf("query body exceeds %d bytes", maxBody))
-					return
-				}
-				writeError(w, http.StatusBadRequest, err)
-				return
-			}
-			q = string(body)
-		}
-		if strings.TrimSpace(q) == "" {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("empty query: pass ?q= or a request body"))
-			return
-		}
-		req := rox.Request{Query: q}
-		switch mode := r.URL.Query().Get("mode"); mode {
-		case "", "rox":
-		case "static":
-			req.Static = true
-		default:
-			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want rox or static)", mode))
-			return
-		}
-		var err error
-		if req.Limit, err = intParam(r, "limit"); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		if req.Offset, err = intParam(r, "offset"); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		streaming := false
-		switch stream := r.URL.Query().Get("stream"); stream {
-		case "":
-		case "ndjson":
-			streaming = true
-		default:
-			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown stream format %q (want ndjson)", stream))
-			return
-		}
-		rows, err := pool.Execute(r.Context(), req)
-		if err != nil {
-			writeError(w, statusFor(err), err)
-			return
-		}
-		defer rows.Close()
-		if streaming {
-			streamNDJSON(w, rows)
-			return
-		}
-		items := []string{}
-		for rows.Next() {
-			items = append(items, rows.Item())
-		}
-		if err := rows.Err(); err != nil {
-			writeError(w, statusFor(err), err)
-			return
-		}
-		rows.Close()
-		writeJSON(w, http.StatusOK, queryResponse{
-			Items: items,
-			Stats: toQueryStats(rows.Stats()),
-		})
-	}
-	if role != "shard" {
-		handle(mux, "/query", queryHandler)
-	}
-	handle(mux, "/collections", func(w http.ResponseWriter, r *http.Request) {
-		eng := pool.Engine()
-		type collInfo struct {
-			Name   string   `json:"name"`
-			Shards []string `json:"shards"`
-		}
-		out := []collInfo{}
-		for _, name := range eng.Collections() {
-			shards, err := eng.CollectionShards(name)
-			if err != nil {
-				continue // raced with nothing: collections are never removed
-			}
-			out = append(out, collInfo{Name: name, Shards: shards})
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"collections": out})
-	})
-	handle(mux, "/collections/load", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost && r.Method != http.MethodPut {
-			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST or PUT an XML shard body"))
-			return
-		}
-		name := r.URL.Query().Get("name")
-		shard := r.URL.Query().Get("shard")
-		file := r.URL.Query().Get("file")
-		if name == "" || (shard == "" && file == "") {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("pass ?name=COLLECTION&shard=DOCNAME (XML body) or ?name=COLLECTION&file=PATH"))
-			return
-		}
-		// A mistyped collection name must not silently register a junk
-		// collection (there is no removal API); creating one is an explicit
-		// opt-in. Appending a new shard to an existing collection stays
-		// allowed — that is the scale-out path.
-		if create := r.URL.Query().Get("create"); create != "1" && create != "true" {
-			if _, err := pool.Engine().CollectionShards(name); err != nil {
-				writeError(w, http.StatusNotFound,
-					fmt.Errorf("collection %q not loaded (pass &create=1 to create it): %w", name, err))
-				return
-			}
-		}
-		if file != "" {
-			// Server-side file swap. A packed .roxd shard is memory-mapped and
-			// its persistent indices attached — an O(1) swap with no body
-			// upload, no re-shred and no index rebuild; the old mapping stays
-			// valid for queries already streaming from it and is unmapped when
-			// they finish. The shard keeps the document name stored in the
-			// container (or, for XML files, &shard= / the base name).
-			path, err := resolveCorpusPath(corpusDir, file)
-			if err != nil {
-				writeError(w, http.StatusForbidden, err)
-				return
-			}
-			if strings.HasSuffix(file, ".roxd") {
-				if err := pool.Engine().LoadCollectionShardPacked(name, path); err != nil {
-					writeError(w, http.StatusBadRequest, fmt.Errorf("load shard file %s: %w", file, err))
-					return
-				}
-				writeJSON(w, http.StatusOK, map[string]any{
-					"collection": name,
-					"file":       file,
-					"status":     "mapped",
-				})
-				return
-			}
-			if shard == "" {
-				shard = filepath.Base(file)
-			}
-			d, err := xmltree.ParseFile(shard, path)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("parse shard file %s: %w", file, err))
-				return
-			}
-			pool.Engine().LoadCollectionShard(name, d)
-			writeJSON(w, http.StatusOK, map[string]any{
-				"collection": name,
-				"shard":      shard,
-				"file":       file,
-				"status":     "loaded",
-			})
-			return
-		}
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
-		if err != nil {
-			var tooLarge *http.MaxBytesError
-			if errors.As(err, &tooLarge) {
-				writeError(w, http.StatusRequestEntityTooLarge,
-					fmt.Errorf("shard body exceeds %d bytes", maxBody))
-				return
-			}
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		if len(strings.TrimSpace(string(body))) == 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("empty shard body: POST the shard XML"))
-			return
-		}
-		// Copy-on-write load: safe while queries are in flight, and only this
-		// shard's cached plans are invalidated.
-		if err := pool.Engine().LoadCollectionShardXML(name, shard, string(body)); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("parse shard %s: %w", shard, err))
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"collection": name,
-			"shard":      shard,
-			"status":     "loaded",
-		})
-	})
-	return mux
-}
-
-// resolveCorpusPath confines a client-supplied ?file= path to the configured
-// corpus directory. Relative paths are taken relative to corpusDir; absolute
-// paths must land inside it. Both sides are resolved through filepath.Abs +
-// EvalSymlinks before the containment check, so neither ".." segments nor a
-// symlink planted inside the corpus directory can escape it. An empty
-// corpusDir means server-side file loads are disabled entirely.
-func resolveCorpusPath(corpusDir, file string) (string, error) {
-	if corpusDir == "" {
-		return "", fmt.Errorf("server-side file loads are disabled (start roxserve with -corpusdir)")
-	}
-	root, err := filepath.Abs(corpusDir)
-	if err == nil {
-		root, err = filepath.EvalSymlinks(root)
-	}
-	if err != nil {
-		return "", fmt.Errorf("corpus directory %s: %w", corpusDir, err)
-	}
-	p := file
-	if !filepath.IsAbs(p) {
-		p = filepath.Join(root, p)
-	}
-	abs, err := filepath.Abs(p)
-	if err != nil {
-		return "", fmt.Errorf("file %q is outside the corpus directory", file)
-	}
-	switch resolved, rerr := filepath.EvalSymlinks(abs); {
-	case rerr == nil:
-		abs = resolved
-	case errors.Is(rerr, os.ErrNotExist):
-		// A path that does not exist cannot be read; the lexically cleaned
-		// abs goes through the containment check below and the load itself
-		// reports the missing file as a 400.
-	default:
-		return "", fmt.Errorf("file %q is outside the corpus directory", file)
-	}
-	rel, err := filepath.Rel(root, abs)
-	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
-		return "", fmt.Errorf("file %q is outside the corpus directory", file)
-	}
-	return abs, nil
-}
-
-// intParam reads a non-negative integer query parameter ("" = 0).
-func intParam(r *http.Request, name string) (int, error) {
-	s := r.URL.Query().Get(name)
-	if s == "" {
-		return 0, nil
-	}
-	n, err := strconv.Atoi(s)
-	if err != nil || n < 0 {
-		return 0, fmt.Errorf("bad %s %q: want a non-negative integer", name, s)
-	}
-	return n, nil
-}
-
-// streamNDJSON writes the cursor as newline-delimited JSON: one
-// {"item": ...} object per result item as it comes off the engine (flushed
-// so slow consumers see progress), then a final {"stats": ...} object — or,
-// if the stream fails after the 200 header is out, an {"error": ...} object
-// as the last line.
-func streamNDJSON(w http.ResponseWriter, rows *rox.Rows) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
-	flusher, _ := w.(http.Flusher)
-	for rows.Next() {
-		if err := enc.Encode(map[string]string{"item": rows.Item()}); err != nil {
-			return // client went away; rows.Close via the handler's defer
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
-	if err := rows.Err(); err != nil {
-		enc.Encode(map[string]string{"error": err.Error()})
-		return
-	}
-	rows.Close()
-	enc.Encode(map[string]any{"stats": toQueryStats(rows.Stats())})
-}
-
-// statusFor classifies an evaluation error: cancellation → 503 (client went
-// away or timed out), a remote shard server's 4xx (it rejected the shard
-// request as malformed or unknown) → 400, any other remote-shard failure
-// (server unreachable, 5xx, mid-stream drop) → 502 so clients can tell a
-// cluster fault from a coordinator fault, client mistakes (unparsable query,
-// unknown document) → 400, anything else is an engine-internal failure → 500
-// so monitoring sees it and clients know to retry.
-func statusFor(err error) int {
-	var remote *shardrpc.RemoteError
-	var uerr *url.Error
-	switch {
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		return http.StatusServiceUnavailable
-	case errors.As(err, &remote):
-		if remote.Status >= 400 && remote.Status < 500 {
-			return http.StatusBadRequest
-		}
-		return http.StatusBadGateway
-	case errors.As(err, &uerr):
-		return http.StatusBadGateway
-	case errors.Is(err, rox.ErrNoSuchDocument) ||
-		errors.Is(err, rox.ErrNoSuchCollection) ||
-		errors.Is(err, rox.ErrStaticCollection) ||
-		errors.Is(err, rox.ErrNonNumericAggregate) ||
-		strings.HasPrefix(err.Error(), "xquery:") ||
-		strings.Contains(err.Error(), "not registered") ||
-		strings.Contains(err.Error(), "not loaded"):
-		return http.StatusBadRequest
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("roxserve: encode response: %v", err)
-	}
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

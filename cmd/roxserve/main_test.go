@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/serve"
 )
 
 const peopleXML = `<people>
@@ -86,7 +87,7 @@ func TestQueryPostBody(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("POST /query: status %d", resp.StatusCode)
 	}
-	var out queryResponse
+	var out serve.QueryResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestConcurrentRequestsAndStats(t *testing.T) {
 				return
 			}
 			defer resp.Body.Close()
-			var out queryResponse
+			var out serve.QueryResponse
 			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 				errs <- err
 				return
@@ -462,14 +463,14 @@ func TestQueryCanceledContext(t *testing.T) {
 	}
 	// The client never sees the response; assert the server-side mapping
 	// directly instead.
-	if got := statusFor(context.Canceled); got != http.StatusServiceUnavailable {
-		t.Errorf("statusFor(Canceled) = %d, want 503", got)
+	if got := serve.StatusFor(context.Canceled); got != http.StatusServiceUnavailable {
+		t.Errorf("serve.StatusFor(Canceled) = %d, want 503", got)
 	}
-	if got := statusFor(fmt.Errorf("rox: queued query canceled: %w", context.Canceled)); got != http.StatusServiceUnavailable {
-		t.Errorf("statusFor(wrapped Canceled) = %d, want 503", got)
+	if got := serve.StatusFor(fmt.Errorf("rox: queued query canceled: %w", context.Canceled)); got != http.StatusServiceUnavailable {
+		t.Errorf("serve.StatusFor(wrapped Canceled) = %d, want 503", got)
 	}
-	if got := statusFor(context.DeadlineExceeded); got != http.StatusServiceUnavailable {
-		t.Errorf("statusFor(DeadlineExceeded) = %d, want 503", got)
+	if got := serve.StatusFor(context.DeadlineExceeded); got != http.StatusServiceUnavailable {
+		t.Errorf("serve.StatusFor(DeadlineExceeded) = %d, want 503", got)
 	}
 }
 
@@ -545,12 +546,12 @@ func TestQueryStreamNDJSON(t *testing.T) {
 	}
 	dec := json.NewDecoder(resp.Body)
 	var items []string
-	var stats *queryStats
+	var stats *serve.QueryStats
 	for dec.More() {
 		var line struct {
-			Item  *string     `json:"item"`
-			Stats *queryStats `json:"stats"`
-			Error *string     `json:"error"`
+			Item  *string           `json:"item"`
+			Stats *serve.QueryStats `json:"stats"`
+			Error *string           `json:"error"`
 		}
 		if err := dec.Decode(&line); err != nil {
 			t.Fatal(err)

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/serve"
 	"repro/internal/shardrpc"
 )
 
@@ -159,13 +160,13 @@ func TestStatusForRemote(t *testing.T) {
 		{&url.Error{Op: "Post", URL: "http://s", Err: errors.New("connection refused")}, http.StatusBadGateway},
 	}
 	for _, tc := range cases {
-		if got := statusFor(tc.err); got != tc.want {
-			t.Errorf("statusFor(%v) = %d, want %d", tc.err, got, tc.want)
+		if got := serve.StatusFor(tc.err); got != tc.want {
+			t.Errorf("serve.StatusFor(%v) = %d, want %d", tc.err, got, tc.want)
 		}
 	}
 	// Wrapped (as the engine wraps shard failures) classifies the same.
 	wrapped := &shardrpc.RemoteError{Status: http.StatusNotFound, Endpoint: "http://s", Msg: "no shard"}
-	if got := statusFor(wrapErr(wrapped)); got != http.StatusBadRequest {
+	if got := serve.StatusFor(wrapErr(wrapped)); got != http.StatusBadRequest {
 		t.Errorf("wrapped RemoteError = %d, want 400", got)
 	}
 }

@@ -1,0 +1,196 @@
+// gen.go is the open-loop arrival engine. Arrivals fire on a fixed clock and
+// never wait for earlier requests: a slow server faces a growing in-flight
+// population (up to MaxInFlight, beyond which arrivals are counted as
+// dropped), which is what makes the recorded tail honest — a closed loop
+// would slow its own offered load to match the server and hide the
+// regression (coordinated omission).
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// A Class is one weighted query population.
+type Class struct {
+	// Name labels the class in reports.
+	Name string
+	// Weight is the class's share of arrivals (relative to the sum over all
+	// classes).
+	Weight int
+	// Params builds the /v1/query parameters for the class's i-th arrival
+	// (i counts per class, so paginating classes can rotate windows
+	// deterministically).
+	Params func(i int64) url.Values
+}
+
+// Config drives one load run.
+type Config struct {
+	// BaseURL is the target server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Rate is the total arrival rate across all classes, per second.
+	Rate float64
+	// Duration bounds the arrival phase; in-flight requests are then drained.
+	Duration time.Duration
+	// Classes are the weighted query populations; at least one, all weights
+	// positive.
+	Classes []Class
+	// MaxInFlight caps concurrent requests (default 256). Arrivals past the
+	// cap are dropped and counted — a drop count in a report is itself a
+	// finding, not a silent omission.
+	MaxInFlight int
+	// Client is the HTTP client (default: fresh client, no timeout).
+	Client *http.Client
+	// HealthEvery samples /v1/stats at this interval (default 250ms; < 0
+	// disables).
+	HealthEvery time.Duration
+}
+
+// ClassStats aggregates one class's outcomes.
+type ClassStats struct {
+	Name      string
+	Count     int64 // completed requests
+	Errors    int64 // transport errors, refusals and error terminals
+	Truncated int64 // streams with no terminal line (protocol violations)
+	Dropped   int64 // arrivals shed at MaxInFlight
+	Hist      Histogram
+}
+
+// RunStats is one load run's raw outcome, before report building.
+type RunStats struct {
+	Classes       []ClassStats // in Config.Classes order
+	Arrivals      int64
+	Elapsed       time.Duration
+	MaxGoroutines int
+	MaxHeapBytes  uint64
+}
+
+// Run executes one open-loop load run. It returns when the arrival phase is
+// over and every in-flight request finished (or ctx is canceled, which stops
+// arrivals and cancels in-flight requests).
+func Run(ctx context.Context, cfg Config) (*RunStats, error) {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.HealthEvery == 0 {
+		cfg.HealthEvery = 250 * time.Millisecond
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+
+	// Weighted round-robin arrival schedule: arrival n draws from the class
+	// owning slot n mod totalWeight. Deterministic, so two runs against the
+	// same server offer byte-identical load.
+	var slots []int
+	for ci, c := range cfg.Classes {
+		for w := 0; w < c.Weight; w++ {
+			slots = append(slots, ci)
+		}
+	}
+
+	stats := &RunStats{Classes: make([]ClassStats, len(cfg.Classes))}
+	var mu sync.Mutex // guards stats.Classes histograms and counters
+	for i, c := range cfg.Classes {
+		stats.Classes[i].Name = c.Name
+	}
+
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
+	// Health sampler: tracks the worst goroutine/heap sample over the run.
+	var healthWG sync.WaitGroup
+	if cfg.HealthEvery > 0 {
+		healthWG.Add(1)
+		go func() {
+			defer healthWG.Done()
+			tick := time.NewTicker(cfg.HealthEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-tick.C:
+				}
+				h, err := FetchHealth(runCtx, cfg.Client, cfg.BaseURL)
+				if err != nil {
+					continue
+				}
+				mu.Lock()
+				if h.Goroutines > stats.MaxGoroutines {
+					stats.MaxGoroutines = h.Goroutines
+				}
+				if h.HeapBytes > stats.MaxHeapBytes {
+					stats.MaxHeapBytes = h.HeapBytes
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	sem := make(chan struct{}, cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	perClass := make([]int64, len(cfg.Classes))
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	<-timer.C
+
+arrivals:
+	for next := start; next.Before(deadline); next = next.Add(interval) {
+		timer.Reset(time.Until(next))
+		select {
+		case <-ctx.Done():
+			break arrivals
+		case <-timer.C:
+		}
+		ci := slots[stats.Arrivals%int64(len(slots))]
+		stats.Arrivals++
+		seq := perClass[ci]
+		perClass[ci]++
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Open loop: never stall the arrival clock. Shed and count.
+			mu.Lock()
+			stats.Classes[ci].Dropped++
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			res, err := StreamQuery(runCtx, cfg.Client, cfg.BaseURL, cfg.Classes[ci].Params(seq))
+			elapsed := time.Since(t0).Nanoseconds()
+			mu.Lock()
+			defer mu.Unlock()
+			cs := &stats.Classes[ci]
+			cs.Count++
+			switch {
+			case err != nil:
+				cs.Errors++
+			case res.Truncated():
+				cs.Truncated++
+			case !res.OK():
+				cs.Errors++
+			default:
+				cs.Hist.Record(elapsed)
+			}
+		}()
+	}
+	wg.Wait()
+	cancelRun()
+	healthWG.Wait()
+	stats.Elapsed = time.Since(start)
+	return stats, ctx.Err()
+}

@@ -1,0 +1,102 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramExactSmall: values below subCount land in exact buckets.
+func TestHistogramExactSmall(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < subCount; v++ {
+		h.Record(v)
+	}
+	if h.Count() != subCount {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("q0 = %d, want 0", got)
+	}
+	if got := h.Quantile(1); got != subCount-1 {
+		t.Errorf("q1 = %d, want %d", got, subCount-1)
+	}
+}
+
+// TestHistogramRelativeError: quantiles over a wide range stay within the
+// bucket geometry's ~1/subCount relative error.
+func TestHistogramRelativeError(t *testing.T) {
+	var h Histogram
+	// 1..100000 — every value once, so the q-quantile's true value is
+	// q*100000.
+	const n = 100000
+	for v := int64(1); v <= n; v++ {
+		h.Record(v)
+	}
+	for _, q := range []float64{0.50, 0.90, 0.99, 0.999} {
+		got := h.Quantile(q)
+		want := q * n
+		rel := math.Abs(float64(got)-want) / want
+		if rel > 2.0/subCount {
+			t.Errorf("q%.3f = %d, want ~%.0f (rel err %.3f > %.3f)", q, got, want, rel, 2.0/subCount)
+		}
+		if float64(got) < want-1 {
+			t.Errorf("q%.3f = %d underestimates true %.0f — quantile must be an upper bound", q, got, want)
+		}
+	}
+}
+
+// TestHistogramClampsToRecordedMax: the upper bucket edge never exceeds the
+// actually recorded maximum.
+func TestHistogramClampsToRecordedMax(t *testing.T) {
+	var h Histogram
+	h.Record(1_000_003)
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 1_000_003 {
+			t.Errorf("q%v = %d, want exact recorded max", q, got)
+		}
+	}
+	if h.Max() != 1_000_003 {
+		t.Errorf("max = %d", h.Max())
+	}
+}
+
+// TestHistogramMerge: merged histograms quantile like the union.
+func TestHistogramMerge(t *testing.T) {
+	var a, b, u Histogram
+	for v := int64(1); v <= 1000; v++ {
+		a.Record(v)
+		u.Record(v)
+	}
+	for v := int64(1001); v <= 2000; v++ {
+		b.Record(v)
+		u.Record(v)
+	}
+	a.Merge(&b)
+	if a.Count() != u.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), u.Count())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != u.Quantile(q) {
+			t.Errorf("q%v: merged %d != union %d", q, a.Quantile(q), u.Quantile(q))
+		}
+	}
+	if a.Max() != 2000 {
+		t.Errorf("merged max = %d", a.Max())
+	}
+}
+
+// TestBucketMonotone: bucket mapping is monotone and upper bounds are
+// consistent with membership across the sub-bucket boundaries.
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 127, 128, 1 << 20, 1<<20 + 1, 1 << 40} {
+		idx := bucketOf(v)
+		if idx < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous %d", v, idx, prev)
+		}
+		if idx < nBuckets-1 && bucketUpper(idx) < v {
+			t.Errorf("bucketUpper(%d) = %d < member %d", idx, bucketUpper(idx), v)
+		}
+		prev = idx
+	}
+}

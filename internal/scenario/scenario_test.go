@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate expect/ files inside testdata archives")
+
+// TestScenarios runs every archive under testdata/ on all of its targets.
+// `go test ./internal/scenario -update` re-records each archive's expect/
+// files from its first target's observed output.
+func TestScenarios(t *testing.T) {
+	paths, err := filepath.Glob("testdata/*.txtar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 8 {
+		t.Fatalf("found %d scenario archives, want at least 8", len(paths))
+	}
+	for _, p := range paths {
+		name := strings.TrimSuffix(filepath.Base(p), ".txtar")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *update {
+				out, err := Update(t.Context(), name, data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(p, out, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				data = out
+			}
+			s, err := Parse(name, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mismatches, err := Verify(t.Context(), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range mismatches {
+				t.Error(m)
+			}
+		})
+	}
+}
+
+// TestArchiveRoundTrip pins the txtar parser/formatter pair.
+func TestArchiveRoundTrip(t *testing.T) {
+	in := "top comment\nsecond line\n" +
+		"-- config --\nrepeat 2\n" +
+		"-- shard/a.xml --\n<r><x>1</x></r>\n" +
+		"-- query/q1 --\nfor $x in collection(\"c\")//x return $x\n"
+	a := ParseArchive([]byte(in))
+	if a.Comment != "top comment\nsecond line\n" {
+		t.Errorf("comment = %q", a.Comment)
+	}
+	if len(a.Files) != 3 {
+		t.Fatalf("files = %d, want 3", len(a.Files))
+	}
+	if got, ok := a.File("shard/a.xml"); !ok || string(got) != "<r><x>1</x></r>\n" {
+		t.Errorf("shard/a.xml = %q, %v", got, ok)
+	}
+	if out := string(FormatArchive(a)); out != in {
+		t.Errorf("round trip:\n got %q\nwant %q", out, in)
+	}
+}
+
+// TestArchiveFormatAddsFinalNewline: a body without a trailing newline gains
+// one on output so the next marker starts on its own line.
+func TestArchiveFormatAddsFinalNewline(t *testing.T) {
+	a := &Archive{Files: []ArchiveFile{{Name: "f", Data: []byte("no newline")}}}
+	out := string(FormatArchive(a))
+	if out != "-- f --\nno newline\n" {
+		t.Errorf("formatted = %q", out)
+	}
+}
+
+// TestParseRejects pins the parse-time validation errors.
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name, archive, wantErr string
+	}{
+		{"no queries", "-- shard/a.xml --\n<r/>\n", "no query/ files"},
+		{"no corpus", "-- query/q --\n1\n", "no shard/ or doc/"},
+		{"unknown dir", "-- bogus/f --\nx\n-- query/q --\n1\n-- shard/a --\n<r/>\n", "unknown directory"},
+		{"unknown config key", "-- config --\nbogus 1\n-- query/q --\n1\n-- shard/a --\n<r/>\n", "unknown key"},
+		{"bad repeat", "-- config --\nrepeat zero\n-- query/q --\n1\n-- shard/a --\n<r/>\n", "bad repeat"},
+		{"unknown target", "-- config --\ntargets bogus\n-- query/q --\n1\n-- shard/a --\n<r/>\n", "unknown target"},
+		{"expect without query", "-- shard/a --\n<r/>\n-- query/q --\n1\n-- expect/other --\n", "has no query/"},
+		{"both expectations", "-- shard/a --\n<r/>\n-- query/q --\n1\n-- expect/q --\n-- expect-error/q --\nboom\n",
+			"both expect/ and expect-error/"},
+		{"fault off cluster", "-- config --\nfault kill-shard-server\n-- query/q --\n1\n-- shard/a --\n<r/>\n",
+			"only runs on the cluster target"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.name, []byte(tc.archive))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

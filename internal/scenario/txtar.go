@@ -1,0 +1,105 @@
+// txtar.go implements the txtar trivial text-based archive format (the
+// rogpeppe/go-internal and golang.org/x/tools idiom for script-based test
+// fixtures), std-lib only. An archive is a free-form comment followed by
+// file sections:
+//
+//	comment text (kept verbatim; the scenario's human description)
+//	-- path/one --
+//	file contents
+//	-- path/two --
+//	more contents
+//
+// The format is deliberately line-based and diff-friendly: a scenario —
+// corpus, queries, expected output — reads as one reviewable text file, and
+// regenerating expectations produces minimal diffs. Format(Parse(x))
+// round-trips every archive whose file bodies end in a newline (bodies are
+// newline-terminated on output, matching the reference implementation).
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// An Archive is a collection of files with a leading comment.
+type Archive struct {
+	Comment string
+	Files   []ArchiveFile
+}
+
+// An ArchiveFile is one file section of an archive.
+type ArchiveFile struct {
+	Name string
+	Data []byte
+}
+
+// File returns the named file's contents and whether it exists.
+func (a *Archive) File(name string) ([]byte, bool) {
+	for i := range a.Files {
+		if a.Files[i].Name == name {
+			return a.Files[i].Data, true
+		}
+	}
+	return nil, false
+}
+
+// marker delimits file sections: a line of the form "-- name --".
+func markerName(line []byte) (string, bool) {
+	line = bytes.TrimSuffix(line, []byte("\r"))
+	if !bytes.HasPrefix(line, []byte("-- ")) || !bytes.HasSuffix(line, []byte(" --")) {
+		return "", false
+	}
+	name := strings.TrimSpace(string(line[3 : len(line)-3]))
+	if name == "" {
+		return "", false
+	}
+	return name, true
+}
+
+// ParseArchive parses txtar data. Lines before the first marker form the
+// comment; each marker starts a file running to the next marker or EOF.
+func ParseArchive(data []byte) *Archive {
+	a := &Archive{}
+	var cur *ArchiveFile
+	var comment bytes.Buffer
+	for len(data) > 0 {
+		var line []byte
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i+1], data[i+1:]
+		} else {
+			line, data = data, nil
+		}
+		if name, ok := markerName(bytes.TrimSuffix(line, []byte("\n"))); ok {
+			a.Files = append(a.Files, ArchiveFile{Name: name})
+			cur = &a.Files[len(a.Files)-1]
+			continue
+		}
+		if cur != nil {
+			cur.Data = append(cur.Data, line...)
+		} else {
+			comment.Write(line)
+		}
+	}
+	a.Comment = comment.String()
+	return a
+}
+
+// FormatArchive serializes an archive back to txtar bytes. File bodies that
+// do not end in a newline get one, so the next marker starts on its own
+// line (the same fix-up the reference txtar applies).
+func FormatArchive(a *Archive) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(a.Comment)
+	if a.Comment != "" && !strings.HasSuffix(a.Comment, "\n") {
+		buf.WriteByte('\n')
+	}
+	for _, f := range a.Files {
+		fmt.Fprintf(&buf, "-- %s --\n", f.Name)
+		buf.Write(f.Data)
+		if len(f.Data) > 0 && f.Data[len(f.Data)-1] != '\n' {
+			buf.WriteByte('\n')
+		}
+	}
+	return buf.Bytes()
+}

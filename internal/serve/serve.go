@@ -1,0 +1,536 @@
+// Package serve implements the roxserve HTTP API as an importable handler.
+//
+// cmd/roxserve is a thin shell around this package — flag parsing, corpus
+// loading and process lifecycle — while the request surface itself (query
+// evaluation, NDJSON streaming, collection loading, the shard-execution wire
+// protocol and the versioned /v1/ aliases) lives here so test harnesses can
+// boot the exact production handler in-process: the scenario runner
+// (internal/scenario) diffs a loopback coordinator+shard cluster against a
+// single server, and the soak harness (internal/loadgen) drives concurrent
+// query + reload + kill/restart traffic under the race detector. See the
+// "Load harness and latency gates" section of DESIGN.md.
+//
+// A Handler also owns the drain lifecycle: Drain cancels the context of
+// every in-flight request, so streaming NDJSON responses end with a terminal
+// {"error": ...} line — a client can always distinguish a drained stream
+// from a complete one (which ends with {"stats": ...}) and from a truncated
+// one (no terminal line at all).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/metrics"
+	"repro/internal/shardrpc"
+	"repro/internal/xmltree"
+)
+
+// Config configures a Handler.
+type Config struct {
+	// MaxBody bounds POST bodies (queries and shard uploads) in bytes;
+	// 0 means DefaultMaxBody.
+	MaxBody int64
+	// CorpusDir confines server-side ?file= shard loads; "" disables them.
+	CorpusDir string
+	// Role selects the surface: "standalone" (default) serves everything,
+	// "shard" drops /query — a shard server executes shard requests for a
+	// coordinator but is not a client-facing query endpoint.
+	Role string
+}
+
+// DefaultMaxBody is the POST body bound used when Config.MaxBody is zero.
+const DefaultMaxBody = 1 << 20
+
+// Handler is the roxserve HTTP API over a query pool. It serves every
+// endpoint both at its historical unprefixed path and under the stable /v1/
+// prefix, and supports draining: after Drain, in-flight requests see their
+// context canceled so streams terminate promptly with a clean error.
+type Handler struct {
+	mux         *http.ServeMux
+	drainCtx    context.Context
+	drainCancel context.CancelCauseFunc
+}
+
+// ErrDraining is the cancellation cause Drain attaches to in-flight request
+// contexts.
+var ErrDraining = errors.New("server draining")
+
+// New builds the HTTP API over a query pool.
+//
+//roxvet:ctxroot the drain context is the handler's own lifecycle root; request cancellation still flows from each request's context.
+func New(pool *rox.Pool, cfg Config) *Handler {
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = DefaultMaxBody
+	}
+	drainCtx, drainCancel := context.WithCancelCause(context.Background())
+	h := &Handler{
+		mux:         http.NewServeMux(),
+		drainCtx:    drainCtx,
+		drainCancel: drainCancel,
+	}
+	h.register(pool, cfg)
+	return h
+}
+
+// ServeHTTP dispatches with a request context that is additionally canceled
+// when the handler drains, so no endpoint outlives Drain.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithCancelCause(r.Context())
+	defer cancel(nil)
+	stop := context.AfterFunc(h.drainCtx, func() {
+		cancel(context.Cause(h.drainCtx))
+	})
+	defer stop()
+	h.mux.ServeHTTP(w, r.WithContext(ctx))
+}
+
+// Drain cancels the context of every in-flight request (and all future
+// ones). In-flight NDJSON streams end with a terminal {"error": ...} line
+// instead of being cut mid-item when the listener closes; buffered queries
+// return 503. Call it when the process begins shutting down, after giving
+// fast requests a grace period to finish on their own.
+func (h *Handler) Drain() { h.drainCancel(ErrDraining) }
+
+// handle registers one route twice: at its historical unprefixed pattern and
+// under the versioned /v1/ prefix. Both names resolve to the same handler —
+// /v1/ is the documented stable surface, the unprefixed path a frozen alias.
+// Method patterns ("POST /shards/{shard}/execute") keep the method in front
+// of the inserted prefix.
+func (h *Handler) handle(pattern string, fn http.HandlerFunc) {
+	h.mux.HandleFunc(pattern, fn)
+	if method, path, ok := strings.Cut(pattern, " "); ok {
+		h.mux.HandleFunc(method+" /v1"+path, fn)
+	} else {
+		h.mux.HandleFunc("/v1"+pattern, fn)
+	}
+}
+
+// register wires every endpoint. CorpusDir confines server-side ?file= shard
+// loads; "" disables them — the server binds all interfaces by default, so an
+// unrestricted ?file= would hand every HTTP client a read primitive over any
+// file the process can open.
+func (h *Handler) register(pool *rox.Pool, cfg Config) {
+	maxBody, corpusDir := cfg.MaxBody, cfg.CorpusDir
+	h.handle("GET /shards", shardrpc.HandleInventory(pool.Engine()))
+	h.handle("POST /shards/{shard}/execute", shardrpc.HandleExecute(pool.Engine()))
+	h.handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":    "ok",
+			"documents": pool.Engine().Documents(),
+		})
+	})
+	h.handle("/stats", func(w http.ResponseWriter, r *http.Request) {
+		agg := pool.Aggregator()
+		exec, sample := agg.CostOf(metrics.PhaseExecute), agg.CostOf(metrics.PhaseSample)
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"queries": agg.Queries(),
+			"errors":  agg.Errors(),
+			"workers": pool.Workers(),
+			"execute": map[string]int64{"tuples": exec.Tuples, "ops": exec.Ops},
+			"sample":  map[string]int64{"tuples": sample.Tuples, "ops": sample.Ops},
+			// Process health the load harness samples during a run: a
+			// goroutine count that grows monotonically under steady traffic
+			// is a leak, heap_bytes bounds the working set.
+			"goroutines": runtime.NumGoroutine(),
+			"heap_bytes": ms.HeapAlloc,
+		})
+	})
+	h.handle("/cache", func(w http.ResponseWriter, r *http.Request) {
+		cs := pool.CacheStats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"enabled":       cs.Enabled,
+			"size":          cs.Size,
+			"capacity":      cs.Capacity,
+			"hits":          cs.Counters.Hits,
+			"stale_hits":    cs.Counters.StaleHits,
+			"misses":        cs.Counters.Misses,
+			"drifts":        cs.Counters.Drifts,
+			"evictions":     cs.Counters.Evictions,
+			"installs":      cs.Counters.Installs,
+			"invalidations": cs.Counters.Invalidations,
+			"hit_rate":      cs.Counters.HitRate(),
+		})
+	})
+	if cfg.Role != "shard" {
+		h.handle("/query", func(w http.ResponseWriter, r *http.Request) {
+			serveQuery(pool, maxBody, w, r)
+		})
+	}
+	h.handle("/collections", func(w http.ResponseWriter, r *http.Request) {
+		eng := pool.Engine()
+		type collInfo struct {
+			Name   string   `json:"name"`
+			Shards []string `json:"shards"`
+		}
+		out := []collInfo{}
+		for _, name := range eng.Collections() {
+			shards, err := eng.CollectionShards(name)
+			if err != nil {
+				continue // raced with nothing: collections are never removed
+			}
+			out = append(out, collInfo{Name: name, Shards: shards})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"collections": out})
+	})
+	h.handle("/collections/load", func(w http.ResponseWriter, r *http.Request) {
+		serveCollectionLoad(pool, maxBody, corpusDir, w, r)
+	})
+}
+
+// serveQuery evaluates one /query request, buffered JSON or NDJSON stream.
+func serveQuery(pool *rox.Pool, maxBody int64, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" && (r.Method == http.MethodPost || r.Method == http.MethodPut) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("query body exceeds %d bytes", maxBody))
+				return
+			}
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		q = string(body)
+	}
+	if strings.TrimSpace(q) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty query: pass ?q= or a request body"))
+		return
+	}
+	req := rox.Request{Query: q}
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "", "rox":
+	case "static":
+		req.Static = true
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want rox or static)", mode))
+		return
+	}
+	var err error
+	if req.Limit, err = intParam(r, "limit"); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Offset, err = intParam(r, "offset"); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	streaming := false
+	switch stream := r.URL.Query().Get("stream"); stream {
+	case "":
+	case "ndjson":
+		streaming = true
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown stream format %q (want ndjson)", stream))
+		return
+	}
+	rows, err := pool.Execute(r.Context(), req)
+	if err != nil {
+		writeError(w, StatusFor(err), err)
+		return
+	}
+	defer rows.Close()
+	if streaming {
+		streamNDJSON(w, rows)
+		return
+	}
+	items := []string{}
+	for rows.Next() {
+		items = append(items, rows.Item())
+	}
+	if err := rows.Err(); err != nil {
+		writeError(w, StatusFor(err), err)
+		return
+	}
+	rows.Close()
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Items: items,
+		Stats: toQueryStats(rows.Stats()),
+	})
+}
+
+// serveCollectionLoad replaces (or appends) one shard of a collection, from
+// the request body or from a file confined to corpusDir.
+func serveCollectionLoad(pool *rox.Pool, maxBody int64, corpusDir string, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost && r.Method != http.MethodPut {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST or PUT an XML shard body"))
+		return
+	}
+	name := r.URL.Query().Get("name")
+	shard := r.URL.Query().Get("shard")
+	file := r.URL.Query().Get("file")
+	if name == "" || (shard == "" && file == "") {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("pass ?name=COLLECTION&shard=DOCNAME (XML body) or ?name=COLLECTION&file=PATH"))
+		return
+	}
+	// A mistyped collection name must not silently register a junk
+	// collection (there is no removal API); creating one is an explicit
+	// opt-in. Appending a new shard to an existing collection stays
+	// allowed — that is the scale-out path.
+	if create := r.URL.Query().Get("create"); create != "1" && create != "true" {
+		if _, err := pool.Engine().CollectionShards(name); err != nil {
+			writeError(w, http.StatusNotFound,
+				fmt.Errorf("collection %q not loaded (pass &create=1 to create it): %w", name, err))
+			return
+		}
+	}
+	if file != "" {
+		// Server-side file swap. A packed .roxd shard is memory-mapped and
+		// its persistent indices attached — an O(1) swap with no body
+		// upload, no re-shred and no index rebuild; the old mapping stays
+		// valid for queries already streaming from it and is unmapped when
+		// they finish. The shard keeps the document name stored in the
+		// container (or, for XML files, &shard= / the base name).
+		path, err := resolveCorpusPath(corpusDir, file)
+		if err != nil {
+			writeError(w, http.StatusForbidden, err)
+			return
+		}
+		if strings.HasSuffix(file, ".roxd") {
+			if err := pool.Engine().LoadCollectionShardPacked(name, path); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("load shard file %s: %w", file, err))
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{
+				"collection": name,
+				"file":       file,
+				"status":     "mapped",
+			})
+			return
+		}
+		if shard == "" {
+			shard = filepath.Base(file)
+		}
+		d, err := xmltree.ParseFile(shard, path)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parse shard file %s: %w", file, err))
+			return
+		}
+		pool.Engine().LoadCollectionShard(name, d)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"collection": name,
+			"shard":      shard,
+			"file":       file,
+			"status":     "loaded",
+		})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("shard body exceeds %d bytes", maxBody))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(strings.TrimSpace(string(body))) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty shard body: POST the shard XML"))
+		return
+	}
+	// Copy-on-write load: safe while queries are in flight, and only this
+	// shard's cached plans are invalidated.
+	if err := pool.Engine().LoadCollectionShardXML(name, shard, string(body)); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parse shard %s: %w", shard, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"collection": name,
+		"shard":      shard,
+		"status":     "loaded",
+	})
+}
+
+// QueryResponse is the JSON shape of a successful buffered /query evaluation.
+type QueryResponse struct {
+	Items []string   `json:"items"`
+	Stats QueryStats `json:"stats"`
+}
+
+// QueryStats is the JSON stats object of a /query response (and of the
+// terminal {"stats": ...} line of an NDJSON stream).
+type QueryStats struct {
+	Rows                   int               `json:"rows"`
+	Scanned                int               `json:"scanned"`
+	Truncated              bool              `json:"truncated"`
+	ElapsedNS              int64             `json:"elapsed_ns"`
+	ExecTuples             int64             `json:"exec_tuples"`
+	SampleTuples           int64             `json:"sample_tuples"`
+	CumulativeIntermediate int64             `json:"cumulative_intermediate"`
+	Plan                   string            `json:"plan"`
+	CacheHit               bool              `json:"cache_hit"`
+	Reoptimized            bool              `json:"reoptimized"`
+	Shards                 []ShardQueryStats `json:"shards,omitempty"`
+}
+
+// ShardQueryStats is the per-shard breakdown of a scatter-gather evaluation.
+type ShardQueryStats struct {
+	Shard string     `json:"shard"`
+	Stats QueryStats `json:"stats"`
+}
+
+// toQueryStats converts engine stats (recursively over shard breakdowns).
+func toQueryStats(s rox.Stats) QueryStats {
+	out := QueryStats{
+		Rows:                   s.Rows,
+		Scanned:                s.Scanned,
+		Truncated:              s.Truncated,
+		ElapsedNS:              s.Elapsed.Nanoseconds(),
+		ExecTuples:             s.ExecTuples,
+		SampleTuples:           s.SampleTuples,
+		CumulativeIntermediate: s.CumulativeIntermediate,
+		Plan:                   s.Plan,
+		CacheHit:               s.CacheHit,
+		Reoptimized:            s.Reoptimized,
+	}
+	for _, sh := range s.Shards {
+		out.Shards = append(out.Shards, ShardQueryStats{Shard: sh.Shard, Stats: toQueryStats(sh.Stats)})
+	}
+	return out
+}
+
+// resolveCorpusPath confines a client-supplied ?file= path to the configured
+// corpus directory. Relative paths are taken relative to corpusDir; absolute
+// paths must land inside it. Both sides are resolved through filepath.Abs +
+// EvalSymlinks before the containment check, so neither ".." segments nor a
+// symlink planted inside the corpus directory can escape it. An empty
+// corpusDir means server-side file loads are disabled entirely.
+func resolveCorpusPath(corpusDir, file string) (string, error) {
+	if corpusDir == "" {
+		return "", fmt.Errorf("server-side file loads are disabled (start roxserve with -corpusdir)")
+	}
+	root, err := filepath.Abs(corpusDir)
+	if err == nil {
+		root, err = filepath.EvalSymlinks(root)
+	}
+	if err != nil {
+		return "", fmt.Errorf("corpus directory %s: %w", corpusDir, err)
+	}
+	p := file
+	if !filepath.IsAbs(p) {
+		p = filepath.Join(root, p)
+	}
+	abs, err := filepath.Abs(p)
+	if err != nil {
+		return "", fmt.Errorf("file %q is outside the corpus directory", file)
+	}
+	switch resolved, rerr := filepath.EvalSymlinks(abs); {
+	case rerr == nil:
+		abs = resolved
+	case errors.Is(rerr, os.ErrNotExist):
+		// A path that does not exist cannot be read; the lexically cleaned
+		// abs goes through the containment check below and the load itself
+		// reports the missing file as a 400.
+	default:
+		return "", fmt.Errorf("file %q is outside the corpus directory", file)
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("file %q is outside the corpus directory", file)
+	}
+	return abs, nil
+}
+
+// intParam reads a non-negative integer query parameter ("" = 0).
+func intParam(r *http.Request, name string) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad %s %q: want a non-negative integer", name, s)
+	}
+	return n, nil
+}
+
+// streamNDJSON writes the cursor as newline-delimited JSON: one
+// {"item": ...} object per result item as it comes off the engine (flushed
+// so slow consumers see progress), then a final {"stats": ...} object — or,
+// if the stream fails after the 200 header is out, an {"error": ...} object
+// as the last line. A stream with no terminal line was truncated; clients
+// must treat it as failed, never as a short success.
+func streamNDJSON(w http.ResponseWriter, rows *rox.Rows) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for rows.Next() {
+		if err := enc.Encode(map[string]string{"item": rows.Item()}); err != nil {
+			return // client went away; rows.Close via the handler's defer
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := rows.Err(); err != nil {
+		enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	rows.Close()
+	enc.Encode(map[string]any{"stats": toQueryStats(rows.Stats())})
+}
+
+// StatusFor classifies an evaluation error: cancellation → 503 (client went
+// away, timed out, or the server is draining), a remote shard server's 4xx
+// (it rejected the shard request as malformed or unknown) → 400, any other
+// remote-shard failure (server unreachable, 5xx, mid-stream drop) → 502 so
+// clients can tell a cluster fault from a coordinator fault, client mistakes
+// (unparsable query, unknown document) → 400, anything else is an
+// engine-internal failure → 500 so monitoring sees it and clients know to
+// retry.
+func StatusFor(err error) int {
+	var remote *shardrpc.RemoteError
+	var uerr *url.Error
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &remote):
+		if remote.Status >= 400 && remote.Status < 500 {
+			return http.StatusBadRequest
+		}
+		return http.StatusBadGateway
+	case errors.As(err, &uerr):
+		return http.StatusBadGateway
+	case errors.Is(err, rox.ErrNoSuchDocument) ||
+		errors.Is(err, rox.ErrNoSuchCollection) ||
+		errors.Is(err, rox.ErrStaticCollection) ||
+		errors.Is(err, rox.ErrNonNumericAggregate) ||
+		strings.HasPrefix(err.Error(), "xquery:") ||
+		strings.Contains(err.Error(), "not registered") ||
+		strings.Contains(err.Error(), "not loaded"):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("serve: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

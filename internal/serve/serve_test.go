@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// queryURL builds a /v1/query URL with a properly escaped query text.
+func queryURL(base, q string, params ...string) string {
+	v := url.Values{}
+	v.Set("q", q)
+	for i := 0; i+1 < len(params); i += 2 {
+		v.Set(params[i], params[i+1])
+	}
+	return base + "/v1/query?" + v.Encode()
+}
+
+// peopleXML builds one shard of deterministic people data. pad inflates each
+// item so a full scan overflows socket buffers and the stream stays live
+// long enough for a mid-stream drain to land.
+func peopleXML(base, n, pad int) string {
+	var sb strings.Builder
+	sb.WriteString("<people>")
+	for i := 0; i < n; i++ {
+		id := base + i
+		fmt.Fprintf(&sb, `<person id="p%05d"><name>n%d</name><age>%d</age><salary>%d</salary><bio>%s</bio></person>`,
+			id, id, 20+(id*7)%50, 1000+(id*37)%900, strings.Repeat("x", pad))
+	}
+	sb.WriteString("</people>")
+	return sb.String()
+}
+
+// newPeopleServer boots the production handler over a 4-shard collection.
+func newPeopleServer(t *testing.T, pad int) (*Handler, *httptest.Server) {
+	t.Helper()
+	eng := rox.NewEngine(rox.WithSeed(1))
+	for s := 0; s < 4; s++ {
+		if err := eng.LoadCollectionShardXML("ppl", fmt.Sprintf("ppl-%d.xml", s),
+			peopleXML(s*100, 100, pad)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := New(rox.NewPool(eng, 4), Config{})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return h, ts
+}
+
+// ndjsonLines reads an NDJSON stream to EOF, returning the decoded line
+// kinds in order ("item", "stats", "error").
+func ndjsonLines(t *testing.T, r *bufio.Scanner) (kinds []string, lastErr string) {
+	t.Helper()
+	for r.Scan() {
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal(r.Bytes(), &obj); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", r.Text(), err)
+		}
+		switch {
+		case obj["item"] != nil:
+			kinds = append(kinds, "item")
+		case obj["stats"] != nil:
+			kinds = append(kinds, "stats")
+		case obj["error"] != nil:
+			kinds = append(kinds, "error")
+			json.Unmarshal(obj["error"], &lastErr)
+		default:
+			t.Fatalf("NDJSON line with unknown keys: %q", r.Text())
+		}
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("read stream: %v", err)
+	}
+	return kinds, lastErr
+}
+
+// TestDrainTerminatesStreamCleanly is the shutdown-under-load contract: a
+// client streaming NDJSON when the server drains receives a terminal
+// {"error": ...} line — the stream is explicitly failed, not truncated in a
+// way a naive client could misread as a short success.
+func TestDrainTerminatesStreamCleanly(t *testing.T) {
+	// ~4MB of items: far beyond loopback socket buffering, so the handler is
+	// still producing when Drain fires.
+	h, ts := newPeopleServer(t, 10*1024)
+	resp, err := http.Get(queryURL(ts.URL, `for $p in collection("ppl")//person return $p`, "stream", "ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("no first line: %v", sc.Err())
+	}
+	if !strings.Contains(sc.Text(), `"item"`) {
+		t.Fatalf("first line is not an item: %q", sc.Text())
+	}
+	h.Drain()
+	kinds, errLine := ndjsonLines(t, sc)
+	if len(kinds) == 0 {
+		t.Fatal("stream ended immediately after drain with no terminal line")
+	}
+	last := kinds[len(kinds)-1]
+	if last != "error" {
+		t.Fatalf("drained stream ended with %q line, want \"error\" (kinds: %v)", last, tail(kinds, 5))
+	}
+	if errLine == "" {
+		t.Fatal("terminal error line carries no message")
+	}
+	for _, k := range kinds[:len(kinds)-1] {
+		if k != "item" {
+			t.Fatalf("unexpected %q line before the terminal error", k)
+		}
+	}
+}
+
+func tail(s []string, n int) []string {
+	if len(s) <= n {
+		return s
+	}
+	return s[len(s)-n:]
+}
+
+// TestDrainFailsNewRequests: after Drain every request — buffered queries
+// included — is refused with 503, the same classification as a client
+// cancellation, so load balancers stop routing here.
+func TestDrainFailsNewRequests(t *testing.T) {
+	h, ts := newPeopleServer(t, 0)
+	h.Drain()
+	resp, err := http.Get(queryURL(ts.URL, `for $p in collection("ppl")//person return count($p)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain query status = %d, want 503", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["error"] == "" {
+		t.Error("post-drain refusal carries no error message")
+	}
+}
+
+// TestCompleteStreamEndsWithStats pins the happy-path terminal line, the
+// other half of the truncation-detection contract.
+func TestCompleteStreamEndsWithStats(t *testing.T) {
+	_, ts := newPeopleServer(t, 0)
+	resp, err := http.Get(queryURL(ts.URL, `for $p in collection("ppl")//person return $p`, "stream", "ndjson", "limit", "5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	kinds, _ := ndjsonLines(t, sc)
+	want := []string{"item", "item", "item", "item", "item", "stats"}
+	if len(kinds) != len(want) {
+		t.Fatalf("stream lines = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("stream lines = %v, want %v", kinds, want)
+		}
+	}
+}
+
+// TestStatsHealthFields: /v1/stats exports the process-health samples the
+// load harness records (goroutine count, heap bytes).
+func TestStatsHealthFields(t *testing.T) {
+	_, ts := newPeopleServer(t, 0)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Goroutines int    `json:"goroutines"`
+		HeapBytes  uint64 `json:"heap_bytes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Goroutines < 1 {
+		t.Errorf("goroutines = %d, want >= 1", stats.Goroutines)
+	}
+	if stats.HeapBytes == 0 {
+		t.Error("heap_bytes = 0")
+	}
+}
+
+// TestDrainUnderConcurrentLoad drains while many streams are in flight:
+// every stream must end with a terminal line (stats if it finished before
+// the drain landed, error otherwise) within the shutdown deadline.
+func TestDrainUnderConcurrentLoad(t *testing.T) {
+	h, ts := newPeopleServer(t, 2048)
+	const n = 8
+	type outcome struct {
+		last string
+		err  error
+	}
+	results := make(chan outcome, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, err := http.Get(queryURL(ts.URL, `for $p in collection("ppl")//person return $p`, "stream", "ndjson"))
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			last := ""
+			for sc.Scan() {
+				switch {
+				case strings.Contains(sc.Text(), `"stats"`):
+					last = "stats"
+				case strings.Contains(sc.Text(), `"error"`):
+					last = "error"
+				default:
+					last = "item"
+				}
+			}
+			results <- outcome{last: last, err: sc.Err()}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let the streams start
+	h.Drain()
+	for i := 0; i < n; i++ {
+		select {
+		case o := <-results:
+			if o.err != nil {
+				t.Errorf("stream %d failed at transport level: %v", i, o.err)
+			} else if o.last != "stats" && o.last != "error" {
+				t.Errorf("stream %d ended on %q line, want stats or error terminal", i, o.last)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatal("drained streams did not terminate")
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/shardrpc"
+	"repro/internal/testutil"
 )
 
 // swapExec is a shardrpc.Executor that delegates to a swappable engine — the
@@ -475,6 +476,7 @@ func TestRemoteSlowShardDeadline(t *testing.T) {
 // which cancels the shard server's request context — remote work the merge no
 // longer needs actually stops, it does not stream into the void.
 func TestRemoteCancelOnWindowFill(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	canceled := make(chan struct{})
 	var once sync.Once
 	ts := fakeShardServer(t, func(w http.ResponseWriter, r *http.Request) {
@@ -509,16 +511,7 @@ func TestRemoteCancelOnWindowFill(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer rows.Close()
-	n := 0
-	for rows.Next() {
-		n++
-	}
-	if err := rows.Err(); err != nil {
-		t.Fatalf("windowed stream failed: %v", err)
-	}
-	rows.Close()
-	if n != 5 {
+	if n := len(testutil.DrainCursor(t, rows)); n != 5 {
 		t.Errorf("window returned %d items, want 5", n)
 	}
 	if !rows.Stats().Truncated {

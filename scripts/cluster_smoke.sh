@@ -41,41 +41,53 @@ for s in 0 1 2 3; do
   } > "$work/ppl-$s.xml"
 done
 
-# Loopback ports derived from the PID to dodge collisions on shared runners.
-base=$((20000 + $$ % 20000))
-shard_a=$base shard_b=$((base + 1)) coord=$((base + 2)) single=$((base + 3))
-
-wait_healthy() { # port
-  for _ in $(seq 1 50); do
-    if curl -sf "http://127.0.0.1:$1/v1/healthz" > /dev/null 2>&1; then return 0; fi
-    sleep 0.1
+# Ephemeral ports: every server binds 127.0.0.1:0 and publishes its bound
+# address through -portfile, so parallel runs on shared CI runners cannot
+# collide — no PID arithmetic, no race against other suites.
+read_addr() { # portfile
+  for _ in $(seq 1 100); do
+    if [ -s "$1" ]; then cat "$1"; return 0; fi
+    sleep 0.05
   done
-  echo "FAIL: server on port $1 never became healthy" >&2
+  echo "FAIL: $1 was never written — did the server boot?" >&2
   return 1
 }
 
-echo "booting shard servers on :$shard_a and :$shard_b..."
-"$work/roxserve" -role shard -addr "127.0.0.1:$shard_a" \
+wait_healthy() { # host:port
+  for _ in $(seq 1 50); do
+    if curl -sf "http://$1/v1/healthz" > /dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "FAIL: server on $1 never became healthy" >&2
+  return 1
+}
+
+echo "booting shard servers on ephemeral ports..."
+"$work/roxserve" -role shard -addr 127.0.0.1:0 -portfile "$work/shard_a.port" \
   -doc "$work/ppl-0.xml" -doc "$work/ppl-1.xml" -seed 1 &
 pids+=($!)
-"$work/roxserve" -role shard -addr "127.0.0.1:$shard_b" \
+"$work/roxserve" -role shard -addr 127.0.0.1:0 -portfile "$work/shard_b.port" \
   -doc "$work/ppl-2.xml" -doc "$work/ppl-3.xml" -seed 1 &
 pids+=($!)
+shard_a="$(read_addr "$work/shard_a.port")"
+shard_b="$(read_addr "$work/shard_b.port")"
 wait_healthy "$shard_a"
 wait_healthy "$shard_b"
 
-echo "booting coordinator on :$coord and single-process reference on :$single..."
-"$work/roxserve" -addr "127.0.0.1:$coord" -seed 1 \
-  -remote-collection "ppl=http://127.0.0.1:$shard_a,http://127.0.0.1:$shard_b" &
+echo "booting coordinator and single-process reference..."
+"$work/roxserve" -addr 127.0.0.1:0 -portfile "$work/coord.port" -seed 1 \
+  -remote-collection "ppl=http://$shard_a,http://$shard_b" &
 pids+=($!)
-"$work/roxserve" -addr "127.0.0.1:$single" -seed 1 \
+"$work/roxserve" -addr 127.0.0.1:0 -portfile "$work/single.port" -seed 1 \
   -collection "ppl=$work/ppl-*.xml" &
 pids+=($!)
+coord="$(read_addr "$work/coord.port")"
+single="$(read_addr "$work/single.port")"
 wait_healthy "$coord"
 wait_healthy "$single"
 
 # A shard server must not serve client queries.
-code="$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$shard_a/v1/query?q=1")"
+code="$(curl -s -o /dev/null -w '%{http_code}' "http://$shard_a/v1/query?q=1")"
 if [ "$code" != "404" ]; then
   echo "FAIL: shard server answered /v1/query with $code, want 404" >&2
   exit 1
@@ -91,9 +103,9 @@ queries=(
 fail=0
 for q in "${queries[@]}"; do
   for run in warm-up replay; do # second run exercises the plan-hint replay path
-    got="$(curl -sG "http://127.0.0.1:$coord/v1/query" --data-urlencode "q=$q" \
+    got="$(curl -sG "http://$coord/v1/query" --data-urlencode "q=$q" \
       --data-urlencode "stream=ndjson" | grep '"item"' || true)"
-    want="$(curl -sG "http://127.0.0.1:$single/v1/query" --data-urlencode "q=$q" \
+    want="$(curl -sG "http://$single/v1/query" --data-urlencode "q=$q" \
       --data-urlencode "stream=ndjson" | grep '"item"' || true)"
     if [ -z "$want" ]; then
       echo "FAIL ($run): reference returned no items for: $q" >&2

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // drainAll collects a cursor through the iterator adapter, failing the test
@@ -412,23 +414,6 @@ func TestCursorCancelMidStreamSingle(t *testing.T) {
 	}
 }
 
-// waitGoroutines polls until the goroutine count returns to (near) base,
-// dumping stacks on timeout — the shard fan-out must not leak.
-func waitGoroutines(t *testing.T, base int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		if n := runtime.NumGoroutine(); n <= base {
-			return
-		} else if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			t.Fatalf("goroutines %d > base %d after cancel:\n%s", n, base, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-}
-
 // TestCursorCancelMidStreamSharded cancels a scatter mid-stream: the cursor
 // surfaces ctx.Err(), every shard goroutine exits, and the shards that
 // completed before the cancel keep their installed plans.
@@ -455,7 +440,7 @@ func TestCursorCancelMidStreamSharded(t *testing.T) {
 	if err := rows.Err(); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Err = %v, want context.Canceled", err)
 	}
-	waitGoroutines(t, base)
+	testutil.WaitGoroutines(t, base)
 	if cs := sharded.CacheStats(); cs.Size == 0 {
 		t.Error("no shard plan survived the canceled scatter (the first shard completed its join)")
 	}
@@ -476,7 +461,7 @@ func TestCursorLeakReleasesGoroutines(t *testing.T) {
 	}
 	rows = nil // abandon without Close
 	_ = rows
-	waitGoroutines(t, base)
+	testutil.WaitGoroutines(t, base)
 }
 
 // TestPoolCursorSlotLifecycle: a pooled cursor holds its admission slot until

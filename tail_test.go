@@ -1,9 +1,12 @@
 package rox
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 // tailEngine loads a small shop corpus with numeric and non-numeric leaves.
@@ -193,6 +196,7 @@ func TestTailChangeIsCacheMiss(t *testing.T) {
 // TestScatterAggregateStats: scatter-gather aggregates report Rows=1 with
 // the single merged item, and per-shard stats still roll up.
 func TestScatterAggregateStats(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	eng := NewEngine()
 	for i, xml := range []string{
 		`<shop><item><price>10</price></item><item><price>20</price></item></shop>`,
@@ -213,11 +217,11 @@ func TestScatterAggregateStats(t *testing.T) {
 	if len(res.Stats.Shards) != 3 {
 		t.Errorf("shard stats = %d, want 3", len(res.Stats.Shards))
 	}
-	avg, err := eng.Query(`for $i in collection("shop")//item return avg($i/price)`)
+	rows, err := eng.Execute(context.Background(), Request{Query: `for $i in collection("shop")//item return avg($i/price)`})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if avg.Items[0] != "20" {
-		t.Errorf("scatter avg = %v, want [20]", avg.Items)
+	if avg := testutil.DrainCursor(t, rows); len(avg) != 1 || avg[0] != "20" {
+		t.Errorf("scatter avg = %v, want [20]", avg)
 	}
 }
