@@ -10,9 +10,10 @@
 //	roxload -addr http://127.0.0.1:8080 -collection ppl -rate 200 -duration 10s -out report.json
 //
 // Soak mode trades the fixed-rate report for sustained chaos — concurrent
-// queries, shard reloads through /collections/load, and mid-stream client
-// cancellations — and fails on any protocol violation (a stream without a
-// terminal line, an unreachable frontend):
+// queries, shard reloads through /collections/load, live ingest commits
+// through /collections/{name}/ingest, and mid-stream client cancellations —
+// and fails on any protocol violation (a stream without a terminal line, an
+// unreachable frontend):
 //
 //	roxload -addr http://127.0.0.1:8080 -collection ppl -soak -duration 30s
 //
@@ -125,9 +126,11 @@ func runLoad(ctx context.Context, addr, coll string, rate float64, duration time
 
 // runSoak drives the chaos harness against an external server: queries with
 // periodic mid-stream cancels racing shard reloads through
-// /collections/load. (Remote-endpoint kill/restart chaos needs control over
-// the shard servers' listeners and lives in the in-process soak test, where
-// the race detector can watch both sides.)
+// /collections/load and append+commit batches through the ingest endpoint
+// (WAL-backed when the server runs with -waldir, so commits fsync under the
+// readers). (Remote-endpoint kill/restart chaos needs control over the
+// shard servers' listeners and lives in the in-process soak test, where the
+// race detector can watch both sides.)
 func runSoak(ctx context.Context, addr, coll string, duration time.Duration, workers int, cancelEvery int64) error {
 	client := &http.Client{}
 	stats, err := loadgen.Soak(ctx, loadgen.SoakConfig{
@@ -145,17 +148,51 @@ func runSoak(ctx context.Context, addr, coll string, duration time.Duration, wor
 		Reload: func(ctx context.Context, i int64) error {
 			return reloadShard(ctx, client, addr, coll, i)
 		},
+		Ingest: func(ctx context.Context, i int64) error {
+			return ingestEntry(ctx, client, addr, i)
+		},
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("soak: %d queries (%d ok, %d clean errors, %d canceled), %d reloads\n",
-		stats.Queries, stats.OK, stats.CleanErrors, stats.Canceled, stats.Reloads)
+	fmt.Printf("soak: %d queries (%d ok, %d clean errors, %d canceled), %d reloads, %d ingests\n",
+		stats.Queries, stats.OK, stats.CleanErrors, stats.Canceled, stats.Reloads, stats.Ingests)
 	if len(stats.Failures) > 0 {
 		for _, f := range stats.Failures {
 			fmt.Fprintln(os.Stderr, "soak failure:", f)
 		}
 		return fmt.Errorf("%d hard failures (%d truncated streams)", len(stats.Failures), stats.Truncated)
+	}
+	return nil
+}
+
+// ingestEntry appends one audit entry to a soak-owned document through the
+// live-ingest endpoint and commits it, so queries race incremental publishes
+// (and WAL fsyncs when the server has a durable ingest dir). The document
+// survives a server restart when -waldir is set — the CLI soak's
+// kill-and-recover check counts its entries after a warm restart.
+func ingestEntry(ctx context.Context, client *http.Client, addr string, i int64) error {
+	frag := fmt.Sprintf(`<entry n="%d"/>`, i)
+	if i == 0 {
+		frag = `<soaklog><entry n="0"/></soaklog>`
+	}
+	u := addr + "/v1/collections/soak-log.xml/ingest?create=1"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(frag))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var body struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&body)
+		return fmt.Errorf("ingest status %d: %s", resp.StatusCode, body.Error)
 	}
 	return nil
 }

@@ -40,6 +40,16 @@
 //	POST /collections/load?name=C&shard=S    replace (or append) one shard of
 //	                                         collection C from the XML body;
 //	                                         404 unless C exists or &create=1
+//	POST /collections/{name}/ingest          append the XML body (one or more
+//	                                         top-level elements) to collection
+//	                                         or document {name} and commit it
+//	                                         as one batch: durable once the 200
+//	                                         is out (with -waldir), visible to
+//	                                         new queries, invisible to in-flight
+//	                                         ones; ?file=PATH ingests a corpus
+//	                                         file instead (same -corpusdir
+//	                                         rules), &create=1 allows a new
+//	                                         document name
 //	POST /collections/load?name=C&file=PATH  swap in a shard from a file under
 //	                                         -corpusdir (403 unless that flag is
 //	                                         set; PATH is relative to it, or
@@ -80,6 +90,15 @@
 // the full ROX sampling loop independently, so each discovers its own plan.
 // Replacing one shard via /collections/load (safe while serving; loads are
 // copy-on-write) invalidates only that shard's cached plans.
+//
+// Live ingest: -waldir DIR makes ingest durable. Appends are logged to a
+// write-ahead log in DIR and each committed batch is fsynced before it is
+// acknowledged, so on restart the server replays the WAL on top of the last
+// compacted snapshots and resumes exactly where it crashed (uncommitted or
+// torn tail records are discarded — they were never acknowledged).
+// -compact-after N flattens the in-memory overlays into fresh packed
+// snapshots and truncates the WAL once they hold N appended nodes. See the
+// "Live ingestion and the WAL" section of DESIGN.md.
 //
 // Lifecycle: -addr 127.0.0.1:0 binds an ephemeral port, and -portfile PATH
 // publishes the bound address (written atomically) so scripts can discover
@@ -134,6 +153,8 @@ func main() {
 	corpusDir := flag.String("corpusdir", "", "directory server-side ?file= shard loads are confined to (unset = file loads disabled)")
 	cacheSize := flag.Int("cache", rox.DefaultPlanCacheSize, "plan-cache capacity in entries (0 disables caching)")
 	drift := flag.Float64("drift", rox.DefaultDriftRatio, "cardinality drift ratio that re-optimizes a cached plan")
+	walDir := flag.String("waldir", "", "durable ingest directory: replay its WAL on boot (warm restart) and log subsequent ingest there")
+	compactAfter := flag.Int("compact-after", 0, "auto-compact the ingest overlays once they hold this many appended nodes (0 disables)")
 	drainGrace := flag.Duration("drain-grace", 2*time.Second, "how long in-flight requests may finish after a shutdown signal before they are canceled")
 	flag.Parse()
 
@@ -143,6 +164,7 @@ func main() {
 		workers: *workers, tau: *tau, seed: *seed, demo: *demo,
 		maxBody: *maxBody, cacheSize: *cacheSize, drift: *drift,
 		corpusDir: *corpusDir, drainGrace: *drainGrace,
+		walDir: *walDir, compactAfter: *compactAfter,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "roxserve:", err)
@@ -162,14 +184,16 @@ type serverConfig struct {
 	drift                float64
 	corpusDir            string
 	drainGrace           time.Duration
+	walDir               string
+	compactAfter         int
 }
 
 func run(cfg serverConfig) error {
 	if cfg.role != "standalone" && cfg.role != "shard" {
 		return fmt.Errorf("bad -role %q: want standalone or shard", cfg.role)
 	}
-	if len(cfg.docs) == 0 && len(cfg.colls) == 0 && len(cfg.remotes) == 0 && !cfg.demo {
-		return fmt.Errorf("nothing to serve: pass -doc files, -collection or -remote-collection specs, or -demo")
+	if len(cfg.docs) == 0 && len(cfg.colls) == 0 && len(cfg.remotes) == 0 && !cfg.demo && cfg.walDir == "" {
+		return fmt.Errorf("nothing to serve: pass -doc files, -collection or -remote-collection specs, -waldir, or -demo")
 	}
 	if cfg.corpusDir != "" {
 		st, err := os.Stat(cfg.corpusDir)
@@ -204,6 +228,20 @@ func run(cfg serverConfig) error {
 			if err := loadRemoteCollectionSpec(rctx, eng, spec); err != nil {
 				return err
 			}
+		}
+	}
+	if cfg.compactAfter > 0 {
+		eng.Ingest().SetCompactAfter(cfg.compactAfter)
+	}
+	if cfg.walDir != "" {
+		// After the corpus load, before serving: compacted snapshots replace
+		// stale corpus files, then the WAL's committed batches replay on top.
+		n, err := eng.OpenIngestDir(cfg.walDir)
+		if err != nil {
+			return fmt.Errorf("-waldir %s: %w", cfg.walDir, err)
+		}
+		if n > 0 {
+			log.Printf("roxserve: replayed %d ingest batches from %s", n, cfg.walDir)
 		}
 	}
 	pool := rox.NewPool(eng, cfg.workers)

@@ -1,5 +1,5 @@
 // Command roxvet is the project's invariant checker: a multichecker over the
-// six analyzers under internal/analysis that mechanically enforce the
+// seven analyzers under internal/analysis that mechanically enforce the
 // engine's concurrency and determinism contracts (see the "Invariants and
 // static enforcement" section of DESIGN.md).
 //
@@ -26,6 +26,7 @@ import (
 	"repro/internal/analysis/fsumonly"
 	"repro/internal/analysis/rowsclose"
 	"repro/internal/analysis/tailpure"
+	"repro/internal/analysis/waldurable"
 )
 
 // analyzers is the full suite, in stable presentation order.
@@ -36,6 +37,7 @@ var analyzers = []*analysis.Analyzer{
 	fsumonly.Analyzer,
 	rowsclose.Analyzer,
 	tailpure.Analyzer,
+	waldurable.Analyzer,
 }
 
 func main() {

@@ -60,7 +60,7 @@ func TestListAnalyzers(t *testing.T) {
 			t.Errorf("-list exit = %d, want 0", code)
 		}
 	})
-	want := []string{"catalogmut", "ctxflow", "detorder", "fsumonly", "rowsclose", "tailpure"}
+	want := []string{"catalogmut", "ctxflow", "detorder", "fsumonly", "rowsclose", "tailpure", "waldurable"}
 	got := strings.Fields(out)
 	if len(got) != len(want) {
 		t.Fatalf("-list printed %v, want %v", got, want)

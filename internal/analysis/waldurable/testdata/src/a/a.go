@@ -1,0 +1,9 @@
+// Package a is outside internal/ingest: raw file writes are its own
+// business (the WAL durability contract does not apply).
+package a
+
+import "os"
+
+func freeToWrite(f *os.File, buf []byte) {
+	f.Write(buf) // no diagnostic: not internal/ingest
+}

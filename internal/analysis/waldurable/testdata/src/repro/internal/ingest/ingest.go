@@ -1,0 +1,50 @@
+// Package ingest is a testdata stand-in for the real WAL package: raw
+// os.File writes are only legal inside //roxvet:waldurable functions.
+package ingest
+
+import "os"
+
+// WAL mimics the log's file-owning struct.
+type WAL struct {
+	f *os.File
+}
+
+// The framing path's single raw-write site: annotated, so no diagnostic.
+//
+//roxvet:waldurable
+func (w *WAL) walWrite(buf []byte) (int, error) {
+	return w.f.Write(buf)
+}
+
+func (w *WAL) sneakyAppend(buf []byte) {
+	w.f.Write(buf) // want "raw os.File Write in internal/ingest"
+}
+
+func (w *WAL) sneakyString(s string) {
+	w.f.WriteString(s) // want "raw os.File WriteString in internal/ingest"
+}
+
+func patch(f *os.File, buf []byte, off int64) {
+	f.WriteAt(buf, off) // want "raw os.File WriteAt in internal/ingest"
+}
+
+// syncedManifest owns its durability (write + sync): annotated, no
+// diagnostic.
+//
+//roxvet:waldurable
+func syncedManifest(f *os.File, body []byte) error {
+	if _, err := f.Write(body); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// notAFile writes to something that merely looks like a file; only os.File
+// is protected.
+type notAFile struct{}
+
+func (notAFile) Write(p []byte) (int, error) { return len(p), nil }
+
+func harmless(w notAFile, buf []byte) {
+	w.Write(buf) // no diagnostic: not an os.File
+}

@@ -1,0 +1,77 @@
+// Package waldurable guards the ingest subsystem's durability contract: a
+// WAL is only worth its fsyncs if every byte that reaches its file goes
+// through the framing/commit path that accounts offsets and decides when to
+// sync. A stray os.File write in internal/ingest bypasses record framing,
+// checksums and the commit boundary — the torn-tail recovery logic then has
+// no idea the bytes exist, and a "recovered" log can silently diverge from
+// what was acknowledged. Every raw file-write site must therefore live in a
+// function that owns its durability story, marked //roxvet:waldurable. See
+// the "Invariants and static enforcement" section of DESIGN.md.
+package waldurable
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags raw os.File write calls in internal/ingest outside
+// functions annotated //roxvet:waldurable.
+var Analyzer = &analysis.Analyzer{
+	Name: "waldurable",
+	Doc: "waldurable reports raw os.File Write/WriteString/WriteAt calls inside " +
+		"internal/ingest outside //roxvet:waldurable functions. WAL bytes must flow " +
+		"through the framing/commit wrapper that accounts offsets and fsyncs on commit; " +
+		"a bypassing write breaks torn-tail recovery. Mark a function that deliberately " +
+		"owns its durability (syncs what it writes) with //roxvet:waldurable.",
+	Run: run,
+}
+
+// writeMethods are the os.File mutation entry points a WAL byte could slip
+// through.
+var writeMethods = map[string]bool{"Write": true, "WriteString": true, "WriteAt": true}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathHasSuffix(pass.Pkg.Path(), "internal/ingest") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			// Tests corrupt and truncate WAL files on purpose to exercise
+			// recovery; the contract is about production write paths.
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if analysis.FuncAnnotated(fd, "waldurable") {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !writeMethods[sel.Sel.Name] {
+			return true
+		}
+		if !analysis.IsNamedType(pass.TypesInfo.TypeOf(sel.X), "os", "File") {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"raw os.File %s in internal/ingest: WAL bytes must flow through the framing/commit wrapper "+
+				"(or mark a function that syncs its own writes //roxvet:waldurable)",
+			sel.Sel.Name)
+		return true
+	})
+}

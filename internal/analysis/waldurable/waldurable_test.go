@@ -1,0 +1,12 @@
+package waldurable_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/waldurable"
+)
+
+func TestWALDurable(t *testing.T) {
+	analysistest.Run(t, "testdata", waldurable.Analyzer, "repro/internal/ingest", "a")
+}

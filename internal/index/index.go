@@ -40,6 +40,11 @@ type Index struct {
 	// accessor reads the offset tables and posting arrays instead.
 	pk *packed
 
+	// base is the overlaid index for a delta built with NewDelta (delta.go):
+	// the map fields then cover only the appended node range, and accessors
+	// answer base-then-delta. Nil for a single-level index.
+	base *Index
+
 	elems map[int32][]xmltree.NodeID // elem name id → elem nodes
 	attrs map[int32][]xmltree.NodeID // attr name id → attr nodes
 	texts map[int32][]xmltree.NodeID // value id → text nodes
@@ -119,6 +124,9 @@ func (ix *Index) Doc() *xmltree.Document { return ix.doc }
 // Elements implements D∋elt(q): all element nodes with qualified name q, in
 // document order. The slice length is the exact count.
 func (ix *Index) Elements(qname string) []xmltree.NodeID {
+	if ix.base != nil {
+		return ix.deltaElements(qname)
+	}
 	id, ok := ix.doc.QNames().Lookup(qname)
 	if !ok {
 		return nil
@@ -132,6 +140,9 @@ func (ix *Index) Elements(qname string) []xmltree.NodeID {
 // AttributesByName returns all attribute nodes named qattr, in document
 // order (the vertex table of an @name Join Graph vertex).
 func (ix *Index) AttributesByName(qattr string) []xmltree.NodeID {
+	if ix.base != nil {
+		return ix.deltaAttributesByName(qattr)
+	}
 	id, ok := ix.doc.QNames().Lookup(qattr)
 	if !ok {
 		return nil
@@ -144,6 +155,9 @@ func (ix *Index) AttributesByName(qattr string) []xmltree.NodeID {
 
 // TextEq implements D∋text(v): all text nodes whose value equals v.
 func (ix *Index) TextEq(v string) []xmltree.NodeID {
+	if ix.base != nil {
+		return ix.deltaTextEq(v)
+	}
 	id, ok := ix.doc.Values().Lookup(v)
 	if !ok {
 		return nil
@@ -157,6 +171,9 @@ func (ix *Index) TextEq(v string) []xmltree.NodeID {
 // AttrEq returns all attribute nodes named qattr whose value equals v — the
 // probe used by the nested-loop index-lookup join on attribute vertices.
 func (ix *Index) AttrEq(qattr, v string) []xmltree.NodeID {
+	if ix.base != nil {
+		return ix.deltaAttrEq(qattr, v)
+	}
 	name, ok := ix.doc.QNames().Lookup(qattr)
 	if !ok {
 		return nil
@@ -283,6 +300,16 @@ func (ix *Index) numPreAt(i int) xmltree.NodeID {
 // TextRange returns all text nodes with a numeric value v satisfying
 // "v op bound", in document order. Cost O(log n + |R| log |R|).
 func (ix *Index) TextRange(op RangeOp, bound float64) []xmltree.NodeID {
+	if ix.base != nil {
+		// Both halves come out pre-sorted and the delta's pres all exceed the
+		// base's, so concatenation is the merge.
+		return concatNodes(ix.base.TextRange(op, bound), ix.textRangeSelf(op, bound))
+	}
+	return ix.textRangeSelf(op, bound)
+}
+
+// textRangeSelf answers TextRange over this level's own numeric auxiliary.
+func (ix *Index) textRangeSelf(op RangeOp, bound float64) []xmltree.NodeID {
 	n := ix.numLen()
 	var lo, hi int // half-open [lo, hi) range in the value-sorted auxiliary
 	switch op {
@@ -312,6 +339,9 @@ func (ix *Index) TextRange(op RangeOp, bound float64) []xmltree.NodeID {
 // Texts returns every text node of the document in document order (the kind
 // restriction D_text).
 func (ix *Index) Texts() []xmltree.NodeID {
+	if ix.base != nil {
+		return concatNodes(ix.base.Texts(), ix.allTexts)
+	}
 	if ix.pk != nil {
 		return ix.pk.allText
 	}
@@ -321,6 +351,9 @@ func (ix *Index) Texts() []xmltree.NodeID {
 // AllElements returns every element node in document order (the kind
 // restriction D_elem, the "*" name test).
 func (ix *Index) AllElements() []xmltree.NodeID {
+	if ix.base != nil {
+		return concatNodes(ix.base.AllElements(), ix.allElems)
+	}
 	if ix.pk != nil {
 		return ix.pk.allElem
 	}
@@ -330,6 +363,9 @@ func (ix *Index) AllElements() []xmltree.NodeID {
 // AllAttributes returns every attribute node in document order (the "@*"
 // test).
 func (ix *Index) AllAttributes() []xmltree.NodeID {
+	if ix.base != nil {
+		return concatNodes(ix.base.AllAttributes(), ix.allAttrs)
+	}
 	if ix.pk != nil {
 		return ix.pk.allAttr
 	}
@@ -346,6 +382,9 @@ func (ix *Index) CountTextEq(v string) int { return len(ix.TextEq(v)) }
 // ElementNames returns all distinct element names present in the document,
 // sorted (used by catalogs and the plan enumerator).
 func (ix *Index) ElementNames() []string {
+	if ix.base != nil {
+		return ix.deltaElementNames()
+	}
 	var out []string
 	if ix.pk != nil {
 		for id := 0; id+1 < len(ix.pk.elemOff); id++ {

@@ -1,6 +1,7 @@
 // soak.go is the chaos half of the harness: sustained queries racing shard
-// reloads, mid-stream client cancellations, and (via a caller-supplied hook)
-// remote-endpoint kills and restarts. The soak does not check query results
+// reloads, live ingest commits, mid-stream client cancellations, and (via a
+// caller-supplied hook) remote-endpoint kills and restarts. The soak does
+// not check query results
 // — corpus mutation makes them moving targets — it checks the protocol
 // invariant that every stream ends in a terminal line and the server never
 // wedges: a truncated stream or a stalled hook is a hard failure.
@@ -43,6 +44,12 @@ type SoakConfig struct {
 	// 300ms) — typically killing and restarting a remote shard endpoint.
 	Chaos      func(ctx context.Context, i int64) error
 	ChaosEvery time.Duration
+	// Ingest, when set, is called in its own loop every IngestEvery (default
+	// 30ms) — typically an append+commit batch through
+	// /collections/{name}/ingest, racing the readers with live catalog
+	// publishes (and WAL fsyncs when the server has a durable ingest dir).
+	Ingest      func(ctx context.Context, i int64) error
+	IngestEvery time.Duration
 }
 
 // SoakStats is a soak run's outcome.
@@ -54,6 +61,7 @@ type SoakStats struct {
 	Truncated   int64 // 200-streams with no terminal line: protocol violations
 	Reloads     int64
 	ChaosRounds int64
+	Ingests     int64
 	// Failures holds the first few hard failures (truncations, hook
 	// errors); empty means the soak passed.
 	Failures []string
@@ -90,6 +98,9 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakStats, error) {
 	}
 	if cfg.ChaosEvery <= 0 {
 		cfg.ChaosEvery = 300 * time.Millisecond
+	}
+	if cfg.IngestEvery <= 0 {
+		cfg.IngestEvery = 30 * time.Millisecond
 	}
 
 	stats := &SoakStats{}
@@ -167,6 +178,10 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakStats, error) {
 	if cfg.Chaos != nil {
 		wg.Add(1)
 		go runLoop(cfg.ChaosEvery, &stats.ChaosRounds, "chaos", cfg.Chaos)
+	}
+	if cfg.Ingest != nil {
+		wg.Add(1)
+		go runLoop(cfg.IngestEvery, &stats.Ingests, "ingest", cfg.Ingest)
 	}
 	wg.Wait()
 	return stats, nil

@@ -79,10 +79,14 @@ func (r *restartableServer) restart() error {
 // TestSoakChaos is the serving-grade stress contract, designed to run under
 // -race: a loopback coordinator+shard cluster soaked with concurrent
 // queries, mid-stream client cancellations, shard reloads through
-// /collections/load, and one shard endpoint being killed and restarted. The
-// pass condition is protocol integrity, not results: every 200-stream ends
-// in a terminal line, the frontend never becomes unreachable, and no hook
-// wedges. ROX_SOAK=1 stretches the run for the nightly workflow.
+// /collections/load, live ingest commits through /collections/{name}/ingest
+// (WAL-backed, so every commit fsyncs under the readers), and one shard
+// endpoint being killed and restarted. The pass condition is protocol
+// integrity, not results: every 200-stream ends in a terminal line, the
+// frontend never becomes unreachable, and no hook wedges — plus a
+// kill-and-recover epilogue: a fresh engine replays the soak's WAL and must
+// see every acknowledged ingest batch. ROX_SOAK=1 stretches the run for the
+// nightly workflow.
 func TestSoakChaos(t *testing.T) {
 	duration := 1500 * time.Millisecond
 	if os.Getenv("ROX_SOAK") != "" {
@@ -112,6 +116,10 @@ func TestSoakChaos(t *testing.T) {
 		{URL: "http://" + srvB.addr, Shards: []string{"ppl-2.xml", "ppl-3.xml"}},
 	})
 	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := t.TempDir()
+	if _, err := coord.OpenIngestDir(walDir); err != nil {
 		t.Fatal(err)
 	}
 	front := httptest.NewServer(serve.New(rox.NewPool(coord, 8), serve.Config{}))
@@ -147,6 +155,14 @@ func TestSoakChaos(t *testing.T) {
 			return srvB.restart()
 		},
 		ChaosEvery: 250 * time.Millisecond,
+		Ingest: func(ctx context.Context, i int64) error {
+			frag := fmt.Sprintf(`<entry n="%d"/>`, i)
+			if i == 0 {
+				frag = `<log><entry n="0"/></log>`
+			}
+			return postIngest(ctx, client, front.URL, "ingest-log.xml", frag)
+		},
+		IngestEvery: 25 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -167,8 +183,61 @@ func TestSoakChaos(t *testing.T) {
 	if stats.Canceled == 0 {
 		t.Error("no queries were canceled mid-stream")
 	}
-	t.Logf("soak: %d queries — %d ok, %d clean errors, %d canceled, %d truncated; %d reloads, %d chaos rounds",
-		stats.Queries, stats.OK, stats.CleanErrors, stats.Canceled, stats.Truncated, stats.Reloads, stats.ChaosRounds)
+	if stats.Ingests == 0 {
+		t.Error("no ingest batches were committed")
+	}
+	t.Logf("soak: %d queries — %d ok, %d clean errors, %d canceled, %d truncated; %d reloads, %d chaos rounds, %d ingests",
+		stats.Queries, stats.OK, stats.CleanErrors, stats.Canceled, stats.Truncated, stats.Reloads, stats.ChaosRounds, stats.Ingests)
+
+	// Kill-and-recover: drop the soaked engine, replay its WAL into a fresh
+	// one. Every acknowledged commit must be there — an HTTP 200 from the
+	// ingest endpoint is a durability promise — and the recovered document
+	// must hold exactly one entry per replayed batch. (Replay may exceed the
+	// acknowledged count: a batch committed while its response was in flight
+	// at shutdown is durable but uncounted.)
+	front.Close()
+	if err := coord.Ingest().Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered := rox.NewEngine(rox.WithSeed(1))
+	replayed, err := recovered.OpenIngestDir(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(replayed) < stats.Ingests {
+		t.Errorf("recovery replayed %d batches, but %d ingests were acknowledged", replayed, stats.Ingests)
+	}
+	res, err := recovered.Query(`for $e in doc("ingest-log.xml")//entry return count($e)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprint(replayed); len(res.Items) != 1 || res.Items[0] != want {
+		t.Errorf("recovered ingest-log.xml holds %v entries, want [%s]", res.Items, want)
+	}
+}
+
+// postIngest appends one fragment to a document through the ingest endpoint
+// and commits it (the endpoint commits per request).
+func postIngest(ctx context.Context, client *http.Client, base, target, xml string) error {
+	u := base + "/v1/collections/" + url.PathEscape(target) + "/ingest?create=1"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(xml))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var body struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&body)
+		return fmt.Errorf("ingest status %d: %s", resp.StatusCode, body.Error)
+	}
+	return nil
 }
 
 // postShard swaps one shard of a collection over the load endpoint.

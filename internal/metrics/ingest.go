@@ -1,0 +1,140 @@
+package metrics
+
+import "sync/atomic"
+
+// IngestCounters is the concurrency-safe accounting of a live-ingest path:
+// append/commit/compaction event counts plus the gauges monitoring needs to
+// judge WAL health (log size, uncommitted appends, docs carrying deltas, the
+// generation of the last committed batch). The rox.Ingester owns bumping
+// them; servers report them next to query and cache statistics. It lives in
+// metrics (next to CacheCounters) so the serving layers share one vocabulary
+// for observability types.
+type IngestCounters struct {
+	appends, commits, compactions, replayed atomic.Int64
+
+	walBytes    atomic.Int64
+	pendingDocs atomic.Int64
+	deltaDocs   atomic.Int64
+	deltaNodes  atomic.Int64
+	lastSeq     atomic.Uint64
+	lastGen     atomic.Uint64
+}
+
+// Append counts one accepted append operation.
+func (c *IngestCounters) Append() {
+	if c == nil {
+		return
+	}
+	c.appends.Add(1)
+}
+
+// Commit counts one committed batch, recording its WAL sequence number and
+// the catalog generation the publish reached.
+func (c *IngestCounters) Commit(seq, gen uint64) {
+	if c == nil {
+		return
+	}
+	c.commits.Add(1)
+	c.lastSeq.Store(seq)
+	c.lastGen.Store(gen)
+}
+
+// Compaction counts one compaction cycle.
+func (c *IngestCounters) Compaction() {
+	if c == nil {
+		return
+	}
+	c.compactions.Add(1)
+}
+
+// Replayed counts batches recovered from the WAL at warm restart.
+func (c *IngestCounters) Replayed(n int) {
+	if c == nil {
+		return
+	}
+	c.replayed.Add(int64(n))
+}
+
+// SetLastCommit records the WAL sequence and catalog generation of the most
+// recent committed batch without counting a new commit — WAL replay
+// re-publishes batches that were already counted in their first life.
+func (c *IngestCounters) SetLastCommit(seq, gen uint64) {
+	if c == nil {
+		return
+	}
+	c.lastSeq.Store(seq)
+	c.lastGen.Store(gen)
+}
+
+// Absorb folds a predecessor counter set's snapshot into c: event counts
+// add, gauges and last-commit markers overwrite (the predecessor holds the
+// latest truth at handoff time). Used when an ingester is re-pointed at a
+// serving aggregator after it already did work — WAL replay at boot happens
+// before the HTTP layer exists.
+func (c *IngestCounters) Absorb(s IngestSnapshot) {
+	if c == nil {
+		return
+	}
+	c.appends.Add(s.Appends)
+	c.commits.Add(s.Commits)
+	c.compactions.Add(s.Compactions)
+	c.replayed.Add(s.ReplayedBatches)
+	c.walBytes.Store(s.WALBytes)
+	c.pendingDocs.Store(s.PendingDocs)
+	c.deltaDocs.Store(s.DeltaDocs)
+	c.deltaNodes.Store(s.DeltaNodes)
+	c.lastSeq.Store(s.LastCommitSeq)
+	c.lastGen.Store(s.LastCommitGen)
+}
+
+// SetGauges publishes the current WAL size in bytes, the number of documents
+// with uncommitted appends, and the number of documents (and total appended
+// nodes) living in published deltas since the last compaction.
+func (c *IngestCounters) SetGauges(walBytes int64, pendingDocs, deltaDocs, deltaNodes int) {
+	if c == nil {
+		return
+	}
+	c.walBytes.Store(walBytes)
+	c.pendingDocs.Store(int64(pendingDocs))
+	c.deltaDocs.Store(int64(deltaDocs))
+	c.deltaNodes.Store(int64(deltaNodes))
+}
+
+// IngestSnapshot is a point-in-time copy of an IngestCounters.
+type IngestSnapshot struct {
+	Appends, Commits, Compactions, ReplayedBatches int64
+
+	// WALBytes is the log size as of the last ingest operation; PendingDocs
+	// counts documents with appends not yet committed; DeltaDocs and
+	// DeltaNodes describe the published mutable overlay (documents carrying a
+	// delta, total appended nodes) since the last compaction.
+	WALBytes    int64
+	PendingDocs int64
+	DeltaDocs   int64
+	DeltaNodes  int64
+
+	// LastCommitSeq is the WAL sequence of the last committed batch;
+	// LastCommitGen the catalog generation its publish reached.
+	LastCommitSeq uint64
+	LastCommitGen uint64
+}
+
+// Snapshot returns a copy of the counters (each read atomically; the set is
+// not a single atomic cut, which is fine for monitoring).
+func (c *IngestCounters) Snapshot() IngestSnapshot {
+	if c == nil {
+		return IngestSnapshot{}
+	}
+	return IngestSnapshot{
+		Appends:         c.appends.Load(),
+		Commits:         c.commits.Load(),
+		Compactions:     c.compactions.Load(),
+		ReplayedBatches: c.replayed.Load(),
+		WALBytes:        c.walBytes.Load(),
+		PendingDocs:     c.pendingDocs.Load(),
+		DeltaDocs:       c.deltaDocs.Load(),
+		DeltaNodes:      c.deltaNodes.Load(),
+		LastCommitSeq:   c.lastSeq.Load(),
+		LastCommitGen:   c.lastGen.Load(),
+	}
+}

@@ -11,9 +11,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
 	"strings"
 
 	"repro"
@@ -79,8 +81,49 @@ func (s *Scenario) runInProcess(ctx context.Context) ([]Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	var outs []Outcome
-	for _, q := range s.Queries {
+	var walDir string
+	if s.Restart != "" {
+		// A durable ingest directory, so the simulated crash below has a WAL
+		// to replay.
+		if walDir, err = os.MkdirTemp("", "scenario-wal-"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(walDir)
+		if _, err := eng.OpenIngestDir(walDir); err != nil {
+			return nil, fmt.Errorf("scenario %s: open ingest dir: %w", s.Name, err)
+		}
+	}
+	outs, err := s.runLocalQueries(ctx, eng, s.PreQueries, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range s.Ingests {
+		if err := eng.Append(st.Target, st.XML); err != nil {
+			return nil, fmt.Errorf("scenario %s: ingest/%s: %w", s.Name, st.Name, err)
+		}
+		if _, err := eng.Commit(ctx); err != nil {
+			return nil, fmt.Errorf("scenario %s: commit ingest/%s: %w", s.Name, st.Name, err)
+		}
+	}
+	if s.Restart != "" {
+		// The crash: drop the live engine, rebuild from the original corpus,
+		// and let WAL replay restore every committed batch.
+		if err := eng.Ingest().Close(); err != nil {
+			return nil, err
+		}
+		if eng, err = s.buildEngine(true); err != nil {
+			return nil, err
+		}
+		if _, err := eng.OpenIngestDir(walDir); err != nil {
+			return nil, fmt.Errorf("scenario %s: reopen ingest dir: %w", s.Name, err)
+		}
+	}
+	return s.runLocalQueries(ctx, eng, s.Queries, outs)
+}
+
+// runLocalQueries appends each query's outcomes (Repeat runs) to outs.
+func (s *Scenario) runLocalQueries(ctx context.Context, eng *rox.Engine, queries []ScenarioQuery, outs []Outcome) ([]Outcome, error) {
+	for _, q := range queries {
 		for run := 0; run < s.Repeat; run++ {
 			o := Outcome{Query: q.Name, Run: run}
 			items, execErr := executeLocal(ctx, eng, q)
@@ -119,9 +162,63 @@ func (s *Scenario) runServer(ctx context.Context) ([]Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	var walDir string
+	if s.Restart != "" {
+		if walDir, err = os.MkdirTemp("", "scenario-wal-"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(walDir)
+		if _, err := eng.OpenIngestDir(walDir); err != nil {
+			return nil, fmt.Errorf("scenario %s: open ingest dir: %w", s.Name, err)
+		}
+	}
 	ts := httptest.NewServer(serve.New(rox.NewPool(eng, 4), serve.Config{}))
-	defer ts.Close()
-	return s.runHTTP(ctx, ts.Client(), ts.URL)
+	defer func() { ts.Close() }()
+	outs, err := s.runHTTP(ctx, ts.Client(), ts.URL, s.PreQueries, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ingestHTTP(ctx, ts.Client(), ts.URL); err != nil {
+		return nil, err
+	}
+	if s.Restart != "" {
+		// The crash: a fresh server process over the original corpus, warm-
+		// started from the WAL directory.
+		ts.Close()
+		if err := eng.Ingest().Close(); err != nil {
+			return nil, err
+		}
+		if eng, err = s.buildEngine(true); err != nil {
+			return nil, err
+		}
+		if _, err := eng.OpenIngestDir(walDir); err != nil {
+			return nil, fmt.Errorf("scenario %s: reopen ingest dir: %w", s.Name, err)
+		}
+		ts = httptest.NewServer(serve.New(rox.NewPool(eng, 4), serve.Config{}))
+	}
+	return s.runHTTP(ctx, ts.Client(), ts.URL, s.Queries, outs)
+}
+
+// ingestHTTP applies every ingest step through the serving surface:
+// POST /v1/collections/{target}/ingest, one committed batch per step.
+func (s *Scenario) ingestHTTP(ctx context.Context, client *http.Client, base string) error {
+	for _, st := range s.Ingests {
+		u := base + "/v1/collections/" + url.PathEscape(st.Target) + "/ingest?create=1"
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(st.XML))
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("scenario %s: ingest/%s: %w", s.Name, st.Name, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("scenario %s: ingest/%s: status %d: %s", s.Name, st.Name, resp.StatusCode, body)
+		}
+	}
+	return nil
 }
 
 func (s *Scenario) runCluster(ctx context.Context) ([]Outcome, error) {
@@ -171,15 +268,54 @@ func (s *Scenario) runCluster(ctx context.Context) ([]Outcome, error) {
 		}
 		shardServers[len(shardServers)-1].Close()
 	}
+	var walDir string
+	if s.Restart != "" {
+		// The coordinator's own WAL covers locally ingested documents; the
+		// shard servers hold remotely ingested fragments across the
+		// coordinator restart (they own durability for their shards).
+		var err error
+		if walDir, err = os.MkdirTemp("", "scenario-wal-"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(walDir)
+		if _, err := coord.OpenIngestDir(walDir); err != nil {
+			return nil, fmt.Errorf("scenario %s: open ingest dir: %w", s.Name, err)
+		}
+	}
 	ts := httptest.NewServer(serve.New(rox.NewPool(coord, 4), serve.Config{}))
-	defer ts.Close()
-	return s.runHTTP(ctx, ts.Client(), ts.URL)
+	defer func() { ts.Close() }()
+	outs, err := s.runHTTP(ctx, ts.Client(), ts.URL, s.PreQueries, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ingestHTTP(ctx, ts.Client(), ts.URL); err != nil {
+		return nil, err
+	}
+	if s.Restart != "" {
+		ts.Close()
+		if err := coord.Ingest().Close(); err != nil {
+			return nil, err
+		}
+		if coord, err = s.buildEngine(false); err != nil {
+			return nil, err
+		}
+		if len(endpoints) > 0 {
+			if err := coord.LoadCollectionRemote(ctx, s.Collection, endpoints); err != nil {
+				return nil, fmt.Errorf("scenario %s: re-register remote shards: %w", s.Name, err)
+			}
+		}
+		if _, err := coord.OpenIngestDir(walDir); err != nil {
+			return nil, fmt.Errorf("scenario %s: reopen ingest dir: %w", s.Name, err)
+		}
+		ts = httptest.NewServer(serve.New(rox.NewPool(coord, 4), serve.Config{}))
+	}
+	return s.runHTTP(ctx, ts.Client(), ts.URL, s.Queries, outs)
 }
 
-// runHTTP drives every query through a serve.Handler's NDJSON stream.
-func (s *Scenario) runHTTP(ctx context.Context, client *http.Client, base string) ([]Outcome, error) {
-	var outs []Outcome
-	for _, q := range s.Queries {
+// runHTTP drives the given queries through a serve.Handler's NDJSON stream,
+// appending their outcomes to outs.
+func (s *Scenario) runHTTP(ctx context.Context, client *http.Client, base string, queries []ScenarioQuery, outs []Outcome) ([]Outcome, error) {
+	for _, q := range queries {
 		for run := 0; run < s.Repeat; run++ {
 			o, err := streamQuery(ctx, client, base, q)
 			if err != nil {
@@ -267,9 +403,12 @@ func streamQuery(ctx context.Context, client *http.Client, base string, q Scenar
 // mismatch descriptions (empty means the scenario passes everywhere); a
 // non-nil error is a harness failure.
 func Verify(ctx context.Context, s *Scenario) ([]string, error) {
-	byName := make(map[string]*ScenarioQuery, len(s.Queries))
+	byName := make(map[string]*ScenarioQuery, len(s.Queries)+len(s.PreQueries))
 	for i := range s.Queries {
 		byName[s.Queries[i].Name] = &s.Queries[i]
+	}
+	for i := range s.PreQueries {
+		byName[s.PreQueries[i].Name] = &s.PreQueries[i]
 	}
 	var mismatches []string
 	for _, target := range s.Targets {
@@ -390,7 +529,7 @@ func Update(ctx context.Context, name string, data []byte) ([]byte, error) {
 		fresh[o.Query] = o.Items
 	}
 	a := ParseArchive(data)
-	for _, q := range s.Queries {
+	for _, q := range append(append([]ScenarioQuery{}, s.PreQueries...), s.Queries...) {
 		items, ok := fresh[q.Name]
 		if !ok {
 			continue
@@ -416,6 +555,11 @@ func findQuery(s *Scenario, name string) *ScenarioQuery {
 	for i := range s.Queries {
 		if s.Queries[i].Name == name {
 			return &s.Queries[i]
+		}
+	}
+	for i := range s.PreQueries {
+		if s.PreQueries[i].Name == name {
+			return &s.PreQueries[i]
 		}
 	}
 	return nil

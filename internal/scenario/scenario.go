@@ -53,14 +53,41 @@ type Scenario struct {
 	// Fault "kill-shard-server" closes the second shard server after
 	// registration, so cluster queries run against a half-dead collection.
 	Fault string
+	// Restart "after-ingest" simulates a crash between the ingest steps and
+	// the query/ queries: the target is torn down and rebuilt from the
+	// original corpus plus a durable ingest directory, so the queries see
+	// exactly what WAL replay restores. On the cluster target the coordinator
+	// restarts while the shard servers stay up — they own durability for
+	// remotely ingested fragments.
+	Restart string
 
 	// Shards are the collection's shard documents in name order (the order
 	// that fixes collection result order).
 	Shards []ArchiveFile
 	// Docs are standalone documents addressed with doc("name").
 	Docs []ArchiveFile
+	// PreQueries run before the ingest steps (prequery/ files) — warming the
+	// plan cache so the post-ingest queries exercise the stale-generation
+	// replay path; their expectations pin the pre-ingest state.
+	PreQueries []ScenarioQuery
+	// Ingests are the scenario's ingest steps (ingest/ files named
+	// "NN-TARGET") in name order, applied between PreQueries and Queries.
+	// Each is one committed batch.
+	Ingests []IngestStep
 	// Queries are the scenario's queries in name order.
 	Queries []ScenarioQuery
+}
+
+// An IngestStep appends one XML fragment batch to a collection or document
+// and commits it.
+type IngestStep struct {
+	// Name is the archive file's base name ("NN-TARGET"); NN orders the
+	// steps.
+	Name string
+	// Target is the collection or document the fragment is appended to.
+	Target string
+	// XML is the fragment batch (one or more top-level elements).
+	XML string
 }
 
 // A ScenarioQuery is one query with its archived expectation: either Expect
@@ -96,6 +123,7 @@ func Parse(name string, data []byte) (*Scenario, error) {
 	}
 	queries := map[string]*ScenarioQuery{}
 	var queryNames []string
+	pre := map[string]bool{}
 	getQuery := func(qname string) *ScenarioQuery {
 		if q, ok := queries[qname]; ok {
 			return q
@@ -125,6 +153,23 @@ func Parse(name string, data []byte) (*Scenario, error) {
 			if strings.HasSuffix(base, ".static") {
 				q.Mode = "static"
 			}
+		case "prequery":
+			qname := strings.TrimSuffix(base, ".static")
+			q := getQuery(qname)
+			if q.Text != "" {
+				return nil, fmt.Errorf("scenario %s: query %q defined in both query/ and prequery/", name, qname)
+			}
+			q.Text = strings.TrimSpace(string(f.Data))
+			if strings.HasSuffix(base, ".static") {
+				q.Mode = "static"
+			}
+			pre[qname] = true
+		case "ingest":
+			seq, target, ok := strings.Cut(base, "-")
+			if !ok || seq == "" || target == "" {
+				return nil, fmt.Errorf("scenario %s: ingest file %q: want NN-TARGET", name, base)
+			}
+			s.Ingests = append(s.Ingests, IngestStep{Name: base, Target: target, XML: string(f.Data)})
 		case "expect":
 			q := getQuery(base)
 			items, err := decodeExpect(f.Data)
@@ -145,6 +190,7 @@ func Parse(name string, data []byte) (*Scenario, error) {
 	}
 	sort.Slice(s.Shards, func(i, j int) bool { return s.Shards[i].Name < s.Shards[j].Name })
 	sort.Slice(s.Docs, func(i, j int) bool { return s.Docs[i].Name < s.Docs[j].Name })
+	sort.Slice(s.Ingests, func(i, j int) bool { return s.Ingests[i].Name < s.Ingests[j].Name })
 	sort.Strings(queryNames)
 	for _, qname := range queryNames {
 		q := queries[qname]
@@ -154,10 +200,17 @@ func Parse(name string, data []byte) (*Scenario, error) {
 		if q.HasExpect && q.ExpectErr != "" {
 			return nil, fmt.Errorf("scenario %s: query %q has both expect/ and expect-error/", name, qname)
 		}
-		s.Queries = append(s.Queries, *q)
+		if pre[qname] {
+			s.PreQueries = append(s.PreQueries, *q)
+		} else {
+			s.Queries = append(s.Queries, *q)
+		}
 	}
 	if len(s.Queries) == 0 {
 		return nil, fmt.Errorf("scenario %s: no query/ files", name)
+	}
+	if s.Restart != "" && len(s.Ingests) == 0 {
+		return nil, fmt.Errorf("scenario %s: restart needs ingest/ steps", name)
 	}
 	if len(s.Shards) == 0 && len(s.Docs) == 0 {
 		return nil, fmt.Errorf("scenario %s: no shard/ or doc/ corpus files", name)
@@ -216,6 +269,11 @@ func (s *Scenario) parseConfig(text string) error {
 				return fmt.Errorf("scenario %s: config: unknown fault %q (want kill-shard-server)", s.Name, val)
 			}
 			s.Fault = val
+		case "restart":
+			if val != "after-ingest" {
+				return fmt.Errorf("scenario %s: config: unknown restart %q (want after-ingest)", s.Name, val)
+			}
+			s.Restart = val
 		default:
 			return fmt.Errorf("scenario %s: config: unknown key %q", s.Name, key)
 		}

@@ -101,6 +101,13 @@ func TestParseRejects(t *testing.T) {
 			"both expect/ and expect-error/"},
 		{"fault off cluster", "-- config --\nfault kill-shard-server\n-- query/q --\n1\n-- shard/a --\n<r/>\n",
 			"only runs on the cluster target"},
+		{"bad ingest name", "-- shard/a --\n<r/>\n-- query/q --\n1\n-- ingest/noseq --\n<x/>\n", "want NN-TARGET"},
+		{"query in both dirs", "-- shard/a --\n<r/>\n-- query/q --\n1\n-- prequery/q --\n1\n",
+			"both query/ and prequery/"},
+		{"restart without ingest", "-- config --\nrestart after-ingest\n-- query/q --\n1\n-- shard/a --\n<r/>\n",
+			"restart needs ingest/"},
+		{"unknown restart", "-- config --\nrestart sometimes\n-- query/q --\n1\n-- shard/a --\n<r/>\n",
+			"unknown restart"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

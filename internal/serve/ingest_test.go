@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// postIngest posts fragment XML to /v1/collections/{name}/ingest and decodes
+// the JSON response, returning it with the HTTP status.
+func postIngest(t *testing.T, base, name, params, body string) (int, map[string]any) {
+	t.Helper()
+	u := base + "/v1/collections/" + name + "/ingest"
+	if params != "" {
+		u += "?" + params
+	}
+	resp, err := http.Post(u, "application/xml", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("bad ingest response %q: %v", raw, err)
+	}
+	return resp.StatusCode, out
+}
+
+// queryItems runs a buffered /v1/query and returns its items.
+func queryItems(t *testing.T, base, q string) []string {
+	t.Helper()
+	resp, err := http.Get(queryURL(base, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("query status %d: %s", resp.StatusCode, raw)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	return qr.Items
+}
+
+// TestIngestEndpoint is the serving-surface contract of POST
+// /collections/{name}/ingest: a committed batch is visible to the next
+// query, an unknown target 404s without &create=1, bad XML 400s, and the
+// ingest counters surface in /v1/stats and GET /v1/collections.
+func TestIngestEndpoint(t *testing.T) {
+	_, ts := newPeopleServer(t, 0)
+
+	countQ := `for $p in collection("ppl")//person return count($p)`
+	before := queryItems(t, ts.URL, countQ)
+	if len(before) != 1 || before[0] != "400" {
+		t.Fatalf("seed count = %v", before)
+	}
+
+	// Ingest into the collection: routed to a shard, committed, visible.
+	status, resp := postIngest(t, ts.URL, "ppl", "",
+		`<person id="p99999"><name>new</name><age>33</age><salary>1</salary><bio/></person>`)
+	if status != http.StatusOK {
+		t.Fatalf("ingest status %d: %v", status, resp)
+	}
+	if resp["status"] != "committed" || resp["target"] != "ppl" {
+		t.Fatalf("ingest response: %v", resp)
+	}
+	if after := queryItems(t, ts.URL, countQ); len(after) != 1 || after[0] != "401" {
+		t.Fatalf("post-ingest count = %v", after)
+	}
+
+	// Unknown target without create: 404, and nothing registered.
+	status, resp = postIngest(t, ts.URL, "typo", "", `<x/>`)
+	if status != http.StatusNotFound {
+		t.Fatalf("typo target status %d: %v", status, resp)
+	}
+	// With create=1 a new document appears.
+	status, _ = postIngest(t, ts.URL, "fresh.xml", "create=1", `<log><e n="1"/></log>`)
+	if status != http.StatusOK {
+		t.Fatalf("create status %d", status)
+	}
+	status, _ = postIngest(t, ts.URL, "fresh.xml", "", `<e n="2"/>`)
+	if status != http.StatusOK {
+		t.Fatalf("append-to-created status %d", status)
+	}
+	got := queryItems(t, ts.URL, `for $e in doc("fresh.xml")//e return count($e)`)
+	if len(got) != 1 || got[0] != "2" {
+		t.Fatalf("created doc count = %v", got)
+	}
+
+	// Malformed fragment: 400.
+	if status, _ = postIngest(t, ts.URL, "ppl", "", `<unclosed`); status != http.StatusBadRequest {
+		t.Fatalf("bad xml status %d", status)
+	}
+	// Empty body: 400.
+	if status, _ = postIngest(t, ts.URL, "ppl", "", "  "); status != http.StatusBadRequest {
+		t.Fatalf("empty body status %d", status)
+	}
+
+	// Observability: /v1/stats carries the ingest section with live counters.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		Ingest struct {
+			Appends       int64  `json:"appends"`
+			Commits       int64  `json:"commits"`
+			DeltaDocs     int    `json:"delta_docs"`
+			DeltaNodes    int    `json:"delta_nodes"`
+			PendingDocs   int    `json:"pending_docs"`
+			LastCommitGen uint64 `json:"last_commit_gen"`
+			Durable       bool   `json:"durable"`
+		} `json:"ingest"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ingest.Appends != 3 || stats.Ingest.Commits != 3 {
+		t.Fatalf("stats ingest counters: %+v", stats.Ingest)
+	}
+	if stats.Ingest.DeltaNodes == 0 || stats.Ingest.LastCommitGen == 0 {
+		t.Fatalf("stats ingest gauges: %+v", stats.Ingest)
+	}
+	if stats.Ingest.PendingDocs != 0 || stats.Ingest.Durable {
+		t.Fatalf("stats ingest state: %+v", stats.Ingest)
+	}
+
+	// GET /v1/collections carries the same ingest object.
+	cresp, err := http.Get(ts.URL + "/v1/collections")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cresp.Body.Close()
+	var colls map[string]json.RawMessage
+	if err := json.NewDecoder(cresp.Body).Decode(&colls); err != nil {
+		t.Fatal(err)
+	}
+	if colls["ingest"] == nil {
+		t.Fatalf("GET /collections lacks ingest: %v", colls)
+	}
+}
+
+// TestShardIngestEndpoint covers the coordinator→shard wire path: a
+// coordinator with a remote collection ingests through its own Append/Commit
+// and the fragments land on the shard server via POST /shards/{shard}/ingest.
+func TestShardIngestEndpoint(t *testing.T) {
+	// Shard server with one document.
+	shardEng := rox.NewEngine(rox.WithSeed(1))
+	if err := shardEng.LoadXML("ppl-0.xml", peopleXML(0, 10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	shardH := New(rox.NewPool(shardEng, 2), Config{Role: "shard"})
+	shardTS := httptest.NewServer(shardH)
+	t.Cleanup(shardTS.Close)
+
+	// Direct wire-level ingest against the shard endpoint.
+	body := `{"fragments":[{"frag":"f","xml":"<person id=\"px\"><name>wire</name><age>1</age><salary>2</salary><bio/></person>"}]}`
+	resp, err := http.Post(shardTS.URL+"/v1/shards/ppl-0.xml/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("shard ingest status %d: %s", resp.StatusCode, raw)
+	}
+	var ir struct {
+		Applied    int    `json:"applied"`
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Applied != 1 || ir.Generation == 0 {
+		t.Fatalf("shard ingest response: %+v", ir)
+	}
+
+	// Empty batch: 400.
+	resp2, err := http.Post(shardTS.URL+"/v1/shards/ppl-0.xml/ingest", "application/json", strings.NewReader(`{"fragments":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status %d", resp2.StatusCode)
+	}
+
+	// Coordinator with the shard as a remote collection: collection-level
+	// ingest routes over the wire and is visible to scatter-gather queries.
+	coordEng := rox.NewEngine(rox.WithSeed(1))
+	if err := coordEng.LoadCollectionRemote(t.Context(), "ppl",
+		[]rox.Endpoint{{URL: shardTS.URL}}); err != nil {
+		t.Fatal(err)
+	}
+	coordTS := httptest.NewServer(New(rox.NewPool(coordEng, 2), Config{}))
+	t.Cleanup(coordTS.Close)
+
+	countQ := `for $p in collection("ppl")//person return count($p)`
+	before := queryItems(t, coordTS.URL, countQ)
+	status, iresp := postIngest(t, coordTS.URL, "ppl", "",
+		`<person id="pr1"><name>remote</name><age>2</age><salary>3</salary><bio/></person>`)
+	if status != http.StatusOK {
+		t.Fatalf("coordinator ingest status %d: %v", status, iresp)
+	}
+	after := queryItems(t, coordTS.URL, countQ)
+	wantBefore, wantAfter := fmt.Sprint(10+1), fmt.Sprint(10+2) // wire test added one
+	if len(before) != 1 || before[0] != wantBefore || len(after) != 1 || after[0] != wantAfter {
+		t.Fatalf("remote ingest counts: before %v want %s, after %v want %s", before, wantBefore, after, wantAfter)
+	}
+}

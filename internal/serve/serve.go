@@ -29,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -124,8 +125,12 @@ func (h *Handler) handle(pattern string, fn http.HandlerFunc) {
 // file the process can open.
 func (h *Handler) register(pool *rox.Pool, cfg Config) {
 	maxBody, corpusDir := cfg.MaxBody, cfg.CorpusDir
+	// Route the engine ingester's counters into the pool's aggregator so
+	// /stats reports them next to the query totals.
+	pool.Engine().Ingest().SetCounters(&pool.Aggregator().Ingest)
 	h.handle("GET /shards", shardrpc.HandleInventory(pool.Engine()))
 	h.handle("POST /shards/{shard}/execute", shardrpc.HandleExecute(pool.Engine()))
+	h.handle("POST /shards/{shard}/ingest", shardrpc.HandleIngest(pool.Engine()))
 	h.handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":    "ok",
@@ -148,6 +153,7 @@ func (h *Handler) register(pool *rox.Pool, cfg Config) {
 			// is a leak, heap_bytes bounds the working set.
 			"goroutines": runtime.NumGoroutine(),
 			"heap_bytes": ms.HeapAlloc,
+			"ingest":     ingestStatsJSON(pool.Engine()),
 		})
 	})
 	h.handle("/cache", func(w http.ResponseWriter, r *http.Request) {
@@ -185,10 +191,118 @@ func (h *Handler) register(pool *rox.Pool, cfg Config) {
 			}
 			out = append(out, collInfo{Name: name, Shards: shards})
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"collections": out})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"collections": out,
+			"ingest":      ingestStatsJSON(eng),
+		})
 	})
 	h.handle("/collections/load", func(w http.ResponseWriter, r *http.Request) {
 		serveCollectionLoad(pool, maxBody, corpusDir, w, r)
+	})
+	h.handle("POST /collections/{name}/ingest", func(w http.ResponseWriter, r *http.Request) {
+		serveIngest(pool, maxBody, corpusDir, w, r)
+	})
+}
+
+// ingestStatsJSON shapes the engine's ingest statistics for /stats and
+// /collections: WAL health, overlay sizes, and lifetime event counts.
+func ingestStatsJSON(eng *rox.Engine) map[string]any {
+	st := eng.Ingest().Stats()
+	return map[string]any{
+		"durable":          st.Durable,
+		"wal_path":         st.WALPath,
+		"wal_bytes":        st.WALSize,
+		"wal_age_ns":       st.WALAge.Nanoseconds(),
+		"pending_docs":     st.PendingDocs,
+		"delta_docs":       st.DeltaDocs,
+		"delta_nodes":      st.DeltaNodes,
+		"last_commit_seq":  st.LastCommitSeq,
+		"last_commit_gen":  st.LastCommitGen,
+		"appends":          st.Appends,
+		"commits":          st.Commits,
+		"compactions":      st.Compactions,
+		"replayed_batches": st.ReplayedBatches,
+	}
+}
+
+// serveIngest appends one batch of XML fragments to a collection or document
+// and commits it: POST /collections/{name}/ingest with the fragment XML as
+// the body, or ?file=PATH to ingest a file confined to the corpus directory
+// (same trust rules as /collections/load). The target may be a loaded
+// collection (fragments route round-robin across its shards, remote shards
+// forwarded over shardrpc at commit), a loaded document, or — with
+// &create=1 — a new document name. Each request is one committed batch:
+// after the 200, the appends are durable (when a WAL is attached) and
+// visible to new queries; in-flight queries keep their snapshot.
+func serveIngest(pool *rox.Pool, maxBody int64, corpusDir string, w http.ResponseWriter, r *http.Request) {
+	eng := pool.Engine()
+	name := r.PathValue("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing collection or document name"))
+		return
+	}
+	// Mirror /collections/load: a mistyped target must not silently create a
+	// junk document — ingesting into a brand-new name is an explicit opt-in.
+	if create := r.URL.Query().Get("create"); create != "1" && create != "true" {
+		if _, err := eng.CollectionShards(name); err != nil && !slices.Contains(eng.Documents(), name) {
+			writeError(w, http.StatusNotFound,
+				fmt.Errorf("no collection or document %q loaded (pass &create=1 to create a document)", name))
+			return
+		}
+	}
+	var xml string
+	if file := r.URL.Query().Get("file"); file != "" {
+		path, err := resolveCorpusPath(corpusDir, file)
+		if err != nil {
+			writeError(w, http.StatusForbidden, err)
+			return
+		}
+		body, err := os.ReadFile(path)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("read fragment file %s: %w", file, err))
+			return
+		}
+		xml = string(body)
+	} else {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("fragment body exceeds %d bytes", maxBody))
+				return
+			}
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		xml = string(body)
+	}
+	if strings.TrimSpace(xml) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty fragment: POST the XML to append (or pass ?file=)"))
+		return
+	}
+	if err := eng.Append(name, xml); err != nil {
+		// An append failure is almost always the client's XML (parse error,
+		// pre-space overflow) — except a latched WAL failure, which is ours.
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "wal") {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, fmt.Errorf("append to %q: %w", name, err))
+		return
+	}
+	seq, err := eng.Commit(r.Context())
+	if err != nil {
+		writeError(w, StatusFor(err), fmt.Errorf("commit ingest into %q: %w", name, err))
+		return
+	}
+	st := eng.Ingest().Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"target":     name,
+		"status":     "committed",
+		"seq":        seq,
+		"generation": st.LastCommitGen,
+		"durable":    st.Durable,
 	})
 }
 

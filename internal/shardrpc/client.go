@@ -81,6 +81,36 @@ func (c *Client) Execute(ctx context.Context, base, shard string, req *ExecReque
 	return &Stream{body: resp.Body, dec: json.NewDecoder(resp.Body), endpoint: base}, nil
 }
 
+// Ingest appends one batch of fragments to a shard document and commits it
+// (POST /v1/shards/{shard}/ingest). The call returns once the server has
+// durably committed the batch; the response carries the document's new
+// generation stamp.
+func (c *Client) Ingest(ctx context.Context, base, shard string, req *IngestRequest) (*IngestResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	u := joinURL(base, "/v1/shards/"+url.PathEscape(shard)+"/ingest")
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteErr(base, resp)
+	}
+	var ack IngestResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxErrorBody)).Decode(&ack); err != nil {
+		return nil, fmt.Errorf("shardrpc: %s: decoding ingest response: %w", base, err)
+	}
+	return &ack, nil
+}
+
 // Stream is the NDJSON message sequence of one execute response. Next returns
 // messages until the done report (the protocol's last message); the caller
 // recognizes it by Message.Done and stops there.

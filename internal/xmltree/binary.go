@@ -46,6 +46,9 @@ const (
 
 // WriteBinary writes the document in the v1 binary shredded format.
 func WriteBinary(w io.Writer, d *Document) error {
+	// A segmented append-path document persists in its flattened form: the
+	// on-disk formats are single-segment by construction.
+	d = d.Flatten()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
 		return err

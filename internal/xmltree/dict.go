@@ -4,10 +4,21 @@ package xmltree
 // ids. Documents use one Dict for qualified names and one for text/attribute
 // values; equality joins compare ids instead of strings.
 //
-// The zero value is not usable; call NewDict.
+// A Dict can be layered over an immutable base dictionary (NewDeltaDict):
+// ids [0, base.Len()) resolve through the base and new strings get ids from
+// base.Len() upward. That is how the live-ingest append path extends the
+// dictionaries of an already-published (possibly memory-mapped) document
+// without copying or mutating them.
+//
+// The zero value is not usable; call NewDict or NewDeltaDict.
 type Dict struct {
 	byID []string
 	byS  map[string]int32
+
+	// base layers this dictionary over an immutable parent. byID/byS then
+	// hold only the delta strings; byS maps to absolute ids.
+	base    *Dict
+	baseLen int32
 }
 
 // NewDict returns an empty dictionary.
@@ -15,12 +26,25 @@ func NewDict() *Dict {
 	return &Dict{byS: make(map[string]int32)}
 }
 
+// NewDeltaDict returns an empty dictionary layered over base: lookups fall
+// through to base, and newly interned strings receive ids starting at
+// base.Len(). The base must be immutable for the delta's lifetime (document
+// dictionaries are, once the document is built).
+func NewDeltaDict(base *Dict) *Dict {
+	return &Dict{byS: make(map[string]int32), base: base, baseLen: int32(base.Len())}
+}
+
 // Intern returns the id of s, inserting it if absent.
 func (d *Dict) Intern(s string) int32 {
+	if d.base != nil {
+		if id, ok := d.base.Lookup(s); ok {
+			return id
+		}
+	}
 	if id, ok := d.byS[s]; ok {
 		return id
 	}
-	id := int32(len(d.byID))
+	id := d.baseLen + int32(len(d.byID))
 	d.byID = append(d.byID, s)
 	d.byS[s] = id
 	return id
@@ -28,6 +52,11 @@ func (d *Dict) Intern(s string) int32 {
 
 // Lookup returns the id of s and whether it is present, without inserting.
 func (d *Dict) Lookup(s string) (int32, bool) {
+	if d.base != nil {
+		if id, ok := d.base.Lookup(s); ok {
+			return id, true
+		}
+	}
 	id, ok := d.byS[s]
 	return id, ok
 }
@@ -35,8 +64,42 @@ func (d *Dict) Lookup(s string) (int32, bool) {
 // String returns the string with the given id. It panics on ids that were
 // never handed out, which always indicates a programming error.
 func (d *Dict) String(id int32) string {
-	return d.byID[id]
+	if d.base != nil && id < d.baseLen {
+		return d.base.String(id)
+	}
+	return d.byID[id-d.baseLen]
 }
 
-// Len returns the number of distinct strings interned.
-func (d *Dict) Len() int { return len(d.byID) }
+// Len returns the number of distinct strings interned (base layer included).
+func (d *Dict) Len() int { return int(d.baseLen) + len(d.byID) }
+
+// Clone returns an independent copy of the delta layer, sharing the
+// immutable base. Published document snapshots take a Clone so the working
+// dictionary of an Appender can keep growing without racing readers.
+func (d *Dict) Clone() *Dict {
+	out := &Dict{
+		byID:    append([]string(nil), d.byID...),
+		byS:     make(map[string]int32, len(d.byS)),
+		base:    d.base,
+		baseLen: d.baseLen,
+	}
+	for s, id := range d.byS {
+		out.byS[s] = id
+	}
+	return out
+}
+
+// flatten materializes a layered dictionary into a plain one with identical
+// ids (delta interning never duplicates a base string, so re-inserting every
+// string in id order reproduces the numbering exactly). Plain dictionaries
+// return themselves.
+func (d *Dict) flatten() *Dict {
+	if d.base == nil {
+		return d
+	}
+	out := NewDict()
+	for i := 0; i < d.Len(); i++ {
+		out.Intern(d.String(int32(i)))
+	}
+	return out
+}

@@ -42,44 +42,134 @@ type Document struct {
 	// memory-mapped packed container (see OpenPackedFile). The mapping is
 	// released when the document becomes unreachable.
 	mapped bool
+
+	// base, when non-nil, marks a segmented document produced by an
+	// Appender snapshot (the live-ingest append path): nodes [0, baseLen)
+	// read through base's columns — possibly zero-copy views into a mapped
+	// container — and nodes [baseLen, Len) through this document's own tail
+	// columns. The base is never itself segmented. The one cell whose value
+	// cannot live in the immutable base is the document root's subtree
+	// size; Size special-cases node 0 to Len()-1.
+	base    *Document
+	baseLen int32
 }
 
 // Mapped reports whether the document's columns are backed by a
-// memory-mapped packed container rather than heap allocations.
-func (d *Document) Mapped() bool { return d.mapped }
+// memory-mapped packed container rather than heap allocations (for a
+// segmented document: whether its base is).
+func (d *Document) Mapped() bool {
+	if d.base != nil {
+		return d.base.mapped
+	}
+	return d.mapped
+}
+
+// Segmented reports whether the document is an append-path overlay: an
+// immutable base extended by tail columns. Compaction (Flatten) turns it
+// back into a plain single-segment document.
+func (d *Document) Segmented() bool { return d.base != nil }
+
+// BaseLen returns the node count of the base segment: 0 for a plain
+// document, the base document's length for a segmented one. Nodes at pre
+// numbers >= BaseLen were appended after the base was built — the region an
+// incremental index maintains (see index.NewDelta).
+func (d *Document) BaseLen() int {
+	if d.base == nil {
+		return 0
+	}
+	return int(d.baseLen)
+}
 
 // Name returns the document identifier (typically its URL or file name).
 func (d *Document) Name() string { return d.name }
 
 // Len returns the total number of nodes, including the document root and
 // attribute nodes.
-func (d *Document) Len() int { return len(d.kinds) }
+func (d *Document) Len() int {
+	if d.base != nil {
+		return int(d.baseLen) + len(d.kinds)
+	}
+	return len(d.kinds)
+}
 
 // Root returns the pre number of the document root node (always 0).
 func (d *Document) Root() NodeID { return 0 }
 
 // Kind returns the kind of node n.
-func (d *Document) Kind(n NodeID) Kind { return d.kinds[n] }
+func (d *Document) Kind(n NodeID) Kind {
+	if d.base != nil {
+		if n < d.baseLen {
+			return d.base.kinds[n]
+		}
+		return d.kinds[n-d.baseLen]
+	}
+	return d.kinds[n]
+}
 
 // Size returns the number of nodes in the subtree below n (excluding n).
-func (d *Document) Size(n NodeID) int32 { return d.sizes[n] }
+func (d *Document) Size(n NodeID) int32 {
+	if d.base != nil {
+		if n == 0 {
+			// The root's subtree is the whole document; its cell in the
+			// immutable base still holds the base-only size.
+			return int32(d.Len()) - 1
+		}
+		if n < d.baseLen {
+			return d.base.sizes[n]
+		}
+		return d.sizes[n-d.baseLen]
+	}
+	return d.sizes[n]
+}
 
 // Level returns the depth of n; the root has level 0.
-func (d *Document) Level(n NodeID) int32 { return d.levels[n] }
+func (d *Document) Level(n NodeID) int32 {
+	if d.base != nil {
+		if n < d.baseLen {
+			return d.base.levels[n]
+		}
+		return d.levels[n-d.baseLen]
+	}
+	return d.levels[n]
+}
 
 // Parent returns the parent of n, or NoNode for the root.
-func (d *Document) Parent(n NodeID) NodeID { return d.parents[n] }
+func (d *Document) Parent(n NodeID) NodeID {
+	if d.base != nil {
+		if n < d.baseLen {
+			return d.base.parents[n]
+		}
+		return d.parents[n-d.baseLen]
+	}
+	return d.parents[n]
+}
 
 // NameID returns the qname dictionary id of n, or -1 for unnamed kinds.
-func (d *Document) NameID(n NodeID) int32 { return d.names[n] }
+func (d *Document) NameID(n NodeID) int32 {
+	if d.base != nil {
+		if n < d.baseLen {
+			return d.base.names[n]
+		}
+		return d.names[n-d.baseLen]
+	}
+	return d.names[n]
+}
 
 // ValueID returns the value dictionary id of n, or -1 for kinds without an
 // own value (doc, elem).
-func (d *Document) ValueID(n NodeID) int32 { return d.values[n] }
+func (d *Document) ValueID(n NodeID) int32 {
+	if d.base != nil {
+		if n < d.baseLen {
+			return d.base.values[n]
+		}
+		return d.values[n-d.baseLen]
+	}
+	return d.values[n]
+}
 
 // NodeName returns the qualified name of n ("" for unnamed kinds).
 func (d *Document) NodeName(n NodeID) string {
-	id := d.names[n]
+	id := d.NameID(n)
 	if id < 0 {
 		return ""
 	}
@@ -89,7 +179,7 @@ func (d *Document) NodeName(n NodeID) string {
 // Value returns the own string value of n ("" for doc/elem nodes; use
 // StringValue for the XPath string value of an element).
 func (d *Document) Value(n NodeID) string {
-	id := d.values[n]
+	id := d.ValueID(n)
 	if id < 0 {
 		return ""
 	}
@@ -106,14 +196,14 @@ func (d *Document) Values() *Dict { return d.vals }
 // comment and pi nodes their own value; for document and element nodes the
 // concatenation of all descendant text node values in document order.
 func (d *Document) StringValue(n NodeID) string {
-	switch d.kinds[n] {
+	switch d.Kind(n) {
 	case KindText, KindAttr, KindComment, KindPI:
 		return d.Value(n)
 	}
 	var sb strings.Builder
-	end := n + d.sizes[n]
+	end := n + d.Size(n)
 	for i := n + 1; i <= end; i++ {
-		if d.kinds[i] == KindText {
+		if d.Kind(i) == KindText {
 			sb.WriteString(d.Value(i))
 		}
 	}
@@ -134,14 +224,14 @@ func (d *Document) NumberValue(n NodeID) (v float64, ok bool) {
 // IsAncestorOf reports whether a is a proper ancestor of n, using the pre
 // range containment property of the encoding.
 func (d *Document) IsAncestorOf(a, n NodeID) bool {
-	return a < n && n <= a+d.sizes[a]
+	return a < n && n <= a+d.Size(a)
 }
 
 // FirstChildPre returns the pre number of the first node in n's subtree
 // (n+1) and the end of the subtree range (n+size). Attribute children of n
 // come first in that range.
 func (d *Document) subtreeRange(n NodeID) (first, last NodeID) {
-	return n + 1, n + d.sizes[n]
+	return n + 1, n + d.Size(n)
 }
 
 // Attributes returns the attribute nodes of element n in document order.
@@ -149,7 +239,7 @@ func (d *Document) Attributes(n NodeID) []NodeID {
 	var out []NodeID
 	first, last := d.subtreeRange(n)
 	for i := first; i <= last; i++ {
-		if d.kinds[i] != KindAttr || d.parents[i] != n {
+		if d.Kind(i) != KindAttr || d.Parent(i) != n {
 			break
 		}
 		out = append(out, i)
@@ -162,12 +252,12 @@ func (d *Document) Children(n NodeID) []NodeID {
 	var out []NodeID
 	first, last := d.subtreeRange(n)
 	for i := first; i <= last; {
-		if d.kinds[i] == KindAttr {
+		if d.Kind(i) == KindAttr {
 			i++
 			continue
 		}
 		out = append(out, i)
-		i += d.sizes[i] + 1
+		i += d.Size(i) + 1
 	}
 	return out
 }
@@ -180,7 +270,7 @@ func (d *Document) Attribute(n NodeID, name string) NodeID {
 		return NoNode
 	}
 	for _, a := range d.Attributes(n) {
-		if d.names[a] == id {
+		if d.NameID(a) == id {
 			return a
 		}
 	}
@@ -195,8 +285,9 @@ func (d *Document) CountName(qname string) int {
 		return 0
 	}
 	count := 0
-	for i := range d.kinds {
-		if d.kinds[i] == KindElem && d.names[i] == id {
+	for i := 0; i < d.Len(); i++ {
+		n := NodeID(i)
+		if d.Kind(n) == KindElem && d.NameID(n) == id {
 			count++
 		}
 	}
@@ -213,59 +304,59 @@ func (d *Document) Validate() error {
 	if n == 0 {
 		return fmt.Errorf("document %q: empty node table", d.name)
 	}
-	if d.kinds[0] != KindDoc {
-		return fmt.Errorf("document %q: node 0 has kind %v, want doc", d.name, d.kinds[0])
+	if d.Kind(0) != KindDoc {
+		return fmt.Errorf("document %q: node 0 has kind %v, want doc", d.name, d.Kind(0))
 	}
-	if d.sizes[0] != n-1 {
-		return fmt.Errorf("document %q: root size %d, want %d", d.name, d.sizes[0], n-1)
+	if d.Size(0) != n-1 {
+		return fmt.Errorf("document %q: root size %d, want %d", d.name, d.Size(0), n-1)
 	}
-	if d.levels[0] != 0 || d.parents[0] != NoNode {
+	if d.Level(0) != 0 || d.Parent(0) != NoNode {
 		return fmt.Errorf("document %q: root must have level 0 and no parent", d.name)
 	}
 	for i := int32(1); i < n; i++ {
-		p := d.parents[i]
+		p := d.Parent(i)
 		if p < 0 || p >= i {
 			return fmt.Errorf("node %d: parent %d out of range", i, p)
 		}
-		if d.levels[i] != d.levels[p]+1 {
-			return fmt.Errorf("node %d: level %d, parent level %d", i, d.levels[i], d.levels[p])
+		if d.Level(i) != d.Level(p)+1 {
+			return fmt.Errorf("node %d: level %d, parent level %d", i, d.Level(i), d.Level(p))
 		}
 		if !d.IsAncestorOf(p, i) {
 			return fmt.Errorf("node %d: not inside parent %d's subtree range", i, p)
 		}
-		if i+d.sizes[i] > p+d.sizes[p] {
+		if i+d.Size(i) > p+d.Size(p) {
 			return fmt.Errorf("node %d: subtree exceeds parent %d's range", i, p)
 		}
-		switch d.kinds[i] {
+		switch d.Kind(i) {
 		case KindElem:
-			if d.names[i] < 0 || int(d.names[i]) >= d.qnames.Len() {
-				return fmt.Errorf("elem node %d: bad name id %d", i, d.names[i])
+			if d.NameID(i) < 0 || int(d.NameID(i)) >= d.qnames.Len() {
+				return fmt.Errorf("elem node %d: bad name id %d", i, d.NameID(i))
 			}
 		case KindAttr:
-			if d.sizes[i] != 0 {
-				return fmt.Errorf("attr node %d: size %d, want 0", i, d.sizes[i])
+			if d.Size(i) != 0 {
+				return fmt.Errorf("attr node %d: size %d, want 0", i, d.Size(i))
 			}
-			if d.names[i] < 0 || d.values[i] < 0 {
+			if d.NameID(i) < 0 || d.ValueID(i) < 0 {
 				return fmt.Errorf("attr node %d: missing name or value", i)
 			}
 			// Attributes directly follow their owner, before any
 			// non-attribute sibling.
 			for j := p + 1; j < i; j++ {
-				if d.kinds[j] != KindAttr {
+				if d.Kind(j) != KindAttr {
 					return fmt.Errorf("attr node %d: preceded by non-attr node %d within owner", i, j)
 				}
 			}
 		case KindText, KindComment, KindPI:
-			if d.sizes[i] != 0 {
-				return fmt.Errorf("%v node %d: size %d, want 0", d.kinds[i], i, d.sizes[i])
+			if d.Size(i) != 0 {
+				return fmt.Errorf("%v node %d: size %d, want 0", d.Kind(i), i, d.Size(i))
 			}
-			if d.kinds[i] == KindText && d.values[i] < 0 {
+			if d.Kind(i) == KindText && d.ValueID(i) < 0 {
 				return fmt.Errorf("text node %d: missing value", i)
 			}
 		case KindDoc:
 			return fmt.Errorf("node %d: interior doc node", i)
 		default:
-			return fmt.Errorf("node %d: unknown kind %d", i, uint8(d.kinds[i]))
+			return fmt.Errorf("node %d: unknown kind %d", i, uint8(d.Kind(i)))
 		}
 	}
 	return nil
@@ -288,7 +379,7 @@ func (d *Document) ComputeStats() Stats {
 	st.Nodes = d.Len()
 	for i := 0; i < d.Len(); i++ {
 		n := NodeID(i)
-		switch d.kinds[n] {
+		switch d.Kind(n) {
 		case KindElem:
 			st.Elements++
 			st.ByName[d.NodeName(n)]++
@@ -297,8 +388,8 @@ func (d *Document) ComputeStats() Stats {
 		case KindAttr:
 			st.Attrs++
 		}
-		if d.levels[n] > st.MaxDepth {
-			st.MaxDepth = d.levels[n]
+		if d.Level(n) > st.MaxDepth {
+			st.MaxDepth = d.Level(n)
 		}
 	}
 	return st

@@ -1,0 +1,172 @@
+package xmltree
+
+import "fmt"
+
+// Appender grows a document by whole appended fragments — the xmltree half
+// of the live-ingest path (internal/ingest, rox.Ingester). Each appended
+// fragment's top-level nodes become children of the document root, placed
+// after everything already in the document, exactly where a single shred of
+// the concatenated XML would have put them: appending fragments f1..fk to a
+// base shredded from text B yields the same node table, the same dictionary
+// ids and therefore byte-identical query results as shredding B+f1+..+fk at
+// once. That identity is what makes incremental ingest equivalent to a bulk
+// load.
+//
+// The base document (and every published snapshot) stays untouched: appended
+// nodes accumulate in tail columns and new strings in delta dictionaries
+// layered over the base's. Snapshot publishes an immutable segmented
+// Document sharing the base columns — O(delta) copied, never O(base) — so
+// readers of earlier snapshots race nothing. An Appender itself is not safe
+// for concurrent use; the ingester serializes appends and commits.
+type Appender struct {
+	base    *Document // plain (never segmented); possibly memory-mapped
+	baseLen int32
+
+	kinds   []Kind
+	sizes   []int32
+	levels  []int32
+	names   []int32
+	values  []int32
+	parents []int32
+
+	qnames *Dict // layered over base.qnames
+	vals   *Dict // layered over base.vals
+}
+
+// NewAppender returns an Appender growing base. A segmented base (an earlier
+// snapshot of another Appender) is resumed: its tail is copied and appending
+// continues where it left off, against the same ultimate base segment.
+func NewAppender(base *Document) *Appender {
+	if base.base != nil {
+		// Resume a snapshot: same base segment, copied tail, re-layered
+		// dictionaries (the snapshot's dicts are immutable Clones).
+		return &Appender{
+			base:    base.base,
+			baseLen: base.baseLen,
+			kinds:   append([]Kind(nil), base.kinds...),
+			sizes:   append([]int32(nil), base.sizes...),
+			levels:  append([]int32(nil), base.levels...),
+			names:   append([]int32(nil), base.names...),
+			values:  append([]int32(nil), base.values...),
+			parents: append([]int32(nil), base.parents...),
+			qnames:  base.qnames.Clone(),
+			vals:    base.vals.Clone(),
+		}
+	}
+	return &Appender{
+		base:    base,
+		baseLen: int32(base.Len()),
+		qnames:  NewDeltaDict(base.qnames),
+		vals:    NewDeltaDict(base.vals),
+	}
+}
+
+// Len returns the node count a Snapshot taken now would have.
+func (a *Appender) Len() int { return int(a.baseLen) + len(a.kinds) }
+
+// BaseLen returns the node count of the immutable base segment.
+func (a *Appender) BaseLen() int { return int(a.baseLen) }
+
+// Append adds every top-level node of frag (a shredded fragment — one or
+// more elements, as Parse produces) as new children of the document root.
+// The fragment's own document-root node is dropped; everything below it is
+// renumbered to follow the current end of the document, levels preserved.
+func (a *Appender) Append(frag *Document) error {
+	m := int32(frag.Len())
+	if m <= 1 {
+		return nil // empty fragment: nothing below its root
+	}
+	cur := int32(a.Len())
+	if int64(cur)+int64(m)-1 > int64(1)<<31-1 {
+		return fmt.Errorf("xmltree: appending %d nodes to %q overflows the 31-bit pre space", m-1, a.base.name)
+	}
+	// New pre of frag node i (i >= 1) is i - 1 + cur.
+	shift := cur - 1
+	for i := int32(1); i < m; i++ {
+		a.kinds = append(a.kinds, frag.Kind(i))
+		a.sizes = append(a.sizes, frag.Size(i))
+		a.levels = append(a.levels, frag.Level(i))
+		p := frag.Parent(i)
+		if p != 0 {
+			p += shift
+		}
+		a.parents = append(a.parents, p)
+		nameID := int32(-1)
+		if id := frag.NameID(i); id >= 0 {
+			nameID = a.qnames.Intern(frag.QNames().String(id))
+		}
+		a.names = append(a.names, nameID)
+		valID := int32(-1)
+		if id := frag.ValueID(i); id >= 0 {
+			valID = a.vals.Intern(frag.Values().String(id))
+		}
+		a.values = append(a.values, valID)
+	}
+	return nil
+}
+
+// AppendXML shreds the XML text (a fragment: one or more top-level
+// elements) and appends it. The docName labels parse errors only.
+func (a *Appender) AppendXML(docName, xml string) error {
+	frag, err := ParseString(docName, xml)
+	if err != nil {
+		return err
+	}
+	return a.Append(frag)
+}
+
+// Snapshot returns an immutable segmented Document over the current state:
+// the shared base columns plus a copy of the tail columns and dictionary
+// deltas. Further Appends never disturb a snapshot, so snapshots can be
+// published to concurrent readers. With nothing appended yet it returns the
+// base itself.
+func (a *Appender) Snapshot() *Document {
+	if len(a.kinds) == 0 {
+		return a.base
+	}
+	return &Document{
+		name:    a.base.name,
+		kinds:   append([]Kind(nil), a.kinds...),
+		sizes:   append([]int32(nil), a.sizes...),
+		levels:  append([]int32(nil), a.levels...),
+		names:   append([]int32(nil), a.names...),
+		values:  append([]int32(nil), a.values...),
+		parents: append([]int32(nil), a.parents...),
+		qnames:  a.qnames.Clone(),
+		vals:    a.vals.Clone(),
+		base:    a.base,
+		baseLen: a.baseLen,
+	}
+}
+
+// Flatten materializes a segmented document into one plain heap document
+// with an identical node table and identical dictionary ids — compaction's
+// rewrite step, and the form the packed/binary writers persist. Plain
+// documents return themselves.
+func (d *Document) Flatten() *Document {
+	if d.base == nil {
+		return d
+	}
+	n := d.Len()
+	out := &Document{
+		name:    d.name,
+		kinds:   make([]Kind, n),
+		sizes:   make([]int32, n),
+		levels:  make([]int32, n),
+		names:   make([]int32, n),
+		values:  make([]int32, n),
+		parents: make([]int32, n),
+		qnames:  d.qnames.flatten(),
+		vals:    d.vals.flatten(),
+	}
+	for i := 0; i < n; i++ {
+		nd := NodeID(i)
+		out.kinds[i] = d.Kind(nd)
+		out.sizes[i] = d.Size(nd)
+		out.levels[i] = d.Level(nd)
+		out.names[i] = d.NameID(nd)
+		out.values[i] = d.ValueID(nd)
+		out.parents[i] = d.Parent(nd)
+	}
+	return out
+}

@@ -309,6 +309,9 @@ func coreSections(d *Document) ([]Section, error) {
 // the document columns. Output is byte-deterministic for a given document
 // and extra-section list.
 func WritePacked(w io.Writer, d *Document, extra []Section) error {
+	// A segmented append-path document persists in its flattened form: the
+	// container's column sections are single-segment by construction.
+	d = d.Flatten()
 	if err := d.Validate(); err != nil {
 		return fmt.Errorf("xmltree: refusing to pack invalid document: %w", err)
 	}

@@ -96,6 +96,11 @@ type Engine struct {
 	remote     *httpBackend
 	remoteHTTP *http.Client
 	shardRetry ShardFailurePolicy
+
+	// ing is the engine's shared live-ingest handle, created lazily by
+	// Engine.Ingest (see ingest.go).
+	ingOnce sync.Once
+	ing     *Ingester
 }
 
 // DefaultPlanCacheSize is the plan-cache LRU bound of NewEngine.
